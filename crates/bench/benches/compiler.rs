@@ -1,0 +1,68 @@
+//! Criterion benchmarks over the compiler pipeline and the simulator:
+//! the "fast, integrated feedback loop" the paper's §2.3 argues a
+//! language-based approach buys over after-the-fact verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let src = anvil_designs::ptw::anvil_source();
+    c.bench_function("parse_ptw", |b| {
+        b.iter(|| anvil_syntax::parse(std::hint::black_box(&src)).unwrap())
+    });
+    c.bench_function("typecheck_ptw", |b| {
+        let compiler = anvil_core::Compiler::new();
+        b.iter(|| compiler.check(std::hint::black_box(&src)).unwrap())
+    });
+    c.bench_function("compile_ptw_to_sv", |b| {
+        let compiler = anvil_core::Compiler::new();
+        b.iter(|| compiler.compile(std::hint::black_box(&src)).unwrap())
+    });
+}
+
+fn bench_opt(c: &mut Criterion) {
+    use anvil_ir::{build_proc, optimize, BuildCtx, OptConfig};
+    let src = anvil_designs::ptw::anvil_source();
+    let prog = anvil_syntax::parse(&src).unwrap();
+    let proc = prog.proc("ptw_anvil").unwrap();
+    let ctx = BuildCtx {
+        program: &prog,
+        proc,
+    };
+    let irs = build_proc(&ctx, 1).unwrap();
+    c.bench_function("optimize_ptw_event_graph", |b| {
+        b.iter(|| {
+            for ir in &irs {
+                std::hint::black_box(optimize(ir, OptConfig::default()));
+            }
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let flat = anvil_designs::fifo::anvil_flat();
+    c.bench_function("simulate_fifo_1k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = anvil_sim::Sim::new(&flat).unwrap();
+            sim.poke("out_ep_deq_ack", anvil_rtl::Bits::bit(true)).unwrap();
+            sim.poke("in_ep_enq_valid", anvil_rtl::Bits::bit(true)).unwrap();
+            sim.poke("in_ep_enq_data", anvil_rtl::Bits::from_u64(7, 16))
+                .unwrap();
+            sim.run(1000).unwrap();
+            std::hint::black_box(sim.cycle())
+        })
+    });
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let flat = anvil_designs::aes::anvil_flat();
+    c.bench_function("synthesize_aes_cost_model", |b| {
+        b.iter(|| std::hint::black_box(anvil_synth::synthesize(&flat)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline, bench_opt, bench_sim, bench_synth
+}
+criterion_main!(benches);

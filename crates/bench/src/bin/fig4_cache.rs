@@ -1,0 +1,42 @@
+//! Regenerates Fig. 4: the same cached memory under a static worst-case
+//! contract and under a dynamic contract, measured per-request.
+
+use anvil_designs::hazard;
+
+fn main() {
+    println!("== Fig. 4: static vs dynamic timing contracts on a cached memory ==\n");
+    // A trace with plenty of reuse: h = hit, m = miss on the dynamic side.
+    let addrs: Vec<u64> = vec![0x10, 0x10, 0x10, 0x54, 0x54, 0x10, 0x54, 0x98, 0x98, 0x54];
+
+    let dynamic = hazard::measure_cache(&hazard::cache_dyn_flat(), &addrs, false);
+    let fixed = hazard::measure_cache(&hazard::cache_static_flat(), &addrs, true);
+
+    println!(
+        "{:>4} {:>6} | {:>12} {:>12}",
+        "req", "addr", "static lat", "dynamic lat"
+    );
+    for (i, a) in addrs.iter().enumerate() {
+        println!(
+            "{:>4} {:>6} | {:>12} {:>12}",
+            i,
+            format!("{a:#04x}"),
+            fixed.get(i).map(|(l, _)| *l).unwrap_or(0),
+            dynamic.get(i).map(|(l, _)| *l).unwrap_or(0),
+        );
+    }
+    let sum = |v: &[(u64, u64)]| v.iter().map(|(l, _)| *l).sum::<u64>();
+    println!(
+        "\ntotal walk cycles:  static contract = {}   dynamic contract = {}",
+        sum(&fixed),
+        sum(&dynamic)
+    );
+    println!(
+        "\nThe static contract pays the worst-case miss latency on every request\n\
+         (Fig. 4 left); the dynamic contract `(req, req->res)` lets hits return\n\
+         early while remaining statically timing-safe (Fig. 4 right)."
+    );
+    // Values are identical either way.
+    let dv: Vec<u64> = dynamic.iter().map(|(_, v)| *v).collect();
+    let fv: Vec<u64> = fixed.iter().map(|(_, v)| *v).collect();
+    assert_eq!(dv, fv, "both contracts return the same data");
+}

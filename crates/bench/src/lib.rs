@@ -1,0 +1,25 @@
+//! Evaluation harness regenerating every table and figure of the Anvil
+//! paper. Each binary under `src/bin/` prints one artifact:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1: area/power/fmax/latency, Anvil vs baseline |
+//! | `fig1_hazard` | Fig. 1: the timing-hazard waveform |
+//! | `fig2_bsv` | Fig. 2: conflict-free-but-unsafe rule schedules |
+//! | `fig4_cache` | Fig. 4: static vs dynamic cache contract latencies |
+//! | `fig5_checks` | Fig. 5: compile-time derivations for unsafe/safe Top |
+//! | `fig6_encrypt` | Fig. 6: inferred lifetimes/loans for Encrypt |
+//! | `fig8_opt` | Fig. 8: event-graph optimization pass ablation |
+//! | `appendix_a_bmc` | App. A: BMC vs type checking |
+//! | `table2_cases` | App. B Table 2: real-world bug case studies |
+//!
+//! Criterion benches under `benches/` measure compile/check/simulate speed.
+
+/// Formats a ± percentage delta for the Table 1 style columns.
+pub fn pct(anvil: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".to_string();
+    }
+    let d = (anvil - baseline) / baseline * 100.0;
+    format!("{d:+.1}%")
+}

@@ -1,0 +1,275 @@
+//! The Anvil compiler driver: the paper's primary contribution as one
+//! pipeline.
+//!
+//! [`Compiler`] strings together the stages implemented across the
+//! workspace — parse ([`anvil_syntax`]), event-graph elaboration
+//! ([`anvil_ir`]), static timing-safety checking ([`anvil_typeck`]),
+//! event-graph optimization (§6.1), and RTL / SystemVerilog generation
+//! ([`anvil_codegen`], [`anvil_rtl`]) — behind a single call, exactly the
+//! flow of the paper's Fig. 3 (bottom): type errors are reported at
+//! compile time, and only timing-safe designs reach RTL.
+//!
+//! # Examples
+//!
+//! ```
+//! use anvil_core::Compiler;
+//!
+//! let out = Compiler::new()
+//!     .compile(
+//!         "chan ch { right beat : (logic[8]@#1) }
+//!          proc blink(ep : left ch) {
+//!              reg c : logic[8];
+//!              loop { send ep.beat (*c) >> set c := *c + 1 >> cycle 1 }
+//!          }",
+//!     )?;
+//! assert!(out.systemverilog.contains("module blink"));
+//! # Ok::<(), anvil_core::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use anvil_codegen::{compile_program, CodegenError, CodegenOptions};
+use anvil_rtl::ModuleLibrary;
+use anvil_syntax::{parse, ParseError, Program};
+use anvil_typeck::{check_program, ProcReport, TypeError};
+
+pub use anvil_codegen::CodegenOptions as Options;
+
+/// Everything the compiler produces for a program.
+#[derive(Clone, Debug)]
+pub struct CompileOutput {
+    /// The parsed program.
+    pub program: Program,
+    /// Per-process type-check reports (loans; no errors if compilation
+    /// succeeded).
+    pub reports: std::collections::BTreeMap<String, ProcReport>,
+    /// One RTL module per process (plus any extern modules supplied).
+    pub modules: ModuleLibrary,
+    /// The emitted SystemVerilog for the whole library.
+    pub systemverilog: String,
+}
+
+/// A failure in any compiler stage.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// Lexing / parsing failed.
+    Parse(ParseError),
+    /// Elaboration failed (names, widths, directions).
+    Elaborate(anvil_ir::IrError),
+    /// The program is not timing-safe; all violations are listed.
+    TimingUnsafe(Vec<TypeError>),
+    /// RTL generation failed.
+    Codegen(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Elaborate(e) => write!(f, "elaboration error: {e}"),
+            CompileError::TimingUnsafe(errs) => {
+                writeln!(f, "{} timing-safety violation(s):", errs.len())?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            CompileError::Codegen(e) => write!(f, "code generation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl CompileError {
+    /// Renders the error with source locations resolved.
+    pub fn render(&self, source: &str) -> String {
+        match self {
+            CompileError::Parse(e) => e.render(source),
+            CompileError::Elaborate(e) => {
+                let (line, col) = e.span.line_col(source);
+                format!("{line}:{col}: {}", e.message)
+            }
+            CompileError::TimingUnsafe(errs) => errs
+                .iter()
+                .map(|e| e.render(source))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            CompileError::Codegen(e) => e.clone(),
+        }
+    }
+}
+
+/// The Anvil compiler (non-consuming builder).
+#[derive(Debug, Default)]
+pub struct Compiler {
+    options: CodegenOptions,
+    externs: ModuleLibrary,
+}
+
+impl Compiler {
+    /// A compiler with default options (optimizations on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides code-generation options.
+    pub fn options(&mut self, options: CodegenOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Registers an RTL implementation for an `extern fn` (module ports:
+    /// `in0..inN`, `out`), mirroring the paper's integration of foreign
+    /// SystemVerilog IP like the OpenTitan S-box.
+    pub fn with_extern(&mut self, module: anvil_rtl::Module) -> &mut Self {
+        self.externs.add(module);
+        self
+    }
+
+    /// Parses and type-checks only (the fast path of the paper's feedback
+    /// loop); returns reports containing any violations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse or elaboration errors; timing violations are inside
+    /// the reports.
+    pub fn check(
+        &self,
+        source: &str,
+    ) -> Result<(Program, std::collections::BTreeMap<String, ProcReport>), CompileError> {
+        let program = parse(source)?;
+        let reports = check_program(&program).map_err(CompileError::Elaborate)?;
+        Ok((program, reports))
+    }
+
+    /// Runs the full pipeline: parse, type check, optimize, generate RTL
+    /// and SystemVerilog.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any stage fails; timing-unsafe programs yield
+    /// [`CompileError::TimingUnsafe`] with every violation.
+    pub fn compile(&self, source: &str) -> Result<CompileOutput, CompileError> {
+        let (program, reports) = self.check(source)?;
+        let errors: Vec<TypeError> = reports
+            .values()
+            .flat_map(|r| r.errors().into_iter().cloned())
+            .collect();
+        if !errors.is_empty() {
+            return Err(CompileError::TimingUnsafe(errors));
+        }
+        let modules =
+            compile_program(&program, &self.externs, self.options).map_err(|e| match e {
+                CodegenError::Ir(ir) => CompileError::Elaborate(ir),
+                other => CompileError::Codegen(other.to_string()),
+            })?;
+        let systemverilog = anvil_rtl::emit_library(&modules);
+        Ok(CompileOutput {
+            program,
+            reports,
+            modules,
+            systemverilog,
+        })
+    }
+
+    /// Compiles and flattens one process for simulation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile`], plus elaboration failures while
+    /// flattening.
+    pub fn compile_flat(
+        &self,
+        source: &str,
+        top: &str,
+    ) -> Result<anvil_rtl::Module, CompileError> {
+        let out = self.compile(source)?;
+        anvil_rtl::elaborate(top, &out.modules)
+            .map_err(|e| CompileError::Codegen(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_produces_sv() {
+        let out = Compiler::new()
+            .compile(
+                "chan ch { right beat : (logic[8]@#1) }
+                 proc blink(ep : left ch) {
+                    reg c : logic[8];
+                    loop { send ep.beat (*c) >> set c := *c + 1 >> cycle 1 }
+                 }",
+            )
+            .unwrap();
+        assert!(out.systemverilog.contains("module blink"));
+        assert!(out.modules.get("blink").is_some());
+        assert!(out.reports["blink"].is_safe());
+    }
+
+    #[test]
+    fn unsafe_program_reports_all_violations() {
+        let src = "
+            chan memory_ch {
+                right address : (logic[8]@#2),
+                left data : (logic[8]@#1)
+            }
+            proc top_unsafe(mem : left memory_ch) {
+                reg addr : logic[8];
+                loop {
+                    send mem.address (*addr) >>
+                    set addr := *addr + 1 >>
+                    let d = recv mem.data >>
+                    cycle 1
+                }
+            }";
+        let err = Compiler::new().compile(src).unwrap_err();
+        let CompileError::TimingUnsafe(errs) = err else {
+            panic!("expected timing violations");
+        };
+        assert!(!errs.is_empty());
+        let rendered = CompileError::TimingUnsafe(errs).render(src);
+        assert!(rendered.contains("loaned register"));
+    }
+
+    #[test]
+    fn parse_errors_render_with_location() {
+        let err = Compiler::new()
+            .compile("proc p() { loop { ??? } }")
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Parse(_)));
+    }
+
+    #[test]
+    fn check_is_side_effect_free() {
+        let (_prog, reports) = Compiler::new()
+            .check("proc p() { reg r : logic; loop { set r := ~*r >> cycle 1 } }")
+            .unwrap();
+        assert!(reports["p"].is_safe());
+    }
+
+    #[test]
+    fn compile_flat_simulates() {
+        let flat = Compiler::new()
+            .compile_flat(
+                "proc p() { reg c : logic[8]; loop { set c := *c + 1 >> cycle 1 } }",
+                "p",
+            )
+            .unwrap();
+        let mut sim = anvil_sim::Sim::new(&flat).unwrap();
+        sim.run(8).unwrap();
+        // One increment per 2-cycle iteration.
+        assert_eq!(sim.peek("c").unwrap().to_u64(), 4);
+    }
+}

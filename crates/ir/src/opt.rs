@@ -1,0 +1,696 @@
+//! Event-graph optimization passes (paper §6.1, Fig. 8).
+//!
+//! Each pass shrinks the event graph while preserving its timing semantics;
+//! fewer events mean a smaller generated FSM. The four passes from the
+//! paper are implemented, plus a dead-event sweep used as cleanup:
+//!
+//! * **(a) merge identical outbound edge labels** — two `#N` delays (or two
+//!   synchronisations of the same message) hanging off the same predecessor
+//!   always fire together, so they are one event;
+//! * **(b) remove unbalanced joins** — a latest-of join where one input
+//!   provably never trails the other collapses to the later input;
+//! * **(c) shift branch joins** — `⊕{a ⊲ #N, b ⊲ #N}` with action-free
+//!   delay events becomes `(⊕{a, b}) ⊲ #N`;
+//! * **(d) remove branch joins** — a `⊕` joining two zero-delay branches of
+//!   the same condition fires exactly when the branch point does.
+//!
+//! Passes run to a fixed point via [`optimize`]; [`OptStats`] records how
+//! many events each pass removed (regenerating the Fig. 8 ablation).
+
+use std::collections::HashMap;
+
+use crate::build::{ActionIr, ThreadIr};
+use crate::graph::{EventGraph, EventId, EventKind};
+use crate::value::Val;
+
+/// How many events each pass eliminated during [`optimize`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Events before optimization.
+    pub before: usize,
+    /// Events after optimization.
+    pub after: usize,
+    /// Removed by pass (a): merging identical outbound edges.
+    pub merged_identical: usize,
+    /// Removed by pass (b): unbalanced join removal.
+    pub unbalanced_joins: usize,
+    /// Removed by pass (c): branch-join shifting.
+    pub shifted_joins: usize,
+    /// Removed by pass (d): branch-join removal.
+    pub removed_joins: usize,
+    /// Removed by the dead-event sweep.
+    pub dead: usize,
+}
+
+/// Which passes to run (for the ablation bench).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Enable pass (a).
+    pub merge_identical: bool,
+    /// Enable pass (b).
+    pub remove_unbalanced: bool,
+    /// Enable pass (c).
+    pub shift_branch_joins: bool,
+    /// Enable pass (d).
+    pub remove_branch_joins: bool,
+    /// Enable the dead-event sweep.
+    pub sweep_dead: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            merge_identical: true,
+            remove_unbalanced: true,
+            shift_branch_joins: true,
+            remove_branch_joins: true,
+            sweep_dead: true,
+        }
+    }
+}
+
+impl OptConfig {
+    /// All passes disabled (identity transform).
+    pub fn none() -> Self {
+        OptConfig {
+            merge_identical: false,
+            remove_unbalanced: false,
+            shift_branch_joins: false,
+            remove_branch_joins: false,
+            sweep_dead: false,
+        }
+    }
+}
+
+/// Optimizes a thread IR to a fixed point, returning the new IR and stats.
+pub fn optimize(ir: &ThreadIr, config: OptConfig) -> (ThreadIr, OptStats) {
+    let mut stats = OptStats {
+        before: ir.graph.len(),
+        ..OptStats::default()
+    };
+    let mut cur = ir.clone();
+    loop {
+        let mut changed = false;
+        if config.merge_identical {
+            let (next, n) = merge_identical(&cur);
+            stats.merged_identical += n;
+            changed |= n > 0;
+            cur = next;
+        }
+        if config.remove_unbalanced {
+            let (next, n) = remove_unbalanced(&cur);
+            stats.unbalanced_joins += n;
+            changed |= n > 0;
+            cur = next;
+        }
+        if config.shift_branch_joins {
+            let (next, n) = shift_branch_joins(&cur);
+            stats.shifted_joins += n;
+            changed |= n > 0;
+            cur = next;
+        }
+        if config.remove_branch_joins {
+            let (next, n) = remove_branch_joins(&cur);
+            stats.removed_joins += n;
+            changed |= n > 0;
+            cur = next;
+        }
+        if !changed {
+            break;
+        }
+    }
+    if config.sweep_dead {
+        let (next, n) = sweep_dead(&cur);
+        stats.dead = n;
+        cur = next;
+    }
+    stats.after = cur.graph.len();
+    (cur, stats)
+}
+
+/// A mapping from old event ids to new ones, applied across the whole IR.
+struct Remap {
+    map: Vec<EventId>,
+    graph: EventGraph,
+}
+
+impl Remap {
+    fn apply(self, ir: &ThreadIr) -> ThreadIr {
+        let m = |e: EventId| self.map[e.0];
+        let map_val = |v: &Val| remap_val(v, &|e| m(e));
+        ThreadIr {
+            graph: self.graph,
+            root: m(ir.root),
+            finish: m(ir.finish),
+            actions: ir
+                .actions
+                .iter()
+                .map(|(e, a)| {
+                    let a2 = match a {
+                        ActionIr::Assign { reg, index, value } => ActionIr::Assign {
+                            reg: reg.clone(),
+                            index: index.as_ref().map(&map_val),
+                            value: map_val(value),
+                        },
+                        ActionIr::SendData { msg, value, done } => ActionIr::SendData {
+                            msg: msg.clone(),
+                            value: map_val(value),
+                            done: m(*done),
+                        },
+                        ActionIr::DPrint { label, value } => ActionIr::DPrint {
+                            label: label.clone(),
+                            value: value.as_ref().map(&map_val),
+                        },
+                        ActionIr::Recurse => ActionIr::Recurse,
+                    };
+                    (m(*e), a2)
+                })
+                .collect(),
+            conds: ir
+                .conds
+                .iter()
+                .map(|c| crate::build::CondSite {
+                    val: map_val(&c.val),
+                    at: m(c.at),
+                })
+                .collect(),
+            // Check sites are consumed by the (already-run) type checker;
+            // keep them remapped for inspection.
+            uses: ir
+                .uses
+                .iter()
+                .map(|u| {
+                    let mut u = u.clone();
+                    u.created = m(u.created);
+                    u.at = m(u.at);
+                    u.end.base = m(u.end.base);
+                    for p in &mut u.ends {
+                        p.base = m(p.base);
+                    }
+                    u
+                })
+                .collect(),
+            sends: ir
+                .sends
+                .iter()
+                .map(|s| {
+                    let mut s = s.clone();
+                    s.start = m(s.start);
+                    s.done = m(s.done);
+                    s.created = m(s.created);
+                    for p in &mut s.ends {
+                        p.base = m(p.base);
+                    }
+                    s
+                })
+                .collect(),
+            assigns: ir
+                .assigns
+                .iter()
+                .map(|a| {
+                    let mut a = a.clone();
+                    a.at = m(a.at);
+                    a
+                })
+                .collect(),
+            ready_checks: ir
+                .ready_checks
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.start = m(r.start);
+                    r.at = m(r.at);
+                    r
+                })
+                .collect(),
+            is_recursive: ir.is_recursive,
+        }
+    }
+}
+
+fn remap_val(v: &Val, m: &impl Fn(EventId) -> EventId) -> Val {
+    match v {
+        Val::MsgData { msg, recv } => Val::MsgData {
+            msg: msg.clone(),
+            recv: m(*recv),
+        },
+        Val::Binop(op, a, b) => {
+            Val::Binop(*op, Box::new(remap_val(a, m)), Box::new(remap_val(b, m)))
+        }
+        Val::Unop(op, a) => Val::Unop(*op, Box::new(remap_val(a, m))),
+        Val::Slice { base, hi, lo } => Val::Slice {
+            base: Box::new(remap_val(base, m)),
+            hi: *hi,
+            lo: *lo,
+        },
+        Val::Concat(parts) => Val::Concat(parts.iter().map(|p| remap_val(p, m)).collect()),
+        Val::ExternCall { func, args } => Val::ExternCall {
+            func: func.clone(),
+            args: args.iter().map(|a| remap_val(a, m)).collect(),
+        },
+        Val::Mux {
+            cond,
+            then_v,
+            else_v,
+        } => Val::Mux {
+            cond: *cond,
+            then_v: Box::new(remap_val(then_v, m)),
+            else_v: Box::new(remap_val(else_v, m)),
+        },
+        Val::RegRead { reg, index } => Val::RegRead {
+            reg: reg.clone(),
+            index: index.as_ref().map(|i| Box::new(remap_val(i, m))),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Events that must not be removed even when structurally idle: they carry
+/// actions, conditions, or handshakes.
+fn pinned(ir: &ThreadIr) -> Vec<bool> {
+    let mut p = vec![false; ir.graph.len()];
+    p[ir.root.0] = true;
+    p[ir.finish.0] = true;
+    for (e, a) in &ir.actions {
+        p[e.0] = true;
+        if let ActionIr::SendData { done, .. } = a {
+            p[done.0] = true;
+        }
+    }
+    for c in &ir.conds {
+        p[c.at.0] = true;
+    }
+    for (id, k) in ir.graph.iter() {
+        if matches!(k, EventKind::Sync { .. }) {
+            p[id.0] = true;
+        }
+    }
+    p
+}
+
+/// Rebuilds the graph keeping every event, but with `alias[e] = Some(t)`
+/// redirecting `e` (and its dependents) to target `t < e`.
+fn rebuild_with_aliases(ir: &ThreadIr, alias: &HashMap<usize, EventId>) -> (Remap, usize) {
+    let mut graph = EventGraph::new();
+    let mut map: Vec<EventId> = Vec::with_capacity(ir.graph.len());
+    // Preserve fresh conds.
+    for _ in 0..ir.graph.cond_count() {
+        graph.fresh_cond();
+    }
+    let mut removed = 0;
+    for (id, kind) in ir.graph.iter() {
+        if let Some(target) = alias.get(&id.0) {
+            map.push(map[target.0]);
+            removed += 1;
+            continue;
+        }
+        let remapped = remap_kind(kind, &map);
+        map.push(graph.push(remapped));
+    }
+    (Remap { map, graph }, removed)
+}
+
+fn remap_kind(kind: &EventKind, map: &[EventId]) -> EventKind {
+    match kind {
+        EventKind::Root => EventKind::Root,
+        EventKind::Delay { pred, cycles } => EventKind::Delay {
+            pred: map[pred.0],
+            cycles: *cycles,
+        },
+        EventKind::Sync {
+            pred,
+            msg,
+            is_send,
+            min_delay,
+            max_delay,
+        } => EventKind::Sync {
+            pred: map[pred.0],
+            msg: msg.clone(),
+            is_send: *is_send,
+            min_delay: *min_delay,
+            max_delay: *max_delay,
+        },
+        EventKind::Branch { pred, cond, taken } => EventKind::Branch {
+            pred: map[pred.0],
+            cond: *cond,
+            taken: *taken,
+        },
+        EventKind::JoinAll { preds } => EventKind::JoinAll {
+            preds: dedup(preds.iter().map(|p| map[p.0]).collect()),
+        },
+        EventKind::JoinAny { preds } => EventKind::JoinAny {
+            preds: preds.iter().map(|p| map[p.0]).collect(),
+        },
+    }
+}
+
+fn dedup(mut v: Vec<EventId>) -> Vec<EventId> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Pass (a): merge events with identical kinds (same predecessor, same
+/// label). They provably fire at the same time.
+fn merge_identical(ir: &ThreadIr) -> (ThreadIr, usize) {
+    let mut seen: HashMap<String, EventId> = HashMap::new();
+    let mut alias: HashMap<usize, EventId> = HashMap::new();
+    for (id, kind) in ir.graph.iter() {
+        let mergeable = matches!(
+            kind,
+            EventKind::Delay { .. } | EventKind::Branch { .. } | EventKind::JoinAll { .. }
+        );
+        if !mergeable {
+            continue;
+        }
+        let key = format!("{kind:?}");
+        match seen.get(&key) {
+            Some(first) => {
+                alias.insert(id.0, *first);
+            }
+            None => {
+                seen.insert(key, id);
+            }
+        }
+    }
+    let (remap, n) = rebuild_with_aliases(ir, &alias);
+    (remap.apply(ir), n)
+}
+
+/// Pass (b): a `JoinAll` where one input never trails another is the later
+/// input alone.
+fn remove_unbalanced(ir: &ThreadIr) -> (ThreadIr, usize) {
+    let mut alias: HashMap<usize, EventId> = HashMap::new();
+    for (id, kind) in ir.graph.iter() {
+        let EventKind::JoinAll { preds } = kind else {
+            continue;
+        };
+        if preds.len() != 2 {
+            continue;
+        }
+        let (a, b) = (preds[0], preds[1]);
+        if ir.graph.le(a, b) {
+            alias.insert(id.0, b);
+        } else if ir.graph.le(b, a) {
+            alias.insert(id.0, a);
+        }
+    }
+    let (remap, n) = rebuild_with_aliases(ir, &alias);
+    (remap.apply(ir), n)
+}
+
+/// Pass (c): `⊕{Delay(a,N), Delay(b,N)}` with action-free delays becomes
+/// `Delay(⊕{a,b}, N)`.
+fn shift_branch_joins(ir: &ThreadIr) -> (ThreadIr, usize) {
+    let pins = pinned(ir);
+    // Find one candidate per run (rebuilding invalidates indices).
+    let mut candidate: Option<(usize, EventId, EventId, u64)> = None;
+    for (id, kind) in ir.graph.iter() {
+        let EventKind::JoinAny { preds } = kind else {
+            continue;
+        };
+        if preds.len() != 2 {
+            continue;
+        }
+        let (a, b) = (preds[0], preds[1]);
+        let (EventKind::Delay { pred: pa, cycles: na }, EventKind::Delay { pred: pb, cycles: nb }) =
+            (ir.graph.kind(a), ir.graph.kind(b))
+        else {
+            continue;
+        };
+        if na != nb || *na == 0 || pins[a.0] || pins[b.0] {
+            continue;
+        }
+        candidate = Some((id.0, *pa, *pb, *na));
+        break;
+    }
+    let Some((join_idx, pa, pb, n)) = candidate else {
+        return (ir.clone(), 0);
+    };
+    // Rebuild: at the join, emit ⊕{pa, pb} then a delay.
+    let mut graph = EventGraph::new();
+    for _ in 0..ir.graph.cond_count() {
+        graph.fresh_cond();
+    }
+    let mut map: Vec<EventId> = Vec::with_capacity(ir.graph.len());
+    for (id, kind) in ir.graph.iter() {
+        if id.0 == join_idx {
+            let j = graph.push(EventKind::JoinAny {
+                preds: vec![map[pa.0], map[pb.0]],
+            });
+            map.push(graph.push(EventKind::Delay { pred: j, cycles: n }));
+        } else {
+            let remapped = remap_kind(kind, &map);
+            map.push(graph.push(remapped));
+        }
+    }
+    let remap = Remap { map, graph };
+    (remap.apply(ir), 1)
+}
+
+/// Pass (d): a `⊕` joining two action-free branch heads of the same
+/// condition fires with the branch point itself.
+fn remove_branch_joins(ir: &ThreadIr) -> (ThreadIr, usize) {
+    let pins = pinned(ir);
+    let mut alias: HashMap<usize, EventId> = HashMap::new();
+    for (id, kind) in ir.graph.iter() {
+        let EventKind::JoinAny { preds } = kind else {
+            continue;
+        };
+        if preds.len() != 2 {
+            continue;
+        }
+        let (a, b) = (preds[0], preds[1]);
+        let (
+            EventKind::Branch {
+                pred: pa, cond: ca, ..
+            },
+            EventKind::Branch {
+                pred: pb, cond: cb, ..
+            },
+        ) = (ir.graph.kind(a), ir.graph.kind(b))
+        else {
+            continue;
+        };
+        if pa == pb && ca == cb && !pins[a.0] && !pins[b.0] {
+            alias.insert(id.0, *pa);
+        }
+    }
+    let (remap, n) = rebuild_with_aliases(ir, &alias);
+    (remap.apply(ir), n)
+}
+
+/// Cleanup: drop events nothing observes (no dependents, no actions, no
+/// handshakes, not root/finish).
+fn sweep_dead(ir: &ThreadIr) -> (ThreadIr, usize) {
+    let mut live = pinned(ir);
+    // Backward closure: predecessors of live events are live.
+    for i in (0..ir.graph.len()).rev() {
+        if live[i] {
+            for p in ir.graph.kind(EventId(i)).preds() {
+                live[p.0] = true;
+            }
+        }
+    }
+    if live.iter().all(|l| *l) {
+        return (ir.clone(), 0);
+    }
+    let mut graph = EventGraph::new();
+    for _ in 0..ir.graph.cond_count() {
+        graph.fresh_cond();
+    }
+    let mut map: Vec<EventId> = Vec::with_capacity(ir.graph.len());
+    let mut removed = 0;
+    for (id, kind) in ir.graph.iter() {
+        if !live[id.0] {
+            // Dead events keep a placeholder mapping to their (live)
+            // predecessor chain; they are never referenced.
+            let fallback = kind
+                .preds()
+                .first()
+                .map(|p| map[p.0])
+                .unwrap_or(EventId(0));
+            map.push(fallback);
+            removed += 1;
+            continue;
+        }
+        let remapped = remap_kind(kind, &map);
+        map.push(graph.push(remapped));
+    }
+    let remap = Remap { map, graph };
+    (remap.apply(ir), removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_thread, BuildCtx};
+    use anvil_syntax::{parse, Thread};
+
+    fn build(src: &str) -> ThreadIr {
+        let prog = parse(src).unwrap();
+        let proc = &prog.procs[0];
+        let ctx = BuildCtx {
+            program: &prog,
+            proc,
+        };
+        let (Thread::Loop(term) | Thread::Recursive(term)) = &proc.threads[0];
+        build_thread(&ctx, term, 1, false).unwrap()
+    }
+
+    #[test]
+    fn optimize_preserves_iteration_length() {
+        let src = "chan c { left m : (logic[8]@#4) }
+            proc p(ep : left c) {
+                reg r : logic[8];
+                loop {
+                    let x = recv ep.m >>
+                    if x == 0 { set r := x } else { set r := x + 1 } >>
+                    cycle 1
+                }
+            }";
+        let ir = build(src);
+        let (opt, stats) = optimize(&ir, OptConfig::default());
+        assert!(stats.after <= stats.before);
+        // Root-to-finish timing must be identical.
+        assert_eq!(
+            ir.graph.min_gap(ir.root, ir.finish),
+            opt.graph.min_gap(opt.root, opt.finish)
+        );
+        assert_eq!(
+            ir.graph.max_gap(ir.root, ir.finish),
+            opt.graph.max_gap(opt.root, opt.finish)
+        );
+    }
+
+    #[test]
+    fn pass_a_merges_same_delay() {
+        // Two parallel `cycle 2` branches produce identical Delay events.
+        let src = "proc p() {
+                reg r : logic[8];
+                loop { (cycle 2); (cycle 2) >> set r := 1 }
+            }";
+        let ir = build(src);
+        let (_, stats) = optimize(
+            &ir,
+            OptConfig {
+                remove_unbalanced: false,
+                shift_branch_joins: false,
+                remove_branch_joins: false,
+                sweep_dead: false,
+                ..OptConfig::default()
+            },
+        );
+        assert!(stats.merged_identical >= 1);
+    }
+
+    #[test]
+    fn pass_b_removes_join_of_ordered_events() {
+        // The builder already collapses obviously ordered joins, so build
+        // the unbalanced join by hand (as earlier passes can produce it).
+        use crate::graph::EventGraph;
+        let mut graph = EventGraph::new();
+        let root = graph.add_root();
+        let a = graph.push(EventKind::Delay { pred: root, cycles: 1 });
+        let b = graph.push(EventKind::Delay { pred: root, cycles: 2 });
+        let j = graph.push(EventKind::JoinAll { preds: vec![a, b] });
+        let finish = graph.push(EventKind::Delay { pred: j, cycles: 1 });
+        let ir = ThreadIr {
+            graph,
+            root,
+            finish,
+            actions: vec![],
+            conds: vec![],
+            uses: vec![],
+            sends: vec![],
+            assigns: vec![],
+            ready_checks: vec![],
+            is_recursive: false,
+        };
+        let n_joins = |ir: &ThreadIr| {
+            ir.graph
+                .iter()
+                .filter(|(_, k)| matches!(k, EventKind::JoinAll { .. }))
+                .count()
+        };
+        assert_eq!(n_joins(&ir), 1);
+        let (opt, stats) = optimize(&ir, OptConfig::default());
+        assert_eq!(n_joins(&opt), 0);
+        assert!(stats.unbalanced_joins >= 1);
+        assert_eq!(opt.graph.min_gap(opt.root, opt.finish), Some(3));
+        assert_eq!(opt.graph.max_gap(opt.root, opt.finish), Some(3));
+    }
+
+    #[test]
+    fn pass_cd_collapse_balanced_branches() {
+        // Both branches are action-free and equal-length: the whole if
+        // should reduce to (nearly) nothing.
+        let src = "chan c { left m : (logic[8]@#4) }
+            proc p(ep : left c) {
+                reg r : logic[8];
+                loop {
+                    let x = recv ep.m >>
+                    if x == 0 { cycle 2 } else { cycle 2 } >>
+                    set r := x
+                }
+            }";
+        let ir = build(src);
+        let (opt, stats) = optimize(&ir, OptConfig::default());
+        assert!(stats.shifted_joins >= 1 || stats.removed_joins >= 1);
+        assert!(opt.graph.len() < ir.graph.len());
+        // recv (>=0) + if (2) + assign (1)
+        assert_eq!(opt.graph.min_gap(opt.root, opt.finish), Some(3));
+    }
+
+    #[test]
+    fn disabled_config_is_identity() {
+        let src = "proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }";
+        let ir = build(src);
+        let (opt, stats) = optimize(&ir, OptConfig::none());
+        assert_eq!(stats.before, stats.after);
+        assert_eq!(opt.graph.len(), ir.graph.len());
+    }
+
+    #[test]
+    fn timing_preserved_under_random_latency_samples() {
+        let src = "chan c { left m : (logic[8]@#4), right res : (logic[8]@#1) }
+            proc p(ep : left c) {
+                reg r : logic[8];
+                loop {
+                    let x = recv ep.m >>
+                    if x == 0 { cycle 1 >> set r := x } else { set r := x + 1 } >>
+                    send ep.res (*r) >>
+                    cycle 1
+                }
+            }";
+        let ir = build(src);
+        let (opt, _) = optimize(&ir, OptConfig::default());
+        // Same sync delays and same branch decisions must give the same
+        // finish time in both graphs.
+        for delays in [[0u64, 0], [3, 1], [7, 2]] {
+            for taken in [true, false] {
+                let t1 = {
+                    let mut i = 0;
+                    ir.graph.sample_timestamps(
+                        |_| {
+                            i += 1;
+                            delays[(i - 1) % 2]
+                        },
+                        |_| taken,
+                    )[ir.finish.0]
+                };
+                let t2 = {
+                    let mut i = 0;
+                    opt.graph.sample_timestamps(
+                        |_| {
+                            i += 1;
+                            delays[(i - 1) % 2]
+                        },
+                        |_| taken,
+                    )[opt.finish.0]
+                };
+                assert_eq!(t1, t2, "delays {delays:?} taken {taken}");
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Property test: the `≤G` / `<G` decision procedure is *sound* with
+//! respect to the paper's timestamp-function semantics (Defs. C.9–C.11).
+//!
+//! We generate random event graphs, let the analysis claim relations, then
+//! sample many concrete timestamp functions (random synchronisation
+//! latencies and branch outcomes) and confirm every claimed relation holds
+//! in every sample. The analysis may be incomplete (fail to prove a true
+//! relation) but must never claim a false one — that is exactly what the
+//! type system's safety proof relies on.
+
+use anvil_ir::{EventGraph, EventId, EventKind, MsgRef};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Delay { pred: usize, cycles: u64 },
+    Sync { pred: usize, bounded: Option<u64> },
+    BranchPair { pred: usize },
+    JoinAll { a: usize, b: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<prop::sample::Index>(), 0u64..4).prop_map(|(p, cycles)| Op::Delay {
+            pred: p.index(usize::MAX),
+            cycles
+        }),
+        (any::<prop::sample::Index>(), prop::option::of(0u64..3)).prop_map(|(p, bounded)| {
+            Op::Sync {
+                pred: p.index(usize::MAX),
+                bounded,
+            }
+        }),
+        any::<prop::sample::Index>().prop_map(|p| Op::BranchPair {
+            pred: p.index(usize::MAX)
+        }),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>()).prop_map(|(a, b)| {
+            Op::JoinAll {
+                a: a.index(usize::MAX),
+                b: b.index(usize::MAX),
+            }
+        }),
+    ]
+}
+
+/// Builds a well-formed graph from the op list; branch pairs are closed
+/// with a JoinAny so contexts stay balanced.
+fn build_graph(ops: &[Op]) -> EventGraph {
+    let mut g = EventGraph::new();
+    let root = g.add_root();
+    let mut pool = vec![root];
+    for op in ops {
+        match op {
+            Op::Delay { pred, cycles } => {
+                let p = pool[pred % pool.len()];
+                let e = g.push(EventKind::Delay { pred: p, cycles: *cycles });
+                pool.push(e);
+            }
+            Op::Sync { pred, bounded } => {
+                let p = pool[pred % pool.len()];
+                let e = g.push(EventKind::Sync {
+                    pred: p,
+                    msg: MsgRef {
+                        ep: "ep".into(),
+                        msg: "m".into(),
+                    },
+                    is_send: false,
+                    min_delay: 0,
+                    max_delay: *bounded,
+                });
+                pool.push(e);
+            }
+            Op::BranchPair { pred } => {
+                let p = pool[pred % pool.len()];
+                let c = g.fresh_cond();
+                let bt = g.push(EventKind::Branch {
+                    pred: p,
+                    cond: c,
+                    taken: true,
+                });
+                let bf = g.push(EventKind::Branch {
+                    pred: p,
+                    cond: c,
+                    taken: false,
+                });
+                let t_end = g.push(EventKind::Delay { pred: bt, cycles: 1 });
+                let m = g.push(EventKind::JoinAny {
+                    preds: vec![t_end, bf],
+                });
+                pool.push(m);
+            }
+            Op::JoinAll { a, b } => {
+                let ea = pool[a % pool.len()];
+                let eb = pool[b % pool.len()];
+                if ea != eb {
+                    let e = g.push(EventKind::JoinAll {
+                        preds: vec![ea, eb],
+                    });
+                    pool.push(e);
+                }
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn le_claims_hold_in_all_sampled_timestamp_functions(
+        ops in prop::collection::vec(op_strategy(), 1..12),
+        delays in prop::collection::vec(0u64..6, 64),
+        branches in prop::collection::vec(any::<bool>(), 32),
+    ) {
+        let g = build_graph(&ops);
+        let n = g.len();
+
+        // Record the analysis' claims first.
+        let mut le_claims = Vec::new();
+        let mut lt_claims = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if g.le(EventId(a), EventId(b)) {
+                    le_claims.push((a, b));
+                }
+                if g.lt(EventId(a), EventId(b)) {
+                    lt_claims.push((a, b));
+                }
+            }
+        }
+
+        // Sample several timestamp functions per case.
+        for round in 0..4u64 {
+            let mut di = 0usize;
+            let mut bi = 0usize;
+            let tau = g.sample_timestamps(
+                |_| {
+                    di += 1;
+                    delays[(di - 1 + round as usize * 7) % delays.len()]
+                },
+                |_| {
+                    bi += 1;
+                    branches[(bi - 1 + round as usize * 3) % branches.len()]
+                },
+            );
+            for (a, b) in &le_claims {
+                if let (Some(ta), Some(tb)) = (tau[*a], tau[*b]) {
+                    prop_assert!(
+                        ta <= tb,
+                        "claimed e{a} <= e{b} but sampled {ta} > {tb}\n{}",
+                        g.to_dot()
+                    );
+                }
+            }
+            for (a, b) in &lt_claims {
+                if let (Some(ta), Some(tb)) = (tau[*a], tau[*b]) {
+                    prop_assert!(
+                        ta < tb,
+                        "claimed e{a} < e{b} but sampled {ta} >= {tb}\n{}",
+                        g.to_dot()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_bounds_hold_in_all_sampled_timestamp_functions(
+        ops in prop::collection::vec(op_strategy(), 1..12),
+        delays in prop::collection::vec(0u64..6, 64),
+        branches in prop::collection::vec(any::<bool>(), 32),
+    ) {
+        let g = build_graph(&ops);
+        let n = g.len();
+        let mut bounds = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                let lo = g.min_gap(EventId(a), EventId(b));
+                let hi = g.max_gap(EventId(a), EventId(b));
+                if lo.is_some() || hi.is_some() {
+                    bounds.push((a, b, lo, hi));
+                }
+            }
+        }
+        for round in 0..4u64 {
+            let mut di = 0usize;
+            let mut bi = 0usize;
+            let tau = g.sample_timestamps(
+                |_| {
+                    di += 1;
+                    delays[(di - 1 + round as usize * 11) % delays.len()]
+                },
+                |_| {
+                    bi += 1;
+                    branches[(bi - 1 + round as usize * 5) % branches.len()]
+                },
+            );
+            for (a, b, lo, hi) in &bounds {
+                if let (Some(ta), Some(tb)) = (tau[*a], tau[*b]) {
+                    let gap = tb - ta;
+                    if let Some(lo) = lo {
+                        prop_assert!(gap >= *lo, "min_gap(e{a},e{b})={lo} but sampled {gap}");
+                    }
+                    if let Some(hi) = hi {
+                        prop_assert!(gap <= *hi, "max_gap(e{a},e{b})={hi} but sampled {gap}");
+                    }
+                }
+            }
+        }
+    }
+}

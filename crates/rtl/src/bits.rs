@@ -1,0 +1,498 @@
+//! Arbitrary-width bit vectors.
+//!
+//! [`Bits`] is the value type carried by every signal in the netlist IR and
+//! by the simulator. Widths range from 1 to arbitrarily many bits; storage
+//! is little-endian `u64` words with the unused high bits of the top word
+//! kept zero (a maintained invariant, relied on by `Eq`/`Hash`).
+//!
+//! All arithmetic is unsigned and wraps modulo `2^width`, matching the
+//! semantics of SystemVerilog packed `logic` vectors under the operators the
+//! Anvil code generator emits.
+
+use std::fmt;
+
+/// An unsigned bit vector of fixed width.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_rtl::Bits;
+///
+/// let a = Bits::from_u64(0xAB, 8);
+/// let b = Bits::from_u64(0x01, 8);
+/// assert_eq!(a.add(&b).to_u64(), 0xAC);
+/// assert_eq!(a.slice(4, 4).to_u64(), 0xA);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: usize,
+    words: Vec<u64>,
+}
+
+fn words_for(width: usize) -> usize {
+    width.div_ceil(64).max(1)
+}
+
+impl Bits {
+    /// Creates an all-zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "bit vector width must be positive");
+        Bits {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// Creates an all-ones vector of the given width.
+    pub fn ones(width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for w in &mut b.words {
+            *w = u64::MAX;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a vector of the given width from a `u64`, truncating high bits.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = value;
+        b.normalize();
+        b
+    }
+
+    /// Creates a vector of the given width from a `u128`, truncating high bits.
+    pub fn from_u128(value: u128, width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = value as u64;
+        if b.words.len() > 1 {
+            b.words[1] = (value >> 64) as u64;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Creates a single-bit vector.
+    pub fn bit(value: bool) -> Self {
+        Bits::from_u64(u64::from(value), 1)
+    }
+
+    /// Creates a vector from bytes, least-significant byte first.
+    pub fn from_le_bytes(bytes: &[u8], width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for (i, byte) in bytes.iter().enumerate() {
+            let word = i / 8;
+            if word < b.words.len() {
+                b.words[word] |= u64::from(*byte) << ((i % 8) * 8);
+            }
+        }
+        b.normalize();
+        b
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Low 64 bits of the value.
+    pub fn to_u64(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// Low 128 bits of the value.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.words[0] as u128;
+        let hi = if self.words.len() > 1 {
+            self.words[1] as u128
+        } else {
+            0
+        };
+        lo | (hi << 64)
+    }
+
+    /// Value of bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `v`.
+    pub fn with_bit(&self, i: usize, v: bool) -> Self {
+        assert!(i < self.width);
+        let mut b = self.clone();
+        if v {
+            b.words[i / 64] |= 1 << (i % 64);
+        } else {
+            b.words[i / 64] &= !(1 << (i % 64));
+        }
+        b
+    }
+
+    /// True if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// True interpreted as a condition: any bit set (SystemVerilog truthiness).
+    pub fn is_truthy(&self) -> bool {
+        !self.is_zero()
+    }
+
+    fn normalize(&mut self) {
+        let extra = self.words.len() * 64 - self.width;
+        if extra > 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= u64::MAX >> extra;
+        }
+    }
+
+    /// Zero-extends or truncates to `width`.
+    pub fn resize(&self, width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for (i, w) in self.words.iter().enumerate().take(b.words.len()) {
+            b.words[i] = *w;
+        }
+        b.normalize();
+        b
+    }
+
+    /// Extracts `width` bits starting at bit `lo` (zero-extending past the top).
+    pub fn slice(&self, lo: usize, width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for i in 0..width {
+            let src = lo + i;
+            if src < self.width && self.get(src) {
+                b.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        b
+    }
+
+    /// Concatenates `self` above `low` (i.e. `{self, low}` in SystemVerilog).
+    pub fn concat(&self, low: &Bits) -> Self {
+        let width = self.width + low.width;
+        let mut b = Bits::zero(width);
+        for i in 0..low.width {
+            if low.get(i) {
+                b.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        for i in 0..self.width {
+            let dst = low.width + i;
+            if self.get(i) {
+                b.words[dst / 64] |= 1 << (dst % 64);
+            }
+        }
+        b
+    }
+
+    fn check_same_width(&self, rhs: &Bits) {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+
+    /// Wrapping addition modulo `2^width`. Operands must have equal width.
+    pub fn add(&self, rhs: &Bits) -> Self {
+        self.check_same_width(rhs);
+        let mut out = Bits::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.words.len() {
+            let (s1, c1) = self.words[i].overflowing_add(rhs.words[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words[i] = s2;
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    pub fn sub(&self, rhs: &Bits) -> Self {
+        self.check_same_width(rhs);
+        self.add(&rhs.not().add(&Bits::from_u64(1, self.width)))
+    }
+
+    /// Wrapping multiplication modulo `2^width`.
+    pub fn mul(&self, rhs: &Bits) -> Self {
+        self.check_same_width(rhs);
+        let mut out = Bits::zero(self.width);
+        let mut acc = self.clone();
+        for i in 0..self.width {
+            if rhs.get(i) {
+                out = out.add(&acc);
+            }
+            acc = acc.shl(1);
+        }
+        out
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    pub fn neg(&self) -> Self {
+        Bits::zero(self.width).sub(self)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&self, rhs: &Bits) -> Self {
+        self.check_same_width(rhs);
+        let mut out = self.clone();
+        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+            *w &= r;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, rhs: &Bits) -> Self {
+        self.check_same_width(rhs);
+        let mut out = self.clone();
+        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+            *w |= r;
+        }
+        out
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, rhs: &Bits) -> Self {
+        self.check_same_width(rhs);
+        let mut out = self.clone();
+        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+            *w ^= r;
+        }
+        out
+    }
+
+    /// Logical shift left by `n`, dropping bits shifted past the width.
+    pub fn shl(&self, n: usize) -> Self {
+        let mut out = Bits::zero(self.width);
+        for i in n..self.width {
+            if self.get(i - n) {
+                out.words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        out
+    }
+
+    /// Logical shift right by `n`, filling with zeros.
+    pub fn shr(&self, n: usize) -> Self {
+        self.slice(n, self.width)
+    }
+
+    /// Unsigned comparison: `self < rhs`.
+    pub fn lt(&self, rhs: &Bits) -> bool {
+        self.check_same_width(rhs);
+        for i in (0..self.words.len()).rev() {
+            if self.words[i] != rhs.words[i] {
+                return self.words[i] < rhs.words[i];
+            }
+        }
+        false
+    }
+
+    /// AND-reduction: true iff all bits are one.
+    pub fn reduce_and(&self) -> bool {
+        *self == Bits::ones(self.width)
+    }
+
+    /// OR-reduction: true iff any bit is one.
+    pub fn reduce_or(&self) -> bool {
+        self.is_truthy()
+    }
+
+    /// XOR-reduction: parity of the set bits.
+    pub fn reduce_xor(&self) -> bool {
+        self.words
+            .iter()
+            .fold(0u32, |acc, w| acc ^ w.count_ones())
+            % 2
+            == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of bit positions at which `self` and `rhs` differ.
+    ///
+    /// Used by the power model to estimate switching activity.
+    pub fn hamming_distance(&self, rhs: &Bits) -> u32 {
+        self.xor(rhs).count_ones()
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        let nibbles = self.width.div_ceil(4);
+        for i in (0..nibbles).rev() {
+            let nib = self.slice(i * 4, 4.min(self.width - i * 4)).to_u64();
+            write!(f, "{nib:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nibbles = self.width.div_ceil(4);
+        for i in (0..nibbles).rev() {
+            let nib = self.slice(i * 4, 4.min(self.width - i * 4)).to_u64();
+            write!(f, "{nib:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::bit(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        assert!(Bits::zero(65).is_zero());
+        assert!(Bits::ones(65).reduce_and());
+        assert_eq!(Bits::ones(7).to_u64(), 0x7f);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        assert_eq!(Bits::from_u64(0x1ff, 8).to_u64(), 0xff);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = Bits::from_u64(0xff, 8);
+        let b = Bits::from_u64(2, 8);
+        assert_eq!(a.add(&b).to_u64(), 1);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = Bits::from_u128(u64::MAX as u128, 128);
+        let b = Bits::from_u128(1, 128);
+        assert_eq!(a.add(&b).to_u128(), 1u128 << 64);
+    }
+
+    #[test]
+    fn sub_is_additive_inverse() {
+        let a = Bits::from_u64(5, 16);
+        let b = Bits::from_u64(9, 16);
+        assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn mul_matches_native() {
+        let a = Bits::from_u64(12345, 32);
+        let b = Bits::from_u64(6789, 32);
+        assert_eq!(a.mul(&b).to_u64(), (12345u64 * 6789) & 0xffff_ffff);
+    }
+
+    #[test]
+    fn slice_and_concat_roundtrip() {
+        let v = Bits::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788, 128);
+        let hi = v.slice(64, 64);
+        let lo = v.slice(0, 64);
+        assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn slice_past_top_zero_extends() {
+        let v = Bits::from_u64(0b101, 3);
+        assert_eq!(v.slice(1, 8).to_u64(), 0b10);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = Bits::from_u64(0b1011, 4);
+        assert_eq!(v.shl(1).to_u64(), 0b0110);
+        assert_eq!(v.shr(1).to_u64(), 0b0101);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bits::from_u64(0b111, 3).reduce_and());
+        assert!(!Bits::from_u64(0b110, 3).reduce_and());
+        assert!(Bits::from_u64(0b010, 3).reduce_or());
+        assert!(Bits::from_u64(0b001, 3).reduce_xor());
+        assert!(!Bits::from_u64(0b11, 2).reduce_xor());
+    }
+
+    #[test]
+    fn unsigned_lt() {
+        let a = Bits::from_u128(1u128 << 100, 128);
+        let b = Bits::from_u128(u64::MAX as u128, 128);
+        assert!(b.lt(&a));
+        assert!(!a.lt(&b));
+        assert!(!a.lt(&a));
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let v = Bits::zero(70).with_bit(69, true);
+        assert!(v.get(69));
+        assert!(!v.get(68));
+        assert!(!v.with_bit(69, false).get(69));
+    }
+
+    #[test]
+    fn hamming() {
+        let a = Bits::from_u64(0b1100, 4);
+        let b = Bits::from_u64(0b1010, 4);
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn le_bytes() {
+        let v = Bits::from_le_bytes(&[0x78, 0x56, 0x34, 0x12], 32);
+        assert_eq!(v.to_u64(), 0x1234_5678);
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(format!("{}", Bits::from_u64(0xab, 8)), "8'hab");
+        assert_eq!(format!("{:b}", Bits::from_u64(0b101, 3)), "101");
+    }
+}

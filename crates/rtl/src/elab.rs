@@ -1,0 +1,312 @@
+//! Elaboration: flattening a module hierarchy into a single netlist.
+//!
+//! The simulator and the synthesis cost model both operate on flat designs.
+//! Flattening inlines every [`crate::netlist::Instance`] recursively,
+//! prefixing inner signal names with the instance path (`u_fifo.count`),
+//! turning child ports into plain wires, and stitching connections with
+//! `assign`s. The result contains no instances and can be validated against
+//! an empty library.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::netlist::{ArrayId, Module, ModuleLibrary, NetlistError, SignalId, SignalKind};
+
+/// Errors raised while flattening.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElabError {
+    /// The requested top module does not exist in the library.
+    UnknownTop(String),
+    /// An instance references a module missing from the library.
+    UnknownModule {
+        /// Full hierarchical instance name.
+        instance: String,
+        /// The missing module name.
+        module: String,
+    },
+    /// An instance connects a port the child does not declare.
+    UnknownPort {
+        /// Full hierarchical instance name.
+        instance: String,
+        /// The unknown port name.
+        port: String,
+    },
+    /// Instantiation recursion exceeded the depth limit (cycle in the
+    /// hierarchy).
+    RecursionLimit(String),
+    /// The flattened design failed structural validation.
+    Invalid(NetlistError),
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::UnknownTop(m) => write!(f, "top module `{m}` not found"),
+            ElabError::UnknownModule { instance, module } => {
+                write!(f, "instance `{instance}` references unknown module `{module}`")
+            }
+            ElabError::UnknownPort { instance, port } => {
+                write!(f, "instance `{instance}` connects unknown port `{port}`")
+            }
+            ElabError::RecursionLimit(m) => {
+                write!(f, "instantiation depth limit reached in `{m}` (recursive hierarchy?)")
+            }
+            ElabError::Invalid(e) => write!(f, "flattened design invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+const MAX_DEPTH: usize = 64;
+
+/// Flattens `top` (and everything it instantiates) into a single module.
+///
+/// Child input ports with no connection are tied to zero; child output
+/// ports with no connection are left as internally driven wires.
+///
+/// # Errors
+///
+/// Returns an error if the hierarchy references unknown modules or ports,
+/// recurses past a depth limit, or produces a structurally invalid netlist.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_rtl::{elaborate, Expr, Module, ModuleLibrary};
+///
+/// let mut inner = Module::new("inv");
+/// let a = inner.input("a", 1);
+/// let y = inner.output("y", 1);
+/// inner.assign(y, Expr::Signal(a).not());
+///
+/// let mut top = Module::new("top");
+/// let i = top.input("i", 1);
+/// let o = top.output("o", 1);
+/// let w = top.wire("w", 1);
+/// top.instance("u0", "inv", vec![("a".into(), i), ("y".into(), w)]);
+/// top.assign(o, Expr::Signal(w));
+///
+/// let mut lib = ModuleLibrary::new();
+/// lib.add(inner);
+/// lib.add(top);
+/// let flat = elaborate("top", &lib)?;
+/// assert!(flat.instances.is_empty());
+/// assert!(flat.find("u0.a").is_some());
+/// # Ok::<(), anvil_rtl::ElabError>(())
+/// ```
+pub fn elaborate(top: &str, lib: &ModuleLibrary) -> Result<Module, ElabError> {
+    let top_mod = lib
+        .get(top)
+        .ok_or_else(|| ElabError::UnknownTop(top.to_string()))?;
+    let mut flat = Module::new(format!("{top}_flat"));
+    inline(top_mod, lib, "", &mut flat, true, 0)?;
+    flat.validate(&ModuleLibrary::new())
+        .map_err(ElabError::Invalid)?;
+    Ok(flat)
+}
+
+fn inline(
+    m: &Module,
+    lib: &ModuleLibrary,
+    prefix: &str,
+    flat: &mut Module,
+    is_top: bool,
+    depth: usize,
+) -> Result<(), ElabError> {
+    if depth > MAX_DEPTH {
+        return Err(ElabError::RecursionLimit(m.name.clone()));
+    }
+
+    // Map this module's signals into the flat namespace.
+    let mut sig_map: HashMap<SignalId, SignalId> = HashMap::new();
+    for (id, sig) in m.iter_signals() {
+        let name = format!("{prefix}{}", sig.name);
+        let new = match (is_top, sig.kind) {
+            (true, SignalKind::Input) => flat.input(name, sig.width),
+            (true, SignalKind::Output) => flat.output(name, sig.width),
+            // Inner ports become wires.
+            (false, SignalKind::Input) | (false, SignalKind::Output) => {
+                flat.wire(name, sig.width)
+            }
+            (_, SignalKind::Wire) => flat.wire(name, sig.width),
+            (_, SignalKind::Reg) => {
+                let init = sig
+                    .init
+                    .clone()
+                    .unwrap_or_else(|| crate::Bits::zero(sig.width));
+                flat.reg_init(name, init)
+            }
+        };
+        sig_map.insert(id, new);
+    }
+    let mut arr_map: HashMap<ArrayId, ArrayId> = HashMap::new();
+    for (i, arr) in m.arrays.iter().enumerate() {
+        let new = flat.array_init(
+            format!("{prefix}{}", arr.name),
+            arr.width,
+            arr.depth,
+            arr.init.clone(),
+        );
+        arr_map.insert(ArrayId(i), new);
+    }
+
+    let remap = |e: &Expr| e.map_refs(&|s| sig_map[&s], &|a| arr_map[&a]);
+
+    for (sig, e) in &m.assigns {
+        flat.assign(sig_map[sig], remap(e));
+    }
+    for (reg, e) in &m.reg_next {
+        flat.set_next(sig_map[reg], remap(e));
+    }
+    for w in &m.array_writes {
+        flat.array_write(
+            arr_map[&w.array],
+            remap(&w.enable),
+            remap(&w.index),
+            remap(&w.data),
+        );
+    }
+    for p in &m.prints {
+        flat.dprint(
+            remap(&p.enable),
+            format!("{prefix}{}", p.label),
+            p.value.as_ref().map(&remap),
+        );
+    }
+
+    for inst in &m.instances {
+        let child = lib.get(&inst.module).ok_or_else(|| ElabError::UnknownModule {
+            instance: format!("{prefix}{}", inst.name),
+            module: inst.module.clone(),
+        })?;
+        let child_prefix = format!("{prefix}{}.", inst.name);
+        inline(child, lib, &child_prefix, flat, false, depth + 1)?;
+
+        let mut connected: Vec<&str> = Vec::new();
+        for (port, parent_sig) in &inst.connections {
+            let child_port = child.find(port).ok_or_else(|| ElabError::UnknownPort {
+                instance: format!("{prefix}{}", inst.name),
+                port: port.clone(),
+            })?;
+            connected.push(port.as_str());
+            let flat_child = flat
+                .find(&format!("{child_prefix}{port}"))
+                .expect("child port was just inlined");
+            let flat_parent = sig_map[parent_sig];
+            match child.signal(child_port).kind {
+                SignalKind::Input => flat.assign(flat_child, Expr::Signal(flat_parent)),
+                SignalKind::Output => flat.assign(flat_parent, Expr::Signal(flat_child)),
+                _ => {
+                    return Err(ElabError::UnknownPort {
+                        instance: format!("{prefix}{}", inst.name),
+                        port: port.clone(),
+                    })
+                }
+            }
+        }
+        // Tie off unconnected child inputs.
+        for (id, sig) in child.iter_signals() {
+            let _ = id;
+            if sig.kind == SignalKind::Input && !connected.contains(&sig.name.as_str()) {
+                let flat_child = flat
+                    .find(&format!("{child_prefix}{}", sig.name))
+                    .expect("child port was just inlined");
+                flat.assign(flat_child, Expr::Const(crate::Bits::zero(sig.width)));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::ModuleLibrary;
+
+    fn library() -> ModuleLibrary {
+        let mut lib = ModuleLibrary::new();
+
+        let mut leaf = Module::new("leaf");
+        let a = leaf.input("a", 4);
+        let y = leaf.output("y", 4);
+        leaf.assign(y, Expr::Signal(a).add(Expr::lit(1, 4)));
+        lib.add(leaf);
+
+        let mut mid = Module::new("mid");
+        let a = mid.input("a", 4);
+        let y = mid.output("y", 4);
+        let t = mid.wire("t", 4);
+        mid.instance("l0", "leaf", vec![("a".into(), a), ("y".into(), t)]);
+        mid.instance("l1", "leaf", vec![("a".into(), t), ("y".into(), y)]);
+        lib.add(mid);
+
+        let mut top = Module::new("top");
+        let a = top.input("a", 4);
+        let y = top.output("y", 4);
+        top.instance("m", "mid", vec![("a".into(), a), ("y".into(), y)]);
+        lib.add(top);
+        lib
+    }
+
+    #[test]
+    fn flattens_two_levels() {
+        let flat = elaborate("top", &library()).unwrap();
+        assert!(flat.instances.is_empty());
+        assert!(flat.find("m.l0.a").is_some());
+        assert!(flat.find("m.l1.y").is_some());
+        // Top ports keep their kinds.
+        assert_eq!(
+            flat.signal(flat.find("a").unwrap()).kind,
+            SignalKind::Input
+        );
+        assert_eq!(
+            flat.signal(flat.find("y").unwrap()).kind,
+            SignalKind::Output
+        );
+    }
+
+    #[test]
+    fn unknown_top_errors() {
+        assert!(matches!(
+            elaborate("nope", &library()),
+            Err(ElabError::UnknownTop(_))
+        ));
+    }
+
+    #[test]
+    fn unconnected_input_tied_low() {
+        let mut lib = ModuleLibrary::new();
+        let mut leaf = Module::new("leaf");
+        let a = leaf.input("a", 4);
+        let y = leaf.output("y", 4);
+        leaf.assign(y, Expr::Signal(a));
+        lib.add(leaf);
+        let mut top = Module::new("top");
+        let o = top.output("o", 1);
+        top.assign(o, Expr::bit(true));
+        top.instance("l", "leaf", vec![]);
+        lib.add(top);
+        let flat = elaborate("top", &lib).unwrap();
+        let tied = flat.find("l.a").unwrap();
+        assert_eq!(
+            flat.assigns.get(&tied),
+            Some(&Expr::Const(crate::Bits::zero(4)))
+        );
+    }
+
+    #[test]
+    fn recursive_hierarchy_detected() {
+        let mut lib = ModuleLibrary::new();
+        let mut m = Module::new("ouro");
+        let o = m.output("o", 1);
+        m.assign(o, Expr::bit(false));
+        m.instance("self", "ouro", vec![]);
+        lib.add(m);
+        assert!(matches!(
+            elaborate("ouro", &lib),
+            Err(ElabError::RecursionLimit(_))
+        ));
+    }
+}

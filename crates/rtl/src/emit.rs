@@ -1,0 +1,414 @@
+//! SystemVerilog emission.
+//!
+//! Prints a [`Module`] (or a whole [`ModuleLibrary`]) as synthesizable
+//! SystemVerilog-2017. This is the Anvil compiler's final backend stage,
+//! mirroring the paper's §6: the OCaml artifact emits SystemVerilog for
+//! consumption by commercial synthesis flows; we emit the same shape of
+//! code (continuous `assign`s, one `always_ff` block, handshake ports) so
+//! generated designs can be dropped into existing SystemVerilog projects.
+//!
+//! Expressions are fully parenthesised, so operator precedence can never
+//! change meaning.
+
+use std::fmt::Write as _;
+
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::netlist::{Module, ModuleLibrary, SignalKind};
+
+/// Emits a single module as SystemVerilog source.
+///
+/// The implicit clock becomes an explicit `clk` input; registers are
+/// initialised with `initial` blocks (matching simulation semantics).
+///
+/// # Examples
+///
+/// ```
+/// use anvil_rtl::{emit_module, Expr, Module};
+///
+/// let mut m = Module::new("inv");
+/// let a = m.input("a", 1);
+/// let y = m.output("y", 1);
+/// m.assign(y, Expr::Signal(a).not());
+/// let sv = emit_module(&m);
+/// assert!(sv.contains("module inv"));
+/// assert!(sv.contains("assign y = (~a);"));
+/// ```
+pub fn emit_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {} (", sv_ident(&m.name));
+    let mut port_lines = vec!["  input logic clk".to_string()];
+    for (_, sig) in m.iter_signals() {
+        match sig.kind {
+            SignalKind::Input => {
+                port_lines.push(format!("  input {} {}", sv_type(sig.width), sv_ident(&sig.name)))
+            }
+            SignalKind::Output => port_lines.push(format!(
+                "  output {} {}",
+                sv_type(sig.width),
+                sv_ident(&sig.name)
+            )),
+            _ => {}
+        }
+    }
+    let _ = writeln!(out, "{}", port_lines.join(",\n"));
+    let _ = writeln!(out, ");");
+
+    // Declarations.
+    for (_, sig) in m.iter_signals() {
+        match sig.kind {
+            SignalKind::Wire | SignalKind::Reg => {
+                let _ = writeln!(out, "  {} {};", sv_type(sig.width), sv_ident(&sig.name));
+            }
+            _ => {}
+        }
+    }
+    for arr in &m.arrays {
+        let _ = writeln!(
+            out,
+            "  {} {} [0:{}];",
+            sv_type(arr.width),
+            sv_ident(&arr.name),
+            arr.depth - 1
+        );
+    }
+
+    // Initial values.
+    let mut has_init = false;
+    let mut init_block = String::new();
+    for (_, sig) in m.iter_signals() {
+        if sig.kind == SignalKind::Reg {
+            if let Some(init) = &sig.init {
+                let _ = writeln!(
+                    init_block,
+                    "    {} = {};",
+                    sv_ident(&sig.name),
+                    sv_const(init)
+                );
+                has_init = true;
+            }
+        }
+    }
+    for arr in &m.arrays {
+        for (i, v) in arr.init.iter().enumerate() {
+            let _ = writeln!(
+                init_block,
+                "    {}[{}] = {};",
+                sv_ident(&arr.name),
+                i,
+                sv_const(v)
+            );
+            has_init = true;
+        }
+    }
+    if has_init {
+        let _ = writeln!(out, "  initial begin");
+        out.push_str(&init_block);
+        let _ = writeln!(out, "  end");
+    }
+
+    // Continuous assignments, in signal order for determinism.
+    let mut assigns: Vec<_> = m.assigns.iter().collect();
+    assigns.sort_by_key(|(id, _)| id.0);
+    for (id, e) in assigns {
+        let _ = writeln!(
+            out,
+            "  assign {} = {};",
+            sv_ident(&m.signal(*id).name),
+            sv_expr(m, e)
+        );
+    }
+
+    // Sequential block.
+    if !m.reg_next.is_empty() || !m.array_writes.is_empty() {
+        let _ = writeln!(out, "  always_ff @(posedge clk) begin");
+        let mut nexts: Vec<_> = m.reg_next.iter().collect();
+        nexts.sort_by_key(|(id, _)| id.0);
+        for (id, e) in nexts {
+            let _ = writeln!(
+                out,
+                "    {} <= {};",
+                sv_ident(&m.signal(*id).name),
+                sv_expr(m, e)
+            );
+        }
+        for w in &m.array_writes {
+            let _ = writeln!(
+                out,
+                "    if ({}) {}[{}] <= {};",
+                sv_expr(m, &w.enable),
+                sv_ident(&m.arrays[w.array.0].name),
+                sv_expr(m, &w.index),
+                sv_expr(m, &w.data)
+            );
+        }
+        let _ = writeln!(out, "  end");
+    }
+
+    // Debug prints (guarded for synthesis).
+    if !m.prints.is_empty() {
+        let _ = writeln!(out, "`ifndef SYNTHESIS");
+        let _ = writeln!(out, "  always_ff @(posedge clk) begin");
+        for p in &m.prints {
+            match &p.value {
+                Some(v) => {
+                    let _ = writeln!(
+                        out,
+                        "    if ({}) $display(\"{}: %h\", {});",
+                        sv_expr(m, &p.enable),
+                        p.label,
+                        sv_expr(m, v)
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "    if ({}) $display(\"{}\");",
+                        sv_expr(m, &p.enable),
+                        p.label
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "  end");
+        let _ = writeln!(out, "`endif");
+    }
+
+    // Instances.
+    for inst in &m.instances {
+        let mut conns = vec![".clk(clk)".to_string()];
+        for (port, sig) in &inst.connections {
+            conns.push(format!(
+                ".{}({})",
+                sv_ident(port),
+                sv_ident(&m.signal(*sig).name)
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            sv_ident(&inst.module),
+            sv_ident(&inst.name),
+            conns.join(", ")
+        );
+    }
+
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Emits every module in the library, leaf modules first so that each
+/// definition precedes its uses.
+pub fn emit_library(lib: &ModuleLibrary) -> String {
+    let mut names: Vec<&str> = lib.iter().map(|m| m.name.as_str()).collect();
+    names.sort();
+    // Topological order: repeatedly emit modules whose instances are all
+    // already emitted.
+    let mut emitted: Vec<&str> = Vec::new();
+    let mut out = String::new();
+    while emitted.len() < names.len() {
+        let mut progressed = false;
+        for name in &names {
+            if emitted.contains(name) {
+                continue;
+            }
+            let m = lib.get(name).expect("listed module exists");
+            let ready = m
+                .instances
+                .iter()
+                .all(|i| emitted.contains(&i.module.as_str()) || lib.get(&i.module).is_none());
+            if ready {
+                out.push_str(&emit_module(m));
+                out.push('\n');
+                emitted.push(name);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Instance cycle: emit the rest in name order anyway.
+            for name in &names {
+                if !emitted.contains(name) {
+                    out.push_str(&emit_module(lib.get(name).expect("listed module exists")));
+                    out.push('\n');
+                    emitted.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sv_type(width: usize) -> String {
+    if width == 1 {
+        "logic".to_string()
+    } else {
+        format!("logic [{}:0]", width - 1)
+    }
+}
+
+/// Escapes identifiers that contain hierarchy separators from flattening.
+fn sv_ident(name: &str) -> String {
+    if name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && !name.is_empty()
+    {
+        name.to_string()
+    } else {
+        // SystemVerilog escaped identifier: backslash + token + space.
+        format!("\\{name} ")
+    }
+}
+
+fn sv_const(b: &crate::Bits) -> String {
+    format!("{}'h{:x}", b.width(), b)
+}
+
+/// Prints an expression, fully parenthesised.
+pub fn sv_expr(m: &Module, e: &Expr) -> String {
+    match e {
+        Expr::Const(b) => sv_const(b),
+        Expr::Signal(s) => sv_ident(&m.signal(*s).name),
+        Expr::Unary(op, a) => {
+            let sym = match op {
+                UnaryOp::Not => "~",
+                UnaryOp::Neg => "-",
+                UnaryOp::RedAnd => "&",
+                UnaryOp::RedOr => "|",
+                UnaryOp::RedXor => "^",
+                UnaryOp::LogicNot => "!",
+            };
+            format!("({sym}{})", sv_expr(m, a))
+        }
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+            };
+            format!("({} {sym} {})", sv_expr(m, a), sv_expr(m, b))
+        }
+        Expr::Mux {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
+            "((|{}) ? {} : {})",
+            sv_expr(m, cond),
+            sv_expr(m, then_e),
+            sv_expr(m, else_e)
+        ),
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| sv_expr(m, p)).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Expr::Slice { base, lo, width } => {
+            format!("{}[{}+:{}]", sv_expr(m, base), lo, width)
+        }
+        Expr::ArrayRead { array, index } => format!(
+            "{}[{}]",
+            sv_ident(&m.arrays[array.0].name),
+            sv_expr(m, index)
+        ),
+        Expr::Resize { base, width } => {
+            let bw = m.expr_width(base).unwrap_or(*width);
+            if bw >= *width {
+                format!("{}[{}+:{}]", sv_expr(m, base), 0, width)
+            } else {
+                format!("{{{}'h0, {}}}", width - bw, sv_expr(m, base))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Module;
+
+    #[test]
+    fn counter_golden() {
+        let mut m = Module::new("counter");
+        let en = m.input("en", 1);
+        let count = m.reg("count", 8);
+        let out = m.output("out", 8);
+        m.set_next(
+            count,
+            Expr::mux(
+                Expr::Signal(en),
+                Expr::Signal(count).add(Expr::lit(1, 8)),
+                Expr::Signal(count),
+            ),
+        );
+        m.assign(out, Expr::Signal(count));
+        let sv = emit_module(&m);
+        assert!(sv.contains("module counter ("));
+        assert!(sv.contains("input logic clk"));
+        assert!(sv.contains("input logic en"));
+        assert!(sv.contains("output logic [7:0] out"));
+        assert!(sv.contains("always_ff @(posedge clk)"));
+        assert!(sv.contains("count <= ((|en) ? (count + 8'h01) : count);"));
+        assert!(sv.contains("assign out = count;"));
+        assert!(sv.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn escaped_identifiers() {
+        assert_eq!(sv_ident("plain_name0"), "plain_name0");
+        assert_eq!(sv_ident("u0.count"), "\\u0.count ");
+    }
+
+    #[test]
+    fn array_emission() {
+        let mut m = Module::new("mem");
+        let addr = m.input("addr", 2);
+        let q = m.output("q", 8);
+        let a = m.array_init(
+            "rom",
+            8,
+            4,
+            vec![crate::Bits::from_u64(7, 8), crate::Bits::from_u64(9, 8)],
+        );
+        m.assign(
+            q,
+            Expr::ArrayRead {
+                array: a,
+                index: Box::new(Expr::Signal(addr)),
+            },
+        );
+        let sv = emit_module(&m);
+        assert!(sv.contains("logic [7:0] rom [0:3];"));
+        assert!(sv.contains("rom[0] = 8'h07;"));
+        assert!(sv.contains("assign q = rom[addr];"));
+    }
+
+    #[test]
+    fn library_emits_children_first() {
+        let mut lib = ModuleLibrary::new();
+        let mut leaf = Module::new("aleaf");
+        let o = leaf.output("o", 1);
+        leaf.assign(o, Expr::bit(true));
+        lib.add(leaf);
+        let mut top = Module::new("ztop");
+        let w = top.wire("w", 1);
+        top.instance("l", "aleaf", vec![("o".into(), w)]);
+        let o = top.output("o", 1);
+        top.assign(o, Expr::Signal(w));
+        lib.add(top);
+        let sv = emit_library(&lib);
+        let leaf_pos = sv.find("module aleaf").unwrap();
+        let top_pos = sv.find("module ztop").unwrap();
+        assert!(leaf_pos < top_pos);
+    }
+}

@@ -1,0 +1,353 @@
+//! Combinational expression trees.
+//!
+//! Every wire, output port, register next-value, and array write port in the
+//! netlist IR is driven by an [`Expr`]. Expressions are pure functions of
+//! signal values; the simulator evaluates them, the SystemVerilog emitter
+//! pretty-prints them, and the synthesis model maps them to gates.
+
+use crate::bits::Bits;
+use crate::netlist::{ArrayId, SignalId};
+
+/// A unary combinational operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement `~a` (result width = operand width).
+    Not,
+    /// Two's-complement negation `-a`.
+    Neg,
+    /// AND reduction `&a` (1-bit result).
+    RedAnd,
+    /// OR reduction `|a` (1-bit result).
+    RedOr,
+    /// XOR reduction `^a` (1-bit result).
+    RedXor,
+    /// Logical not `!a`: 1 iff `a` is all-zero (1-bit result).
+    LogicNot,
+}
+
+/// A binary combinational operator.
+///
+/// Arithmetic and bitwise operators require equal operand widths and
+/// produce that width (wrapping). Comparisons produce one bit. Shifts take
+/// an arbitrary-width shift amount and keep the left operand's width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    Lt,
+    /// Unsigned less-or-equal (1-bit result).
+    Le,
+    /// Unsigned greater-than (1-bit result).
+    Gt,
+    /// Unsigned greater-or-equal (1-bit result).
+    Ge,
+    /// Logical shift left by the right operand.
+    Shl,
+    /// Logical shift right by the right operand.
+    Shr,
+}
+
+impl BinaryOp {
+    /// True for operators whose result is a single bit.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// A combinational expression.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant bit vector.
+    Const(Bits),
+    /// The current value of a signal (port, wire, or register).
+    Signal(SignalId),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Two-way multiplexer: `cond ? then_e : else_e`. `cond` is truthy if
+    /// any bit is set; branches must have equal width.
+    Mux {
+        /// Select condition (truthy = any bit set).
+        cond: Box<Expr>,
+        /// Value when the condition is truthy.
+        then_e: Box<Expr>,
+        /// Value when the condition is zero.
+        else_e: Box<Expr>,
+    },
+    /// Concatenation, most-significant part first (`{a, b, c}`).
+    Concat(Vec<Expr>),
+    /// Bit slice `base[lo +: width]`.
+    Slice {
+        /// Sliced expression.
+        base: Box<Expr>,
+        /// Lowest bit index taken.
+        lo: usize,
+        /// Number of bits taken.
+        width: usize,
+    },
+    /// Asynchronous read port of a register array / memory.
+    ArrayRead {
+        /// Array being read.
+        array: ArrayId,
+        /// Element index (out-of-range reads yield zero).
+        index: Box<Expr>,
+    },
+    /// Zero-extension or truncation to an explicit width.
+    Resize {
+        /// Resized expression.
+        base: Box<Expr>,
+        /// Target width.
+        width: usize,
+    },
+}
+
+impl Expr {
+    /// Constant helper.
+    pub fn lit(value: u64, width: usize) -> Expr {
+        Expr::Const(Bits::from_u64(value, width))
+    }
+
+    /// 1-bit constant helper.
+    pub fn bit(value: bool) -> Expr {
+        Expr::Const(Bits::bit(value))
+    }
+
+    /// Bitwise complement.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnaryOp::Not, Box::new(self))
+    }
+
+    /// Logical not: 1 iff zero.
+    pub fn logic_not(self) -> Expr {
+        Expr::Unary(UnaryOp::LogicNot, Box::new(self))
+    }
+
+    /// Applies a binary operator.
+    pub fn bin(op: BinaryOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Wrapping addition.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Add, self, rhs)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Sub, self, rhs)
+    }
+
+    /// Bitwise AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::And, self, rhs)
+    }
+
+    /// Bitwise OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Or, self, rhs)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Xor, self, rhs)
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Eq, self, rhs)
+    }
+
+    /// Inequality comparison (1-bit result).
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Ne, self, rhs)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinaryOp::Lt, self, rhs)
+    }
+
+    /// Two-way multiplexer.
+    pub fn mux(cond: Expr, then_e: Expr, else_e: Expr) -> Expr {
+        Expr::Mux {
+            cond: Box::new(cond),
+            then_e: Box::new(then_e),
+            else_e: Box::new(else_e),
+        }
+    }
+
+    /// Bit slice `self[lo +: width]`.
+    pub fn slice(self, lo: usize, width: usize) -> Expr {
+        Expr::Slice {
+            base: Box::new(self),
+            lo,
+            width,
+        }
+    }
+
+    /// Zero-extends or truncates to `width`.
+    pub fn resize(self, width: usize) -> Expr {
+        Expr::Resize {
+            base: Box::new(self),
+            width,
+        }
+    }
+
+    /// Walks the expression tree, calling `f` on every node.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Signal(_) => {}
+            Expr::Unary(_, a) | Expr::Slice { base: a, .. } | Expr::Resize { base: a, .. } => {
+                a.visit(f)
+            }
+            Expr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                cond.visit(f);
+                then_e.visit(f);
+                else_e.visit(f);
+            }
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.visit(f);
+                }
+            }
+            Expr::ArrayRead { index, .. } => index.visit(f),
+        }
+    }
+
+    /// Collects every signal the expression reads.
+    pub fn signals(&self) -> Vec<SignalId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Signal(s) = e {
+                out.push(*s);
+            }
+        });
+        out
+    }
+
+    /// Collects every array the expression reads.
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::ArrayRead { array, .. } = e {
+                out.push(*array);
+            }
+        });
+        out
+    }
+
+    /// Rewrites every signal / array reference through the given maps.
+    ///
+    /// Used by elaboration when inlining module instances.
+    pub fn map_refs(
+        &self,
+        sig: &impl Fn(SignalId) -> SignalId,
+        arr: &impl Fn(ArrayId) -> ArrayId,
+    ) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(b.clone()),
+            Expr::Signal(s) => Expr::Signal(sig(*s)),
+            Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.map_refs(sig, arr))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.map_refs(sig, arr)),
+                Box::new(b.map_refs(sig, arr)),
+            ),
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => Expr::Mux {
+                cond: Box::new(cond.map_refs(sig, arr)),
+                then_e: Box::new(then_e.map_refs(sig, arr)),
+                else_e: Box::new(else_e.map_refs(sig, arr)),
+            },
+            Expr::Concat(parts) => {
+                Expr::Concat(parts.iter().map(|p| p.map_refs(sig, arr)).collect())
+            }
+            Expr::Slice { base, lo, width } => Expr::Slice {
+                base: Box::new(base.map_refs(sig, arr)),
+                lo: *lo,
+                width: *width,
+            },
+            Expr::ArrayRead { array, index } => Expr::ArrayRead {
+                array: arr(*array),
+                index: Box::new(index.map_refs(sig, arr)),
+            },
+            Expr::Resize { base, width } => Expr::Resize {
+                base: Box::new(base.map_refs(sig, arr)),
+                width: *width,
+            },
+        }
+    }
+
+    /// Number of nodes in the tree (used by compile-time benchmarks).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::lit(1, 8).add(Expr::lit(2, 8)).eq(Expr::lit(3, 8));
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn signal_collection() {
+        let s0 = SignalId(0);
+        let s1 = SignalId(1);
+        let e = Expr::mux(
+            Expr::Signal(s0),
+            Expr::Signal(s1),
+            Expr::Signal(s0).not(),
+        );
+        let mut sigs = e.signals();
+        sigs.sort();
+        assert_eq!(sigs, vec![s0, s0, s1]);
+    }
+
+    #[test]
+    fn map_refs_rewrites() {
+        let e = Expr::Signal(SignalId(3)).add(Expr::Signal(SignalId(4)));
+        let shifted = e.map_refs(&|s| SignalId(s.0 + 10), &|a| a);
+        assert_eq!(
+            shifted.signals(),
+            vec![SignalId(13), SignalId(14)]
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: `Bits` arithmetic agrees with native `u128` arithmetic
+//! for widths up to 128, and algebraic identities hold at any width.
+
+use anvil_rtl::Bits;
+use proptest::prelude::*;
+
+fn mask(w: usize) -> u128 {
+    if w == 128 {
+        u128::MAX
+    } else {
+        (1u128 << w) - 1
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a: u128, b: u128, w in 1usize..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        let expect = (a & mask(w)).wrapping_add(b & mask(w)) & mask(w);
+        prop_assert_eq!(ba.add(&bb).to_u128(), expect);
+    }
+
+    #[test]
+    fn sub_matches_u128(a: u128, b: u128, w in 1usize..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        let expect = (a & mask(w)).wrapping_sub(b & mask(w)) & mask(w);
+        prop_assert_eq!(ba.sub(&bb).to_u128(), expect);
+    }
+
+    #[test]
+    fn mul_matches_u128(a: u64, b: u64, w in 1usize..=64) {
+        let ba = Bits::from_u64(a, w);
+        let bb = Bits::from_u64(b, w);
+        let expect = (a as u128 & mask(w)).wrapping_mul(b as u128 & mask(w)) & mask(w);
+        prop_assert_eq!(ba.mul(&bb).to_u128(), expect);
+    }
+
+    #[test]
+    fn lt_matches_u128(a: u128, b: u128, w in 1usize..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.lt(&bb), (a & mask(w)) < (b & mask(w)));
+    }
+
+    #[test]
+    fn de_morgan(a: u128, b: u128, w in 1usize..=200) {
+        let ba = Bits::from_u128(a, w.min(128)).resize(w);
+        let bb = Bits::from_u128(b, w.min(128)).resize(w);
+        prop_assert_eq!(ba.and(&bb).not(), ba.not().or(&bb.not()));
+    }
+
+    #[test]
+    fn xor_self_is_zero(a: u128, w in 1usize..=200) {
+        let ba = Bits::from_u128(a, w.min(128)).resize(w);
+        prop_assert!(ba.xor(&ba).is_zero());
+    }
+
+    #[test]
+    fn neg_is_zero_minus(a: u128, w in 1usize..=128) {
+        let ba = Bits::from_u128(a, w);
+        prop_assert_eq!(ba.neg(), Bits::zero(w).sub(&ba));
+    }
+
+    #[test]
+    fn shl_shr_roundtrip_low_bits(a: u64, n in 0usize..32, w in 33usize..=96) {
+        // Shifting left then right recovers the bits that were not pushed out.
+        let ba = Bits::from_u64(a, w);
+        let round = ba.shl(n).shr(n);
+        let kept = ba.slice(0, w - n).resize(w);
+        prop_assert_eq!(round, kept);
+    }
+
+    #[test]
+    fn concat_slice_inverse(a: u64, b: u64, wa in 1usize..=64, wb in 1usize..=64) {
+        let ba = Bits::from_u64(a, wa);
+        let bb = Bits::from_u64(b, wb);
+        let cat = ba.concat(&bb);
+        prop_assert_eq!(cat.slice(wb, wa), ba);
+        prop_assert_eq!(cat.slice(0, wb), bb);
+    }
+
+    #[test]
+    fn reduce_xor_is_popcount_parity(a: u128, w in 1usize..=128) {
+        let ba = Bits::from_u128(a, w);
+        prop_assert_eq!(ba.reduce_xor(), ba.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn hamming_symmetric_and_zero_on_self(a: u128, b: u128, w in 1usize..=128) {
+        let ba = Bits::from_u128(a, w);
+        let bb = Bits::from_u128(b, w);
+        prop_assert_eq!(ba.hamming_distance(&bb), bb.hamming_distance(&ba));
+        prop_assert_eq!(ba.hamming_distance(&ba), 0);
+    }
+}

@@ -1,0 +1,567 @@
+//! The cycle-accurate two-phase simulation engine.
+//!
+//! Executes a *flattened* [`Module`] (see [`anvil_rtl::elaborate`]): each
+//! cycle first settles every combinational signal in topological order
+//! (phase 1), then commits register next-values and array writes on the
+//! implicit rising clock edge (phase 2). This matches the synthesizable
+//! subset's SystemVerilog semantics bit-for-bit and cycle-for-cycle, which
+//! is all the paper's evaluation needs (functional equivalence + cycle
+//! latency; see DESIGN.md §1 for the substitution rationale).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use anvil_rtl::{ArrayId, BinaryOp, Bits, Expr, Module, SignalId, SignalKind, UnaryOp};
+
+/// Errors raised when preparing or running a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The design still contains instances; flatten it first.
+    NotFlat(String),
+    /// Combinational assignments form a cycle through the named signal.
+    CombinationalLoop(String),
+    /// A peek/poke referenced an unknown signal name.
+    UnknownSignal(String),
+    /// Poke of a non-input signal.
+    NotAnInput(String),
+    /// A value of the wrong width was poked.
+    WidthMismatch {
+        /// The poked signal.
+        signal: String,
+        /// Declared port width.
+        expected: usize,
+        /// Width of the poked value.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotFlat(m) => write!(f, "module `{m}` contains instances; elaborate first"),
+            SimError::CombinationalLoop(s) => {
+                write!(f, "combinational loop through signal `{s}`")
+            }
+            SimError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            SimError::NotAnInput(s) => write!(f, "signal `{s}` is not an input"),
+            SimError::WidthMismatch {
+                signal,
+                expected,
+                found,
+            } => write!(
+                f,
+                "poked `{signal}` with width {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A running simulation of one flattened module.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_rtl::{Bits, Expr, Module};
+/// use anvil_sim::Sim;
+///
+/// let mut m = Module::new("counter");
+/// let en = m.input("en", 1);
+/// let q = m.reg("q", 8);
+/// let out = m.output("out", 8);
+/// m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 8)));
+/// m.assign(out, Expr::Signal(q));
+///
+/// let mut sim = Sim::new(&m)?;
+/// sim.poke("en", Bits::bit(true))?;
+/// for _ in 0..5 { sim.step()?; }
+/// assert_eq!(sim.peek("out")?.to_u64(), 5);
+/// # Ok::<(), anvil_sim::SimError>(())
+/// ```
+pub struct Sim {
+    module: Module,
+    /// Current value of every signal (inputs, wires, outputs, regs).
+    values: Vec<Bits>,
+    /// Previous settled values, for toggle counting.
+    prev_values: Vec<Bits>,
+    arrays: Vec<Vec<Bits>>,
+    comb_order: Vec<SignalId>,
+    cycle: u64,
+    settled: bool,
+    /// Total bit toggles observed per signal across the run.
+    toggles: Vec<u64>,
+    /// Messages produced by `dprint` actions, with their cycle numbers.
+    pub log: Vec<(u64, String)>,
+}
+
+impl Sim {
+    /// Prepares a simulation: checks the design is flat and free of
+    /// combinational loops, initialises registers and memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotFlat`] if instances remain and
+    /// [`SimError::CombinationalLoop`] if the combinational graph is cyclic.
+    pub fn new(module: &Module) -> Result<Self, SimError> {
+        if !module.instances.is_empty() {
+            return Err(SimError::NotFlat(module.name.clone()));
+        }
+        let comb_order = comb_topo_order(module)?;
+        let values: Vec<Bits> = module
+            .signals
+            .iter()
+            .map(|s| match (&s.kind, &s.init) {
+                (SignalKind::Reg, Some(init)) => init.clone(),
+                _ => Bits::zero(s.width),
+            })
+            .collect();
+        let arrays = module
+            .arrays
+            .iter()
+            .map(|a| {
+                let mut contents = vec![Bits::zero(a.width); a.depth];
+                for (i, v) in a.init.iter().enumerate() {
+                    contents[i] = v.clone();
+                }
+                contents
+            })
+            .collect();
+        let n = values.len();
+        Ok(Sim {
+            module: module.clone(),
+            prev_values: values.clone(),
+            values,
+            arrays,
+            comb_order,
+            cycle: 0,
+            settled: false,
+            toggles: vec![0; n],
+            log: Vec::new(),
+        })
+    }
+
+    /// Current cycle number (number of clock edges so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The simulated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Sets an input port for the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names, non-input signals, or width mismatches.
+    pub fn poke(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
+        let id = self
+            .module
+            .find(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        let sig = self.module.signal(id);
+        if sig.kind != SignalKind::Input {
+            return Err(SimError::NotAnInput(name.to_string()));
+        }
+        if sig.width != value.width() {
+            return Err(SimError::WidthMismatch {
+                signal: name.to_string(),
+                expected: sig.width,
+                found: value.width(),
+            });
+        }
+        self.values[id.0] = value;
+        self.settled = false;
+        Ok(())
+    }
+
+    /// Evaluates all combinational logic with the current inputs and
+    /// register state. Idempotent until the next poke or clock edge.
+    pub fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        for id in self.comb_order.clone() {
+            let e = self.module.assigns[&id].clone();
+            self.values[id.0] = self.eval(&e);
+        }
+        self.settled = true;
+    }
+
+    /// Reads a signal's settled value.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown signal names.
+    pub fn peek(&mut self, name: &str) -> Result<Bits, SimError> {
+        self.settle();
+        let id = self
+            .module
+            .find(name)
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        Ok(self.values[id.0].clone())
+    }
+
+    /// Reads a signal by id (no name lookup).
+    pub fn peek_id(&mut self, id: SignalId) -> Bits {
+        self.settle();
+        self.values[id.0].clone()
+    }
+
+    /// Reads one element of a memory (test visibility).
+    pub fn peek_array(&self, array: ArrayId, index: usize) -> Bits {
+        self.arrays[array.0][index].clone()
+    }
+
+    /// Writes one element of a memory directly (test setup).
+    pub fn poke_array(&mut self, array: ArrayId, index: usize, value: Bits) {
+        self.arrays[array.0][index] = value;
+        self.settled = false;
+    }
+
+    /// Advances one clock edge: settles, fires debug prints, counts
+    /// toggles, then commits register next-values and array writes.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.settle();
+
+        for p in self.module.prints.clone() {
+            if self.eval(&p.enable).is_truthy() {
+                let msg = match &p.value {
+                    Some(v) => format!("{}: {:x}", p.label, self.eval(v)),
+                    None => p.label.clone(),
+                };
+                self.log.push((self.cycle, msg));
+            }
+        }
+
+        for (i, (cur, prev)) in self.values.iter().zip(&self.prev_values).enumerate() {
+            self.toggles[i] += u64::from(cur.hamming_distance(prev));
+        }
+        self.prev_values.clone_from(&self.values);
+
+        // Compute all register next-values from the settled state, then
+        // commit simultaneously (nonblocking-assignment semantics).
+        let mut next: HashMap<SignalId, Bits> = HashMap::new();
+        for (reg, e) in self.module.reg_next.clone() {
+            next.insert(reg, self.eval(&e));
+        }
+        let mut array_commits: Vec<(ArrayId, usize, Bits)> = Vec::new();
+        for w in self.module.array_writes.clone() {
+            if self.eval(&w.enable).is_truthy() {
+                let idx = self.eval(&w.index).to_u64() as usize;
+                let depth = self.arrays[w.array.0].len();
+                if idx < depth {
+                    array_commits.push((w.array, idx, self.eval(&w.data)));
+                }
+            }
+        }
+        for (reg, v) in next {
+            self.values[reg.0] = v;
+        }
+        for (arr, idx, v) in array_commits {
+            self.arrays[arr.0][idx] = v;
+        }
+
+        self.cycle += 1;
+        self.settled = false;
+        Ok(())
+    }
+
+    /// Runs `n` clock cycles with the current inputs.
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// A hash of the architectural state (registers and memories), used
+    /// by the bounded model checker to prune revisited states.
+    pub fn state_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (id, sig) in self.module.iter_signals() {
+            if sig.kind == SignalKind::Reg {
+                self.values[id.0].hash(&mut h);
+            }
+        }
+        for arr in &self.arrays {
+            arr.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Total observed bit toggles per signal, for the power model.
+    pub fn toggle_counts(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Sum of toggles across all signals divided by cycles: a crude
+    /// whole-design switching-activity figure.
+    pub fn switching_activity(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        self.toggles.iter().sum::<u64>() as f64 / self.cycle as f64
+    }
+
+    /// Evaluates an expression against the current state.
+    pub fn eval(&self, e: &Expr) -> Bits {
+        match e {
+            Expr::Const(b) => b.clone(),
+            Expr::Signal(s) => self.values[s.0].clone(),
+            Expr::Unary(op, a) => {
+                let v = self.eval(a);
+                match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::RedAnd => Bits::bit(v.reduce_and()),
+                    UnaryOp::RedOr => Bits::bit(v.reduce_or()),
+                    UnaryOp::RedXor => Bits::bit(v.reduce_xor()),
+                    UnaryOp::LogicNot => Bits::bit(v.is_zero()),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                match op {
+                    BinaryOp::Add => va.add(&vb),
+                    BinaryOp::Sub => va.sub(&vb),
+                    BinaryOp::Mul => va.mul(&vb),
+                    BinaryOp::And => va.and(&vb),
+                    BinaryOp::Or => va.or(&vb),
+                    BinaryOp::Xor => va.xor(&vb),
+                    BinaryOp::Eq => Bits::bit(va == vb),
+                    BinaryOp::Ne => Bits::bit(va != vb),
+                    BinaryOp::Lt => Bits::bit(va.lt(&vb)),
+                    BinaryOp::Le => Bits::bit(!vb.lt(&va)),
+                    BinaryOp::Gt => Bits::bit(vb.lt(&va)),
+                    BinaryOp::Ge => Bits::bit(!va.lt(&vb)),
+                    BinaryOp::Shl => va.shl(vb.to_u64().min(u64::from(u32::MAX)) as usize),
+                    BinaryOp::Shr => va.shr(vb.to_u64().min(u64::from(u32::MAX)) as usize),
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                if self.eval(cond).is_truthy() {
+                    self.eval(then_e)
+                } else {
+                    self.eval(else_e)
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut vals = parts.iter().map(|p| self.eval(p));
+                let first = vals.next().expect("concat is non-empty");
+                vals.fold(first, |acc, v| acc.concat(&v))
+            }
+            Expr::Slice { base, lo, width } => self.eval(base).slice(*lo, *width),
+            Expr::ArrayRead { array, index } => {
+                let idx = self.eval(index).to_u64() as usize;
+                let contents = &self.arrays[array.0];
+                if idx < contents.len() {
+                    contents[idx].clone()
+                } else {
+                    Bits::zero(self.module.arrays[array.0].width)
+                }
+            }
+            Expr::Resize { base, width } => self.eval(base).resize(*width),
+        }
+    }
+}
+
+/// Topologically orders all combinationally-driven signals; errors on a
+/// combinational cycle.
+fn comb_topo_order(m: &Module) -> Result<Vec<SignalId>, SimError> {
+    let driven: Vec<SignalId> = {
+        let mut v: Vec<SignalId> = m.assigns.keys().copied().collect();
+        v.sort();
+        v
+    };
+    // in-degree over comb-driven signals only
+    let mut indeg: HashMap<SignalId, usize> = driven.iter().map(|s| (*s, 0)).collect();
+    let mut dependents: HashMap<SignalId, Vec<SignalId>> = HashMap::new();
+    for id in &driven {
+        for dep in m.assigns[id].signals() {
+            if m.assigns.contains_key(&dep) {
+                *indeg.get_mut(id).expect("driven signal") += 1;
+                dependents.entry(dep).or_default().push(*id);
+            }
+        }
+    }
+    let mut queue: Vec<SignalId> = driven
+        .iter()
+        .filter(|s| indeg[s] == 0)
+        .copied()
+        .collect();
+    let mut order = Vec::with_capacity(driven.len());
+    while let Some(s) = queue.pop() {
+        order.push(s);
+        if let Some(deps) = dependents.get(&s) {
+            for d in deps.clone() {
+                let e = indeg.get_mut(&d).expect("driven signal");
+                *e -= 1;
+                if *e == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+    }
+    if order.len() < driven.len() {
+        let stuck = driven
+            .iter()
+            .find(|s| !order.contains(s))
+            .expect("cycle implies a stuck signal");
+        return Err(SimError::CombinationalLoop(
+            m.signal(*stuck).name.clone(),
+        ));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> Module {
+        let mut m = Module::new("counter");
+        let en = m.input("en", 1);
+        let q = m.reg("q", 8);
+        let out = m.output("out", 8);
+        m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 8)));
+        m.assign(out, Expr::Signal(q));
+        m
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut s = Sim::new(&counter()).unwrap();
+        s.poke("en", Bits::bit(true)).unwrap();
+        s.run(3).unwrap();
+        s.poke("en", Bits::bit(false)).unwrap();
+        s.run(2).unwrap();
+        assert_eq!(s.peek("out").unwrap().to_u64(), 3);
+    }
+
+    #[test]
+    fn comb_chain_settles_in_order() {
+        let mut m = Module::new("chain");
+        let a = m.input("a", 4);
+        let w1 = m.wire("w1", 4);
+        let w2 = m.wire("w2", 4);
+        let o = m.output("o", 4);
+        // Deliberately declare in use-before-def order.
+        m.assign(o, Expr::Signal(w2).add(Expr::lit(1, 4)));
+        m.assign(w2, Expr::Signal(w1).add(Expr::lit(1, 4)));
+        m.assign(w1, Expr::Signal(a).add(Expr::lit(1, 4)));
+        let mut s = Sim::new(&m).unwrap();
+        s.poke("a", Bits::from_u64(2, 4)).unwrap();
+        assert_eq!(s.peek("o").unwrap().to_u64(), 5);
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let mut m = Module::new("loopy");
+        let w1 = m.wire("w1", 1);
+        let w2 = m.wire("w2", 1);
+        let o = m.output("o", 1);
+        m.assign(w1, Expr::Signal(w2).not());
+        m.assign(w2, Expr::Signal(w1).not());
+        m.assign(o, Expr::Signal(w1));
+        assert!(matches!(
+            Sim::new(&m),
+            Err(SimError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn registers_commit_simultaneously() {
+        // Swap two registers every cycle: requires nonblocking semantics.
+        let mut m = Module::new("swap");
+        let a = m.reg_init("a", Bits::from_u64(1, 8));
+        let b = m.reg_init("b", Bits::from_u64(2, 8));
+        let oa = m.output("oa", 8);
+        let ob = m.output("ob", 8);
+        m.set_next(a, Expr::Signal(b));
+        m.set_next(b, Expr::Signal(a));
+        m.assign(oa, Expr::Signal(a));
+        m.assign(ob, Expr::Signal(b));
+        let mut s = Sim::new(&m).unwrap();
+        s.step().unwrap();
+        assert_eq!(s.peek("oa").unwrap().to_u64(), 2);
+        assert_eq!(s.peek("ob").unwrap().to_u64(), 1);
+        s.step().unwrap();
+        assert_eq!(s.peek("oa").unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn array_write_and_read() {
+        let mut m = Module::new("mem");
+        let we = m.input("we", 1);
+        let waddr = m.input("waddr", 2);
+        let wdata = m.input("wdata", 8);
+        let raddr = m.input("raddr", 2);
+        let q = m.output("q", 8);
+        let arr = m.array("mem", 8, 4);
+        m.array_write(
+            arr,
+            Expr::Signal(we),
+            Expr::Signal(waddr),
+            Expr::Signal(wdata),
+        );
+        m.assign(
+            q,
+            Expr::ArrayRead {
+                array: arr,
+                index: Box::new(Expr::Signal(raddr)),
+            },
+        );
+        let mut s = Sim::new(&m).unwrap();
+        s.poke("we", Bits::bit(true)).unwrap();
+        s.poke("waddr", Bits::from_u64(2, 2)).unwrap();
+        s.poke("wdata", Bits::from_u64(0xAB, 8)).unwrap();
+        s.step().unwrap();
+        s.poke("we", Bits::bit(false)).unwrap();
+        s.poke("raddr", Bits::from_u64(2, 2)).unwrap();
+        assert_eq!(s.peek("q").unwrap().to_u64(), 0xAB);
+    }
+
+    #[test]
+    fn dprint_logs() {
+        let mut m = Module::new("p");
+        let en = m.input("en", 1);
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(en));
+        m.dprint(Expr::Signal(en), "fired", Some(Expr::lit(0x5, 4)));
+        let mut s = Sim::new(&m).unwrap();
+        s.step().unwrap();
+        s.poke("en", Bits::bit(true)).unwrap();
+        s.step().unwrap();
+        assert_eq!(s.log, vec![(1, "fired: 5".to_string())]);
+    }
+
+    #[test]
+    fn toggle_counting() {
+        let mut m = Module::new("t");
+        let a = m.input("a", 4);
+        let o = m.output("o", 4);
+        m.assign(o, Expr::Signal(a));
+        let mut s = Sim::new(&m).unwrap();
+        s.poke("a", Bits::from_u64(0b1111, 4)).unwrap();
+        s.step().unwrap(); // 0000 -> 1111: 4 toggles on a, 4 on o
+        s.poke("a", Bits::from_u64(0b1110, 4)).unwrap();
+        s.step().unwrap(); // 1 toggle on each
+        assert_eq!(s.toggle_counts().iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn unflattened_design_rejected() {
+        let mut m = Module::new("hier");
+        m.instance("x", "child", vec![]);
+        assert!(matches!(Sim::new(&m), Err(SimError::NotFlat(_))));
+    }
+}

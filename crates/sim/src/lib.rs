@@ -1,0 +1,23 @@
+//! Cycle-accurate simulation of flattened RTL netlists.
+//!
+//! This crate substitutes for the commercial SystemVerilog simulator the
+//! paper's evaluation used (see DESIGN.md §1): a two-phase (combinational
+//! settle, clock edge) engine that is bit- and cycle-accurate for the
+//! synthesizable subset `anvil-rtl` can express.
+//!
+//! * [`Sim`] — poke/peek/step execution of one flattened [`anvil_rtl::Module`],
+//! * [`Waveform`] — VCD and ASCII waveform capture (paper Figs. 1 and 4),
+//! * [`Testbench`] / [`SenderBfm`] / [`ReceiverBfm`] — channel
+//!   bus-functional models speaking the `data`/`valid`/`ack` handshake the
+//!   Anvil compiler emits (paper §6.2), with configurable latencies for
+//!   exploring dynamic timing behaviours.
+
+#![warn(missing_docs)]
+
+mod bfm;
+mod engine;
+mod vcd;
+
+pub use bfm::{AckPolicy, Agent, MsgPorts, ReceiverBfm, SenderBfm, Testbench};
+pub use engine::{Sim, SimError};
+pub use vcd::Waveform;

@@ -1,0 +1,25 @@
+//! Verification substrates for the Anvil reproduction.
+//!
+//! Three independent pieces, each standing in for infrastructure the
+//! paper's evaluation leaned on (see DESIGN.md §1):
+//!
+//! * [`oracle`] — the dynamic timing-safety oracle implementing the
+//!   execution-log safety conditions of Appendix C (Def. C.15). Used to
+//!   property-test the paper's central theorem (C.20): well-typed
+//!   programs stay safe under *every* sampled latency/branch assignment.
+//! * [`bmc()`](bmc::bmc) — an explicit-state bounded model checker over flattened
+//!   netlists, reproducing Appendix A's comparison: BMC misses deep
+//!   violations that Anvil's type system flags instantly.
+//! * [`rules`] — a Bluespec-style guarded-atomic-rule scheduler,
+//!   reproducing Fig. 2: per-cycle conflict-free schedules that are
+//!   nonetheless timing-unsafe across cycles.
+
+#![warn(missing_docs)]
+
+pub mod bmc;
+pub mod oracle;
+pub mod rules;
+
+pub use bmc::{bmc, BmcResult, BmcStats};
+pub use oracle::{check_run, fuzz_thread, sample_run, ConcreteRun, DynViolation};
+pub use rules::{fig2_contract_violations, fig2_engine, Rule, RuleEngine, State};

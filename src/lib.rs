@@ -1,0 +1,40 @@
+//! Anvil: a general-purpose timing-safe hardware description language —
+//! a from-scratch Rust reproduction of the ASPLOS 2026 paper.
+//!
+//! This facade crate re-exports the whole workspace; see the individual
+//! crates for details:
+//!
+//! * [`anvil_core`] — the compiler pipeline ([`Compiler`]),
+//! * [`anvil_syntax`] / [`anvil_ir`] / [`anvil_typeck`] /
+//!   [`anvil_codegen`] — the compiler stages,
+//! * [`anvil_rtl`] — the netlist IR and SystemVerilog emitter,
+//! * [`anvil_sim`] — the cycle-accurate simulator ([`Sim`]),
+//! * [`anvil_synth`] — the synthesis cost model,
+//! * [`anvil_verify`] — safety oracle, BMC, rule scheduler,
+//! * [`anvil_designs`] — the ten evaluation designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use anvil::Compiler;
+//!
+//! let out = Compiler::new().compile(
+//!     "proc blink() { reg led : logic; loop { set led := ~*led >> cycle 1 } }",
+//! )?;
+//! assert!(out.systemverilog.contains("module blink"));
+//! # Ok::<(), anvil::CompileError>(())
+//! ```
+
+pub use anvil_core::{CompileError, CompileOutput, Compiler, Options};
+pub use anvil_sim::{Sim, SimError, Waveform};
+
+pub use anvil_codegen;
+pub use anvil_core;
+pub use anvil_designs;
+pub use anvil_ir;
+pub use anvil_rtl;
+pub use anvil_sim;
+pub use anvil_synth;
+pub use anvil_syntax;
+pub use anvil_typeck;
+pub use anvil_verify;
