@@ -19,6 +19,36 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Sequential vs parallel batch compilation over the full ten-design
+/// evaluation suite: the scaling headroom the Session + interned-IR
+/// refactor buys (one shared read-only session, one worker per core).
+fn bench_batch(c: &mut Criterion) {
+    let sources: Vec<String> = anvil_designs::suite_sources()
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let mut compiler = anvil_core::Compiler::new();
+    compiler.with_extern(anvil_designs::aes::sbox_module());
+
+    c.bench_function("compile_suite_sequential", |b| {
+        b.iter(|| {
+            let out: Vec<_> = refs
+                .iter()
+                .map(|s| compiler.compile(std::hint::black_box(s)).unwrap())
+                .collect();
+            std::hint::black_box(out)
+        })
+    });
+    c.bench_function("compile_suite_batch", |b| {
+        b.iter(|| {
+            let out = compiler.compile_batch(std::hint::black_box(&refs));
+            assert!(out.iter().all(|r| r.is_ok()));
+            std::hint::black_box(out)
+        })
+    });
+}
+
 fn bench_opt(c: &mut Criterion) {
     use anvil_ir::{build_proc, optimize, BuildCtx, OptConfig};
     let src = anvil_designs::ptw::anvil_source();
@@ -43,8 +73,10 @@ fn bench_sim(c: &mut Criterion) {
     c.bench_function("simulate_fifo_1k_cycles", |b| {
         b.iter(|| {
             let mut sim = anvil_sim::Sim::new(&flat).unwrap();
-            sim.poke("out_ep_deq_ack", anvil_rtl::Bits::bit(true)).unwrap();
-            sim.poke("in_ep_enq_valid", anvil_rtl::Bits::bit(true)).unwrap();
+            sim.poke("out_ep_deq_ack", anvil_rtl::Bits::bit(true))
+                .unwrap();
+            sim.poke("in_ep_enq_valid", anvil_rtl::Bits::bit(true))
+                .unwrap();
             sim.poke("in_ep_enq_data", anvil_rtl::Bits::from_u64(7, 16))
                 .unwrap();
             sim.run(1000).unwrap();
@@ -63,6 +95,6 @@ fn bench_synth(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline, bench_opt, bench_sim, bench_synth
+    targets = bench_pipeline, bench_batch, bench_opt, bench_sim, bench_synth
 }
 criterion_main!(benches);

@@ -11,7 +11,10 @@ use anvil_designs::hazard;
 fn main() {
     println!("== Fig. 1: Top against a 2-cycle memory (raw RTL simulation) ==\n");
     let pairs = hazard::fig1_observed(24);
-    println!("{:>6} {:>10} {:>10} {:>6}", "read#", "expected", "observed", "ok?");
+    println!(
+        "{:>6} {:>10} {:>10} {:>6}",
+        "read#", "expected", "observed", "ok?"
+    );
     let mut bad = 0;
     for (i, (e, o)) in pairs.iter().enumerate() {
         let ok = e == o;

@@ -11,9 +11,18 @@ fn main() {
     println!("Cache contract: the address must stay constant from request to response.\n");
 
     let schedules: [(&str, Vec<usize>); 3] = [
-        ("schedule 1: send_req >> change_address >> get_res", vec![0, 1, 2, 3]),
-        ("schedule 2: change_address >> send_req >> get_res", vec![1, 0, 2, 3]),
-        ("schedule 3: send_req >> get_res >> change_address", vec![0, 2, 1, 3]),
+        (
+            "schedule 1: send_req >> change_address >> get_res",
+            vec![0, 1, 2, 3],
+        ),
+        (
+            "schedule 2: change_address >> send_req >> get_res",
+            vec![1, 0, 2, 3],
+        ),
+        (
+            "schedule 3: send_req >> get_res >> change_address",
+            vec![0, 2, 1, 3],
+        ),
     ];
     for (name, priority) in schedules {
         let mut e = fig2_engine(2);

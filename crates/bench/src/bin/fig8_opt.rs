@@ -6,8 +6,16 @@ use anvil_syntax::parse;
 
 fn sources() -> Vec<(&'static str, String, &'static str)> {
     vec![
-        ("FIFO Buffer", anvil_designs::fifo::anvil_source(), "fifo_anvil"),
-        ("Spill Register", anvil_designs::spill::anvil_source(), "spill_anvil"),
+        (
+            "FIFO Buffer",
+            anvil_designs::fifo::anvil_source(),
+            "fifo_anvil",
+        ),
+        (
+            "Spill Register",
+            anvil_designs::spill::anvil_source(),
+            "spill_anvil",
+        ),
         (
             "Stream FIFO",
             anvil_designs::stream_fifo::anvil_source(),
@@ -16,10 +24,22 @@ fn sources() -> Vec<(&'static str, String, &'static str)> {
         ("TLB", anvil_designs::tlb::anvil_source(), "tlb_anvil"),
         ("PTW", anvil_designs::ptw::anvil_source(), "ptw_anvil"),
         ("AES", anvil_designs::aes::anvil_source(), "aes_anvil"),
-        ("AXI Demux", anvil_designs::axi::demux_source(), "axi_demux_anvil"),
+        (
+            "AXI Demux",
+            anvil_designs::axi::demux_source(),
+            "axi_demux_anvil",
+        ),
         ("AXI Mux", anvil_designs::axi::mux_source(), "axi_mux_anvil"),
-        ("Pipelined ALU", anvil_designs::alu::anvil_source(), "alu_anvil"),
-        ("Systolic Array", anvil_designs::systolic::anvil_source(), "systolic_anvil"),
+        (
+            "Pipelined ALU",
+            anvil_designs::alu::anvil_source(),
+            "alu_anvil",
+        ),
+        (
+            "Systolic Array",
+            anvil_designs::systolic::anvil_source(),
+            "systolic_anvil",
+        ),
     ]
 }
 

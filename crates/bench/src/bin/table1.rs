@@ -69,7 +69,11 @@ fn main() {
     if force_dyn {
         println!("\n== §6.2 ablation: handshake-port omission ==\n");
         for (name, src, top) in [
-            ("Pipelined ALU", anvil_designs::alu::anvil_source(), "alu_anvil"),
+            (
+                "Pipelined ALU",
+                anvil_designs::alu::anvil_source(),
+                "alu_anvil",
+            ),
             (
                 "Systolic Array",
                 anvil_designs::systolic::anvil_source(),

@@ -17,6 +17,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use anvil_intern::Symbol;
 use anvil_ir::{
     build_proc, optimize, ActionIr, BuildCtx, EventGraph, EventId, EventKind, IrError, MsgRef,
     OptConfig, ThreadIr, Val,
@@ -134,6 +135,81 @@ pub fn compile_program(
     externs: &ModuleLibrary,
     opts: CodegenOptions,
 ) -> Result<ModuleLibrary, CodegenError> {
+    compile_program_staged(program, externs, opts).map(|(lib, _)| lib)
+}
+
+/// Per-stage measurements from [`compile_program_staged`], for drivers
+/// that report pass timings (the `Session` pipeline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageStats {
+    /// Total event count across all thread graphs before optimization.
+    pub events_before: usize,
+    /// Total event count after optimization.
+    pub events_after: usize,
+    /// Wall-clock spent building + optimizing event graphs.
+    pub optimize: std::time::Duration,
+    /// Wall-clock spent lowering to RTL.
+    pub lower: std::time::Duration,
+}
+
+/// The one orchestration of the codegen back half — extern preflight,
+/// dependency ordering, IR build + optimization, lowering — with per-stage
+/// measurements. [`compile_program`] is this with the stats discarded;
+/// the driver's pass manager is this with the stats folded into its
+/// `PassStats`.
+///
+/// # Errors
+///
+/// See [`compile_program`].
+pub fn compile_program_staged(
+    program: &Program,
+    externs: &ModuleLibrary,
+    opts: CodegenOptions,
+) -> Result<(ModuleLibrary, StageStats), CodegenError> {
+    let mut stats = StageStats::default();
+    check_externs(program, externs)?;
+    let order = proc_order(program, externs)?;
+
+    // Build (and optionally optimize) every process's thread IRs first,
+    // so optimization time is attributable separately from lowering.
+    let t = std::time::Instant::now();
+    let mut irs_by_proc: Vec<(&str, Vec<ThreadIr>)> = Vec::with_capacity(order.len());
+    for name in order {
+        let mut irs = build_ir(program, name)?;
+        stats.events_before += irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
+        if opts.optimize {
+            irs = irs
+                .iter()
+                .map(|ir| optimize(ir, OptConfig::default()).0)
+                .collect();
+        }
+        stats.events_after += irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
+        irs_by_proc.push((name, irs));
+    }
+    stats.optimize = t.elapsed();
+
+    // Lower children before parents against the growing library.
+    let t = std::time::Instant::now();
+    let mut lib = ModuleLibrary::new();
+    for m in externs.iter() {
+        lib.add(m.clone());
+    }
+    for (name, irs) in &irs_by_proc {
+        let m = lower_proc(program, name, irs, &lib, opts)?;
+        lib.add(m);
+    }
+    stats.lower = t.elapsed();
+    Ok((lib, stats))
+}
+
+/// Verifies every declared `extern fn` has an RTL implementation in the
+/// provided library — the preflight both [`compile_program`] and the
+/// driver's pass pipeline run before lowering.
+///
+/// # Errors
+///
+/// [`CodegenError::MissingExtern`] for the first unimplemented extern.
+pub fn check_externs(program: &Program, externs: &ModuleLibrary) -> Result<(), CodegenError> {
     for e in &program.externs {
         if externs.get(&e.name).is_none() {
             return Err(CodegenError::MissingExtern {
@@ -141,10 +217,23 @@ pub fn compile_program(
             });
         }
     }
-    let mut lib = ModuleLibrary::new();
-    for m in externs.iter() {
-        lib.add(m.clone());
-    }
+    Ok(())
+}
+
+/// Orders processes children-before-parents so every `spawn` can be
+/// resolved against the already-compiled library (externs count as
+/// available from the start).
+///
+/// # Errors
+///
+/// Fails on spawn cycles or spawns of unknown processes.
+pub fn proc_order<'a>(
+    program: &'a Program,
+    externs: &ModuleLibrary,
+) -> Result<Vec<&'a str>, CodegenError> {
+    let mut done: std::collections::HashSet<&str> =
+        externs.iter().map(|m| m.name.as_str()).collect();
+    let mut order = Vec::new();
     // Children before parents so validation can resolve instances.
     let mut pending: Vec<&str> = program.procs.iter().map(|p| p.name.as_str()).collect();
     while !pending.is_empty() {
@@ -152,10 +241,13 @@ pub fn compile_program(
         let mut next_round = Vec::new();
         for name in pending {
             let proc = program.proc(name).expect("listed proc exists");
-            let ready = proc.spawns.iter().all(|s| lib.get(&s.proc_name).is_some());
+            let ready = proc
+                .spawns
+                .iter()
+                .all(|sp| done.contains(sp.proc_name.as_str()));
             if ready {
-                let m = compile_proc(program, name, &lib, opts)?;
-                lib.add(m);
+                done.insert(name);
+                order.push(name);
                 progressed = true;
             } else {
                 next_round.push(name);
@@ -168,7 +260,23 @@ pub fn compile_program(
         }
         pending = next_round;
     }
-    Ok(lib)
+    Ok(order)
+}
+
+/// Builds the single-iteration (codegen) thread IRs for one process,
+/// without optimizing or lowering them — the pass-manager entry point
+/// that lets the driver time elaboration, optimization, and lowering
+/// separately.
+///
+/// # Errors
+///
+/// Fails on elaboration errors or unknown processes.
+pub fn build_ir(program: &Program, proc_name: &str) -> Result<Vec<ThreadIr>, CodegenError> {
+    let proc = program
+        .proc(proc_name)
+        .ok_or_else(|| CodegenError::BadSpawn(format!("unknown process `{proc_name}`")))?;
+    let ctx = BuildCtx { program, proc };
+    Ok(build_proc(&ctx, 1)?)
 }
 
 /// Compiles one process into an RTL module, resolving spawned children and
@@ -183,17 +291,32 @@ pub fn compile_proc(
     lib: &ModuleLibrary,
     opts: CodegenOptions,
 ) -> Result<Module, CodegenError> {
-    let proc = program
-        .proc(proc_name)
-        .ok_or_else(|| CodegenError::BadSpawn(format!("unknown process `{proc_name}`")))?;
-    let ctx = BuildCtx { program, proc };
-    let mut irs = build_proc(&ctx, 1)?;
+    let mut irs = build_ir(program, proc_name)?;
     if opts.optimize {
         irs = irs
             .iter()
             .map(|ir| optimize(ir, OptConfig::default()).0)
             .collect();
     }
+    lower_proc(program, proc_name, &irs, lib, opts)
+}
+
+/// Lowers pre-built (and possibly pre-optimized) thread IRs for one
+/// process into an RTL module.
+///
+/// # Errors
+///
+/// See [`compile_program`].
+pub fn lower_proc(
+    program: &Program,
+    proc_name: &str,
+    irs: &[ThreadIr],
+    lib: &ModuleLibrary,
+    opts: CodegenOptions,
+) -> Result<Module, CodegenError> {
+    let proc = program
+        .proc(proc_name)
+        .ok_or_else(|| CodegenError::BadSpawn(format!("unknown process `{proc_name}`")))?;
 
     let mut m = Module::new(proc_name);
     let mut gen = Gen {
@@ -228,14 +351,16 @@ struct Gen<'a> {
     program: &'a Program,
     m: &'a mut Module,
     opts: CodegenOptions,
-    regs: HashMap<String, SignalId>,
-    arrays: HashMap<String, anvil_rtl::ArrayId>,
+    regs: HashMap<Symbol, SignalId>,
+    arrays: HashMap<Symbol, anvil_rtl::ArrayId>,
     /// Wires for each endpoint's messages, keyed by `(endpoint, message)`.
-    msg_wires: HashMap<(String, String), MsgWires>,
+    msg_wires: HashMap<(Symbol, Symbol), MsgWires>,
     /// Send activity per message: `(active, data)` pairs to aggregate.
-    send_drives: BTreeMap<(String, String), Vec<(Expr, Expr)>>,
+    /// `Symbol` ordering compares resolved strings, so iteration (and
+    /// therefore emission) order is independent of interning order.
+    send_drives: BTreeMap<(Symbol, Symbol), Vec<(Expr, Expr)>>,
     /// Receive activity per message: `active` terms to aggregate into ack.
-    recv_drives: BTreeMap<(String, String), Vec<Expr>>,
+    recv_drives: BTreeMap<(Symbol, Symbol), Vec<Expr>>,
     /// Wires driven by child instances (no tie-off needed).
     child_driven: Vec<SignalId>,
     extern_count: usize,
@@ -254,12 +379,12 @@ impl<'a> Gen<'a> {
                         .map(|v| vec![Bits::from_u64(v, r.width)])
                         .unwrap_or_default();
                     let a = self.m.array_init(&r.name, r.width, depth, init);
-                    self.arrays.insert(r.name.clone(), a);
+                    self.arrays.insert(Symbol::intern(&r.name), a);
                 }
                 None => {
                     let init = Bits::from_u64(r.init.unwrap_or(0), r.width);
                     let s = self.m.reg_init(&r.name, init);
-                    self.regs.insert(r.name.clone(), s);
+                    self.regs.insert(Symbol::intern(&r.name), s);
                 }
             }
         }
@@ -273,10 +398,8 @@ impl<'a> Gen<'a> {
             })?;
             for msg in &chan.messages {
                 let we_send = sender_side(msg.dir) == p.side;
-                let has_valid =
-                    self.opts.force_dynamic_handshake || is_dynamic(sender_mode(msg));
-                let has_ack =
-                    self.opts.force_dynamic_handshake || is_dynamic(receiver_mode(msg));
+                let has_valid = self.opts.force_dynamic_handshake || is_dynamic(sender_mode(msg));
+                let has_ack = self.opts.force_dynamic_handshake || is_dynamic(receiver_mode(msg));
                 let base = format!("{}_{}", p.name, msg.name);
                 let data = Some(if we_send {
                     self.m.output(format!("{base}_data"), msg.width)
@@ -298,7 +421,7 @@ impl<'a> Gen<'a> {
                     }
                 });
                 self.msg_wires.insert(
-                    (p.name.clone(), msg.name.clone()),
+                    (Symbol::intern(&p.name), Symbol::intern(&msg.name)),
                     MsgWires {
                         data,
                         valid,
@@ -313,26 +436,21 @@ impl<'a> Gen<'a> {
 
     /// Creates internal wires for locally instantiated channels; both
     /// endpoint names map to the same wires.
-    fn declare_local_channels(
-        &mut self,
-        proc: &anvil_syntax::ProcDef,
-    ) -> Result<(), CodegenError> {
+    fn declare_local_channels(&mut self, proc: &anvil_syntax::ProcDef) -> Result<(), CodegenError> {
         for c in &proc.chans {
             let chan = self.program.chan(&c.chan).ok_or_else(|| {
                 CodegenError::BadSpawn(format!("unknown channel type `{}`", c.chan))
             })?;
             for msg in &chan.messages {
-                let has_valid =
-                    self.opts.force_dynamic_handshake || is_dynamic(sender_mode(msg));
-                let has_ack =
-                    self.opts.force_dynamic_handshake || is_dynamic(receiver_mode(msg));
+                let has_valid = self.opts.force_dynamic_handshake || is_dynamic(sender_mode(msg));
+                let has_ack = self.opts.force_dynamic_handshake || is_dynamic(receiver_mode(msg));
                 let base = format!("{}_{}_{}", c.left, c.right, msg.name);
                 let data = Some(self.m.wire(format!("{base}_data"), msg.width));
                 let valid = has_valid.then(|| self.m.wire(format!("{base}_valid"), 1));
                 let ack = has_ack.then(|| self.m.wire(format!("{base}_ack"), 1));
                 for (ep, side) in [(&c.left, Dir::Left), (&c.right, Dir::Right)] {
                     self.msg_wires.insert(
-                        (ep.clone(), msg.name.clone()),
+                        (Symbol::intern(ep), Symbol::intern(&msg.name)),
                         MsgWires {
                             data,
                             valid,
@@ -365,7 +483,9 @@ impl<'a> Gen<'a> {
                     CodegenError::BadSpawn(format!("unknown channel `{}`", param.chan))
                 })?;
                 for msg in &chan.messages {
-                    let Some(w) = self.msg_wires.get(&(arg.clone(), msg.name.clone()))
+                    let Some(w) = self
+                        .msg_wires
+                        .get(&(Symbol::intern(arg), Symbol::intern(&msg.name)))
                     else {
                         return Err(CodegenError::BadSpawn(format!(
                             "endpoint `{arg}` passed to `{}` is not declared",
@@ -479,10 +599,7 @@ impl<'a> Gen<'a> {
                     }
                 }
                 EventKind::Sync {
-                    pred,
-                    msg,
-                    is_send,
-                    ..
+                    pred, msg, is_send, ..
                 } => {
                     let w = self.wires_for(msg);
                     let pending = self.m.reg(format!("t{tid}_e{i}_pend"), 1);
@@ -500,7 +617,7 @@ impl<'a> Gen<'a> {
                     sync_active.insert(i, active.clone());
                     if !*is_send {
                         self.recv_drives
-                            .entry((msg.ep.clone(), msg.msg.clone()))
+                            .entry((msg.ep, msg.msg))
                             .or_default()
                             .push(active);
                     }
@@ -555,12 +672,12 @@ impl<'a> Gen<'a> {
                     let v = self.val_with_conds(value, &cond_sel);
                     match index {
                         Some(idx) => {
-                            let a = self.arrays[reg.as_str()];
+                            let a = self.arrays[reg];
                             let idx_e = self.val_with_conds(idx, &cond_sel);
                             self.m.array_write(a, trigger, idx_e, v);
                         }
                         None => {
-                            let r = self.regs[reg.as_str()];
+                            let r = self.regs[reg];
                             self.m.update_when(r, trigger, v);
                         }
                     }
@@ -572,7 +689,7 @@ impl<'a> Gen<'a> {
                         .unwrap_or_else(|| Expr::Signal(reached[done.0]));
                     let data = self.val_with_conds(value, &cond_sel);
                     self.send_drives
-                        .entry((msg.ep.clone(), msg.msg.clone()))
+                        .entry((msg.ep, msg.msg))
                         .or_default()
                         .push((active, data));
                 }
@@ -588,7 +705,7 @@ impl<'a> Gen<'a> {
 
     fn wires_for(&self, msg: &MsgRef) -> MsgWires {
         self.msg_wires
-            .get(&(msg.ep.clone(), msg.msg.clone()))
+            .get(&(msg.ep, msg.msg))
             .copied()
             .expect("message wires declared during endpoint setup")
     }
@@ -601,7 +718,7 @@ impl<'a> Gen<'a> {
         let mut driven: Vec<SignalId> = self.child_driven.clone();
 
         for ((ep, msg), drives) in send_drives {
-            let w = self.msg_wires[&(ep.clone(), msg.clone())];
+            let w = self.msg_wires[&(ep, msg)];
             if let Some(v) = w.valid {
                 let any = drives
                     .iter()
@@ -622,7 +739,7 @@ impl<'a> Gen<'a> {
             }
         }
         for ((ep, msg), actives) in recv_drives {
-            let w = self.msg_wires[&(ep.clone(), msg.clone())];
+            let w = self.msg_wires[&(ep, msg)];
             if let Some(a) = w.ack {
                 let any = actives
                     .into_iter()
@@ -657,10 +774,10 @@ impl<'a> Gen<'a> {
             Val::Unit => Expr::bit(false),
             Val::RegRead { reg, index } => match index {
                 Some(i) => Expr::ArrayRead {
-                    array: self.arrays[reg.as_str()],
+                    array: self.arrays[reg],
                     index: Box::new(self.val_with_conds(i, cond_sel)),
                 },
-                None => Expr::Signal(self.regs[reg.as_str()]),
+                None => Expr::Signal(self.regs[reg]),
             },
             Val::MsgData { msg, .. } => {
                 let w = self.wires_for(msg);
@@ -711,7 +828,7 @@ impl<'a> Gen<'a> {
             Val::ExternCall { func, args } => {
                 let f = self
                     .program
-                    .extern_fn(func)
+                    .extern_fn(func.as_str())
                     .expect("extern checked during build");
                 let lowered: Vec<Expr> = args
                     .iter()
@@ -731,7 +848,8 @@ impl<'a> Gen<'a> {
                 }
                 let out = self.m.wire(format!("x{idx}_{func}_out"), f.ret_width);
                 conns.push(("out".to_string(), out));
-                self.m.instance(format!("x{idx}_{func}"), func, conns);
+                self.m
+                    .instance(format!("x{idx}_{func}"), func.as_str(), conns);
                 self.child_driven.push(out);
                 self.extern_cache.insert(key, out);
                 Expr::Signal(out)
@@ -810,25 +928,18 @@ mod tests {
 
     fn compile(src: &str, top: &str) -> Module {
         let prog = parse(src).unwrap();
-        let lib =
-            compile_program(&prog, &ModuleLibrary::new(), CodegenOptions::default()).unwrap();
+        let lib = compile_program(&prog, &ModuleLibrary::new(), CodegenOptions::default()).unwrap();
         lib.get(top).unwrap().clone()
     }
 
     fn compile_flat(src: &str, top: &str) -> Module {
         let prog = parse(src).unwrap();
-        let lib =
-            compile_program(&prog, &ModuleLibrary::new(), CodegenOptions::default()).unwrap();
+        let lib = compile_program(&prog, &ModuleLibrary::new(), CodegenOptions::default()).unwrap();
         anvil_rtl::elaborate(top, &lib).unwrap()
     }
 
     /// Runs sender/receiver BFMs against a compiled module for `cycles`.
-    fn run_bfms(
-        sim: &mut Sim,
-        sender: &mut SenderBfm,
-        recv: &mut ReceiverBfm,
-        cycles: u64,
-    ) {
+    fn run_bfms(sim: &mut Sim, sender: &mut SenderBfm, recv: &mut ReceiverBfm, cycles: u64) {
         for _ in 0..cycles {
             sender.drive(sim).unwrap();
             recv.drive(sim).unwrap();
@@ -868,8 +979,8 @@ mod tests {
              proc p(ep : left c) { loop { let x = recv ep.m >> x } }",
         )
         .unwrap();
-        let err = compile_program(&prog, &ModuleLibrary::new(), CodegenOptions::default())
-            .unwrap_err();
+        let err =
+            compile_program(&prog, &ModuleLibrary::new(), CodegenOptions::default()).unwrap_err();
         assert!(matches!(err, CodegenError::UnregisteredLoop { .. }));
     }
 

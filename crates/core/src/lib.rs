@@ -1,13 +1,29 @@
 //! The Anvil compiler driver: the paper's primary contribution as one
 //! pipeline.
 //!
-//! [`Compiler`] strings together the stages implemented across the
-//! workspace — parse ([`anvil_syntax`]), event-graph elaboration
-//! ([`anvil_ir`]), static timing-safety checking ([`anvil_typeck`]),
-//! event-graph optimization (§6.1), and RTL / SystemVerilog generation
-//! ([`anvil_codegen`], [`anvil_rtl`]) — behind a single call, exactly the
-//! flow of the paper's Fig. 3 (bottom): type errors are reported at
-//! compile time, and only timing-safe designs reach RTL.
+//! The compiler is organised as a [`Session`] plus a pass manager. A
+//! session owns everything shared across compilations — code-generation
+//! options and the extern [`ModuleLibrary`] — and is immutable while
+//! compiling, so it can be shared read-only across threads. Each
+//! compilation runs the explicit pass sequence of the paper's Fig. 3
+//! (bottom):
+//!
+//! 1. **parse** ([`anvil_syntax`]),
+//! 2. **check** — event-graph elaboration + static timing-safety
+//!    ([`anvil_ir`], [`anvil_typeck`]),
+//! 3. **optimize** — event-graph reduction (§6.1),
+//! 4. **codegen** — FSM generation ([`anvil_codegen`]),
+//! 5. **emit** — SystemVerilog ([`anvil_rtl`]).
+//!
+//! Per-stage wall-clock timings are recorded in [`PassStats`] on every
+//! [`CompileOutput`]. Type errors are reported at compile time, and only
+//! timing-safe designs reach RTL.
+//!
+//! [`Compiler`] is the ergonomic front door over a session; its
+//! [`Compiler::compile_batch`] fans a set of independent designs out
+//! across scoped worker threads sharing one session — the IR is interned
+//! and `Send + Sync`, so batch output is byte-identical to sequential
+//! compilation.
 //!
 //! # Examples
 //!
@@ -23,19 +39,67 @@
 //!          }",
 //!     )?;
 //! assert!(out.systemverilog.contains("module blink"));
+//! assert!(out.stats.total() > std::time::Duration::ZERO);
 //! # Ok::<(), anvil_core::CompileError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use anvil_codegen::{compile_program, CodegenError, CodegenOptions};
+use anvil_codegen::{compile_program_staged, CodegenError, CodegenOptions};
+use anvil_intern::Symbol;
 use anvil_rtl::ModuleLibrary;
-use anvil_syntax::{parse, ParseError, Program};
+use anvil_syntax::{parse, ParseError, Program, Span};
 use anvil_typeck::{check_program, ProcReport, TypeError};
 
 pub use anvil_codegen::CodegenOptions as Options;
+
+/// Wall-clock timings (and event-graph size effects) per compiler pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassStats {
+    /// Lexing + parsing.
+    pub parse: Duration,
+    /// Elaboration + timing-safety checking (two-iteration unroll).
+    pub check: Duration,
+    /// Event-graph optimization (§6.1) over the codegen IR.
+    pub optimize: Duration,
+    /// FSM generation / RTL lowering.
+    pub codegen: Duration,
+    /// SystemVerilog emission.
+    pub emit: Duration,
+    /// Total event count before optimization, across all threads.
+    pub events_before: usize,
+    /// Total event count after optimization.
+    pub events_after: usize,
+}
+
+impl PassStats {
+    /// Sum of all pass timings.
+    pub fn total(&self) -> Duration {
+        self.parse + self.check + self.optimize + self.codegen + self.emit
+    }
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse {:?} | check {:?} | optimize {:?} ({} -> {} events) | codegen {:?} | emit {:?}",
+            self.parse,
+            self.check,
+            self.optimize,
+            self.events_before,
+            self.events_after,
+            self.codegen,
+            self.emit
+        )
+    }
+}
 
 /// Everything the compiler produces for a program.
 #[derive(Clone, Debug)]
@@ -43,12 +107,40 @@ pub struct CompileOutput {
     /// The parsed program.
     pub program: Program,
     /// Per-process type-check reports (loans; no errors if compilation
-    /// succeeded).
-    pub reports: std::collections::BTreeMap<String, ProcReport>,
+    /// succeeded), keyed by interned process name.
+    pub reports: BTreeMap<Symbol, ProcReport>,
     /// One RTL module per process (plus any extern modules supplied).
     pub modules: ModuleLibrary,
     /// The emitted SystemVerilog for the whole library.
     pub systemverilog: String,
+    /// Per-pass wall-clock timings for this compilation.
+    pub stats: PassStats,
+}
+
+impl CompileOutput {
+    /// The type-check report for one process, by name.
+    pub fn report(&self, proc: &str) -> Option<&ProcReport> {
+        // Non-interning lookup: probing with unknown names must not grow
+        // the global symbol table.
+        self.reports.get(&Symbol::lookup(proc)?)
+    }
+}
+
+/// A code-generation diagnostic with an optional source location.
+#[derive(Clone, Debug)]
+pub struct CodegenDiag {
+    /// Description of the failure.
+    pub message: String,
+    /// The offending definition, when attributable (e.g. the process with
+    /// an unregistered loop, or the `extern fn` declaration missing an
+    /// implementation).
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for CodegenDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
 }
 
 /// A failure in any compiler stage.
@@ -61,7 +153,7 @@ pub enum CompileError {
     /// The program is not timing-safe; all violations are listed.
     TimingUnsafe(Vec<TypeError>),
     /// RTL generation failed.
-    Codegen(String),
+    Codegen(CodegenDiag),
 }
 
 impl fmt::Display for CompileError {
@@ -103,16 +195,231 @@ impl CompileError {
                 .map(|e| e.render(source))
                 .collect::<Vec<_>>()
                 .join("\n"),
-            CompileError::Codegen(e) => e.clone(),
+            CompileError::Codegen(d) => match d.span {
+                Some(span) => {
+                    let (line, col) = span.line_col(source);
+                    format!("{line}:{col}: {}", d.message)
+                }
+                None => d.message.clone(),
+            },
         }
     }
 }
 
-/// The Anvil compiler (non-consuming builder).
+/// Locates the definition a codegen failure refers to, so the diagnostic
+/// carries a source span like parse/elaboration errors do.
+fn codegen_error(program: &Program, e: CodegenError) -> CompileError {
+    match e {
+        CodegenError::Ir(ir) => CompileError::Elaborate(ir),
+        CodegenError::UnregisteredLoop { ref proc } => {
+            let span = program.proc(proc).map(|p| p.span);
+            CompileError::Codegen(CodegenDiag {
+                message: e.to_string(),
+                span,
+            })
+        }
+        CodegenError::MissingExtern { ref func } => {
+            let span = program
+                .externs
+                .iter()
+                .find(|x| &x.name == func)
+                .map(|x| x.span);
+            CompileError::Codegen(CodegenDiag {
+                message: e.to_string(),
+                span,
+            })
+        }
+        other => CompileError::Codegen(CodegenDiag {
+            message: other.to_string(),
+            span: None,
+        }),
+    }
+}
+
+/// Shared compiler state: options and the extern module library.
+///
+/// A session is immutable during compilation and `Send + Sync`; one
+/// session can serve any number of concurrent [`Session::compile`] calls
+/// (that is exactly what [`Compiler::compile_batch`] does).
 #[derive(Debug, Default)]
-pub struct Compiler {
+pub struct Session {
     options: CodegenOptions,
     externs: ModuleLibrary,
+}
+
+/// Sessions are shared read-only across batch-compile workers; outputs
+/// travel back across thread boundaries.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<ModuleLibrary>();
+    assert_send::<CompileOutput>();
+    assert_send::<CompileError>();
+};
+
+impl Session {
+    /// A session with default options (optimizations on) and no externs.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Overrides code-generation options.
+    pub fn set_options(&mut self, options: CodegenOptions) -> &mut Session {
+        self.options = options;
+        self
+    }
+
+    /// The session's code-generation options.
+    pub fn options(&self) -> CodegenOptions {
+        self.options
+    }
+
+    /// Registers an RTL implementation for an `extern fn` (module ports:
+    /// `in0..inN`, `out`).
+    pub fn add_extern(&mut self, module: anvil_rtl::Module) -> &mut Session {
+        self.externs.add(module);
+        self
+    }
+
+    /// The extern module library.
+    pub fn externs(&self) -> &ModuleLibrary {
+        &self.externs
+    }
+
+    /// Pass 1: lexing and parsing.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lex/parse errors.
+    pub fn parse(&self, source: &str) -> Result<Program, CompileError> {
+        Ok(parse(source)?)
+    }
+
+    /// Passes 1–2: parse, elaborate, and type-check (the fast path of the
+    /// paper's feedback loop); returns reports containing any violations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse or elaboration errors; timing violations are inside
+    /// the reports.
+    pub fn check(
+        &self,
+        source: &str,
+    ) -> Result<(Program, BTreeMap<Symbol, ProcReport>), CompileError> {
+        let program = self.parse(source)?;
+        let reports = check_program(&program).map_err(CompileError::Elaborate)?;
+        Ok((program, reports))
+    }
+
+    /// Runs the full pass pipeline: parse, check, optimize, codegen, emit.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any pass fails; timing-unsafe programs yield
+    /// [`CompileError::TimingUnsafe`] with every violation.
+    pub fn compile(&self, source: &str) -> Result<CompileOutput, CompileError> {
+        let mut stats = PassStats::default();
+
+        // ---- Pass 1: parse. ----
+        let t = Instant::now();
+        let program = self.parse(source)?;
+        stats.parse = t.elapsed();
+
+        // ---- Pass 2: check. ----
+        let t = Instant::now();
+        let reports = check_program(&program).map_err(CompileError::Elaborate)?;
+        let errors: Vec<TypeError> = reports
+            .values()
+            .flat_map(|r| r.errors().into_iter().cloned())
+            .collect();
+        if !errors.is_empty() {
+            return Err(CompileError::TimingUnsafe(errors));
+        }
+        stats.check = t.elapsed();
+
+        // ---- Passes 3–4: optimize + codegen (one orchestration, shared
+        // with `anvil_codegen::compile_program`). ----
+        let (modules, stage) = compile_program_staged(&program, &self.externs, self.options)
+            .map_err(|e| codegen_error(&program, e))?;
+        stats.events_before = stage.events_before;
+        stats.events_after = stage.events_after;
+        stats.optimize = stage.optimize;
+        stats.codegen = stage.lower;
+
+        // ---- Pass 5: emit. ----
+        let t = Instant::now();
+        let systemverilog = anvil_rtl::emit_library(&modules);
+        stats.emit = t.elapsed();
+
+        Ok(CompileOutput {
+            program,
+            reports,
+            modules,
+            systemverilog,
+            stats,
+        })
+    }
+
+    /// Compiles many independent designs in parallel, sharing this session
+    /// read-only across `std::thread::scope` workers.
+    ///
+    /// Results come back in input order, and each is byte-identical to
+    /// what a sequential [`Session::compile`] of the same source produces:
+    /// the IR is interned and immutable during lowering, and every
+    /// order-sensitive container sorts by resolved names rather than by
+    /// interning order.
+    pub fn compile_batch(&self, sources: &[&str]) -> Vec<Result<CompileOutput, CompileError>> {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.compile_batch_with_workers(sources, workers)
+    }
+
+    /// [`Session::compile_batch`] with an explicit worker count (tests and
+    /// benchmarks pin this; `compile_batch` uses one worker per core).
+    pub fn compile_batch_with_workers(
+        &self,
+        sources: &[&str],
+        workers: usize,
+    ) -> Vec<Result<CompileOutput, CompileError>> {
+        let n = sources.len();
+        let workers = workers.min(n);
+        if n <= 1 || workers <= 1 {
+            // Nothing to fan out (or nowhere to fan out to): compile
+            // inline, skipping thread setup.
+            return sources.iter().map(|s| self.compile(s)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<CompileOutput, CompileError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.compile(sources[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+}
+
+/// The Anvil compiler (non-consuming builder over a [`Session`]).
+#[derive(Debug, Default)]
+pub struct Compiler {
+    session: Session,
 }
 
 impl Compiler {
@@ -121,9 +428,14 @@ impl Compiler {
         Self::default()
     }
 
+    /// The underlying session (shared state for batch compilation).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// Overrides code-generation options.
     pub fn options(&mut self, options: CodegenOptions) -> &mut Self {
-        self.options = options;
+        self.session.set_options(options);
         self
     }
 
@@ -131,7 +443,7 @@ impl Compiler {
     /// `in0..inN`, `out`), mirroring the paper's integration of foreign
     /// SystemVerilog IP like the OpenTitan S-box.
     pub fn with_extern(&mut self, module: anvil_rtl::Module) -> &mut Self {
-        self.externs.add(module);
+        self.session.add_extern(module);
         self
     }
 
@@ -145,10 +457,8 @@ impl Compiler {
     pub fn check(
         &self,
         source: &str,
-    ) -> Result<(Program, std::collections::BTreeMap<String, ProcReport>), CompileError> {
-        let program = parse(source)?;
-        let reports = check_program(&program).map_err(CompileError::Elaborate)?;
-        Ok((program, reports))
+    ) -> Result<(Program, BTreeMap<Symbol, ProcReport>), CompileError> {
+        self.session.check(source)
     }
 
     /// Runs the full pipeline: parse, type check, optimize, generate RTL
@@ -159,26 +469,23 @@ impl Compiler {
     /// Fails if any stage fails; timing-unsafe programs yield
     /// [`CompileError::TimingUnsafe`] with every violation.
     pub fn compile(&self, source: &str) -> Result<CompileOutput, CompileError> {
-        let (program, reports) = self.check(source)?;
-        let errors: Vec<TypeError> = reports
-            .values()
-            .flat_map(|r| r.errors().into_iter().cloned())
-            .collect();
-        if !errors.is_empty() {
-            return Err(CompileError::TimingUnsafe(errors));
-        }
-        let modules =
-            compile_program(&program, &self.externs, self.options).map_err(|e| match e {
-                CodegenError::Ir(ir) => CompileError::Elaborate(ir),
-                other => CompileError::Codegen(other.to_string()),
-            })?;
-        let systemverilog = anvil_rtl::emit_library(&modules);
-        Ok(CompileOutput {
-            program,
-            reports,
-            modules,
-            systemverilog,
-        })
+        self.session.compile(source)
+    }
+
+    /// Compiles many independent designs in parallel on scoped worker
+    /// threads sharing this compiler's session read-only. Results are in
+    /// input order and byte-identical to sequential compilation.
+    pub fn compile_batch(&self, sources: &[&str]) -> Vec<Result<CompileOutput, CompileError>> {
+        self.session.compile_batch(sources)
+    }
+
+    /// [`Compiler::compile_batch`] with an explicit worker count.
+    pub fn compile_batch_with_workers(
+        &self,
+        sources: &[&str],
+        workers: usize,
+    ) -> Vec<Result<CompileOutput, CompileError>> {
+        self.session.compile_batch_with_workers(sources, workers)
     }
 
     /// Compiles and flattens one process for simulation.
@@ -187,14 +494,14 @@ impl Compiler {
     ///
     /// As [`Compiler::compile`], plus elaboration failures while
     /// flattening.
-    pub fn compile_flat(
-        &self,
-        source: &str,
-        top: &str,
-    ) -> Result<anvil_rtl::Module, CompileError> {
+    pub fn compile_flat(&self, source: &str, top: &str) -> Result<anvil_rtl::Module, CompileError> {
         let out = self.compile(source)?;
-        anvil_rtl::elaborate(top, &out.modules)
-            .map_err(|e| CompileError::Codegen(e.to_string()))
+        anvil_rtl::elaborate(top, &out.modules).map_err(|e| {
+            CompileError::Codegen(CodegenDiag {
+                message: e.to_string(),
+                span: None,
+            })
+        })
     }
 }
 
@@ -215,7 +522,22 @@ mod tests {
             .unwrap();
         assert!(out.systemverilog.contains("module blink"));
         assert!(out.modules.get("blink").is_some());
-        assert!(out.reports["blink"].is_safe());
+        assert!(out.report("blink").unwrap().is_safe());
+    }
+
+    #[test]
+    fn pass_stats_are_recorded() {
+        let out = Compiler::new()
+            .compile("proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }")
+            .unwrap();
+        assert!(out.stats.total() > Duration::ZERO);
+        assert!(out.stats.events_before >= out.stats.events_after);
+        assert!(out.stats.events_after > 0);
+        // The display form names every pass.
+        let line = out.stats.to_string();
+        for pass in ["parse", "check", "optimize", "codegen", "emit"] {
+            assert!(line.contains(pass), "{line}");
+        }
     }
 
     #[test]
@@ -252,11 +574,41 @@ mod tests {
     }
 
     #[test]
+    fn codegen_errors_carry_spans() {
+        // An unregistered loop is a codegen-stage failure; the diagnostic
+        // should point at the offending process definition.
+        let src = "chan c { left m : (logic[8]@#1) }
+proc p(ep : left c) { loop { let x = recv ep.m >> x } }";
+        let err = Compiler::new().compile(src).unwrap_err();
+        let CompileError::Codegen(diag) = &err else {
+            panic!("expected codegen error, got {err}");
+        };
+        assert!(diag.span.is_some(), "span missing: {diag:?}");
+        let rendered = err.render(src);
+        assert!(
+            rendered.starts_with("2:"),
+            "diagnostic not located on line 2: {rendered}"
+        );
+    }
+
+    #[test]
+    fn missing_extern_diagnostic_points_at_declaration() {
+        let src = "extern fn nope(logic[8]) -> logic[8];
+proc p() { reg r : logic[8]; loop { set r := nope(*r) >> cycle 1 } }";
+        let err = Compiler::new().compile(src).unwrap_err();
+        let CompileError::Codegen(diag) = &err else {
+            panic!("expected codegen error, got {err}");
+        };
+        assert!(diag.span.is_some());
+        assert!(err.render(src).starts_with("1:"), "{}", err.render(src));
+    }
+
+    #[test]
     fn check_is_side_effect_free() {
         let (_prog, reports) = Compiler::new()
             .check("proc p() { reg r : logic; loop { set r := ~*r >> cycle 1 } }")
             .unwrap();
-        assert!(reports["p"].is_safe());
+        assert!(reports[&Symbol::intern("p")].is_safe());
     }
 
     #[test]
@@ -271,5 +623,38 @@ mod tests {
         sim.run(8).unwrap();
         // One increment per 2-cycle iteration.
         assert_eq!(sim.peek("c").unwrap().to_u64(), 4);
+    }
+
+    #[test]
+    fn batch_results_in_input_order_with_errors_preserved() {
+        let good = "proc a() { reg r : logic[4]; loop { set r := *r + 1 >> cycle 1 } }";
+        let bad = "proc b() { loop { ??? } }";
+        let out = Compiler::new().compile_batch_with_workers(&[good, bad, good], 2);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(CompileError::Parse(_))));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn batch_matches_sequential_byte_for_byte() {
+        let sources = [
+            "proc a() { reg r : logic[4]; loop { set r := *r + 1 >> cycle 1 } }",
+            "chan ch { right v : (logic[8]@#1) }
+             proc b(ep : left ch) {
+                reg c : logic[8];
+                loop { send ep.v (*c) >> set c := *c + 2 >> cycle 1 }
+             }",
+            "proc c() { reg x : logic; loop { set x := ~*x >> cycle 2 } }",
+        ];
+        let compiler = Compiler::new();
+        let sequential: Vec<String> = sources
+            .iter()
+            .map(|s| compiler.compile(s).unwrap().systemverilog)
+            .collect();
+        let batch = compiler.compile_batch_with_workers(&sources, 3);
+        for (seq, par) in sequential.iter().zip(&batch) {
+            assert_eq!(seq, &par.as_ref().unwrap().systemverilog);
+        }
     }
 }

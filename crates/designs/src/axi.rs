@@ -156,7 +156,9 @@ pub fn demux_baseline() -> Module {
         m.assign(*rq_v, Expr::Signal(fwd).and(this.clone()));
         fwd_done = fwd_done.or(Expr::Signal(fwd).and(this.clone()).and(Expr::Signal(*rq_a)));
         m.assign(*rs_a, Expr::Signal(wait).and(this.clone()));
-        res_here = res_here.or(Expr::Signal(wait).and(this.clone()).and(Expr::Signal(*rs_v)));
+        res_here = res_here.or(Expr::Signal(wait)
+            .and(this.clone())
+            .and(Expr::Signal(*rs_v)));
         res_data_mux = Expr::mux(this, Expr::Signal(*rs_d), res_data_mux);
     }
     let fwd_done = m.wire_from("fwd_done", fwd_done);
@@ -165,10 +167,7 @@ pub fn demux_baseline() -> Module {
 
     m.assign(mres_v, Expr::Signal(resp));
     m.assign(mres_d, Expr::Signal(hold));
-    let responded = m.wire_from(
-        "responded",
-        Expr::Signal(resp).and(Expr::Signal(mres_a)),
-    );
+    let responded = m.wire_from("responded", Expr::Signal(resp).and(Expr::Signal(mres_a)));
 
     let next = Expr::mux(
         Expr::Signal(take),
@@ -232,14 +231,8 @@ pub fn mux_baseline() -> Module {
         "pick1",
         Expr::Signal(m1.1).and(Expr::Signal(pick0).logic_not()),
     );
-    m.assign(
-        m0.2,
-        Expr::Signal(idle).and(Expr::Signal(pick0)),
-    );
-    m.assign(
-        m1.2,
-        Expr::Signal(idle).and(Expr::Signal(pick1)),
-    );
+    m.assign(m0.2, Expr::Signal(idle).and(Expr::Signal(pick0)));
+    m.assign(m1.2, Expr::Signal(idle).and(Expr::Signal(pick1)));
     let take = m.wire_from(
         "take",
         Expr::Signal(idle).and(Expr::Signal(pick0).or(Expr::Signal(pick1))),
@@ -256,29 +249,21 @@ pub fn mux_baseline() -> Module {
     m.assign(sreq_d, Expr::Signal(rq_q));
     let fwd_done = m.wire_from("fwd_done", Expr::Signal(fwd).and(Expr::Signal(sreq_a)));
     m.assign(sres_a, Expr::Signal(wait));
-    let res_here = m.wire_from(
-        "res_here",
-        Expr::Signal(wait).and(Expr::Signal(sres_v)),
-    );
+    let res_here = m.wire_from("res_here", Expr::Signal(wait).and(Expr::Signal(sres_v)));
     m.update_when(hold, Expr::Signal(res_here), Expr::Signal(sres_d));
 
     let g = Expr::Signal(grant);
-    m.assign(
-        m0.4,
-        Expr::Signal(resp).and(g.clone().logic_not()),
-    );
+    m.assign(m0.4, Expr::Signal(resp).and(g.clone().logic_not()));
     m.assign(m0.3, Expr::Signal(hold));
     m.assign(m1.4, Expr::Signal(resp).and(g));
     m.assign(m1.3, Expr::Signal(hold));
     let responded = m.wire_from(
         "responded",
-        Expr::Signal(resp).and(
-            Expr::mux(
-                Expr::Signal(grant),
-                Expr::Signal(m1.5),
-                Expr::Signal(m0.5),
-            ),
-        ),
+        Expr::Signal(resp).and(Expr::mux(
+            Expr::Signal(grant),
+            Expr::Signal(m1.5),
+            Expr::Signal(m0.5),
+        )),
     );
 
     let next = Expr::mux(
@@ -393,8 +378,7 @@ mod tests {
         let reqs = [(0x0001u64, 0x00FF), (0x8002, 0x0F0F), (0x0003, 0x1111)];
         for m in [demux_anvil_flat(), demux_baseline()] {
             let got = run_demux(&m, &reqs);
-            let expect: Vec<u64> =
-                reqs.iter().map(|(a, d)| expect_res(*a, *d)).collect();
+            let expect: Vec<u64> = reqs.iter().map(|(a, d)| expect_res(*a, *d)).collect();
             assert_eq!(got, expect, "module {}", m.name);
         }
     }
@@ -450,7 +434,8 @@ mod tests {
             (mux_source(), "axi_mux_anvil"),
         ] {
             let (_, reports) = anvil_core::Compiler::new().check(&src).unwrap();
-            assert!(reports[top].is_safe(), "{top}: {:?}", reports[top].errors());
+            let report = &reports[&anvil_intern::Symbol::intern(top)];
+            assert!(report.is_safe(), "{top}: {:?}", report.errors());
         }
     }
 }

@@ -133,15 +133,8 @@ mod tests {
         let a = anvil_flat();
         let b = baseline();
         let reqs = workload(1, 20);
-        let (ta, _tb) = assert_equivalent(
-            &a,
-            &b,
-            ("in_ep", "enq"),
-            ("out_ep", "deq"),
-            &reqs,
-            &[],
-            200,
-        );
+        let (ta, _tb) =
+            assert_equivalent(&a, &b, ("in_ep", "enq"), ("out_ep", "deq"), &reqs, &[], 200);
         // All values delivered, in order.
         let sent: Vec<u64> = reqs.iter().map(|(v, _)| v.to_u64()).collect();
         let got: Vec<u64> = ta.iter().map(|(_, v)| v.to_u64()).collect();
@@ -171,18 +164,9 @@ mod tests {
         // Back-to-back enqueues with an always-ready consumer: the Anvil
         // FIFO must accept one element per cycle (no added latency, §7.1).
         let a = anvil_flat();
-        let reqs: Vec<(Bits, u64)> = (0..10u64)
-            .map(|i| (Bits::from_u64(i, WIDTH), 0))
-            .collect();
-        let trace = crate::tb::run_req_res(
-            &a,
-            ("in_ep", "enq"),
-            ("out_ep", "deq"),
-            &reqs,
-            &[],
-            60,
-        )
-        .unwrap();
+        let reqs: Vec<(Bits, u64)> = (0..10u64).map(|i| (Bits::from_u64(i, WIDTH), 0)).collect();
+        let trace = crate::tb::run_req_res(&a, ("in_ep", "enq"), ("out_ep", "deq"), &reqs, &[], 60)
+            .unwrap();
         assert_eq!(trace.len(), 10);
         // Steady-state: one dequeue per cycle.
         let cycles: Vec<u64> = trace.iter().map(|(c, _)| *c).collect();

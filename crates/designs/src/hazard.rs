@@ -365,7 +365,8 @@ mod tests {
             (cache_static_source(), "cache_static"),
         ] {
             let (_, reports) = Compiler::new().check(&src).unwrap();
-            assert!(reports[top].is_safe(), "{top}: {:?}", reports[top].errors());
+            let report = &reports[&anvil_intern::Symbol::intern(top)];
+            assert!(report.is_safe(), "{top}: {:?}", report.errors());
         }
     }
 }

@@ -43,6 +43,25 @@ pub struct DesignEntry {
     pub baseline: fn() -> Module,
 }
 
+/// The ten evaluation designs as Anvil *sources*, `(name, source)`, in
+/// the paper's row order — the input set for batch-compilation tests and
+/// benches. AES calls the S-box as foreign IP, so compilers consuming
+/// this suite must register [`aes::sbox_module`] as an extern.
+pub fn suite_sources() -> Vec<(&'static str, String)> {
+    vec![
+        ("fifo", fifo::anvil_source()),
+        ("spill", spill::anvil_source()),
+        ("stream_fifo", stream_fifo::anvil_source()),
+        ("tlb", tlb::anvil_source()),
+        ("ptw", ptw::anvil_source()),
+        ("aes", aes::anvil_source()),
+        ("axi_demux", axi::demux_source()),
+        ("axi_mux", axi::mux_source()),
+        ("alu", alu::anvil_source()),
+        ("systolic", systolic::anvil_source()),
+    ]
+}
+
 /// All Table 1 designs, in the paper's row order.
 pub fn registry() -> Vec<DesignEntry> {
     vec![

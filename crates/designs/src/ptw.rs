@@ -100,10 +100,7 @@ pub fn baseline() -> Module {
     let in_resp = m.wire_from("in_resp", Expr::Signal(st).eq(Expr::lit(4, 3)));
 
     m.assign(vreq_ack, Expr::Signal(in_idle));
-    let take = m.wire_from(
-        "take",
-        Expr::Signal(in_idle).and(Expr::Signal(vreq_valid)),
-    );
+    let take = m.wire_from("take", Expr::Signal(in_idle).and(Expr::Signal(vreq_valid)));
     m.update_when(va_q, Expr::Signal(take), Expr::Signal(vreq_data));
     m.update_when(level, Expr::Signal(take), Expr::lit(0, 2));
     m.update_when(base, Expr::Signal(in_setb), Expr::lit(0, PTE_W));
@@ -126,10 +123,7 @@ pub fn baseline() -> Module {
         mreq_data,
         Expr::Concat(vec![Expr::Signal(base), Expr::Signal(vpn)]),
     );
-    let sent = m.wire_from(
-        "sent",
-        Expr::Signal(in_send).and(Expr::Signal(mreq_ack)),
-    );
+    let sent = m.wire_from("sent", Expr::Signal(in_send).and(Expr::Signal(mreq_ack)));
 
     m.assign(mres_ack, Expr::Signal(in_wait));
     let got_pte = m.wire_from(
@@ -150,10 +144,7 @@ pub fn baseline() -> Module {
     m.update_when(
         base,
         Expr::Signal(descend),
-        Expr::Concat(vec![
-            Expr::lit(0, 1),
-            Expr::Signal(mres_data).slice(0, 21),
-        ]),
+        Expr::Concat(vec![Expr::lit(0, 1), Expr::Signal(mres_data).slice(0, 21)]),
     );
     m.update_when(
         level,
@@ -184,11 +175,7 @@ pub fn baseline() -> Module {
                     Expr::mux(
                         Expr::Signal(descend),
                         Expr::lit(2, 3), // wait -> send next level
-                        Expr::mux(
-                            Expr::Signal(responded),
-                            Expr::lit(0, 3),
-                            Expr::Signal(st),
-                        ),
+                        Expr::mux(Expr::Signal(responded), Expr::lit(0, 3), Expr::Signal(st)),
                     ),
                 ),
             ),
@@ -216,7 +203,7 @@ pub fn pte_for(req: u64) -> u64 {
         }
         // Level-1 table: even VPN1s are 2 MiB leaves; odd descend.
         0x100 => {
-            if vpn % 2 == 0 {
+            if vpn.is_multiple_of(2) {
                 leaf | (0x2000 + vpn)
             } else {
                 0x200
@@ -271,8 +258,11 @@ mod tests {
             }
             // Contract-honouring CPU: present the address and keep it on
             // the wire until the response arrives.
-            sim.poke("cpu_vreq_data", Bits::from_u64(vas[idx.min(vas.len() - 1)], VA_W))
-                .unwrap();
+            sim.poke(
+                "cpu_vreq_data",
+                Bits::from_u64(vas[idx.min(vas.len() - 1)], VA_W),
+            )
+            .unwrap();
             sim.poke("cpu_vreq_valid", Bits::bit(walk_start.is_none()))
                 .unwrap();
             // Memory BFM: accept a request, respond after `mem_latency`.
@@ -316,8 +306,8 @@ mod tests {
         let m = anvil_flat();
         // Level-0 leaf, level-1 leaf, full 3-level walk.
         let vas = [
-            3u64 << 18,                      // vpn0=3 -> 1-level walk
-            (9u64 << 18) | (4 << 9),         // vpn0=9, vpn1=4 -> 2-level
+            3u64 << 18,                     // vpn0=3 -> 1-level walk
+            (9u64 << 18) | (4 << 9),        // vpn0=9, vpn1=4 -> 2-level
             (9u64 << 18) | (5 << 9) | 0x42, // vpn1 odd -> 3-level
         ];
         let got = run_walks(&m, &vas, 1);
@@ -354,9 +344,8 @@ mod tests {
 
     #[test]
     fn ptw_source_is_timing_safe() {
-        let (_, reports) = anvil_core::Compiler::new()
-            .check(&anvil_source())
-            .unwrap();
-        assert!(reports["ptw_anvil"].is_safe(), "{:?}", reports["ptw_anvil"].errors());
+        let (_, reports) = anvil_core::Compiler::new().check(&anvil_source()).unwrap();
+        let report = &reports[&anvil_intern::Symbol::intern("ptw_anvil")];
+        assert!(report.is_safe(), "{:?}", report.errors());
     }
 }

@@ -65,14 +65,8 @@ pub fn baseline() -> Module {
     // Accept while the spill slot is free.
     let ready = m.wire_from("ready", Expr::Signal(b_full).logic_not());
     m.assign(enq_ack, Expr::Signal(ready));
-    let fire_in = m.wire_from(
-        "fire_in",
-        Expr::Signal(enq_valid).and(Expr::Signal(ready)),
-    );
-    let fire_out = m.wire_from(
-        "fire_out",
-        Expr::Signal(a_full).and(Expr::Signal(deq_ack)),
-    );
+    let fire_in = m.wire_from("fire_in", Expr::Signal(enq_valid).and(Expr::Signal(ready)));
+    let fire_out = m.wire_from("fire_out", Expr::Signal(a_full).and(Expr::Signal(deq_ack)));
 
     // New data lands in A when A is empty or being drained; otherwise it
     // spills into B. B refills A when A drains.
@@ -102,8 +96,8 @@ pub fn baseline() -> Module {
         .or(Expr::Signal(a_loads_b))
         .or(Expr::Signal(a_full).and(Expr::Signal(fire_out).logic_not()));
     m.set_next(a_full, a_next);
-    let b_next = Expr::Signal(b_loads_new)
-        .or(Expr::Signal(b_full).and(Expr::Signal(a_loads_b).logic_not()));
+    let b_next =
+        Expr::Signal(b_loads_new).or(Expr::Signal(b_full).and(Expr::Signal(a_loads_b).logic_not()));
     m.set_next(b_full, b_next);
 
     m.assign(deq_valid, Expr::Signal(a_full));
@@ -131,15 +125,8 @@ mod tests {
         let a = anvil_flat();
         let b = baseline();
         let reqs = workload(11, 16);
-        let (ta, _) = assert_equivalent(
-            &a,
-            &b,
-            ("in_ep", "enq"),
-            ("out_ep", "deq"),
-            &reqs,
-            &[],
-            200,
-        );
+        let (ta, _) =
+            assert_equivalent(&a, &b, ("in_ep", "enq"), ("out_ep", "deq"), &reqs, &[], 200);
         assert_eq!(ta.len(), reqs.len());
     }
 
@@ -168,7 +155,8 @@ mod tests {
         let mut accepted = 0;
         sim.poke("out_ep_deq_ack", Bits::bit(false)).unwrap();
         sim.poke("in_ep_enq_valid", Bits::bit(true)).unwrap();
-        sim.poke("in_ep_enq_data", Bits::from_u64(5, WIDTH)).unwrap();
+        sim.poke("in_ep_enq_data", Bits::from_u64(5, WIDTH))
+            .unwrap();
         for _ in 0..10 {
             if sim.peek("in_ep_enq_ack").unwrap().is_truthy() {
                 accepted += 1;

@@ -79,9 +79,7 @@ pub fn baseline() -> Module {
     // Accept when not full, or when full but the consumer reads this cycle.
     let accept = m.wire_from(
         "accept",
-        Expr::Signal(full)
-            .logic_not()
-            .or(Expr::Signal(deq_ack)),
+        Expr::Signal(full).logic_not().or(Expr::Signal(deq_ack)),
     );
     m.assign(enq_ack, Expr::Signal(accept));
     let enq_fire = m.wire_from(
@@ -140,15 +138,7 @@ mod tests {
         let a = anvil_flat();
         let b = baseline();
         let reqs = workload(21, 16);
-        assert_equivalent(
-            &a,
-            &b,
-            ("in_ep", "enq"),
-            ("out_ep", "deq"),
-            &reqs,
-            &[],
-            200,
-        );
+        assert_equivalent(&a, &b, ("in_ep", "enq"), ("out_ep", "deq"), &reqs, &[], 200);
     }
 
     #[test]
@@ -174,7 +164,8 @@ mod tests {
         // Fill the FIFO (consumer stalled).
         sim.poke("out_ep_deq_ack", Bits::bit(false)).unwrap();
         sim.poke("in_ep_enq_valid", Bits::bit(true)).unwrap();
-        sim.poke("in_ep_enq_data", Bits::from_u64(1, WIDTH)).unwrap();
+        sim.poke("in_ep_enq_data", Bits::from_u64(1, WIDTH))
+            .unwrap();
         let mut accepted = 0;
         for _ in 0..8 {
             if sim.peek("in_ep_enq_ack").unwrap().is_truthy() {

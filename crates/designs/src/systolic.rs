@@ -138,8 +138,7 @@ mod tests {
     const WEIGHTS: [u64; 4] = [2, 3, 5, 7];
 
     fn load_weights(sim: &mut Sim) {
-        let packed =
-            WEIGHTS[0] | (WEIGHTS[1] << 8) | (WEIGHTS[2] << 16) | (WEIGHTS[3] << 24);
+        let packed = WEIGHTS[0] | (WEIGHTS[1] << 8) | (WEIGHTS[2] << 16) | (WEIGHTS[3] << 24);
         sim.poke("cfg_wload_data", Bits::from_u64(packed, 4 * W))
             .unwrap();
         sim.poke("cfg_wload_valid", Bits::bit(true)).unwrap();

@@ -114,10 +114,7 @@ pub fn baseline() -> Module {
             },
         ]),
     );
-    let res_fire = m.wire_from(
-        "res_fire",
-        Expr::Signal(busy).and(Expr::Signal(res_ack)),
-    );
+    let res_fire = m.wire_from("res_fire", Expr::Signal(busy).and(Expr::Signal(res_ack)));
     let busy_next = Expr::mux(
         Expr::Signal(accept),
         Expr::bit(true),

@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use anvil_intern::Symbol;
 use anvil_syntax::{
     BinOp, ChanDef, Dir, Duration, MessageDef, ProcDef, Program, SeqOp, Span, SyncMode, Term,
     TermKind, Thread,
@@ -44,7 +45,7 @@ pub enum ActionIr {
     /// Register (or register-array element) assignment; takes one cycle.
     Assign {
         /// Target register.
-        reg: String,
+        reg: Symbol,
         /// Element index for arrays.
         index: Option<Val>,
         /// Assigned value.
@@ -86,7 +87,7 @@ pub struct UseSite {
     /// The value's lifetime end patterns (empty = eternal).
     pub ends: Vec<Pattern>,
     /// Registers the value depends on (loaned for the use window).
-    pub regs: BTreeSet<String>,
+    pub regs: BTreeSet<Symbol>,
 }
 
 /// A message send the type checker must validate (Valid Message Send).
@@ -108,7 +109,7 @@ pub struct SendSite {
     /// The payload's lifetime end patterns.
     pub ends: Vec<Pattern>,
     /// Registers the payload depends on.
-    pub regs: BTreeSet<String>,
+    pub regs: BTreeSet<Symbol>,
 }
 
 /// A register mutation the type checker must validate (Valid Register
@@ -116,7 +117,7 @@ pub struct SendSite {
 #[derive(Clone, Debug)]
 pub struct AssignSite {
     /// Mutated register.
-    pub reg: String,
+    pub reg: Symbol,
     /// Event at which the mutation starts (commits one cycle later).
     pub at: EventId,
     /// Source location.
@@ -170,6 +171,16 @@ pub struct ThreadIr {
     /// Whether this is a `recursive` thread.
     pub is_recursive: bool,
 }
+
+/// The IR is built once and then shared read-only across type checking,
+/// optimization, lowering, and batch-compile worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ThreadIr>();
+    assert_send_sync::<ActionIr>();
+    assert_send_sync::<UseSite>();
+    assert_send_sync::<SendSite>();
+};
 
 /// Name-resolution context for building one process.
 #[derive(Clone, Copy)]
@@ -377,14 +388,7 @@ impl<'a> Builder<'a> {
                 format!("endpoint `{ep}` sends `{msg}`; it cannot receive it"),
             );
         }
-        Ok((
-            MsgRef {
-                ep: ep.to_string(),
-                msg: msg.to_string(),
-            },
-            mdef.clone(),
-            side,
-        ))
+        Ok((MsgRef::new(ep, msg), mdef.clone(), side))
     }
 
     /// Creates the synchronisation event for a send/recv starting at
@@ -409,8 +413,8 @@ impl<'a> Builder<'a> {
         for m in [ours, theirs] {
             if let SyncMode::Dependent { msg: m2, offset } = m {
                 let anchor = MsgRef {
-                    ep: mref.ep.clone(),
-                    msg: m2.clone(),
+                    ep: mref.ep,
+                    msg: Symbol::intern(m2),
                 };
                 if let Some(prev) = self.last_sync.get(&anchor).copied() {
                     let ev = self.graph.push(EventKind::Delay {
@@ -418,12 +422,12 @@ impl<'a> Builder<'a> {
                         cycles: *offset,
                     });
                     self.ready_checks.push(ReadyCheck {
-                        msg: mref.clone(),
+                        msg: *mref,
                         start,
                         at: ev,
                         span,
                     });
-                    self.last_sync.insert(mref.clone(), ev);
+                    self.last_sync.insert(*mref, ev);
                     return ev;
                 }
             }
@@ -437,12 +441,12 @@ impl<'a> Builder<'a> {
             .min();
         let ev = self.graph.push(EventKind::Sync {
             pred: start,
-            msg: mref.clone(),
+            msg: *mref,
             is_send,
             min_delay: 0,
             max_delay,
         });
-        self.last_sync.insert(mref.clone(), ev);
+        self.last_sync.insert(*mref, ev);
         ev
     }
 
@@ -452,8 +456,8 @@ impl<'a> Builder<'a> {
             Duration::Message(m2) => vec![Pattern::msg(
                 done,
                 MsgRef {
-                    ep: mref.ep.clone(),
-                    msg: m2.clone(),
+                    ep: mref.ep,
+                    msg: Symbol::intern(m2),
                 },
             )],
             Duration::Eternal => vec![],
@@ -464,8 +468,8 @@ impl<'a> Builder<'a> {
         match &mdef.lifetime {
             Duration::Cycles(k) => Some(PatternDur::Cycles(*k)),
             Duration::Message(m2) => Some(PatternDur::Msg(MsgRef {
-                ep: mref.ep.clone(),
-                msg: m2.clone(),
+                ep: mref.ep,
+                msg: Symbol::intern(m2),
             })),
             Duration::Eternal => None,
         }
@@ -507,7 +511,7 @@ impl<'a> Builder<'a> {
                     width: rdef.width,
                     created: start,
                     ends: Vec::new(),
-                    regs: BTreeSet::from([reg.clone()]),
+                    regs: BTreeSet::from([Symbol::intern(reg)]),
                 };
                 let idx_val = match (index, rdef.depth) {
                     (Some(i), Some(depth)) => {
@@ -524,15 +528,12 @@ impl<'a> Builder<'a> {
                         return self.err(t.span, format!("register `{reg}` is not an array"))
                     }
                     (None, Some(_)) => {
-                        return self.err(
-                            t.span,
-                            format!("register array `{reg}` must be indexed"),
-                        )
+                        return self.err(t.span, format!("register array `{reg}` must be indexed"))
                     }
                     (None, None) => None,
                 };
                 info.val = Val::RegRead {
-                    reg: reg.clone(),
+                    reg: Symbol::intern(reg),
                     index: idx_val,
                 };
                 Ok(Built { end: start, info })
@@ -547,10 +548,7 @@ impl<'a> Builder<'a> {
                     SeqOp::Join => {
                         let b2 = self.term(rest, start)?;
                         let end = self.join_all(b1.end, b2.end);
-                        Ok(Built {
-                            end,
-                            info: b2.info,
-                        })
+                        Ok(Built { end, info: b2.info })
                     }
                 }
             }
@@ -576,10 +574,7 @@ impl<'a> Builder<'a> {
                     SeqOp::Wait => bb.end,
                     SeqOp::Join => self.join_all(bv.end, bb.end),
                 };
-                Ok(Built {
-                    end,
-                    info: bb.info,
-                })
+                Ok(Built { end, info: bb.info })
             }
             TermKind::If {
                 cond,
@@ -661,7 +656,7 @@ impl<'a> Builder<'a> {
                 let sstart = bv.end;
                 let done = self.sync_event(sstart, &mref, &mdef, side, true, t.span);
                 self.sends.push(SendSite {
-                    msg: mref.clone(),
+                    msg: mref,
                     span: t.span,
                     start: sstart,
                     done,
@@ -722,23 +717,14 @@ impl<'a> Builder<'a> {
                         let bi = self.term(i, start)?;
                         at = self.join_all(at, bi.end);
                         let ii = bi.info.coerce(index_width(depth));
-                        self.record_use(
-                            &ii,
-                            at,
-                            Pattern::cycles(at, 1),
-                            "array index",
-                            i.span,
-                        );
+                        self.record_use(&ii, at, Pattern::cycles(at, 1), "array index", i.span);
                         Some(ii.val)
                     }
                     (Some(_), None) => {
                         return self.err(t.span, format!("register `{reg}` is not an array"))
                     }
                     (None, Some(_)) => {
-                        return self.err(
-                            t.span,
-                            format!("register array `{reg}` must be indexed"),
-                        )
+                        return self.err(t.span, format!("register array `{reg}` must be indexed"))
                     }
                     (None, None) => None,
                 };
@@ -749,15 +735,16 @@ impl<'a> Builder<'a> {
                     &format!("value assigned to `{reg}`"),
                     value.span,
                 );
+                let reg_sym = Symbol::intern(reg);
                 self.assigns.push(AssignSite {
-                    reg: reg.clone(),
+                    reg: reg_sym,
                     at,
                     span: t.span,
                 });
                 self.actions.push((
                     at,
                     ActionIr::Assign {
-                        reg: reg.clone(),
+                        reg: reg_sym,
                         index: idx_val,
                         value: vinfo.val,
                     },
@@ -792,10 +779,7 @@ impl<'a> Builder<'a> {
                         format!("channel `{}` has no message `{msg}`", chan.name),
                     );
                 }
-                let mref = MsgRef {
-                    ep: ep.clone(),
-                    msg: msg.clone(),
-                };
+                let mref = MsgRef::new(ep.as_str(), msg.as_str());
                 Ok(Built {
                     end: start,
                     info: Info {
@@ -930,7 +914,7 @@ impl<'a> Builder<'a> {
                 }
                 let mut info = Info {
                     val: Val::ExternCall {
-                        func: func.clone(),
+                        func: Symbol::intern(func),
                         args: infos.iter().map(|i| i.val.clone()).collect(),
                     },
                     width: f.ret_width,
@@ -1056,7 +1040,9 @@ mod tests {
         let (_, ActionIr::Assign { value, .. }) = &ir.actions[0] else {
             panic!()
         };
-        let Val::Binop(_, _, rhs) = value else { panic!() };
+        let Val::Binop(_, _, rhs) = value else {
+            panic!()
+        };
         assert_eq!(**rhs, Val::Const { value: 1, width: 8 });
     }
 
@@ -1095,9 +1081,7 @@ mod tests {
     #[test]
     fn unknown_names_rejected() {
         assert!(build_first_thread("proc p() { loop { set r := 1 } }", 1).is_err());
-        assert!(
-            build_first_thread("proc p() { loop { let x = recv nope.m >> x } }", 1).is_err()
-        );
+        assert!(build_first_thread("proc p() { loop { let x = recv nope.m >> x } }", 1).is_err());
         assert!(build_first_thread("proc p() { loop { y >> cycle 1 } }", 1).is_err());
     }
 
@@ -1178,10 +1162,7 @@ mod tests {
             2,
         )
         .unwrap();
-        let syncs = ir.graph.sync_events(&MsgRef {
-            ep: "ep".into(),
-            msg: "m".into(),
-        });
+        let syncs = ir.graph.sync_events(&MsgRef::new("ep", "m"));
         assert_eq!(syncs.len(), 2);
         assert!(ir.graph.lt(syncs[0], syncs[1]));
     }

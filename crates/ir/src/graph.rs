@@ -17,10 +17,11 @@
 //!
 //! `a ≤G b` holds if `min_gap(a→b) ≥ 0` or `max_gap(b→a) ≤ 0`.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
+
+use anvil_intern::Symbol;
 
 /// Index of an event in its [`EventGraph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,12 +32,26 @@ pub struct EventId(pub usize);
 pub struct CondId(pub usize);
 
 /// A message identity: endpoint name plus message name.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Both components are interned [`Symbol`]s, so a `MsgRef` is `Copy`,
+/// O(1) to compare, and `Send + Sync` — the whole IR can be shared across
+/// batch-compile worker threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MsgRef {
     /// Endpoint the message moves through.
-    pub ep: String,
+    pub ep: Symbol,
     /// Message identifier within the channel type.
-    pub msg: String,
+    pub msg: Symbol,
+}
+
+impl MsgRef {
+    /// Interns both components.
+    pub fn new(ep: impl Into<Symbol>, msg: impl Into<Symbol>) -> MsgRef {
+        MsgRef {
+            ep: ep.into(),
+            msg: msg.into(),
+        }
+    }
 }
 
 impl fmt::Display for MsgRef {
@@ -154,7 +169,12 @@ impl Pattern {
 ///
 /// Events are append-only and topologically ordered by construction: every
 /// predecessor has a smaller index than its dependents.
-#[derive(Clone, Debug, Default)]
+///
+/// Events live in an index-based arena ([`EventId`]s are the only
+/// handles), and the query memo-cache is behind an `RwLock`, so a built
+/// graph is `Send + Sync` and can serve `≤G` queries from several threads
+/// at once.
+#[derive(Debug, Default)]
 pub struct EventGraph {
     events: Vec<EventKind>,
     /// Branch context of each event: the `(cond, taken)` guards it sits
@@ -163,8 +183,31 @@ pub struct EventGraph {
     n_conds: usize,
     /// Memoised per-reference gap vectors, keyed by (reference, mode).
     /// Invalidated whenever an event is appended.
-    cache: RefCell<HashMap<(usize, bool), Rc<Vec<Option<i64>>>>>,
+    cache: RwLock<GapCache>,
 }
+
+/// One shared gap vector per (reference event, min/max mode).
+type GapCache = HashMap<(usize, bool), Arc<Vec<Option<i64>>>>;
+
+impl Clone for EventGraph {
+    fn clone(&self) -> Self {
+        EventGraph {
+            events: self.events.clone(),
+            contexts: self.contexts.clone(),
+            n_conds: self.n_conds,
+            // The memo cache is derived state; a fresh graph re-fills it.
+            cache: RwLock::new(GapCache::new()),
+        }
+    }
+}
+
+/// The IR is shared read-only across batch-compile workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EventGraph>();
+    assert_send_sync::<MsgRef>();
+    assert_send_sync::<Pattern>();
+};
 
 impl EventGraph {
     /// Creates an empty graph.
@@ -227,7 +270,7 @@ impl EventGraph {
         };
         self.events.push(kind);
         self.contexts.push(ctx);
-        self.cache.borrow_mut().clear();
+        self.cache.write().expect("gap cache poisoned").clear();
         EventId(self.events.len() - 1)
     }
 
@@ -248,10 +291,7 @@ impl EventGraph {
 
     /// Iterates `(id, kind)` in topological order.
     pub fn iter(&self) -> impl Iterator<Item = (EventId, &EventKind)> {
-        self.events
-            .iter()
-            .enumerate()
-            .map(|(i, k)| (EventId(i), k))
+        self.events.iter().enumerate().map(|(i, k)| (EventId(i), k))
     }
 
     /// The branch guards event `e` sits under.
@@ -310,13 +350,16 @@ impl EventGraph {
         best
     }
 
-    fn gaps_from(&self, r: EventId, mode: GapMode) -> Rc<Vec<Option<i64>>> {
+    fn gaps_from(&self, r: EventId, mode: GapMode) -> Arc<Vec<Option<i64>>> {
         let key = (r.0, mode == GapMode::Min);
-        if let Some(v) = self.cache.borrow().get(&key) {
-            return Rc::clone(v);
+        if let Some(v) = self.cache.read().expect("gap cache poisoned").get(&key) {
+            return Arc::clone(v);
         }
-        let v = Rc::new(self.gaps(r, mode));
-        self.cache.borrow_mut().insert(key, Rc::clone(&v));
+        let v = Arc::new(self.gaps(r, mode));
+        self.cache
+            .write()
+            .expect("gap cache poisoned")
+            .insert(key, Arc::clone(&v));
         v
     }
 
@@ -337,9 +380,7 @@ impl EventGraph {
             }
             let candidate = match &self.events[i] {
                 EventKind::Root => None,
-                EventKind::Delay { pred, cycles } => {
-                    gap[pred.0].map(|g| g + *cycles as i64)
-                }
+                EventKind::Delay { pred, cycles } => gap[pred.0].map(|g| g + *cycles as i64),
                 EventKind::Sync {
                     pred,
                     min_delay,
@@ -488,12 +529,7 @@ impl EventGraph {
                 self.le(p.base, q.base)
                     || self.sync_events(mp).iter().any(|f| {
                         self.always_follows(p.base, *f)
-                            && self.le_pattern_ctx(
-                                &Pattern::cycles(*f, 0),
-                                q,
-                                slack,
-                                observer,
-                            )
+                            && self.le_pattern_ctx(&Pattern::cycles(*f, 0), q, slack, observer)
                     })
             }
             // τ(p.base ⊲ m) ≤ τ(f) for any m-sync f that always follows
@@ -509,8 +545,7 @@ impl EventGraph {
     /// set means "never" (∞). Holds iff for every `q ∈ S_b` some
     /// `p ∈ S_a` satisfies `p ≤G q`.
     pub fn le_pattern_sets(&self, sa: &[Pattern], sb: &[Pattern]) -> bool {
-        sb.iter()
-            .all(|q| sa.iter().any(|p| self.le_pattern(p, q)))
+        sb.iter().all(|q| sa.iter().any(|p| self.le_pattern(p, q)))
     }
 
     /// [`EventGraph::le_pattern_sets`] with slack and an observer context.
@@ -521,10 +556,11 @@ impl EventGraph {
         slack: i64,
         observer: Option<EventId>,
     ) -> bool {
-        sb.iter()
-            .all(|q| sa.iter().any(|p| self.le_pattern_ctx(p, q, slack, observer)))
+        sb.iter().all(|q| {
+            sa.iter()
+                .any(|p| self.le_pattern_ctx(p, q, slack, observer))
+        })
     }
-
 
     /// Renders the graph in Graphviz dot format (for debugging and the
     /// Fig. 8 bench).
@@ -581,7 +617,11 @@ impl EventGraph {
                     };
                     t + d as i64
                 }),
-                EventKind::Branch { pred, cond, taken: want } => {
+                EventKind::Branch {
+                    pred,
+                    cond,
+                    taken: want,
+                } => {
                     let dir = *taken.entry(*cond).or_insert_with(|| take(*cond));
                     if dir == *want {
                         tau[pred.0]
@@ -594,9 +634,7 @@ impl EventGraph {
                     .map(|p| tau[p.0])
                     .collect::<Option<Vec<_>>>()
                     .and_then(|v| v.into_iter().max()),
-                EventKind::JoinAny { preds } => {
-                    preds.iter().filter_map(|p| tau[p.0]).min()
-                }
+                EventKind::JoinAny { preds } => preds.iter().filter_map(|p| tau[p.0]).min(),
             };
             tau[i] = t;
         }
@@ -615,17 +653,17 @@ mod tests {
     use super::*;
 
     fn msg(ep: &str, m: &str) -> MsgRef {
-        MsgRef {
-            ep: ep.into(),
-            msg: m.into(),
-        }
+        MsgRef::new(ep, m)
     }
 
     /// root -> delay#2 -> sync(recv m) -> delay#1
     fn chain() -> (EventGraph, EventId, EventId, EventId, EventId) {
         let mut g = EventGraph::new();
         let e0 = g.add_root();
-        let e1 = g.push(EventKind::Delay { pred: e0, cycles: 2 });
+        let e1 = g.push(EventKind::Delay {
+            pred: e0,
+            cycles: 2,
+        });
         let e2 = g.push(EventKind::Sync {
             pred: e1,
             msg: msg("ep", "m"),
@@ -633,7 +671,10 @@ mod tests {
             min_delay: 0,
             max_delay: None,
         });
-        let e3 = g.push(EventKind::Delay { pred: e2, cycles: 1 });
+        let e3 = g.push(EventKind::Delay {
+            pred: e2,
+            cycles: 1,
+        });
         (g, e0, e1, e2, e3)
     }
 
@@ -663,7 +704,10 @@ mod tests {
             min_delay: 0,
             max_delay: Some(2),
         });
-        let e2 = g.push(EventKind::Delay { pred: e0, cycles: 3 });
+        let e2 = g.push(EventKind::Delay {
+            pred: e0,
+            cycles: 3,
+        });
         // e1 happens within [0,2] of e0; e2 exactly 3 after: e1 < e2 always.
         assert!(g.lt(e1, e2));
         assert!(!g.le(e2, e1));
@@ -673,7 +717,10 @@ mod tests {
     fn join_all_is_latest() {
         let mut g = EventGraph::new();
         let e0 = g.add_root();
-        let a = g.push(EventKind::Delay { pred: e0, cycles: 1 });
+        let a = g.push(EventKind::Delay {
+            pred: e0,
+            cycles: 1,
+        });
         let b = g.push(EventKind::Sync {
             pred: e0,
             msg: msg("ep", "m"),
@@ -681,9 +728,7 @@ mod tests {
             min_delay: 0,
             max_delay: None,
         });
-        let j = g.push(EventKind::JoinAll {
-            preds: vec![a, b],
-        });
+        let j = g.push(EventKind::JoinAll { preds: vec![a, b] });
         assert!(g.le(a, j));
         assert!(g.le(b, j));
         assert!(g.le(e0, j));
@@ -707,8 +752,14 @@ mod tests {
             cond: c,
             taken: false,
         });
-        let t_end = g.push(EventKind::Delay { pred: bt, cycles: 3 });
-        let f_end = g.push(EventKind::Delay { pred: bf, cycles: 1 });
+        let t_end = g.push(EventKind::Delay {
+            pred: bt,
+            cycles: 3,
+        });
+        let f_end = g.push(EventKind::Delay {
+            pred: bf,
+            cycles: 1,
+        });
         let m = g.push(EventKind::JoinAny {
             preds: vec![t_end, f_end],
         });
@@ -736,11 +787,11 @@ mod tests {
         assert!(!g.le_pattern(&Pattern::cycles(e1, 1), &Pattern::cycles(e0, 1)));
         // #k ≤ base ⊲ msg when #k ≤ base.
         let m = msg("ep", "m");
-        assert!(g.le_pattern(&Pattern::cycles(e0, 2), &Pattern::msg(e1, m.clone())));
+        assert!(g.le_pattern(&Pattern::cycles(e0, 2), &Pattern::msg(e1, m)));
         // first-m-after monotone in base.
-        assert!(g.le_pattern(&Pattern::msg(e0, m.clone()), &Pattern::msg(e1, m.clone())));
+        assert!(g.le_pattern(&Pattern::msg(e0, m), &Pattern::msg(e1, m)));
         // m-sync e2 always follows e0, so e0 ⊲ m ≤ e2 ⊲ #0-style bounds.
-        assert!(g.le_pattern(&Pattern::msg(e0, m.clone()), &Pattern::cycles(e2, 0)));
+        assert!(g.le_pattern(&Pattern::msg(e0, m), &Pattern::cycles(e2, 0)));
         assert!(g.le_pattern(&Pattern::msg(e0, m), &Pattern::cycles(e2, 5)));
     }
 

@@ -148,12 +148,12 @@ impl Remap {
                 .map(|(e, a)| {
                     let a2 = match a {
                         ActionIr::Assign { reg, index, value } => ActionIr::Assign {
-                            reg: reg.clone(),
+                            reg: *reg,
                             index: index.as_ref().map(&map_val),
                             value: map_val(value),
                         },
                         ActionIr::SendData { msg, value, done } => ActionIr::SendData {
-                            msg: msg.clone(),
+                            msg: *msg,
                             value: map_val(value),
                             done: m(*done),
                         },
@@ -231,7 +231,7 @@ impl Remap {
 fn remap_val(v: &Val, m: &impl Fn(EventId) -> EventId) -> Val {
     match v {
         Val::MsgData { msg, recv } => Val::MsgData {
-            msg: msg.clone(),
+            msg: *msg,
             recv: m(*recv),
         },
         Val::Binop(op, a, b) => {
@@ -245,7 +245,7 @@ fn remap_val(v: &Val, m: &impl Fn(EventId) -> EventId) -> Val {
         },
         Val::Concat(parts) => Val::Concat(parts.iter().map(|p| remap_val(p, m)).collect()),
         Val::ExternCall { func, args } => Val::ExternCall {
-            func: func.clone(),
+            func: *func,
             args: args.iter().map(|a| remap_val(a, m)).collect(),
         },
         Val::Mux {
@@ -258,7 +258,7 @@ fn remap_val(v: &Val, m: &impl Fn(EventId) -> EventId) -> Val {
             else_v: Box::new(remap_val(else_v, m)),
         },
         Val::RegRead { reg, index } => Val::RegRead {
-            reg: reg.clone(),
+            reg: *reg,
             index: index.as_ref().map(|i| Box::new(remap_val(i, m))),
         },
         other => other.clone(),
@@ -325,7 +325,7 @@ fn remap_kind(kind: &EventKind, map: &[EventId]) -> EventKind {
             max_delay,
         } => EventKind::Sync {
             pred: map[pred.0],
-            msg: msg.clone(),
+            msg: *msg,
             is_send: *is_send,
             min_delay: *min_delay,
             max_delay: *max_delay,
@@ -413,8 +413,16 @@ fn shift_branch_joins(ir: &ThreadIr) -> (ThreadIr, usize) {
             continue;
         }
         let (a, b) = (preds[0], preds[1]);
-        let (EventKind::Delay { pred: pa, cycles: na }, EventKind::Delay { pred: pb, cycles: nb }) =
-            (ir.graph.kind(a), ir.graph.kind(b))
+        let (
+            EventKind::Delay {
+                pred: pa,
+                cycles: na,
+            },
+            EventKind::Delay {
+                pred: pb,
+                cycles: nb,
+            },
+        ) = (ir.graph.kind(a), ir.graph.kind(b))
         else {
             continue;
         };
@@ -505,11 +513,7 @@ fn sweep_dead(ir: &ThreadIr) -> (ThreadIr, usize) {
         if !live[id.0] {
             // Dead events keep a placeholder mapping to their (live)
             // predecessor chain; they are never referenced.
-            let fallback = kind
-                .preds()
-                .first()
-                .map(|p| map[p.0])
-                .unwrap_or(EventId(0));
+            let fallback = kind.preds().first().map(|p| map[p.0]).unwrap_or(EventId(0));
             map.push(fallback);
             removed += 1;
             continue;
@@ -591,8 +595,14 @@ mod tests {
         use crate::graph::EventGraph;
         let mut graph = EventGraph::new();
         let root = graph.add_root();
-        let a = graph.push(EventKind::Delay { pred: root, cycles: 1 });
-        let b = graph.push(EventKind::Delay { pred: root, cycles: 2 });
+        let a = graph.push(EventKind::Delay {
+            pred: root,
+            cycles: 1,
+        });
+        let b = graph.push(EventKind::Delay {
+            pred: root,
+            cycles: 2,
+        });
         let j = graph.push(EventKind::JoinAll { preds: vec![a, b] });
         let finish = graph.push(EventKind::Delay { pred: j, cycles: 1 });
         let ir = ThreadIr {

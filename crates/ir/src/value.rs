@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use anvil_intern::Symbol;
 use anvil_syntax::{BinOp, UnOp};
 
 use crate::graph::{CondId, EventId, MsgRef, Pattern};
@@ -29,7 +30,7 @@ pub enum Val {
     /// Current value of a register (or one element of a register array).
     RegRead {
         /// Register name.
-        reg: String,
+        reg: Symbol,
         /// Element index for arrays.
         index: Option<Box<Val>>,
     },
@@ -63,7 +64,7 @@ pub enum Val {
     /// Foreign combinational function application.
     ExternCall {
         /// Function name.
-        func: String,
+        func: Symbol,
         /// Arguments.
         args: Vec<Val>,
     },
@@ -100,11 +101,7 @@ impl Val {
                 then_v.visit(f);
                 else_v.visit(f);
             }
-            Val::RegRead { index, .. } => {
-                if let Some(i) = index {
-                    i.visit(f);
-                }
-            }
+            Val::RegRead { index: Some(i), .. } => i.visit(f),
             _ => {}
         }
     }
@@ -124,7 +121,7 @@ pub struct Info {
     /// match. Empty = eternal.
     pub ends: Vec<Pattern>,
     /// Registers the value combinationally depends on.
-    pub regs: BTreeSet<String>,
+    pub regs: BTreeSet<Symbol>,
 }
 
 impl Info {
@@ -169,7 +166,7 @@ impl Info {
                 self.ends.push(e.clone());
             }
         }
-        self.regs.extend(other.regs.iter().cloned());
+        self.regs.extend(other.regs.iter().copied());
     }
 }
 
@@ -179,11 +176,24 @@ mod tests {
 
     #[test]
     fn coerce_fixes_adaptive_literals() {
-        let i = Info::pure(Val::Const { value: 25, width: 0 }, 0, EventId(0));
+        let i = Info::pure(
+            Val::Const {
+                value: 25,
+                width: 0,
+            },
+            0,
+            EventId(0),
+        );
         assert!(i.is_adaptive());
         let i = i.coerce(8);
         assert_eq!(i.width, 8);
-        assert_eq!(i.val, Val::Const { value: 25, width: 8 });
+        assert_eq!(
+            i.val,
+            Val::Const {
+                value: 25,
+                width: 8
+            }
+        );
         // Sized values are untouched.
         let j = Info::pure(Val::Const { value: 1, width: 4 }, 4, EventId(0)).coerce(9);
         assert_eq!(j.width, 4);
@@ -192,10 +202,10 @@ mod tests {
     #[test]
     fn absorb_unions_deps() {
         let mut a = Info::pure(Val::Unit, 0, EventId(0));
-        a.regs.insert("r1".into());
+        a.regs.insert(Symbol::intern("r1"));
         a.ends.push(Pattern::cycles(EventId(0), 1));
         let mut b = Info::pure(Val::Unit, 0, EventId(0));
-        b.regs.insert("r2".into());
+        b.regs.insert(Symbol::intern("r2"));
         b.ends.push(Pattern::cycles(EventId(0), 1));
         b.ends.push(Pattern::cycles(EventId(0), 2));
         a.absorb_deps(&b);

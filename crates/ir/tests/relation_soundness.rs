@@ -53,7 +53,10 @@ fn build_graph(ops: &[Op]) -> EventGraph {
         match op {
             Op::Delay { pred, cycles } => {
                 let p = pool[pred % pool.len()];
-                let e = g.push(EventKind::Delay { pred: p, cycles: *cycles });
+                let e = g.push(EventKind::Delay {
+                    pred: p,
+                    cycles: *cycles,
+                });
                 pool.push(e);
             }
             Op::Sync { pred, bounded } => {
@@ -83,7 +86,10 @@ fn build_graph(ops: &[Op]) -> EventGraph {
                     cond: c,
                     taken: false,
                 });
-                let t_end = g.push(EventKind::Delay { pred: bt, cycles: 1 });
+                let t_end = g.push(EventKind::Delay {
+                    pred: bt,
+                    cycles: 1,
+                });
                 let m = g.push(EventKind::JoinAny {
                     preds: vec![t_end, bf],
                 });

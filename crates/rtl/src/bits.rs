@@ -121,7 +121,11 @@ impl Bits {
     ///
     /// Panics if `i >= width`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -322,11 +326,7 @@ impl Bits {
 
     /// XOR-reduction: parity of the set bits.
     pub fn reduce_xor(&self) -> bool {
-        self.words
-            .iter()
-            .fold(0u32, |acc, w| acc ^ w.count_ones())
-            % 2
-            == 1
+        self.words.iter().fold(0u32, |acc, w| acc ^ w.count_ones()) % 2 == 1
     }
 
     /// Number of set bits.

@@ -44,13 +44,19 @@ impl fmt::Display for ElabError {
         match self {
             ElabError::UnknownTop(m) => write!(f, "top module `{m}` not found"),
             ElabError::UnknownModule { instance, module } => {
-                write!(f, "instance `{instance}` references unknown module `{module}`")
+                write!(
+                    f,
+                    "instance `{instance}` references unknown module `{module}`"
+                )
             }
             ElabError::UnknownPort { instance, port } => {
                 write!(f, "instance `{instance}` connects unknown port `{port}`")
             }
             ElabError::RecursionLimit(m) => {
-                write!(f, "instantiation depth limit reached in `{m}` (recursive hierarchy?)")
+                write!(
+                    f,
+                    "instantiation depth limit reached in `{m}` (recursive hierarchy?)"
+                )
             }
             ElabError::Invalid(e) => write!(f, "flattened design invalid: {e}"),
         }
@@ -127,9 +133,7 @@ fn inline(
             (true, SignalKind::Input) => flat.input(name, sig.width),
             (true, SignalKind::Output) => flat.output(name, sig.width),
             // Inner ports become wires.
-            (false, SignalKind::Input) | (false, SignalKind::Output) => {
-                flat.wire(name, sig.width)
-            }
+            (false, SignalKind::Input) | (false, SignalKind::Output) => flat.wire(name, sig.width),
             (_, SignalKind::Wire) => flat.wire(name, sig.width),
             (_, SignalKind::Reg) => {
                 let init = sig
@@ -177,10 +181,12 @@ fn inline(
     }
 
     for inst in &m.instances {
-        let child = lib.get(&inst.module).ok_or_else(|| ElabError::UnknownModule {
-            instance: format!("{prefix}{}", inst.name),
-            module: inst.module.clone(),
-        })?;
+        let child = lib
+            .get(&inst.module)
+            .ok_or_else(|| ElabError::UnknownModule {
+                instance: format!("{prefix}{}", inst.name),
+                module: inst.module.clone(),
+            })?;
         let child_prefix = format!("{prefix}{}.", inst.name);
         inline(child, lib, &child_prefix, flat, false, depth + 1)?;
 
@@ -257,10 +263,7 @@ mod tests {
         assert!(flat.find("m.l0.a").is_some());
         assert!(flat.find("m.l1.y").is_some());
         // Top ports keep their kinds.
-        assert_eq!(
-            flat.signal(flat.find("a").unwrap()).kind,
-            SignalKind::Input
-        );
+        assert_eq!(flat.signal(flat.find("a").unwrap()).kind, SignalKind::Input);
         assert_eq!(
             flat.signal(flat.find("y").unwrap()).kind,
             SignalKind::Output

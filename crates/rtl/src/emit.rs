@@ -39,9 +39,11 @@ pub fn emit_module(m: &Module) -> String {
     let mut port_lines = vec!["  input logic clk".to_string()];
     for (_, sig) in m.iter_signals() {
         match sig.kind {
-            SignalKind::Input => {
-                port_lines.push(format!("  input {} {}", sv_type(sig.width), sv_ident(&sig.name)))
-            }
+            SignalKind::Input => port_lines.push(format!(
+                "  input {} {}",
+                sv_type(sig.width),
+                sv_ident(&sig.name)
+            )),
             SignalKind::Output => port_lines.push(format!(
                 "  output {} {}",
                 sv_type(sig.width),
@@ -247,9 +249,7 @@ fn sv_type(width: usize) -> String {
 
 /// Escapes identifiers that contain hierarchy separators from flattening.
 fn sv_ident(name: &str) -> String {
-    if name
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
         && !name.is_empty()
     {

@@ -132,6 +132,7 @@ impl Expr {
     }
 
     /// Bitwise complement.
+    #[allow(clippy::should_implement_trait)] // fluent expression DSL
     pub fn not(self) -> Expr {
         Expr::Unary(UnaryOp::Not, Box::new(self))
     }
@@ -147,11 +148,13 @@ impl Expr {
     }
 
     /// Wrapping addition.
+    #[allow(clippy::should_implement_trait)] // fluent expression DSL
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::bin(BinaryOp::Add, self, rhs)
     }
 
     /// Wrapping subtraction.
+    #[allow(clippy::should_implement_trait)] // fluent expression DSL
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::bin(BinaryOp::Sub, self, rhs)
     }
@@ -331,11 +334,7 @@ mod tests {
     fn signal_collection() {
         let s0 = SignalId(0);
         let s1 = SignalId(1);
-        let e = Expr::mux(
-            Expr::Signal(s0),
-            Expr::Signal(s1),
-            Expr::Signal(s0).not(),
-        );
+        let e = Expr::mux(Expr::Signal(s0), Expr::Signal(s1), Expr::Signal(s0).not());
         let mut sigs = e.signals();
         sigs.sort();
         assert_eq!(sigs, vec![s0, s0, s1]);
@@ -345,9 +344,6 @@ mod tests {
     fn map_refs_rewrites() {
         let e = Expr::Signal(SignalId(3)).add(Expr::Signal(SignalId(4)));
         let shifted = e.map_refs(&|s| SignalId(s.0 + 10), &|a| a);
-        assert_eq!(
-            shifted.signals(),
-            vec![SignalId(13), SignalId(14)]
-        );
+        assert_eq!(shifted.signals(), vec![SignalId(13), SignalId(14)]);
     }
 }

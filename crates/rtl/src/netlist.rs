@@ -128,6 +128,14 @@ pub struct Module {
     pub prints: Vec<DebugPrint>,
 }
 
+/// Modules (and libraries of them) cross thread boundaries in batch
+/// compilation: generated on a worker, returned to the caller.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Module>();
+    assert_send_sync::<ModuleLibrary>();
+};
+
 /// Errors detected by [`Module::validate`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NetlistError {
@@ -276,9 +284,7 @@ impl Module {
 
     /// Convenience: declares a wire and drives it in one step.
     pub fn wire_from(&mut self, name: impl Into<String>, expr: Expr) -> SignalId {
-        let width = self
-            .expr_width(&expr)
-            .expect("expression must width-check");
+        let width = self.expr_width(&expr).expect("expression must width-check");
         let w = self.wire(name, width);
         self.assign(w, expr);
         w
@@ -302,12 +308,8 @@ impl Module {
     /// Adds a guarded update `if enable { reg <= value }` on top of any
     /// existing next-value expression (later calls take priority).
     pub fn update_when(&mut self, reg: SignalId, enable: Expr, value: Expr) {
-        let hold = self
-            .reg_next
-            .remove(&reg)
-            .unwrap_or(Expr::Signal(reg));
-        self.reg_next
-            .insert(reg, Expr::mux(enable, value, hold));
+        let hold = self.reg_next.remove(&reg).unwrap_or(Expr::Signal(reg));
+        self.reg_next.insert(reg, Expr::mux(enable, value, hold));
     }
 
     /// Adds a synchronous write port to a register array.
@@ -388,9 +390,7 @@ impl Module {
                 let wb = self.expr_width(b)?;
                 match op {
                     BinaryOp::Shl | BinaryOp::Shr => Ok(wa),
-                    _ if wa != wb => {
-                        Err(format!("operand width mismatch {wa} vs {wb} in {op:?}"))
-                    }
+                    _ if wa != wb => Err(format!("operand width mismatch {wa} vs {wb} in {op:?}")),
                     _ if op.is_comparison() => Ok(1),
                     _ => Ok(wa),
                 }
@@ -453,21 +453,16 @@ impl Module {
                     let driven_by_inst = self.instances.iter().any(|inst| {
                         inst.connections.iter().any(|(port, s)| {
                             *s == id
-                                && m_kind(library, &inst.module, port)
-                                    == Some(SignalKind::Output)
+                                && m_kind(library, &inst.module, port) == Some(SignalKind::Output)
                         })
                     });
                     match (driven_by_assign, driven_by_inst) {
                         (false, false) => return Err(NetlistError::Undriven(sig.name.clone())),
-                        (true, true) => {
-                            return Err(NetlistError::DoubleDriven(sig.name.clone()))
-                        }
+                        (true, true) => return Err(NetlistError::DoubleDriven(sig.name.clone())),
                         _ => {}
                     }
                     if let Some(e) = self.assigns.get(&id) {
-                        let w = self
-                            .expr_width(e)
-                            .map_err(NetlistError::BadExpr)?;
+                        let w = self.expr_width(e).map_err(NetlistError::BadExpr)?;
                         if w != sig.width {
                             return Err(NetlistError::WidthMismatch {
                                 signal: sig.name.clone(),
@@ -479,9 +474,7 @@ impl Module {
                 }
                 SignalKind::Reg => {
                     if let Some(e) = self.reg_next.get(&id) {
-                        let w = self
-                            .expr_width(e)
-                            .map_err(NetlistError::BadExpr)?;
+                        let w = self.expr_width(e).map_err(NetlistError::BadExpr)?;
                         if w != sig.width {
                             return Err(NetlistError::WidthMismatch {
                                 signal: sig.name.clone(),
@@ -496,9 +489,7 @@ impl Module {
         }
         for w in &self.array_writes {
             let arr = &self.arrays[w.array.0];
-            let dw = self
-                .expr_width(&w.data)
-                .map_err(NetlistError::BadExpr)?;
+            let dw = self.expr_width(&w.data).map_err(NetlistError::BadExpr)?;
             if dw != arr.width {
                 return Err(NetlistError::WidthMismatch {
                     signal: arr.name.clone(),
@@ -510,9 +501,9 @@ impl Module {
             self.expr_width(&w.index).map_err(NetlistError::BadExpr)?;
         }
         for inst in &self.instances {
-            let child = library
-                .get(&inst.module)
-                .ok_or_else(|| NetlistError::BadInstance(format!("unknown module {}", inst.module)))?;
+            let child = library.get(&inst.module).ok_or_else(|| {
+                NetlistError::BadInstance(format!("unknown module {}", inst.module))
+            })?;
             for (port, parent_sig) in &inst.connections {
                 let child_port = child.find(port).ok_or_else(|| {
                     NetlistError::BadInstance(format!("unknown port {}.{}", inst.module, port))

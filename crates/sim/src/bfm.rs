@@ -332,12 +332,13 @@ mod tests {
             Expr::Signal(in_valid).and(Expr::Signal(busy).not()),
         );
         m.assign(in_ack, Expr::Signal(busy).not());
-        m.update_when(held, Expr::Signal(accept), Expr::Signal(in_data).add(Expr::lit(1, 8)));
-        // busy := accept ? 1 : (out handshake done ? 0 : busy)
-        let out_done = m.wire_from(
-            "out_done",
-            Expr::Signal(busy).and(Expr::Signal(out_ack)),
+        m.update_when(
+            held,
+            Expr::Signal(accept),
+            Expr::Signal(in_data).add(Expr::lit(1, 8)),
         );
+        // busy := accept ? 1 : (out handshake done ? 0 : busy)
+        let out_done = m.wire_from("out_done", Expr::Signal(busy).and(Expr::Signal(out_ack)));
         let next_busy = Expr::mux(
             Expr::Signal(accept),
             Expr::bit(true),
@@ -362,7 +363,10 @@ mod tests {
             sender.push(Bits::from_u64(i, 8), delay);
         }
         tb.add(Box::new(sender));
-        tb.add(Box::new(ReceiverBfm::new(out_ports, AckPolicy::AlwaysReady)));
+        tb.add(Box::new(ReceiverBfm::new(
+            out_ports,
+            AckPolicy::AlwaysReady,
+        )));
         tb.run(30).unwrap();
 
         // Can't easily retrieve boxed agents generically; re-run with direct
@@ -396,10 +400,7 @@ mod tests {
         let out_ports = MsgPorts::conventional(&sim, "out", "m");
         let mut sim = sim;
         let mut sender = SenderBfm::new(in_ports);
-        let mut recv = ReceiverBfm::new(
-            out_ports,
-            AckPolicy::DelayQueue(VecDeque::from([3u64])),
-        );
+        let mut recv = ReceiverBfm::new(out_ports, AckPolicy::DelayQueue(VecDeque::from([3u64])));
         sender.push(Bits::from_u64(1, 8), 0);
         sender.push(Bits::from_u64(2, 8), 0);
         for _ in 0..40 {

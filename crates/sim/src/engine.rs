@@ -393,11 +393,7 @@ fn comb_topo_order(m: &Module) -> Result<Vec<SignalId>, SimError> {
             }
         }
     }
-    let mut queue: Vec<SignalId> = driven
-        .iter()
-        .filter(|s| indeg[s] == 0)
-        .copied()
-        .collect();
+    let mut queue: Vec<SignalId> = driven.iter().filter(|s| indeg[s] == 0).copied().collect();
     let mut order = Vec::with_capacity(driven.len());
     while let Some(s) = queue.pop() {
         order.push(s);
@@ -416,9 +412,7 @@ fn comb_topo_order(m: &Module) -> Result<Vec<SignalId>, SimError> {
             .iter()
             .find(|s| !order.contains(s))
             .expect("cycle implies a stuck signal");
-        return Err(SimError::CombinationalLoop(
-            m.signal(*stuck).name.clone(),
-        ));
+        return Err(SimError::CombinationalLoop(m.signal(*stuck).name.clone()));
     }
     Ok(order)
 }
@@ -472,10 +466,7 @@ mod tests {
         m.assign(w1, Expr::Signal(w2).not());
         m.assign(w2, Expr::Signal(w1).not());
         m.assign(o, Expr::Signal(w1));
-        assert!(matches!(
-            Sim::new(&m),
-            Err(SimError::CombinationalLoop(_))
-        ));
+        assert!(matches!(Sim::new(&m), Err(SimError::CombinationalLoop(_))));
     }
 
     #[test]

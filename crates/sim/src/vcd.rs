@@ -193,12 +193,7 @@ mod tests {
             w.sample(&mut sim);
             sim.step().unwrap();
         }
-        let series: Vec<u64> = w
-            .series("o")
-            .unwrap()
-            .iter()
-            .map(|b| b.to_u64())
-            .collect();
+        let series: Vec<u64> = w.series("o").unwrap().iter().map(|b| b.to_u64()).collect();
         assert_eq!(series, vec![0, 1, 0, 1]);
     }
 

@@ -340,8 +340,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LexError> {
                     };
                     j += 1;
                     let digits_start = j;
-                    while j < n
-                        && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                    while j < n && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
                     {
                         j += 1;
                     }
@@ -350,7 +349,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LexError> {
                         message: format!("invalid base-{base} literal"),
                         span: Span::new(digits_start, j),
                     })?;
-                    if width == 0 || width > 64 && false {
+                    if width == 0 {
                         return Err(LexError {
                             message: "literal width must be positive".into(),
                             span: Span::new(i, j),
@@ -376,9 +375,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i;
-                while j < n
-                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < n && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 let word = &source[i..j];

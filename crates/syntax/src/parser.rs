@@ -81,7 +81,11 @@ struct Parser {
 
 enum Item {
     Plain(Term),
-    Binding { name: String, value: Term, span: Span },
+    Binding {
+        name: String,
+        value: Term,
+        span: Span,
+    },
 }
 
 impl Parser {
@@ -194,9 +198,7 @@ impl Parser {
         let dir = match self.bump() {
             Tok::Left => Dir::Left,
             Tok::Right => Dir::Right,
-            other => {
-                return Err(self.err(format!("expected `left` or `right`, found {other}")))
-            }
+            other => return Err(self.err(format!("expected `left` or `right`, found {other}"))),
         };
         let name = self.ident()?;
         self.expect(&Tok::Colon)?;
@@ -309,11 +311,7 @@ impl Parser {
             let side = match self.bump() {
                 Tok::Left => Dir::Left,
                 Tok::Right => Dir::Right,
-                other => {
-                    return Err(
-                        self.err(format!("expected `left` or `right`, found {other}"))
-                    )
-                }
+                other => return Err(self.err(format!("expected `left` or `right`, found {other}"))),
             };
             let chan = self.ident()?;
             params.push(EndpointParam {
@@ -763,10 +761,7 @@ impl Parser {
                     None
                 };
                 let end = self.toks[self.pos - 1].span;
-                Ok(Term::new(
-                    TermKind::RegRead { reg, index },
-                    start.join(end),
-                ))
+                Ok(Term::new(TermKind::RegRead { reg, index }, start.join(end)))
             }
             Tok::Recv => {
                 self.bump();
@@ -828,9 +823,7 @@ impl Parser {
                 self.bump();
                 let label = match self.bump() {
                     Tok::Str(s) => s,
-                    other => {
-                        return Err(self.err(format!("expected string label, found {other}")))
-                    }
+                    other => return Err(self.err(format!("expected string label, found {other}"))),
                 };
                 let value = if self.eat(&Tok::LParen) {
                     let v = self.expr()?;
@@ -983,9 +976,7 @@ mod tests {
             panic!()
         };
         match &t.kind {
-            TermKind::Let {
-                name, op, body, ..
-            } => {
+            TermKind::Let { name, op, body, .. } => {
                 assert_eq!(name, "r");
                 assert_eq!(*op, SeqOp::Wait);
                 assert!(matches!(body.kind, TermKind::Send { .. }));
@@ -1025,8 +1016,8 @@ mod tests {
             "proc p() { reg r : logic[8]; loop { set r := (*r ^ 8'h1f) + concat(2'd1, (*r)[0:0]) >> cycle 1 } }",
         )
         .unwrap();
-        let prog2 = parse("proc p() { reg r : logic[8]; loop { set r := (*r)[3:0] << 1 } }")
-            .unwrap();
+        let prog2 =
+            parse("proc p() { reg r : logic[8]; loop { set r := (*r)[3:0] << 1 } }").unwrap();
         drop(prog2);
     }
 
@@ -1047,10 +1038,7 @@ mod tests {
         let TermKind::If { else_t, .. } = &t.kind else {
             panic!()
         };
-        assert!(matches!(
-            else_t.as_ref().unwrap().kind,
-            TermKind::If { .. }
-        ));
+        assert!(matches!(else_t.as_ref().unwrap().kind, TermKind::If { .. }));
     }
 
     #[test]
@@ -1094,8 +1082,7 @@ mod tests {
     fn dprint_forms() {
         parse(r#"proc p() { loop { dprint "hello" >> cycle 1 } }"#).unwrap();
         let prog =
-            parse(r#"proc p() { reg r : logic[8]; loop { dprint "v" (*r) >> cycle 1 } }"#)
-                .unwrap();
+            parse(r#"proc p() { reg r : logic[8]; loop { dprint "v" (*r) >> cycle 1 } }"#).unwrap();
         let Thread::Loop(t) = &prog.procs[0].threads[0] else {
             panic!()
         };

@@ -73,7 +73,14 @@ pub fn pretty_proc(p: &ProcDef) -> String {
     for r in &p.regs {
         let depth = r.depth.map(|d| format!("[{d}]")).unwrap_or_default();
         let init = r.init.map(|v| format!(" := {v}")).unwrap_or_default();
-        let _ = writeln!(out, "  reg {} : {}{}{};", r.name, logic(r.width), depth, init);
+        let _ = writeln!(
+            out,
+            "  reg {} : {}{}{};",
+            r.name,
+            logic(r.width),
+            depth,
+            init
+        );
     }
     for c in &p.chans {
         let _ = writeln!(out, "  chan {} -- {} : {};", c.left, c.right, c.chan);
@@ -145,11 +152,7 @@ pub fn pretty_term(t: &Term) -> String {
             then_t,
             else_t,
         } => {
-            let mut s = format!(
-                "if {} {{ {} }}",
-                pretty_term(cond),
-                pretty_term(then_t)
-            );
+            let mut s = format!("if {} {{ {} }}", pretty_term(cond), pretty_term(then_t));
             if let Some(e) = else_t {
                 let _ = write!(s, " else {{ {} }}", pretty_term(e));
             }
@@ -160,11 +163,7 @@ pub fn pretty_term(t: &Term) -> String {
         }
         TermKind::Recv { ep, msg } => format!("recv {ep}.{msg}"),
         TermKind::Assign { reg, index, value } => match index {
-            Some(i) => format!(
-                "set {reg}[{}] := {}",
-                pretty_term(i),
-                pretty_term(value)
-            ),
+            Some(i) => format!("set {reg}[{}] := {}", pretty_term(i), pretty_term(value)),
             None => format!("set {reg} := {}", pretty_term(value)),
         },
         TermKind::Cycle(n) => format!("cycle {n}"),
@@ -274,16 +273,8 @@ mod tests {
             TermKind::Unop(_, a) | TermKind::Slice { base: a, .. } => strip_spans(a),
             TermKind::Concat(parts) => parts.iter_mut().for_each(strip_spans),
             TermKind::ExternCall { args, .. } => args.iter_mut().for_each(strip_spans),
-            TermKind::Dprint { value, .. } => {
-                if let Some(v) = value {
-                    strip_spans(v);
-                }
-            }
-            TermKind::RegRead { index, .. } => {
-                if let Some(i) = index {
-                    strip_spans(i);
-                }
-            }
+            TermKind::Dprint { value: Some(v), .. } => strip_spans(v),
+            TermKind::RegRead { index: Some(i), .. } => strip_spans(i),
             _ => {}
         }
     }

@@ -269,9 +269,7 @@ fn expr_depth(m: &Module, e: &Expr, sig_depth: &HashMap<SignalId, f64>) -> f64 {
         Expr::Unary(_, a) | Expr::Slice { base: a, .. } | Expr::Resize { base: a, .. } => {
             expr_depth(m, a, sig_depth)
         }
-        Expr::Binary(_, a, b) => {
-            expr_depth(m, a, sig_depth).max(expr_depth(m, b, sig_depth))
-        }
+        Expr::Binary(_, a, b) => expr_depth(m, a, sig_depth).max(expr_depth(m, b, sig_depth)),
         Expr::Mux {
             cond,
             then_e,

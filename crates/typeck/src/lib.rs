@@ -22,9 +22,8 @@
 
 use std::collections::BTreeMap;
 
-use anvil_ir::{
-    build_proc, BuildCtx, EventGraph, EventId, IrError, Pattern, PatternDur, ThreadIr,
-};
+use anvil_intern::Symbol;
+use anvil_ir::{build_proc, BuildCtx, EventGraph, EventId, IrError, Pattern, PatternDur, ThreadIr};
 use anvil_syntax::{Program, Span};
 
 /// Which of the safety checks a diagnostic comes from.
@@ -80,7 +79,7 @@ impl std::error::Error for TypeError {}
 #[derive(Clone, Debug)]
 pub struct Loan {
     /// Loaned register.
-    pub reg: String,
+    pub reg: Symbol,
     /// Loan start (value creation).
     pub start: EventId,
     /// Loan end pattern.
@@ -97,7 +96,7 @@ pub struct Loan {
 #[derive(Clone, Debug, Default)]
 pub struct ThreadReport {
     /// All inferred loans, grouped by register.
-    pub loans: BTreeMap<String, Vec<Loan>>,
+    pub loans: BTreeMap<Symbol, Vec<Loan>>,
     /// All violations found.
     pub errors: Vec<TypeError>,
 }
@@ -115,9 +114,9 @@ pub fn check_thread(ir: &ThreadIr) -> ThreadReport {
     // value's creation to the end of the use window; every send loans it
     // until the contract expiry.
     for u in &ir.uses {
-        for reg in &u.regs {
-            report.loans.entry(reg.clone()).or_default().push(Loan {
-                reg: reg.clone(),
+        for &reg in &u.regs {
+            report.loans.entry(reg).or_default().push(Loan {
+                reg,
                 start: u.created,
                 end: u.end.clone(),
                 origin: u.desc.clone(),
@@ -135,9 +134,9 @@ pub fn check_thread(ir: &ThreadIr) -> ThreadReport {
             // static hold (flagged separately if mutated at all).
             None => Pattern::cycles(s.done, u64::MAX / 2),
         };
-        for reg in &s.regs {
-            report.loans.entry(reg.clone()).or_default().push(Loan {
-                reg: reg.clone(),
+        for &reg in &s.regs {
+            report.loans.entry(reg).or_default().push(Loan {
+                reg,
                 start: s.created,
                 end: end.clone(),
                 origin: format!("value sent through {}", s.msg),
@@ -171,12 +170,8 @@ pub fn check_thread(ir: &ThreadIr) -> ThreadReport {
                 if contexts_disjoint(g, a.at, loan.start) {
                     continue; // different branches never co-occur
                 }
-                let ok = g.le_pattern_ctx(
-                    &loan.end,
-                    &Pattern::cycles(a.at, 1),
-                    0,
-                    Some(a.at),
-                ) || g.lt(a.at, loan.start);
+                let ok = g.le_pattern_ctx(&loan.end, &Pattern::cycles(a.at, 1), 0, Some(a.at))
+                    || g.lt(a.at, loan.start);
                 if !ok {
                     report.errors.push(TypeError {
                         kind: CheckKind::RegisterMutation,
@@ -214,8 +209,7 @@ pub fn check_thread(ir: &ThreadIr) -> ThreadReport {
                 continue;
             }
         };
-        if !g.le_pattern_sets_ctx(std::slice::from_ref(&required), &s.ends, 1, Some(s.start))
-        {
+        if !g.le_pattern_sets_ctx(std::slice::from_ref(&required), &s.ends, 1, Some(s.start)) {
             report.errors.push(TypeError {
                 kind: CheckKind::MessageSend,
                 message: format!(
@@ -251,12 +245,7 @@ pub fn check_thread(ir: &ThreadIr) -> ThreadReport {
                             dur: db.clone(),
                         };
                         g.le_pattern_ctx(&ea, &Pattern::cycles(b.start, 0), 0, Some(b.start))
-                            || g.le_pattern_ctx(
-                                &eb,
-                                &Pattern::cycles(a.start, 0),
-                                0,
-                                Some(a.start),
-                            )
+                            || g.le_pattern_ctx(&eb, &Pattern::cycles(a.start, 0), 0, Some(a.start))
                     }
                     // An eternal contract admits a single send.
                     _ => false,
@@ -343,15 +332,16 @@ pub fn check_proc(program: &Program, proc_name: &str) -> Result<ProcReport, IrEr
     })
 }
 
-/// Checks every process in a program; returns per-process reports.
+/// Checks every process in a program; returns per-process reports keyed
+/// by interned process name.
 ///
 /// # Errors
 ///
 /// Propagates the first elaboration error.
-pub fn check_program(program: &Program) -> Result<BTreeMap<String, ProcReport>, IrError> {
+pub fn check_program(program: &Program) -> Result<BTreeMap<Symbol, ProcReport>, IrError> {
     let mut out = BTreeMap::new();
     for p in &program.procs {
-        out.insert(p.name.clone(), check_proc(program, &p.name)?);
+        out.insert(Symbol::intern(&p.name), check_proc(program, &p.name)?);
     }
     Ok(out)
 }
@@ -535,10 +525,7 @@ mod tests {
             }";
         let r = check(src);
         assert!(!r.is_safe());
-        assert!(r
-            .errors()
-            .iter()
-            .any(|e| e.kind == CheckKind::SendOverlap));
+        assert!(r.errors().iter().any(|e| e.kind == CheckKind::SendOverlap));
     }
 
     #[test]
@@ -582,10 +569,7 @@ mod tests {
             }";
         let r = check(src);
         assert!(!r.is_safe());
-        assert!(r
-            .errors()
-            .iter()
-            .any(|e| e.kind == CheckKind::ValueUse));
+        assert!(r.errors().iter().any(|e| e.kind == CheckKind::ValueUse));
     }
 
     #[test]
@@ -621,7 +605,7 @@ mod tests {
         let prog = parse(src).unwrap();
         let rep = check_proc(&prog, "p").unwrap();
         assert!(rep.is_safe(), "{:?}", rep.errors());
-        let loans = &rep.threads[0].loans["r"];
+        let loans = &rep.threads[0].loans[&Symbol::intern("r")];
         assert!(loans.iter().any(|l| l.origin.contains("ep.out")));
     }
 

@@ -163,8 +163,6 @@ fn cartesian(choices: &[Vec<u64>]) -> Vec<Vec<u64>> {
     out
 }
 
-
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,10 +186,7 @@ mod tests {
         let mut m = Module::new("deep");
         let q = m.reg("cnt", 32);
         m.set_next(q, Expr::Signal(q).add(Expr::lit(1, 32)));
-        let ok = m.wire_from(
-            "ok",
-            Expr::Signal(q).lt(Expr::lit(threshold, 32)),
-        );
+        let ok = m.wire_from("ok", Expr::Signal(q).lt(Expr::lit(threshold, 32)));
         let o = m.output("o", 1);
         m.assign(o, Expr::Signal(ok));
         let assertion = Expr::Signal(m.find("ok").unwrap());

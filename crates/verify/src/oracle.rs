@@ -13,6 +13,7 @@
 //! static checker never produce a violation here, across thousands of
 //! random latency/branch samples; the paper's unsafe examples do.
 
+use anvil_intern::Symbol;
 use anvil_ir::{EventId, Pattern, PatternDur, ThreadIr};
 use rand::Rng;
 
@@ -88,7 +89,7 @@ fn resolve_ends(ir: &ThreadIr, run: &ConcreteRun, ends: &[Pattern]) -> Option<i6
 
 /// All cycles at which a register is mutated in this run (the mutation
 /// takes effect between `t` and `t+1`).
-fn mutation_times(ir: &ThreadIr, run: &ConcreteRun, reg: &str) -> Vec<i64> {
+fn mutation_times(ir: &ThreadIr, run: &ConcreteRun, reg: Symbol) -> Vec<i64> {
     ir.assigns
         .iter()
         .filter(|a| a.reg == reg)
@@ -105,12 +106,12 @@ pub fn check_run(ir: &ThreadIr, run: &ConcreteRun) -> Vec<DynViolation> {
     // A window [a, b) needs: within every lifetime window of the value,
     // and no dependency register mutating m with a <= m && m+1 < b.
     let check_window = |what: &str,
-                            created: EventId,
-                            a: i64,
-                            b: i64,
-                            ends: &[Pattern],
-                            regs: &std::collections::BTreeSet<String>,
-                            out: &mut Vec<DynViolation>| {
+                        created: EventId,
+                        a: i64,
+                        b: i64,
+                        ends: &[Pattern],
+                        regs: &std::collections::BTreeSet<Symbol>,
+                        out: &mut Vec<DynViolation>| {
         if let Some(limit) = resolve_ends(ir, run, ends) {
             // One cycle of slack: a value stays physically stable through
             // its expiry-sync cycle (mutations land the cycle after).
@@ -122,7 +123,7 @@ pub fn check_run(ir: &ThreadIr, run: &ConcreteRun) -> Vec<DynViolation> {
             }
         }
         let start = run.tau[created.0].unwrap_or(a);
-        for reg in regs {
+        for &reg in regs {
             for m in mutation_times(ir, run, reg) {
                 if m >= start && m + 1 < b {
                     out.push(DynViolation {
@@ -137,10 +138,7 @@ pub fn check_run(ir: &ThreadIr, run: &ConcreteRun) -> Vec<DynViolation> {
     };
 
     for u in &ir.uses {
-        let (Some(at), Some(end)) = (
-            run.tau[u.at.0],
-            resolve_pattern(ir, run, &u.end),
-        ) else {
+        let (Some(at), Some(end)) = (run.tau[u.at.0], resolve_pattern(ir, run, &u.end)) else {
             continue; // untaken branch
         };
         check_window(&u.desc, u.created, at, end, &u.ends, &u.regs, &mut out);

@@ -159,7 +159,13 @@ pub fn fig2_engine(latency: u64) -> RuleEngine {
     );
     let get_res = Rule::new(
         "get_cache_res",
-        &["req_inflight", "data_valid", "data", "enq_count", "enq_last"],
+        &[
+            "req_inflight",
+            "data_valid",
+            "data",
+            "enq_count",
+            "enq_last",
+        ],
         |s| s["req_inflight"] == 1,
         |s| {
             s.insert("req_inflight".into(), 0);
@@ -214,14 +220,24 @@ mod tests {
     fn rules_fire_by_priority_without_write_conflicts() {
         let mut st = State::new();
         st.insert("x".into(), 0);
-        let r1 = Rule::new("inc", &["x"], |_| true, |s| {
-            let v = s["x"];
-            s.insert("x".into(), v + 1);
-        });
-        let r2 = Rule::new("dec", &["x"], |_| true, |s| {
-            let v = s["x"];
-            s.insert("x".into(), v.wrapping_sub(1));
-        });
+        let r1 = Rule::new(
+            "inc",
+            &["x"],
+            |_| true,
+            |s| {
+                let v = s["x"];
+                s.insert("x".into(), v + 1);
+            },
+        );
+        let r2 = Rule::new(
+            "dec",
+            &["x"],
+            |_| true,
+            |s| {
+                let v = s["x"];
+                s.insert("x".into(), v.wrapping_sub(1));
+            },
+        );
         let mut e = RuleEngine::new(st, vec![r1, r2]);
         e.cycle(&[0, 1]);
         // Only `inc` fired: `dec` write-conflicts.
@@ -236,14 +252,24 @@ mod tests {
         let mut st = State::new();
         st.insert("a".into(), 1);
         st.insert("b".into(), 2);
-        let swap_a = Rule::new("a_gets_b", &["a"], |_| true, |s| {
-            let b = s["b"];
-            s.insert("a".into(), b);
-        });
-        let swap_b = Rule::new("b_gets_a", &["b"], |_| true, |s| {
-            let a = s["a"];
-            s.insert("b".into(), a);
-        });
+        let swap_a = Rule::new(
+            "a_gets_b",
+            &["a"],
+            |_| true,
+            |s| {
+                let b = s["b"];
+                s.insert("a".into(), b);
+            },
+        );
+        let swap_b = Rule::new(
+            "b_gets_a",
+            &["b"],
+            |_| true,
+            |s| {
+                let a = s["a"];
+                s.insert("b".into(), a);
+            },
+        );
         let mut e = RuleEngine::new(st, vec![swap_a, swap_b]);
         e.cycle(&[0, 1]);
         assert_eq!(e.state["a"], 2);

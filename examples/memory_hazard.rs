@@ -12,7 +12,11 @@ fn main() {
     for (i, (expected, observed)) in hazard::fig1_observed(16).iter().enumerate() {
         println!(
             "  read {i}: expected {expected:#04x}, observed {observed:#04x}{}",
-            if expected == observed { "" } else { "   <-- hazard" }
+            if expected == observed {
+                ""
+            } else {
+                "   <-- hazard"
+            }
         );
     }
 

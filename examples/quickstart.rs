@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "send ep.res (*hold) ; set hold := 0 >>",
     );
     match Compiler::new().compile(&unsafe_source) {
-        Err(e) => println!("\nhazardous variant rejected:\n{}", e.render(&unsafe_source)),
+        Err(e) => println!(
+            "\nhazardous variant rejected:\n{}",
+            e.render(&unsafe_source)
+        ),
         Ok(_) => println!("\nunexpectedly accepted"),
     }
     Ok(())

@@ -4,7 +4,9 @@
 //! This facade crate re-exports the whole workspace; see the individual
 //! crates for details:
 //!
-//! * [`anvil_core`] — the compiler pipeline ([`Compiler`]),
+//! * [`anvil_core`] — the compiler pipeline ([`Compiler`], [`Session`],
+//!   the pass manager, and the parallel [`Compiler::compile_batch`]),
+//! * [`anvil_intern`] — the global [`Symbol`] string interner,
 //! * [`anvil_syntax`] / [`anvil_ir`] / [`anvil_typeck`] /
 //!   [`anvil_codegen`] — the compiler stages,
 //! * [`anvil_rtl`] — the netlist IR and SystemVerilog emitter,
@@ -25,16 +27,20 @@
 //! # Ok::<(), anvil::CompileError>(())
 //! ```
 
-pub use anvil_core::{CompileError, CompileOutput, Compiler, Options};
+pub use anvil_core::{
+    CodegenDiag, CompileError, CompileOutput, Compiler, Options, PassStats, Session,
+};
+pub use anvil_intern::Symbol;
 pub use anvil_sim::{Sim, SimError, Waveform};
 
 pub use anvil_codegen;
 pub use anvil_core;
 pub use anvil_designs;
+pub use anvil_intern;
 pub use anvil_ir;
 pub use anvil_rtl;
 pub use anvil_sim;
-pub use anvil_synth;
 pub use anvil_syntax;
+pub use anvil_synth;
 pub use anvil_typeck;
 pub use anvil_verify;

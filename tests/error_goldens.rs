@@ -5,9 +5,7 @@ use anvil::{CompileError, Compiler};
 
 fn errors_for(src: &str) -> Vec<String> {
     match Compiler::new().compile(src) {
-        Err(CompileError::TimingUnsafe(errs)) => {
-            errs.into_iter().map(|e| e.message).collect()
-        }
+        Err(CompileError::TimingUnsafe(errs)) => errs.into_iter().map(|e| e.message).collect(),
         Err(other) => panic!("expected timing violations, got: {other}"),
         Ok(_) => panic!("expected rejection"),
     }
@@ -18,7 +16,8 @@ fn loaned_register_message_matches_paper() {
     // Fig. 2 / Fig. 9: "Error: Attempted assignment to a loaned register".
     let msgs = errors_for(&anvil_designs::hazard::fig1_top_unsafe_anvil());
     assert!(
-        msgs.iter().any(|m| m.contains("Attempted assignment to a loaned register")),
+        msgs.iter()
+            .any(|m| m.contains("Attempted assignment to a loaned register")),
         "{msgs:?}"
     );
 }
@@ -40,7 +39,8 @@ fn value_lifetime_message_matches_paper() {
         }";
     let msgs = errors_for(src);
     assert!(
-        msgs.iter().any(|m| m.contains("does not live long enough in message send")),
+        msgs.iter()
+            .any(|m| m.contains("does not live long enough in message send")),
         "{msgs:?}"
     );
 }

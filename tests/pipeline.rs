@@ -99,7 +99,8 @@ fn incremental_adoption_sv_compiles_into_library() {
     let flat = anvil_rtl::elaborate("sv_wrapper", &lib).unwrap();
     let mut sim = anvil_sim::Sim::new(&flat).unwrap();
     sim.poke("enq_v", anvil_rtl::Bits::bit(true)).unwrap();
-    sim.poke("enq_d", anvil_rtl::Bits::from_u64(0xAB, 16)).unwrap();
+    sim.poke("enq_d", anvil_rtl::Bits::from_u64(0xAB, 16))
+        .unwrap();
     for _ in 0..6 {
         sim.step().unwrap();
     }

@@ -65,10 +65,7 @@ fn all_evaluation_designs_safe_statically_and_dynamically() {
 #[test]
 fn paper_unsafe_examples_rejected_and_witnessed() {
     let cases: Vec<(String, &str)> = vec![
-        (
-            anvil_designs::hazard::fig1_top_unsafe_anvil(),
-            "top_unsafe",
-        ),
+        (anvil_designs::hazard::fig1_top_unsafe_anvil(), "top_unsafe"),
         (
             // Appendix A Listing 1's child.
             "chan ch {
@@ -129,5 +126,8 @@ fn templated_programs_safe_when_accepted() {
         }
     }
     // The family is calibrated so several members are genuinely safe.
-    assert!(checked >= 3, "expected several accepted programs, got {checked}");
+    assert!(
+        checked >= 3,
+        "expected several accepted programs, got {checked}"
+    );
 }
