@@ -102,7 +102,7 @@ fn compile_area(src: &str, top: &str, opt: bool) -> f64 {
     let mut compiler = anvil_core::Compiler::new();
     compiler.options(anvil_core::Options {
         optimize: opt,
-        force_dynamic_handshake: false,
+        ..anvil_core::Options::default()
     });
     if src.contains("extern fn sbox") {
         compiler.with_extern(anvil_designs::aes::sbox_module());

@@ -93,8 +93,8 @@ fn main() {
 fn area_with(src: &str, top: &str, force: bool) -> f64 {
     let mut compiler = anvil_core::Compiler::new();
     compiler.options(anvil_core::Options {
-        optimize: true,
         force_dynamic_handshake: force,
+        ..anvil_core::Options::default()
     });
     let out = compiler.compile(src).expect("design compiles");
     let flat = anvil_rtl::elaborate(top, &out.modules).expect("design flattens");

@@ -30,6 +30,10 @@ use anvil_syntax::{BinOp, Dir, Program, SyncMode, UnOp};
 pub struct CodegenOptions {
     /// Run the Fig. 8 event-graph optimizations before lowering.
     pub optimize: bool,
+    /// Which event-graph passes run when `optimize` is set (the Fig. 8
+    /// ablation and the pass-subset behavioural property tests compile
+    /// with individual passes toggled).
+    pub opt_config: OptConfig,
     /// Ablation: generate handshake wires even for static/dependent sync
     /// modes (quantifies the §6.2 port-omission optimisation).
     pub force_dynamic_handshake: bool,
@@ -39,6 +43,7 @@ impl Default for CodegenOptions {
     fn default() -> Self {
         CodegenOptions {
             optimize: true,
+            opt_config: OptConfig::default(),
             force_dynamic_handshake: false,
         }
     }
@@ -180,7 +185,7 @@ pub fn compile_program_staged(
         if opts.optimize {
             irs = irs
                 .iter()
-                .map(|ir| optimize(ir, OptConfig::default()).0)
+                .map(|ir| optimize(ir, opts.opt_config).0)
                 .collect();
         }
         stats.events_after += irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
@@ -295,7 +300,7 @@ pub fn compile_proc(
     if opts.optimize {
         irs = irs
             .iter()
-            .map(|ir| optimize(ir, OptConfig::default()).0)
+            .map(|ir| optimize(ir, opts.opt_config).0)
             .collect();
     }
     lower_proc(program, proc_name, &irs, lib, opts)

@@ -364,7 +364,7 @@ mod tests {
             master.drive(&mut sim).unwrap();
             s0.tick(&mut sim);
             s1.tick(&mut sim);
-            master.observe(&mut sim).unwrap();
+            master.observe(&sim).unwrap();
             if sim.peek("m_res_valid").unwrap().is_truthy() {
                 out.push(sim.peek("m_res_data").unwrap().to_u64());
             }
@@ -401,8 +401,8 @@ mod tests {
             m0.drive(&mut sim).unwrap();
             m1.drive(&mut sim).unwrap();
             slave.tick(&mut sim);
-            m0.observe(&mut sim).unwrap();
-            m1.observe(&mut sim).unwrap();
+            m0.observe(&sim).unwrap();
+            m1.observe(&sim).unwrap();
             if sim.peek("m0_res_valid").unwrap().is_truthy() {
                 out0.push(sim.peek("m0_res_data").unwrap().to_u64());
             }

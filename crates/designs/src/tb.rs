@@ -44,8 +44,8 @@ pub fn run_req_res(
         sender.drive(&mut sim)?;
         recv.drive(&mut sim)?;
         sim.settle();
-        sender.observe(&mut sim)?;
-        recv.observe(&mut sim)?;
+        sender.observe(&sim)?;
+        recv.observe(&sim)?;
         sim.step()?;
     }
     Ok(recv.received)
@@ -82,6 +82,39 @@ pub fn assert_equivalent(
     (ta, tb)
 }
 
+/// One xorshift64 step: the deterministic PRNG shared by the
+/// differential backend tests, the pass-subset behavioural properties,
+/// and the simulator benches, so they all exercise the same stimulus for
+/// a given seed.
+pub fn xorshift64(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// All input ports of a module as `(name, width)`, in id order — the
+/// poke-list for whole-interface random stimulus.
+pub fn input_ports(module: &Module) -> Vec<(String, usize)> {
+    module
+        .iter_signals()
+        .filter(|(_, s)| s.kind == anvil_rtl::SignalKind::Input)
+        .map(|(_, s)| (s.name.clone(), s.width))
+        .collect()
+}
+
+/// Pokes one xorshift-derived random value on every input port.
+pub fn poke_random_inputs(
+    sim: &mut Sim,
+    inputs: &[(String, usize)],
+    rng: &mut u64,
+) -> Result<(), SimError> {
+    for (name, width) in inputs {
+        sim.poke(name, Bits::from_u64(xorshift64(rng), *width))?;
+    }
+    Ok(())
+}
+
 /// Measures switching activity under a random-input workload (for the
 /// power model): pokes random values on every input for `cycles`.
 pub fn random_activity(module: &Module, cycles: u64, seed: u64) -> f64 {
@@ -89,11 +122,7 @@ pub fn random_activity(module: &Module, cycles: u64, seed: u64) -> f64 {
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sim = Sim::new(module).expect("design simulates");
-    let inputs: Vec<(String, usize)> = module
-        .iter_signals()
-        .filter(|(_, s)| s.kind == anvil_rtl::SignalKind::Input)
-        .map(|(_, s)| (s.name.clone(), s.width))
-        .collect();
+    let inputs = input_ports(module);
     for _ in 0..cycles {
         for (name, width) in &inputs {
             let v = Bits::from_u64(rng.gen(), *width);

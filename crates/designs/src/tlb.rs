@@ -195,9 +195,9 @@ mod tests {
             lookup.drive(&mut sim).unwrap();
             res.drive(&mut sim).unwrap();
             sim.settle();
-            install.observe(&mut sim).unwrap();
-            lookup.observe(&mut sim).unwrap();
-            res.observe(&mut sim).unwrap();
+            install.observe(&sim).unwrap();
+            lookup.observe(&sim).unwrap();
+            res.observe(&sim).unwrap();
             sim.step().unwrap();
         }
         res.values()

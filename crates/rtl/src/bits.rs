@@ -99,6 +99,23 @@ impl Bits {
         self.width
     }
 
+    /// The little-endian `u64` word storage (unused high bits of the top
+    /// word are zero). Exposed so word-packed consumers (the compiled
+    /// simulation backend, state fingerprinting) can avoid per-bit access.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a vector of `width` bits from little-endian words, truncating
+    /// or zero-padding as needed.
+    pub fn from_words(width: usize, words: &[u64]) -> Self {
+        let mut b = Bits::zero(width);
+        let n = b.words.len().min(words.len());
+        b.words[..n].copy_from_slice(&words[..n]);
+        b.normalize();
+        b
+    }
+
     /// Low 64 bits of the value.
     pub fn to_u64(&self) -> u64 {
         self.words[0]

@@ -354,6 +354,71 @@ impl Module {
             .map(SignalId)
     }
 
+    /// Looks up a register array by name.
+    pub fn find_array(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId)
+    }
+
+    /// Builds a name → id table for O(1) repeated lookups (the simulator
+    /// resolves every `poke`/`peek` through one of these instead of
+    /// re-scanning the signal list).
+    pub fn name_index(&self) -> HashMap<String, SignalId> {
+        self.iter_signals()
+            .map(|(id, s)| (s.name.clone(), id))
+            .collect()
+    }
+
+    /// Topologically orders every combinationally-driven signal so each
+    /// one is evaluated after the comb-driven signals it reads.
+    ///
+    /// This is the evaluation schedule shared by both simulation backends;
+    /// the order is deterministic for a given module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a signal on a combinational cycle.
+    pub fn comb_schedule(&self) -> Result<Vec<SignalId>, SignalId> {
+        let driven: Vec<SignalId> = {
+            let mut v: Vec<SignalId> = self.assigns.keys().copied().collect();
+            v.sort();
+            v
+        };
+        // In-degree over comb-driven signals only: registers and inputs
+        // break cycles by construction.
+        let mut indeg: HashMap<SignalId, usize> = driven.iter().map(|s| (*s, 0)).collect();
+        let mut dependents: HashMap<SignalId, Vec<SignalId>> = HashMap::new();
+        for id in &driven {
+            for dep in self.assigns[id].signals() {
+                if self.assigns.contains_key(&dep) {
+                    *indeg.get_mut(id).expect("driven signal") += 1;
+                    dependents.entry(dep).or_default().push(*id);
+                }
+            }
+        }
+        let mut queue: Vec<SignalId> = driven.iter().filter(|s| indeg[s] == 0).copied().collect();
+        let mut order = Vec::with_capacity(driven.len());
+        while let Some(s) = queue.pop() {
+            order.push(s);
+            if let Some(deps) = dependents.get(&s) {
+                for d in deps.clone() {
+                    let e = indeg.get_mut(&d).expect("driven signal");
+                    *e -= 1;
+                    if *e == 0 {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+        if order.len() < driven.len() {
+            let stuck = driven
+                .iter()
+                .find(|s| !order.contains(s))
+                .expect("cycle implies a stuck signal");
+            return Err(*stuck);
+        }
+        Ok(order)
+    }
+
     /// The signal's metadata.
     pub fn signal(&self, id: SignalId) -> &Signal {
         &self.signals[id.0]

@@ -54,8 +54,9 @@ impl MsgPorts {
 pub trait Agent: std::any::Any {
     /// Phase 1: drive inputs for this cycle.
     fn drive(&mut self, sim: &mut Sim) -> Result<(), SimError>;
-    /// Phase 2: observe settled outputs for this cycle.
-    fn observe(&mut self, sim: &mut Sim) -> Result<(), SimError>;
+    /// Phase 2: observe settled outputs for this cycle (read-only on the
+    /// design: the simulation state is eagerly settled).
+    fn observe(&mut self, sim: &Sim) -> Result<(), SimError>;
     /// Upcast for concrete-type retrieval from a [`Testbench`].
     fn as_any(&self) -> &dyn std::any::Any;
 }
@@ -140,7 +141,7 @@ impl Agent for SenderBfm {
         Ok(())
     }
 
-    fn observe(&mut self, sim: &mut Sim) -> Result<(), SimError> {
+    fn observe(&mut self, sim: &Sim) -> Result<(), SimError> {
         if self.active.is_some() {
             let acked = match &self.ports.ack {
                 Some(p) => sim.peek(p)?.is_truthy(),
@@ -208,7 +209,7 @@ impl Agent for ReceiverBfm {
         Ok(())
     }
 
-    fn observe(&mut self, sim: &mut Sim) -> Result<(), SimError> {
+    fn observe(&mut self, sim: &Sim) -> Result<(), SimError> {
         let valid = match &self.ports.valid {
             Some(p) => sim.peek(p)?.is_truthy(),
             None => true,
@@ -294,7 +295,7 @@ impl Testbench {
         }
         self.sim.settle();
         for a in &mut self.agents {
-            a.observe(&mut self.sim)?;
+            a.observe(&self.sim)?;
         }
         self.sim.step()
     }
@@ -384,8 +385,8 @@ mod tests {
             sender.drive(&mut sim).unwrap();
             recv.drive(&mut sim).unwrap();
             sim.settle();
-            sender.observe(&mut sim).unwrap();
-            recv.observe(&mut sim).unwrap();
+            sender.observe(&sim).unwrap();
+            recv.observe(&sim).unwrap();
             sim.step().unwrap();
         }
         assert!(sender.done());
@@ -407,8 +408,8 @@ mod tests {
             sender.drive(&mut sim).unwrap();
             recv.drive(&mut sim).unwrap();
             sim.settle();
-            sender.observe(&mut sim).unwrap();
-            recv.observe(&mut sim).unwrap();
+            sender.observe(&sim).unwrap();
+            recv.observe(&sim).unwrap();
             sim.step().unwrap();
         }
         let vals: Vec<u64> = recv.values().iter().map(|b| b.to_u64()).collect();

@@ -1,17 +1,35 @@
-//! The cycle-accurate two-phase simulation engine.
+//! The cycle-accurate two-phase simulation facade and the tree-walking
+//! reference backend.
 //!
-//! Executes a *flattened* [`Module`] (see [`anvil_rtl::elaborate`]): each
-//! cycle first settles every combinational signal in topological order
+//! [`Sim`] executes a *flattened* [`Module`] (see [`anvil_rtl::elaborate`]):
+//! each cycle first settles every combinational signal in topological order
 //! (phase 1), then commits register next-values and array writes on the
 //! implicit rising clock edge (phase 2). This matches the synthesizable
 //! subset's SystemVerilog semantics bit-for-bit and cycle-for-cycle, which
 //! is all the paper's evaluation needs (functional equivalence + cycle
 //! latency; see DESIGN.md §1 for the substitution rationale).
+//!
+//! Two interchangeable engines implement the [`SimBackend`] trait:
+//!
+//! * [`Backend::Tree`] — the reference engine in this module, which
+//!   re-walks the recursive [`Expr`] trees every cycle, and
+//! * [`Backend::Compiled`] — the instruction-tape engine in
+//!   [`crate::tape`], a one-time lowering to topologically scheduled
+//!   word-level ops over a flat `u64` arena.
+//!
+//! Both engines are driven through the same facade, produce bit-identical
+//! signal values, debug prints, toggle counts, and state fingerprints, and
+//! are differentially property-tested against each other over the paper's
+//! ten-design evaluation suite.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use anvil_rtl::{ArrayId, BinaryOp, Bits, Expr, Module, SignalId, SignalKind, UnaryOp};
+
+use crate::tape::{Tape, TapeEngine};
 
 /// Errors raised when preparing or running a simulation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +51,19 @@ pub enum SimError {
         /// Width of the poked value.
         found: usize,
     },
+    /// A driver expression's width differs from its target signal's
+    /// declared width (the compiled backend width-checks every driver
+    /// while lowering to the tape).
+    DriverWidth {
+        /// The mis-driven signal (or array, for write ports).
+        signal: String,
+        /// Declared width.
+        expected: usize,
+        /// Width of the driving expression.
+        found: usize,
+    },
+    /// An expression could not be width-checked during tape lowering.
+    MalformedExpr(String),
 }
 
 impl fmt::Display for SimError {
@@ -52,13 +83,438 @@ impl fmt::Display for SimError {
                 f,
                 "poked `{signal}` with width {found}, expected {expected}"
             ),
+            SimError::DriverWidth {
+                signal,
+                expected,
+                found,
+            } => write!(
+                f,
+                "driver of `{signal}` has width {found}, expected {expected}"
+            ),
+            SimError::MalformedExpr(s) => write!(f, "malformed expression: {s}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
 
+/// Which engine executes the design.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The reference engine: walks the recursive `Expr` trees every cycle.
+    Tree,
+    /// The compiled engine: a one-time lowering to a linear instruction
+    /// tape with pre-resolved slot indices and word-packed storage.
+    #[default]
+    Compiled,
+}
+
+impl Backend {
+    /// Backend selected by the `ANVIL_SIM_BACKEND` environment variable
+    /// (`tree` selects the reference engine; anything else — including an
+    /// unset variable — selects the compiled engine).
+    pub fn from_env() -> Backend {
+        match std::env::var("ANVIL_SIM_BACKEND").as_deref() {
+            Ok("tree") | Ok("interp") => Backend::Tree,
+            _ => Backend::Compiled,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Tree => write!(f, "tree"),
+            Backend::Compiled => write!(f, "compiled"),
+        }
+    }
+}
+
+/// One simulation engine behind the [`Sim`] facade.
+///
+/// Implementations hold all mutable run state (signal values, memories,
+/// toggle counters). The facade owns name resolution, width checking,
+/// cycle counting, and the debug-print log; it guarantees that
+/// `peek_id`/`poke_id` receive valid ids and width-matched values, and
+/// that the engine is settled before any read.
+pub trait SimBackend: Send {
+    /// Which engine this is.
+    fn kind(&self) -> Backend;
+    /// Evaluates all combinational logic against the current inputs and
+    /// register state. Must be idempotent (cheap when nothing changed).
+    fn settle(&mut self);
+    /// Fires debug prints into `log`, counts toggles, then commits
+    /// register next-values and array writes (the rising clock edge).
+    /// Assumes the engine is settled.
+    fn commit(&mut self, cycle: u64, log: &mut Vec<(u64, String)>);
+    /// Reads a settled signal value.
+    fn peek_id(&self, id: SignalId) -> Bits;
+    /// Writes an input signal (width pre-checked by the facade).
+    fn poke_id(&mut self, id: SignalId, value: Bits);
+    /// Reads one element of a memory.
+    fn peek_array(&self, array: ArrayId, index: usize) -> Bits;
+    /// Writes one element of a memory directly (the facade pre-resizes
+    /// `value` to the declared element width).
+    fn poke_array(&mut self, array: ArrayId, index: usize, value: Bits);
+    /// Evaluates an arbitrary expression against the settled state.
+    fn eval(&self, e: &Expr) -> Bits;
+    /// Hash of the architectural state (registers and memories); equal
+    /// across backends for equal states.
+    fn state_fingerprint(&self) -> u64;
+    /// Total observed bit toggles per signal.
+    fn toggle_counts(&self) -> &[u64];
+    /// Restores the power-on state (register inits, memory inits, zeroed
+    /// toggle counters).
+    fn reset(&mut self);
+}
+
+/// Read access to settled signal and memory values, shared by the
+/// expression evaluator across backends.
+pub(crate) trait ValueSource {
+    /// Current value of a signal.
+    fn signal(&self, id: SignalId) -> Bits;
+    /// Current value of one memory element; zero of the element width when
+    /// `index` is out of range.
+    fn array_read(&self, array: ArrayId, index: usize) -> Bits;
+}
+
+/// Evaluates an expression against a value source. This is the single
+/// semantics definition both backends (and the BMC assertion checker)
+/// share.
+pub(crate) fn eval_expr(e: &Expr, src: &dyn ValueSource) -> Bits {
+    match e {
+        Expr::Const(b) => b.clone(),
+        Expr::Signal(s) => src.signal(*s),
+        Expr::Unary(op, a) => {
+            let v = eval_expr(a, src);
+            match op {
+                UnaryOp::Not => v.not(),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::RedAnd => Bits::bit(v.reduce_and()),
+                UnaryOp::RedOr => Bits::bit(v.reduce_or()),
+                UnaryOp::RedXor => Bits::bit(v.reduce_xor()),
+                UnaryOp::LogicNot => Bits::bit(v.is_zero()),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let va = eval_expr(a, src);
+            let vb = eval_expr(b, src);
+            match op {
+                BinaryOp::Add => va.add(&vb),
+                BinaryOp::Sub => va.sub(&vb),
+                BinaryOp::Mul => va.mul(&vb),
+                BinaryOp::And => va.and(&vb),
+                BinaryOp::Or => va.or(&vb),
+                BinaryOp::Xor => va.xor(&vb),
+                BinaryOp::Eq => Bits::bit(va == vb),
+                BinaryOp::Ne => Bits::bit(va != vb),
+                BinaryOp::Lt => Bits::bit(va.lt(&vb)),
+                BinaryOp::Le => Bits::bit(!vb.lt(&va)),
+                BinaryOp::Gt => Bits::bit(vb.lt(&va)),
+                BinaryOp::Ge => Bits::bit(!va.lt(&vb)),
+                BinaryOp::Shl => va.shl(vb.to_u64().min(u64::from(u32::MAX)) as usize),
+                BinaryOp::Shr => va.shr(vb.to_u64().min(u64::from(u32::MAX)) as usize),
+            }
+        }
+        Expr::Mux {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            if eval_expr(cond, src).is_truthy() {
+                eval_expr(then_e, src)
+            } else {
+                eval_expr(else_e, src)
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut vals = parts.iter().map(|p| eval_expr(p, src));
+            let first = vals.next().expect("concat is non-empty");
+            vals.fold(first, |acc, v| acc.concat(&v))
+        }
+        Expr::Slice { base, lo, width } => eval_expr(base, src).slice(*lo, *width),
+        Expr::ArrayRead { array, index } => {
+            let idx = eval_expr(index, src).to_u64() as usize;
+            src.array_read(*array, idx)
+        }
+        Expr::Resize { base, width } => eval_expr(base, src).resize(*width),
+    }
+}
+
+/// Canonical architectural-state hasher. Both backends feed it the same
+/// `(width, words)` stream — registers in id order, then memories in
+/// declaration order — so fingerprints agree bit-for-bit across engines.
+pub(crate) struct StateHasher(std::collections::hash_map::DefaultHasher);
+
+impl StateHasher {
+    pub(crate) fn new() -> Self {
+        StateHasher(std::collections::hash_map::DefaultHasher::new())
+    }
+
+    pub(crate) fn add(&mut self, width: usize, words: &[u64]) {
+        width.hash(&mut self.0);
+        words.hash(&mut self.0);
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0.finish()
+    }
+}
+
+/// Rejects modules whose drivers fail to width-check, so both backends
+/// accept exactly the same module set (the tape lowering re-derives the
+/// same widths while allocating slots; the tree engine would otherwise
+/// silently store mis-sized values or panic mid-cycle).
+fn check_driver_widths(module: &Module) -> Result<(), SimError> {
+    let check = |target: &str, declared: usize, e: &Expr| -> Result<(), SimError> {
+        let found = module.expr_width(e).map_err(SimError::MalformedExpr)?;
+        if found != declared {
+            return Err(SimError::DriverWidth {
+                signal: target.to_string(),
+                expected: declared,
+                found,
+            });
+        }
+        Ok(())
+    };
+    for (id, e) in &module.assigns {
+        let sig = module.signal(*id);
+        check(&sig.name, sig.width, e)?;
+    }
+    for (id, e) in &module.reg_next {
+        let sig = module.signal(*id);
+        check(&sig.name, sig.width, e)?;
+    }
+    for w in &module.array_writes {
+        let decl = &module.arrays[w.array.0];
+        check(&decl.name, decl.width, &w.data)?;
+        module
+            .expr_width(&w.enable)
+            .map_err(SimError::MalformedExpr)?;
+        module
+            .expr_width(&w.index)
+            .map_err(SimError::MalformedExpr)?;
+    }
+    for p in &module.prints {
+        module
+            .expr_width(&p.enable)
+            .map_err(SimError::MalformedExpr)?;
+        if let Some(v) = &p.value {
+            module.expr_width(v).map_err(SimError::MalformedExpr)?;
+        }
+    }
+    Ok(())
+}
+
+/// The tree-walking reference engine: evaluates the module's `Expr` trees
+/// directly, one recursive walk per driven signal per settle.
+pub(crate) struct TreeEngine {
+    module: Arc<Module>,
+    /// Current value of every signal (inputs, wires, outputs, regs).
+    values: Vec<Bits>,
+    /// Previous settled values, for toggle counting.
+    prev_values: Vec<Bits>,
+    arrays: Vec<Vec<Bits>>,
+    comb_order: Vec<SignalId>,
+    /// Register next-value pairs in id order (deterministic iteration).
+    reg_next: Vec<(SignalId, Expr)>,
+    /// Total bit toggles observed per signal across the run.
+    toggles: Vec<u64>,
+    dirty: bool,
+}
+
+fn initial_values(module: &Module) -> Vec<Bits> {
+    module
+        .signals
+        .iter()
+        .map(|s| match (&s.kind, &s.init) {
+            (SignalKind::Reg, Some(init)) => init.clone(),
+            _ => Bits::zero(s.width),
+        })
+        .collect()
+}
+
+fn initial_arrays(module: &Module) -> Vec<Vec<Bits>> {
+    module
+        .arrays
+        .iter()
+        .map(|a| {
+            let mut contents = vec![Bits::zero(a.width); a.depth];
+            for (i, v) in a.init.iter().enumerate() {
+                contents[i] = v.clone();
+            }
+            contents
+        })
+        .collect()
+}
+
+impl TreeEngine {
+    pub(crate) fn new(module: Arc<Module>) -> Result<Self, SimError> {
+        let comb_order = module
+            .comb_schedule()
+            .map_err(|sid| SimError::CombinationalLoop(module.signal(sid).name.clone()))?;
+        let values = initial_values(&module);
+        let arrays = initial_arrays(&module);
+        let mut reg_next: Vec<(SignalId, Expr)> = module
+            .reg_next
+            .iter()
+            .map(|(id, e)| (*id, e.clone()))
+            .collect();
+        reg_next.sort_by_key(|(id, _)| *id);
+        let n = values.len();
+        Ok(TreeEngine {
+            module,
+            prev_values: values.clone(),
+            values,
+            arrays,
+            comb_order,
+            reg_next,
+            toggles: vec![0; n],
+            dirty: true,
+        })
+    }
+}
+
+impl ValueSource for TreeEngine {
+    fn signal(&self, id: SignalId) -> Bits {
+        self.values[id.0].clone()
+    }
+
+    fn array_read(&self, array: ArrayId, index: usize) -> Bits {
+        let contents = &self.arrays[array.0];
+        if index < contents.len() {
+            contents[index].clone()
+        } else {
+            Bits::zero(self.module.arrays[array.0].width)
+        }
+    }
+}
+
+impl SimBackend for TreeEngine {
+    fn kind(&self) -> Backend {
+        Backend::Tree
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let module = Arc::clone(&self.module);
+        for i in 0..self.comb_order.len() {
+            let id = self.comb_order[i];
+            let v = eval_expr(&module.assigns[&id], self);
+            self.values[id.0] = v;
+        }
+        self.dirty = false;
+    }
+
+    fn commit(&mut self, cycle: u64, log: &mut Vec<(u64, String)>) {
+        self.settle();
+
+        for p in &self.module.prints {
+            if eval_expr(&p.enable, self).is_truthy() {
+                let msg = match &p.value {
+                    Some(v) => format!("{}: {:x}", p.label, eval_expr(v, self)),
+                    None => p.label.clone(),
+                };
+                log.push((cycle, msg));
+            }
+        }
+
+        for (i, (cur, prev)) in self.values.iter().zip(&self.prev_values).enumerate() {
+            self.toggles[i] += u64::from(cur.hamming_distance(prev));
+        }
+        self.prev_values.clone_from(&self.values);
+
+        // Compute all register next-values and array writes from the
+        // settled state, then commit simultaneously (nonblocking
+        // semantics).
+        let mut next: Vec<(SignalId, Bits)> = Vec::with_capacity(self.reg_next.len());
+        for (reg, e) in &self.reg_next {
+            next.push((*reg, eval_expr(e, self)));
+        }
+        let mut array_commits: Vec<(ArrayId, usize, Bits)> = Vec::new();
+        for w in &self.module.array_writes {
+            if eval_expr(&w.enable, self).is_truthy() {
+                let idx = eval_expr(&w.index, self).to_u64() as usize;
+                let depth = self.arrays[w.array.0].len();
+                if idx < depth {
+                    array_commits.push((w.array, idx, eval_expr(&w.data, self)));
+                }
+            }
+        }
+        for (reg, v) in next {
+            self.values[reg.0] = v;
+        }
+        for (arr, idx, v) in array_commits {
+            self.arrays[arr.0][idx] = v;
+        }
+        self.dirty = true;
+    }
+
+    fn peek_id(&self, id: SignalId) -> Bits {
+        self.values[id.0].clone()
+    }
+
+    fn poke_id(&mut self, id: SignalId, value: Bits) {
+        // Re-poking an unchanged value must not dirty the engine: with
+        // eager settling, every dirtying poke costs a full settle pass,
+        // and testbenches re-drive constant handshake lines every cycle.
+        if self.values[id.0] == value {
+            return;
+        }
+        self.values[id.0] = value;
+        self.dirty = true;
+    }
+
+    fn peek_array(&self, array: ArrayId, index: usize) -> Bits {
+        self.arrays[array.0][index].clone()
+    }
+
+    fn poke_array(&mut self, array: ArrayId, index: usize, value: Bits) {
+        self.arrays[array.0][index] = value;
+        self.dirty = true;
+    }
+
+    fn eval(&self, e: &Expr) -> Bits {
+        eval_expr(e, self)
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = StateHasher::new();
+        for (id, sig) in self.module.iter_signals() {
+            if sig.kind == SignalKind::Reg {
+                h.add(sig.width, self.values[id.0].as_words());
+            }
+        }
+        for arr in &self.arrays {
+            for elem in arr {
+                h.add(elem.width(), elem.as_words());
+            }
+        }
+        h.finish()
+    }
+
+    fn toggle_counts(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    fn reset(&mut self) {
+        self.values = initial_values(&self.module);
+        self.prev_values = self.values.clone();
+        self.arrays = initial_arrays(&self.module);
+        self.toggles = vec![0; self.values.len()];
+        self.dirty = true;
+    }
+}
+
 /// A running simulation of one flattened module.
+///
+/// The facade owns name resolution (pre-resolved through a hash index),
+/// cycle counting, and the debug-print log, and drives one of the two
+/// [`SimBackend`] engines. State is kept eagerly settled — every `poke`
+/// and `step` re-settles — so all reads ([`Sim::peek`], [`Sim::peek_id`],
+/// [`Sim::eval`], [`Sim::state_fingerprint`]) take `&self`.
 ///
 /// # Examples
 ///
@@ -80,65 +536,62 @@ impl std::error::Error for SimError {}
 /// # Ok::<(), anvil_sim::SimError>(())
 /// ```
 pub struct Sim {
-    module: Module,
-    /// Current value of every signal (inputs, wires, outputs, regs).
-    values: Vec<Bits>,
-    /// Previous settled values, for toggle counting.
-    prev_values: Vec<Bits>,
-    arrays: Vec<Vec<Bits>>,
-    comb_order: Vec<SignalId>,
+    module: Arc<Module>,
+    /// Pre-resolved name → id index (O(1) poke/peek).
+    names: HashMap<String, SignalId>,
+    backend: Box<dyn SimBackend>,
     cycle: u64,
-    settled: bool,
-    /// Total bit toggles observed per signal across the run.
-    toggles: Vec<u64>,
     /// Messages produced by `dprint` actions, with their cycle numbers.
     pub log: Vec<(u64, String)>,
 }
 
 impl Sim {
-    /// Prepares a simulation: checks the design is flat and free of
-    /// combinational loops, initialises registers and memories.
+    /// Prepares a simulation with the default backend ([`Backend::from_env`]:
+    /// the compiled tape engine unless `ANVIL_SIM_BACKEND=tree`).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NotFlat`] if instances remain and
-    /// [`SimError::CombinationalLoop`] if the combinational graph is cyclic.
+    /// Returns [`SimError::NotFlat`] if instances remain,
+    /// [`SimError::CombinationalLoop`] if the combinational graph is
+    /// cyclic, and [`SimError::DriverWidth`] / [`SimError::MalformedExpr`]
+    /// if a driver fails the width check (both backends reject the same
+    /// module set).
     pub fn new(module: &Module) -> Result<Self, SimError> {
+        Sim::with_backend(module, Backend::from_env())
+    }
+
+    /// Prepares a simulation on an explicitly chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sim::new`].
+    pub fn with_backend(module: &Module, backend: Backend) -> Result<Self, SimError> {
         if !module.instances.is_empty() {
             return Err(SimError::NotFlat(module.name.clone()));
         }
-        let comb_order = comb_topo_order(module)?;
-        let values: Vec<Bits> = module
-            .signals
-            .iter()
-            .map(|s| match (&s.kind, &s.init) {
-                (SignalKind::Reg, Some(init)) => init.clone(),
-                _ => Bits::zero(s.width),
-            })
-            .collect();
-        let arrays = module
-            .arrays
-            .iter()
-            .map(|a| {
-                let mut contents = vec![Bits::zero(a.width); a.depth];
-                for (i, v) in a.init.iter().enumerate() {
-                    contents[i] = v.clone();
-                }
-                contents
-            })
-            .collect();
-        let n = values.len();
+        check_driver_widths(module)?;
+        let module = Arc::new(module.clone());
+        let names = module.name_index();
+        let mut backend: Box<dyn SimBackend> = match backend {
+            Backend::Tree => Box::new(TreeEngine::new(Arc::clone(&module))?),
+            Backend::Compiled => {
+                let tape = Tape::compile(Arc::clone(&module))?;
+                Box::new(TapeEngine::new(Arc::new(tape)))
+            }
+        };
+        backend.settle();
         Ok(Sim {
-            module: module.clone(),
-            prev_values: values.clone(),
-            values,
-            arrays,
-            comb_order,
+            module,
+            names,
+            backend,
             cycle: 0,
-            settled: false,
-            toggles: vec![0; n],
             log: Vec::new(),
         })
+    }
+
+    /// Which engine is running this simulation.
+    pub fn backend_kind(&self) -> Backend {
+        self.backend.kind()
     }
 
     /// Current cycle number (number of clock edges so far).
@@ -151,16 +604,20 @@ impl Sim {
         &self.module
     }
 
-    /// Sets an input port for the current cycle.
+    fn resolve(&self, name: &str) -> Result<SignalId, SimError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))
+    }
+
+    /// Sets an input port for the current cycle (and re-settles).
     ///
     /// # Errors
     ///
     /// Fails on unknown names, non-input signals, or width mismatches.
     pub fn poke(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
-        let id = self
-            .module
-            .find(name)
-            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
+        let id = self.resolve(name)?;
         let sig = self.module.signal(id);
         if sig.kind != SignalKind::Input {
             return Err(SimError::NotAnInput(name.to_string()));
@@ -172,22 +629,17 @@ impl Sim {
                 found: value.width(),
             });
         }
-        self.values[id.0] = value;
-        self.settled = false;
+        self.backend.poke_id(id, value);
+        self.backend.settle();
         Ok(())
     }
 
     /// Evaluates all combinational logic with the current inputs and
-    /// register state. Idempotent until the next poke or clock edge.
+    /// register state. A no-op unless state changed since the last settle
+    /// (the facade settles eagerly after every poke and step, so this
+    /// exists for API compatibility and explicit-phase testbenches).
     pub fn settle(&mut self) {
-        if self.settled {
-            return;
-        }
-        for id in self.comb_order.clone() {
-            let e = self.module.assigns[&id].clone();
-            self.values[id.0] = self.eval(&e);
-        }
-        self.settled = true;
+        self.backend.settle();
     }
 
     /// Reads a signal's settled value.
@@ -195,77 +647,45 @@ impl Sim {
     /// # Errors
     ///
     /// Fails on unknown signal names.
-    pub fn peek(&mut self, name: &str) -> Result<Bits, SimError> {
-        self.settle();
-        let id = self
-            .module
-            .find(name)
-            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
-        Ok(self.values[id.0].clone())
+    pub fn peek(&self, name: &str) -> Result<Bits, SimError> {
+        Ok(self.backend.peek_id(self.resolve(name)?))
     }
 
     /// Reads a signal by id (no name lookup).
-    pub fn peek_id(&mut self, id: SignalId) -> Bits {
-        self.settle();
-        self.values[id.0].clone()
+    pub fn peek_id(&self, id: SignalId) -> Bits {
+        self.backend.peek_id(id)
     }
 
     /// Reads one element of a memory (test visibility).
     pub fn peek_array(&self, array: ArrayId, index: usize) -> Bits {
-        self.arrays[array.0][index].clone()
+        self.backend.peek_array(array, index)
     }
 
-    /// Writes one element of a memory directly (test setup).
+    /// Writes one element of a memory directly (test setup). The value is
+    /// resized to the declared element width.
     pub fn poke_array(&mut self, array: ArrayId, index: usize, value: Bits) {
-        self.arrays[array.0][index] = value;
-        self.settled = false;
+        let width = self.module.arrays[array.0].width;
+        let value = if value.width() == width {
+            value
+        } else {
+            value.resize(width)
+        };
+        self.backend.poke_array(array, index, value);
+        self.backend.settle();
     }
 
-    /// Advances one clock edge: settles, fires debug prints, counts
-    /// toggles, then commits register next-values and array writes.
+    /// Advances one clock edge: fires debug prints, counts toggles,
+    /// commits register next-values and array writes, then re-settles.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a prepared simulation; the `Result` keeps
+    /// stepping fallible for future backends.
     pub fn step(&mut self) -> Result<(), SimError> {
-        self.settle();
-
-        for p in self.module.prints.clone() {
-            if self.eval(&p.enable).is_truthy() {
-                let msg = match &p.value {
-                    Some(v) => format!("{}: {:x}", p.label, self.eval(v)),
-                    None => p.label.clone(),
-                };
-                self.log.push((self.cycle, msg));
-            }
-        }
-
-        for (i, (cur, prev)) in self.values.iter().zip(&self.prev_values).enumerate() {
-            self.toggles[i] += u64::from(cur.hamming_distance(prev));
-        }
-        self.prev_values.clone_from(&self.values);
-
-        // Compute all register next-values from the settled state, then
-        // commit simultaneously (nonblocking-assignment semantics).
-        let mut next: HashMap<SignalId, Bits> = HashMap::new();
-        for (reg, e) in self.module.reg_next.clone() {
-            next.insert(reg, self.eval(&e));
-        }
-        let mut array_commits: Vec<(ArrayId, usize, Bits)> = Vec::new();
-        for w in self.module.array_writes.clone() {
-            if self.eval(&w.enable).is_truthy() {
-                let idx = self.eval(&w.index).to_u64() as usize;
-                let depth = self.arrays[w.array.0].len();
-                if idx < depth {
-                    array_commits.push((w.array, idx, self.eval(&w.data)));
-                }
-            }
-        }
-        for (reg, v) in next {
-            self.values[reg.0] = v;
-        }
-        for (arr, idx, v) in array_commits {
-            self.arrays[arr.0][idx] = v;
-        }
-
+        self.backend.settle();
+        self.backend.commit(self.cycle, &mut self.log);
         self.cycle += 1;
-        self.settled = false;
+        self.backend.settle();
         Ok(())
     }
 
@@ -277,25 +697,27 @@ impl Sim {
         Ok(())
     }
 
-    /// A hash of the architectural state (registers and memories), used
-    /// by the bounded model checker to prune revisited states.
+    /// Restores the power-on state (register/memory inits), clears the
+    /// print log and toggle counters, and rewinds the cycle counter. Much
+    /// cheaper than re-preparing a simulation — the compiled backend
+    /// reuses its lowered tape.
+    pub fn reset(&mut self) {
+        self.backend.reset();
+        self.cycle = 0;
+        self.log.clear();
+        self.backend.settle();
+    }
+
+    /// A hash of the architectural state (registers and memories), used by
+    /// the bounded model checker to prune revisited states. Identical
+    /// across backends for identical states.
     pub fn state_fingerprint(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        for (id, sig) in self.module.iter_signals() {
-            if sig.kind == SignalKind::Reg {
-                self.values[id.0].hash(&mut h);
-            }
-        }
-        for arr in &self.arrays {
-            arr.hash(&mut h);
-        }
-        h.finish()
+        self.backend.state_fingerprint()
     }
 
     /// Total observed bit toggles per signal, for the power model.
     pub fn toggle_counts(&self) -> &[u64] {
-        &self.toggles
+        self.backend.toggle_counts()
     }
 
     /// Sum of toggles across all signals divided by cycles: a crude
@@ -304,117 +726,13 @@ impl Sim {
         if self.cycle == 0 {
             return 0.0;
         }
-        self.toggles.iter().sum::<u64>() as f64 / self.cycle as f64
+        self.backend.toggle_counts().iter().sum::<u64>() as f64 / self.cycle as f64
     }
 
-    /// Evaluates an expression against the current state.
+    /// Evaluates an expression against the current settled state.
     pub fn eval(&self, e: &Expr) -> Bits {
-        match e {
-            Expr::Const(b) => b.clone(),
-            Expr::Signal(s) => self.values[s.0].clone(),
-            Expr::Unary(op, a) => {
-                let v = self.eval(a);
-                match op {
-                    UnaryOp::Not => v.not(),
-                    UnaryOp::Neg => v.neg(),
-                    UnaryOp::RedAnd => Bits::bit(v.reduce_and()),
-                    UnaryOp::RedOr => Bits::bit(v.reduce_or()),
-                    UnaryOp::RedXor => Bits::bit(v.reduce_xor()),
-                    UnaryOp::LogicNot => Bits::bit(v.is_zero()),
-                }
-            }
-            Expr::Binary(op, a, b) => {
-                let va = self.eval(a);
-                let vb = self.eval(b);
-                match op {
-                    BinaryOp::Add => va.add(&vb),
-                    BinaryOp::Sub => va.sub(&vb),
-                    BinaryOp::Mul => va.mul(&vb),
-                    BinaryOp::And => va.and(&vb),
-                    BinaryOp::Or => va.or(&vb),
-                    BinaryOp::Xor => va.xor(&vb),
-                    BinaryOp::Eq => Bits::bit(va == vb),
-                    BinaryOp::Ne => Bits::bit(va != vb),
-                    BinaryOp::Lt => Bits::bit(va.lt(&vb)),
-                    BinaryOp::Le => Bits::bit(!vb.lt(&va)),
-                    BinaryOp::Gt => Bits::bit(vb.lt(&va)),
-                    BinaryOp::Ge => Bits::bit(!va.lt(&vb)),
-                    BinaryOp::Shl => va.shl(vb.to_u64().min(u64::from(u32::MAX)) as usize),
-                    BinaryOp::Shr => va.shr(vb.to_u64().min(u64::from(u32::MAX)) as usize),
-                }
-            }
-            Expr::Mux {
-                cond,
-                then_e,
-                else_e,
-            } => {
-                if self.eval(cond).is_truthy() {
-                    self.eval(then_e)
-                } else {
-                    self.eval(else_e)
-                }
-            }
-            Expr::Concat(parts) => {
-                let mut vals = parts.iter().map(|p| self.eval(p));
-                let first = vals.next().expect("concat is non-empty");
-                vals.fold(first, |acc, v| acc.concat(&v))
-            }
-            Expr::Slice { base, lo, width } => self.eval(base).slice(*lo, *width),
-            Expr::ArrayRead { array, index } => {
-                let idx = self.eval(index).to_u64() as usize;
-                let contents = &self.arrays[array.0];
-                if idx < contents.len() {
-                    contents[idx].clone()
-                } else {
-                    Bits::zero(self.module.arrays[array.0].width)
-                }
-            }
-            Expr::Resize { base, width } => self.eval(base).resize(*width),
-        }
+        self.backend.eval(e)
     }
-}
-
-/// Topologically orders all combinationally-driven signals; errors on a
-/// combinational cycle.
-fn comb_topo_order(m: &Module) -> Result<Vec<SignalId>, SimError> {
-    let driven: Vec<SignalId> = {
-        let mut v: Vec<SignalId> = m.assigns.keys().copied().collect();
-        v.sort();
-        v
-    };
-    // in-degree over comb-driven signals only
-    let mut indeg: HashMap<SignalId, usize> = driven.iter().map(|s| (*s, 0)).collect();
-    let mut dependents: HashMap<SignalId, Vec<SignalId>> = HashMap::new();
-    for id in &driven {
-        for dep in m.assigns[id].signals() {
-            if m.assigns.contains_key(&dep) {
-                *indeg.get_mut(id).expect("driven signal") += 1;
-                dependents.entry(dep).or_default().push(*id);
-            }
-        }
-    }
-    let mut queue: Vec<SignalId> = driven.iter().filter(|s| indeg[s] == 0).copied().collect();
-    let mut order = Vec::with_capacity(driven.len());
-    while let Some(s) = queue.pop() {
-        order.push(s);
-        if let Some(deps) = dependents.get(&s) {
-            for d in deps.clone() {
-                let e = indeg.get_mut(&d).expect("driven signal");
-                *e -= 1;
-                if *e == 0 {
-                    queue.push(d);
-                }
-            }
-        }
-    }
-    if order.len() < driven.len() {
-        let stuck = driven
-            .iter()
-            .find(|s| !order.contains(s))
-            .expect("cycle implies a stuck signal");
-        return Err(SimError::CombinationalLoop(m.signal(*stuck).name.clone()));
-    }
-    Ok(order)
 }
 
 #[cfg(test)]
@@ -431,14 +749,22 @@ mod tests {
         m
     }
 
+    fn both(m: &Module) -> Vec<Sim> {
+        vec![
+            Sim::with_backend(m, Backend::Tree).unwrap(),
+            Sim::with_backend(m, Backend::Compiled).unwrap(),
+        ]
+    }
+
     #[test]
     fn counter_counts_when_enabled() {
-        let mut s = Sim::new(&counter()).unwrap();
-        s.poke("en", Bits::bit(true)).unwrap();
-        s.run(3).unwrap();
-        s.poke("en", Bits::bit(false)).unwrap();
-        s.run(2).unwrap();
-        assert_eq!(s.peek("out").unwrap().to_u64(), 3);
+        for mut s in both(&counter()) {
+            s.poke("en", Bits::bit(true)).unwrap();
+            s.run(3).unwrap();
+            s.poke("en", Bits::bit(false)).unwrap();
+            s.run(2).unwrap();
+            assert_eq!(s.peek("out").unwrap().to_u64(), 3, "{}", s.backend_kind());
+        }
     }
 
     #[test]
@@ -452,9 +778,10 @@ mod tests {
         m.assign(o, Expr::Signal(w2).add(Expr::lit(1, 4)));
         m.assign(w2, Expr::Signal(w1).add(Expr::lit(1, 4)));
         m.assign(w1, Expr::Signal(a).add(Expr::lit(1, 4)));
-        let mut s = Sim::new(&m).unwrap();
-        s.poke("a", Bits::from_u64(2, 4)).unwrap();
-        assert_eq!(s.peek("o").unwrap().to_u64(), 5);
+        for mut s in both(&m) {
+            s.poke("a", Bits::from_u64(2, 4)).unwrap();
+            assert_eq!(s.peek("o").unwrap().to_u64(), 5);
+        }
     }
 
     #[test]
@@ -466,7 +793,12 @@ mod tests {
         m.assign(w1, Expr::Signal(w2).not());
         m.assign(w2, Expr::Signal(w1).not());
         m.assign(o, Expr::Signal(w1));
-        assert!(matches!(Sim::new(&m), Err(SimError::CombinationalLoop(_))));
+        for b in [Backend::Tree, Backend::Compiled] {
+            assert!(matches!(
+                Sim::with_backend(&m, b),
+                Err(SimError::CombinationalLoop(_))
+            ));
+        }
     }
 
     #[test]
@@ -481,12 +813,13 @@ mod tests {
         m.set_next(b, Expr::Signal(a));
         m.assign(oa, Expr::Signal(a));
         m.assign(ob, Expr::Signal(b));
-        let mut s = Sim::new(&m).unwrap();
-        s.step().unwrap();
-        assert_eq!(s.peek("oa").unwrap().to_u64(), 2);
-        assert_eq!(s.peek("ob").unwrap().to_u64(), 1);
-        s.step().unwrap();
-        assert_eq!(s.peek("oa").unwrap().to_u64(), 1);
+        for mut s in both(&m) {
+            s.step().unwrap();
+            assert_eq!(s.peek("oa").unwrap().to_u64(), 2);
+            assert_eq!(s.peek("ob").unwrap().to_u64(), 1);
+            s.step().unwrap();
+            assert_eq!(s.peek("oa").unwrap().to_u64(), 1);
+        }
     }
 
     #[test]
@@ -511,14 +844,15 @@ mod tests {
                 index: Box::new(Expr::Signal(raddr)),
             },
         );
-        let mut s = Sim::new(&m).unwrap();
-        s.poke("we", Bits::bit(true)).unwrap();
-        s.poke("waddr", Bits::from_u64(2, 2)).unwrap();
-        s.poke("wdata", Bits::from_u64(0xAB, 8)).unwrap();
-        s.step().unwrap();
-        s.poke("we", Bits::bit(false)).unwrap();
-        s.poke("raddr", Bits::from_u64(2, 2)).unwrap();
-        assert_eq!(s.peek("q").unwrap().to_u64(), 0xAB);
+        for mut s in both(&m) {
+            s.poke("we", Bits::bit(true)).unwrap();
+            s.poke("waddr", Bits::from_u64(2, 2)).unwrap();
+            s.poke("wdata", Bits::from_u64(0xAB, 8)).unwrap();
+            s.step().unwrap();
+            s.poke("we", Bits::bit(false)).unwrap();
+            s.poke("raddr", Bits::from_u64(2, 2)).unwrap();
+            assert_eq!(s.peek("q").unwrap().to_u64(), 0xAB);
+        }
     }
 
     #[test]
@@ -528,11 +862,12 @@ mod tests {
         let o = m.output("o", 1);
         m.assign(o, Expr::Signal(en));
         m.dprint(Expr::Signal(en), "fired", Some(Expr::lit(0x5, 4)));
-        let mut s = Sim::new(&m).unwrap();
-        s.step().unwrap();
-        s.poke("en", Bits::bit(true)).unwrap();
-        s.step().unwrap();
-        assert_eq!(s.log, vec![(1, "fired: 5".to_string())]);
+        for mut s in both(&m) {
+            s.step().unwrap();
+            s.poke("en", Bits::bit(true)).unwrap();
+            s.step().unwrap();
+            assert_eq!(s.log, vec![(1, "fired: 5".to_string())]);
+        }
     }
 
     #[test]
@@ -541,12 +876,13 @@ mod tests {
         let a = m.input("a", 4);
         let o = m.output("o", 4);
         m.assign(o, Expr::Signal(a));
-        let mut s = Sim::new(&m).unwrap();
-        s.poke("a", Bits::from_u64(0b1111, 4)).unwrap();
-        s.step().unwrap(); // 0000 -> 1111: 4 toggles on a, 4 on o
-        s.poke("a", Bits::from_u64(0b1110, 4)).unwrap();
-        s.step().unwrap(); // 1 toggle on each
-        assert_eq!(s.toggle_counts().iter().sum::<u64>(), 10);
+        for mut s in both(&m) {
+            s.poke("a", Bits::from_u64(0b1111, 4)).unwrap();
+            s.step().unwrap(); // 0000 -> 1111: 4 toggles on a, 4 on o
+            s.poke("a", Bits::from_u64(0b1110, 4)).unwrap();
+            s.step().unwrap(); // 1 toggle on each
+            assert_eq!(s.toggle_counts().iter().sum::<u64>(), 10);
+        }
     }
 
     #[test]
@@ -554,5 +890,36 @@ mod tests {
         let mut m = Module::new("hier");
         m.instance("x", "child", vec![]);
         assert!(matches!(Sim::new(&m), Err(SimError::NotFlat(_))));
+    }
+
+    #[test]
+    fn fingerprints_agree_across_backends() {
+        let m = counter();
+        let mut a = Sim::with_backend(&m, Backend::Tree).unwrap();
+        let mut b = Sim::with_backend(&m, Backend::Compiled).unwrap();
+        for sim in [&mut a, &mut b] {
+            sim.poke("en", Bits::bit(true)).unwrap();
+        }
+        for _ in 0..5 {
+            assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+            a.step().unwrap();
+            b.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        for mut s in both(&counter()) {
+            s.poke("en", Bits::bit(true)).unwrap();
+            s.run(4).unwrap();
+            assert_eq!(s.peek("out").unwrap().to_u64(), 4);
+            s.reset();
+            assert_eq!(s.cycle(), 0);
+            assert_eq!(s.peek("out").unwrap().to_u64(), 0);
+            // Input pokes are state too: re-poke after reset.
+            s.poke("en", Bits::bit(true)).unwrap();
+            s.run(2).unwrap();
+            assert_eq!(s.peek("out").unwrap().to_u64(), 2);
+        }
     }
 }

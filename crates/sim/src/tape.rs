@@ -1,0 +1,1090 @@
+//! The compiled simulation backend: a one-time lowering of a flattened
+//! [`Module`] into a linear instruction tape.
+//!
+//! [`Tape::compile`] topologically schedules every combinational driver
+//! (via [`Module::comb_schedule`]), width-checks it, and flattens its
+//! recursive [`Expr`] tree into word-level ops over a flat `u64` arena:
+//! every signal, register next-value, debug-print operand, array-write
+//! operand, constant, and intermediate gets a pre-resolved *slot* (word
+//! offset + width). [`TapeEngine`] then executes one settle as a single
+//! non-recursive pass over the op list — no name lookups, no `HashMap`
+//! probes, no per-node heap allocation — which is what makes brute-forcing
+//! many stimulus schedules (BMC, differential fuzzing, the scenario sweeps
+//! the ROADMAP asks for) practical.
+//!
+//! Lowering re-derives every expression width while allocating slots, so
+//! it enforces the same driver width discipline as the facade's shared
+//! pre-check ([`SimError::DriverWidth`] / [`SimError::MalformedExpr`]) —
+//! a malformed module can never reach the executor.
+
+use std::sync::Arc;
+
+use anvil_rtl::{ArrayId, BinaryOp, Bits, Expr, Module, SignalId, SignalKind, UnaryOp};
+
+use crate::engine::{eval_expr, Backend, SimBackend, SimError, StateHasher, ValueSource};
+
+/// A pre-resolved storage location in the arena: `words` little-endian
+/// `u64`s starting at word offset `off`, holding a `width`-bit value with
+/// the unused high bits of the top word kept zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Slot {
+    off: u32,
+    words: u32,
+    width: u32,
+}
+
+impl Slot {
+    fn off(self) -> usize {
+        self.off as usize
+    }
+
+    fn words(self) -> usize {
+        self.words as usize
+    }
+
+    fn width(self) -> usize {
+        self.width as usize
+    }
+
+    fn range(self) -> std::ops::Range<usize> {
+        self.off()..self.off() + self.words()
+    }
+
+    /// Mask keeping only the valid bits of the top word.
+    fn top_mask(self) -> u64 {
+        let r = self.width % 64;
+        if r == 0 {
+            u64::MAX
+        } else {
+            (1u64 << r) - 1
+        }
+    }
+}
+
+fn words_for(width: usize) -> usize {
+    width.div_ceil(64).max(1)
+}
+
+/// Comparison selector for [`Op::Cmp`].
+#[derive(Clone, Copy, Debug)]
+enum CmpKind {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Reduction selector for [`Op::Red`].
+#[derive(Clone, Copy, Debug)]
+enum RedKind {
+    And,
+    Or,
+    Xor,
+    LogicNot,
+}
+
+/// One word-level instruction. All operands are pre-resolved slots; the
+/// executor is a single flat `match` loop with no recursion.
+#[derive(Clone, Debug)]
+enum Op {
+    /// `dst = src` (equal widths).
+    Copy { dst: Slot, src: Slot },
+    /// `dst = ~a`.
+    Not { dst: Slot, a: Slot },
+    /// `dst = -a` (two's complement, wrapping).
+    Neg { dst: Slot, a: Slot },
+    /// `dst = a + b` (wrapping).
+    Add { dst: Slot, a: Slot, b: Slot },
+    /// `dst = a - b` (wrapping).
+    Sub { dst: Slot, a: Slot, b: Slot },
+    /// `dst = a * b` (wrapping; uses the engine scratch buffer).
+    Mul { dst: Slot, a: Slot, b: Slot },
+    /// `dst = a & b`.
+    And { dst: Slot, a: Slot, b: Slot },
+    /// `dst = a | b`.
+    Or { dst: Slot, a: Slot, b: Slot },
+    /// `dst = a ^ b`.
+    Xor { dst: Slot, a: Slot, b: Slot },
+    /// 1-bit comparison result.
+    Cmp {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        kind: CmpKind,
+    },
+    /// 1-bit reduction result.
+    Red { dst: Slot, a: Slot, kind: RedKind },
+    /// `dst = a << amt` / `a >> amt`; amount read from a slot at run time.
+    Shift {
+        dst: Slot,
+        a: Slot,
+        amt: Slot,
+        left: bool,
+    },
+    /// `dst = cond ? t : e` (truthy = any bit set).
+    Mux {
+        dst: Slot,
+        cond: Slot,
+        t: Slot,
+        e: Slot,
+    },
+    /// `dst = src[lo +: dst.width]`, zero-extending past the top of `src`.
+    Slice { dst: Slot, src: Slot, lo: u32 },
+    /// Concatenation: each part is OR-ed into `dst` at its bit offset
+    /// (parts tile `dst` exactly; `dst` is zeroed first).
+    Concat {
+        dst: Slot,
+        parts: Box<[(Slot, u32)]>,
+    },
+    /// Zero-extension or truncation.
+    Resize { dst: Slot, src: Slot },
+    /// Asynchronous memory read; out-of-range indices yield zero.
+    ArrayRead { dst: Slot, array: u32, index: Slot },
+}
+
+/// A lowered synchronous array write port.
+#[derive(Clone, Debug)]
+struct TapeWrite {
+    array: u32,
+    enable: Slot,
+    index: Slot,
+    data: Slot,
+}
+
+/// A lowered debug print.
+#[derive(Clone, Debug)]
+struct TapePrint {
+    enable: Slot,
+    label: String,
+    value: Option<Slot>,
+}
+
+/// Word-packed memory metadata: element `e` lives at
+/// `data[e * wpe .. (e + 1) * wpe]`.
+#[derive(Clone, Debug)]
+struct TapeArray {
+    width: u32,
+    depth: u32,
+    wpe: u32,
+    init: Vec<u64>,
+}
+
+/// The immutable compiled program: share one `Arc<Tape>` across as many
+/// [`TapeEngine`] instances (and threads) as needed — e.g. the bounded
+/// model checker lowers once and replays thousands of traces.
+pub(crate) struct Tape {
+    /// The settle program: comb drivers in topological order, then print
+    /// operands, then register next-values, then array-write operands.
+    ops: Vec<Op>,
+    /// Current-value slot of every signal, indexed by [`SignalId`].
+    sig_slots: Vec<Slot>,
+    /// `(current, next)` slot pairs for registers with next-value drivers.
+    reg_commits: Vec<(Slot, Slot)>,
+    /// Current-value slots of all registers in id order (fingerprints).
+    reg_fp: Vec<Slot>,
+    writes: Vec<TapeWrite>,
+    prints: Vec<TapePrint>,
+    arrays: Vec<TapeArray>,
+    /// Power-on arena image: zeros, register inits, and materialized
+    /// constants.
+    init_arena: Vec<u64>,
+}
+
+/// Bump-allocating tape builder.
+struct Builder {
+    arena: Vec<u64>,
+    ops: Vec<Op>,
+    sig_slots: Vec<Slot>,
+}
+
+impl Builder {
+    fn alloc(&mut self, width: usize) -> Slot {
+        let words = words_for(width);
+        let off = self.arena.len();
+        self.arena.resize(off + words, 0);
+        Slot {
+            off: off as u32,
+            words: words as u32,
+            width: width as u32,
+        }
+    }
+
+    /// Materializes a constant into the arena image (no op emitted; the
+    /// slot is never written at run time).
+    fn alloc_const(&mut self, value: &Bits) -> Slot {
+        let slot = self.alloc(value.width());
+        self.write_const(slot, value);
+        slot
+    }
+
+    fn write_const(&mut self, slot: Slot, value: &Bits) {
+        let words = value.as_words();
+        self.arena[slot.range()].copy_from_slice(&words[..slot.words()]);
+    }
+
+    /// Lowers `e`, returning the slot holding its value. When `want` is
+    /// given and matches the expression's width, the result is computed
+    /// directly into it (leaf expressions ignore `want`; the caller copies).
+    fn expr(&mut self, m: &Module, e: &Expr, want: Option<Slot>) -> Result<Slot, SimError> {
+        let dst_for = |b: &mut Builder, w: usize| match want {
+            Some(d) if d.width() == w => d,
+            _ => b.alloc(w),
+        };
+        match e {
+            Expr::Const(b) => Ok(self.alloc_const(b)),
+            Expr::Signal(s) => self
+                .sig_slots
+                .get(s.0)
+                .copied()
+                .ok_or_else(|| SimError::MalformedExpr(format!("unknown signal {s:?}"))),
+            Expr::Unary(op, a) => {
+                let sa = self.expr(m, a, None)?;
+                match op {
+                    UnaryOp::Not => {
+                        let dst = dst_for(self, sa.width());
+                        self.ops.push(Op::Not { dst, a: sa });
+                        Ok(dst)
+                    }
+                    UnaryOp::Neg => {
+                        let dst = dst_for(self, sa.width());
+                        self.ops.push(Op::Neg { dst, a: sa });
+                        Ok(dst)
+                    }
+                    UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor | UnaryOp::LogicNot => {
+                        let dst = dst_for(self, 1);
+                        let kind = match op {
+                            UnaryOp::RedAnd => RedKind::And,
+                            UnaryOp::RedOr => RedKind::Or,
+                            UnaryOp::RedXor => RedKind::Xor,
+                            _ => RedKind::LogicNot,
+                        };
+                        self.ops.push(Op::Red { dst, a: sa, kind });
+                        Ok(dst)
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let sa = self.expr(m, a, None)?;
+                let sb = self.expr(m, b, None)?;
+                match op {
+                    BinaryOp::Shl | BinaryOp::Shr => {
+                        let dst = dst_for(self, sa.width());
+                        self.ops.push(Op::Shift {
+                            dst,
+                            a: sa,
+                            amt: sb,
+                            left: matches!(op, BinaryOp::Shl),
+                        });
+                        Ok(dst)
+                    }
+                    _ => {
+                        if sa.width != sb.width {
+                            return Err(SimError::MalformedExpr(format!(
+                                "operand width mismatch {} vs {} in {op:?}",
+                                sa.width, sb.width
+                            )));
+                        }
+                        if op.is_comparison() {
+                            let dst = dst_for(self, 1);
+                            let kind = match op {
+                                BinaryOp::Eq => CmpKind::Eq,
+                                BinaryOp::Ne => CmpKind::Ne,
+                                BinaryOp::Lt => CmpKind::Lt,
+                                BinaryOp::Le => CmpKind::Le,
+                                BinaryOp::Gt => CmpKind::Gt,
+                                _ => CmpKind::Ge,
+                            };
+                            self.ops.push(Op::Cmp {
+                                dst,
+                                a: sa,
+                                b: sb,
+                                kind,
+                            });
+                            Ok(dst)
+                        } else {
+                            let dst = dst_for(self, sa.width());
+                            self.ops.push(match op {
+                                BinaryOp::Add => Op::Add { dst, a: sa, b: sb },
+                                BinaryOp::Sub => Op::Sub { dst, a: sa, b: sb },
+                                BinaryOp::Mul => Op::Mul { dst, a: sa, b: sb },
+                                BinaryOp::And => Op::And { dst, a: sa, b: sb },
+                                BinaryOp::Or => Op::Or { dst, a: sa, b: sb },
+                                _ => Op::Xor { dst, a: sa, b: sb },
+                            });
+                            Ok(dst)
+                        }
+                    }
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let sc = self.expr(m, cond, None)?;
+                let st = self.expr(m, then_e, None)?;
+                let se = self.expr(m, else_e, None)?;
+                if st.width != se.width {
+                    return Err(SimError::MalformedExpr(format!(
+                        "mux branch width mismatch {} vs {}",
+                        st.width, se.width
+                    )));
+                }
+                let dst = dst_for(self, st.width());
+                self.ops.push(Op::Mux {
+                    dst,
+                    cond: sc,
+                    t: st,
+                    e: se,
+                });
+                Ok(dst)
+            }
+            Expr::Concat(parts) => {
+                if parts.is_empty() {
+                    return Err(SimError::MalformedExpr("empty concat".into()));
+                }
+                let slots = parts
+                    .iter()
+                    .map(|p| self.expr(m, p, None))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let width: usize = slots.iter().map(|s| s.width()).sum();
+                // Parts are given most-significant first; compute each
+                // part's bit offset in the result.
+                let mut placed = Vec::with_capacity(slots.len());
+                let mut lo = width;
+                for s in &slots {
+                    lo -= s.width();
+                    placed.push((*s, lo as u32));
+                }
+                let dst = dst_for(self, width);
+                self.ops.push(Op::Concat {
+                    dst,
+                    parts: placed.into_boxed_slice(),
+                });
+                Ok(dst)
+            }
+            Expr::Slice { base, lo, width } => {
+                if *width == 0 {
+                    return Err(SimError::MalformedExpr("zero-width slice".into()));
+                }
+                let src = self.expr(m, base, None)?;
+                let dst = dst_for(self, *width);
+                self.ops.push(Op::Slice {
+                    dst,
+                    src,
+                    lo: *lo as u32,
+                });
+                Ok(dst)
+            }
+            Expr::ArrayRead { array, index } => {
+                let decl = m
+                    .arrays
+                    .get(array.0)
+                    .ok_or_else(|| SimError::MalformedExpr(format!("unknown array {array:?}")))?;
+                let index = self.expr(m, index, None)?;
+                let dst = dst_for(self, decl.width);
+                self.ops.push(Op::ArrayRead {
+                    dst,
+                    array: array.0 as u32,
+                    index,
+                });
+                Ok(dst)
+            }
+            Expr::Resize { base, width } => {
+                if *width == 0 {
+                    return Err(SimError::MalformedExpr("zero-width resize".into()));
+                }
+                let src = self.expr(m, base, None)?;
+                let dst = dst_for(self, *width);
+                self.ops.push(Op::Resize { dst, src });
+                Ok(dst)
+            }
+        }
+    }
+
+    /// Lowers a driver expression into `target`, enforcing the declared
+    /// width (`name` labels the error).
+    ///
+    /// Constant drivers still lower to a `Copy` from a materialized const
+    /// slot rather than being baked into the arena image: the signal slot
+    /// must start at zero so first-cycle toggle counts match the tree
+    /// engine exactly.
+    fn drive(&mut self, m: &Module, e: &Expr, target: Slot, name: &str) -> Result<(), SimError> {
+        let s = self.expr(m, e, Some(target))?;
+        if s.width != target.width {
+            return Err(SimError::DriverWidth {
+                signal: name.to_string(),
+                expected: target.width(),
+                found: s.width(),
+            });
+        }
+        if s != target {
+            self.ops.push(Op::Copy {
+                dst: target,
+                src: s,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Tape {
+    /// Lowers a flattened module into an instruction tape.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotFlat`] if instances remain,
+    /// [`SimError::CombinationalLoop`] on a cyclic combinational graph,
+    /// [`SimError::DriverWidth`] / [`SimError::MalformedExpr`] when a
+    /// driver fails the width check.
+    pub(crate) fn compile(module: Arc<Module>) -> Result<Tape, SimError> {
+        if !module.instances.is_empty() {
+            return Err(SimError::NotFlat(module.name.clone()));
+        }
+        let order = module
+            .comb_schedule()
+            .map_err(|sid| SimError::CombinationalLoop(module.signal(sid).name.clone()))?;
+
+        let mut b = Builder {
+            arena: Vec::new(),
+            ops: Vec::new(),
+            sig_slots: Vec::new(),
+        };
+
+        // 1. A current-value slot per signal; register inits materialized.
+        for s in &module.signals {
+            let slot = b.alloc(s.width);
+            if let (SignalKind::Reg, Some(init)) = (&s.kind, &s.init) {
+                b.write_const(slot, init);
+            }
+            b.sig_slots.push(slot);
+        }
+
+        // 2. Combinational drivers in topological order.
+        for id in &order {
+            let target = b.sig_slots[id.0];
+            let name = module.signal(*id).name.clone();
+            b.drive(&module, &module.assigns[id], target, &name)?;
+        }
+
+        // 3. Debug-print operands (read the settled state).
+        let mut prints = Vec::with_capacity(module.prints.len());
+        for p in &module.prints {
+            let enable = b.expr(&module, &p.enable, None)?;
+            let value = match &p.value {
+                Some(v) => Some(b.expr(&module, v, None)?),
+                None => None,
+            };
+            prints.push(TapePrint {
+                enable,
+                label: p.label.clone(),
+                value,
+            });
+        }
+
+        // 4. Register next-values into dedicated `next` slots, in id order.
+        let mut reg_ids: Vec<SignalId> = module.reg_next.keys().copied().collect();
+        reg_ids.sort();
+        let mut reg_commits = Vec::with_capacity(reg_ids.len());
+        for id in reg_ids {
+            let sig = module.signal(id);
+            let next = b.alloc(sig.width);
+            b.drive(&module, &module.reg_next[&id], next, &sig.name)?;
+            reg_commits.push((b.sig_slots[id.0], next));
+        }
+
+        // 5. Array-write operands.
+        let mut writes = Vec::with_capacity(module.array_writes.len());
+        for w in &module.array_writes {
+            let decl = &module.arrays[w.array.0];
+            let enable = b.expr(&module, &w.enable, None)?;
+            let index = b.expr(&module, &w.index, None)?;
+            let data = b.expr(&module, &w.data, None)?;
+            if data.width() != decl.width {
+                return Err(SimError::DriverWidth {
+                    signal: decl.name.clone(),
+                    expected: decl.width,
+                    found: data.width(),
+                });
+            }
+            writes.push(TapeWrite {
+                array: w.array.0 as u32,
+                enable,
+                index,
+                data,
+            });
+        }
+
+        // 6. Word-packed memory images.
+        let arrays = module
+            .arrays
+            .iter()
+            .map(|a| {
+                let wpe = words_for(a.width);
+                let mut init = vec![0u64; wpe * a.depth];
+                for (i, v) in a.init.iter().enumerate() {
+                    let words = v.as_words();
+                    init[i * wpe..i * wpe + words.len().min(wpe)]
+                        .copy_from_slice(&words[..words.len().min(wpe)]);
+                }
+                TapeArray {
+                    width: a.width as u32,
+                    depth: a.depth as u32,
+                    wpe: wpe as u32,
+                    init,
+                }
+            })
+            .collect();
+
+        let reg_fp = module
+            .iter_signals()
+            .filter(|(_, s)| s.kind == SignalKind::Reg)
+            .map(|(id, _)| b.sig_slots[id.0])
+            .collect();
+
+        Ok(Tape {
+            ops: b.ops,
+            sig_slots: b.sig_slots,
+            reg_commits,
+            reg_fp,
+            writes,
+            prints,
+            arrays,
+            init_arena: b.arena,
+        })
+    }
+}
+
+// ---- word-level helpers -------------------------------------------------
+
+fn any_set(arena: &[u64], s: Slot) -> bool {
+    arena[s.range()].iter().any(|w| *w != 0)
+}
+
+fn zero_slot(arena: &mut [u64], s: Slot) {
+    arena[s.range()].fill(0);
+}
+
+fn copy_slot(arena: &mut [u64], dst: Slot, src: Slot) {
+    let (d, s) = (dst.off(), src.off());
+    for k in 0..dst.words() {
+        arena[d + k] = arena[s + k];
+    }
+}
+
+/// Reads `n` (≤ 64) bits of `s` starting at bit `lo`; bits past the slot's
+/// storage are zero (slot values keep their high bits masked).
+fn read_chunk(arena: &[u64], s: Slot, lo: usize, n: usize) -> u64 {
+    let total = s.words() * 64;
+    if lo >= total {
+        return 0;
+    }
+    let wi = lo / 64;
+    let sh = lo % 64;
+    let mut v = arena[s.off() + wi] >> sh;
+    if sh != 0 && wi + 1 < s.words() {
+        v |= arena[s.off() + wi + 1] << (64 - sh);
+    }
+    if n < 64 {
+        v &= (1u64 << n) - 1;
+    }
+    v
+}
+
+/// ORs `n` (≤ 64) bits into `s` starting at bit `lo`. The target bits must
+/// currently be zero (callers zero the destination first).
+fn or_chunk(arena: &mut [u64], s: Slot, lo: usize, n: usize, val: u64) {
+    let wi = lo / 64;
+    let sh = lo % 64;
+    let v = if n < 64 { val & ((1u64 << n) - 1) } else { val };
+    arena[s.off() + wi] |= v << sh;
+    if sh != 0 && sh + n > 64 {
+        arena[s.off() + wi + 1] |= v >> (64 - sh);
+    }
+}
+
+/// ORs `n` bits of `src` (starting at `src_lo`) into `dst` at `dst_lo`.
+fn or_bits(arena: &mut [u64], dst: Slot, dst_lo: usize, src: Slot, src_lo: usize, n: usize) {
+    let mut k = 0;
+    while k < n {
+        let step = (n - k).min(64);
+        let v = read_chunk(arena, src, src_lo + k, step);
+        or_chunk(arena, dst, dst_lo + k, step, v);
+        k += step;
+    }
+}
+
+fn unsigned_lt(arena: &[u64], a: Slot, b: Slot) -> bool {
+    for k in (0..a.words()).rev() {
+        let (x, y) = (arena[a.off() + k], arena[b.off() + k]);
+        if x != y {
+            return x < y;
+        }
+    }
+    false
+}
+
+fn words_eq(arena: &[u64], a: Slot, b: Slot) -> bool {
+    (0..a.words()).all(|k| arena[a.off() + k] == arena[b.off() + k])
+}
+
+/// The executor: one arena of current values, one snapshot for toggle
+/// counting, word-packed memories, and a scratch buffer for
+/// multiplications. All per-cycle work is allocation-free.
+pub(crate) struct TapeEngine {
+    tape: Arc<Tape>,
+    arena: Vec<u64>,
+    /// Previous settled arena (toggle counting).
+    prev_arena: Vec<u64>,
+    arrays: Vec<Vec<u64>>,
+    toggles: Vec<u64>,
+    scratch: Vec<u64>,
+    dirty: bool,
+}
+
+impl TapeEngine {
+    pub(crate) fn new(tape: Arc<Tape>) -> Self {
+        let arena = tape.init_arena.clone();
+        let arrays = tape.arrays.iter().map(|a| a.init.clone()).collect();
+        let n = tape.sig_slots.len();
+        let max_words = tape
+            .sig_slots
+            .iter()
+            .map(|s| s.words())
+            .max()
+            .unwrap_or(1)
+            .max(
+                tape.ops
+                    .iter()
+                    .map(|op| match op {
+                        Op::Mul { dst, .. } => dst.words(),
+                        _ => 1,
+                    })
+                    .max()
+                    .unwrap_or(1),
+            );
+        TapeEngine {
+            prev_arena: arena.clone(),
+            arena,
+            arrays,
+            toggles: vec![0; n],
+            scratch: vec![0; max_words],
+            tape: Arc::clone(&tape),
+            dirty: true,
+        }
+    }
+
+    fn slot_bits(&self, s: Slot) -> Bits {
+        Bits::from_words(s.width(), &self.arena[s.range()])
+    }
+}
+
+/// Executes one op. `arrays` is read-only here: memories are only written
+/// at the clock edge, never during a settle pass.
+fn exec_op(
+    op: &Op,
+    arena: &mut [u64],
+    scratch: &mut [u64],
+    arrays: &[Vec<u64>],
+    metas: &[TapeArray],
+) {
+    match op {
+        Op::Copy { dst, src } => copy_slot(arena, *dst, *src),
+        Op::Not { dst, a } => {
+            for k in 0..dst.words() {
+                arena[dst.off() + k] = !arena[a.off() + k];
+            }
+            arena[dst.off() + dst.words() - 1] &= dst.top_mask();
+        }
+        Op::Neg { dst, a } => {
+            let mut borrow = 0u64;
+            for k in 0..dst.words() {
+                let y = arena[a.off() + k];
+                let (d1, b1) = 0u64.overflowing_sub(y);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                arena[dst.off() + k] = d2;
+                borrow = u64::from(b1) | u64::from(b2);
+            }
+            arena[dst.off() + dst.words() - 1] &= dst.top_mask();
+        }
+        Op::Add { dst, a, b } => {
+            let mut carry = 0u64;
+            for k in 0..dst.words() {
+                let (s1, c1) = arena[a.off() + k].overflowing_add(arena[b.off() + k]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                arena[dst.off() + k] = s2;
+                carry = u64::from(c1) | u64::from(c2);
+            }
+            arena[dst.off() + dst.words() - 1] &= dst.top_mask();
+        }
+        Op::Sub { dst, a, b } => {
+            let mut borrow = 0u64;
+            for k in 0..dst.words() {
+                let (d1, b1) = arena[a.off() + k].overflowing_sub(arena[b.off() + k]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                arena[dst.off() + k] = d2;
+                borrow = u64::from(b1) | u64::from(b2);
+            }
+            arena[dst.off() + dst.words() - 1] &= dst.top_mask();
+        }
+        Op::Mul { dst, a, b } => {
+            let w = dst.words();
+            let scratch = &mut scratch[..w];
+            scratch.fill(0);
+            for i in 0..w {
+                let ai = arena[a.off() + i];
+                if ai == 0 {
+                    continue;
+                }
+                let mut carry: u128 = 0;
+                for j in 0..w - i {
+                    let cur = scratch[i + j] as u128
+                        + (ai as u128) * (arena[b.off() + j] as u128)
+                        + carry;
+                    scratch[i + j] = cur as u64;
+                    carry = cur >> 64;
+                }
+            }
+            arena[dst.range()].copy_from_slice(scratch);
+            arena[dst.off() + dst.words() - 1] &= dst.top_mask();
+        }
+        Op::And { dst, a, b } => {
+            for k in 0..dst.words() {
+                arena[dst.off() + k] = arena[a.off() + k] & arena[b.off() + k];
+            }
+        }
+        Op::Or { dst, a, b } => {
+            for k in 0..dst.words() {
+                arena[dst.off() + k] = arena[a.off() + k] | arena[b.off() + k];
+            }
+        }
+        Op::Xor { dst, a, b } => {
+            for k in 0..dst.words() {
+                arena[dst.off() + k] = arena[a.off() + k] ^ arena[b.off() + k];
+            }
+        }
+        Op::Cmp { dst, a, b, kind } => {
+            let r = match kind {
+                CmpKind::Eq => words_eq(arena, *a, *b),
+                CmpKind::Ne => !words_eq(arena, *a, *b),
+                CmpKind::Lt => unsigned_lt(arena, *a, *b),
+                CmpKind::Le => !unsigned_lt(arena, *b, *a),
+                CmpKind::Gt => unsigned_lt(arena, *b, *a),
+                CmpKind::Ge => !unsigned_lt(arena, *a, *b),
+            };
+            arena[dst.off()] = u64::from(r);
+        }
+        Op::Red { dst, a, kind } => {
+            let r = match kind {
+                RedKind::And => {
+                    (0..a.words() - 1).all(|k| arena[a.off() + k] == u64::MAX)
+                        && arena[a.off() + a.words() - 1] == a.top_mask()
+                }
+                RedKind::Or => any_set(arena, *a),
+                RedKind::Xor => {
+                    arena[a.range()]
+                        .iter()
+                        .fold(0u32, |acc, w| acc ^ w.count_ones())
+                        % 2
+                        == 1
+                }
+                RedKind::LogicNot => !any_set(arena, *a),
+            };
+            arena[dst.off()] = u64::from(r);
+        }
+        Op::Shift { dst, a, amt, left } => {
+            let n = arena[amt.off()].min(u64::from(u32::MAX)) as usize;
+            let width = dst.width();
+            zero_slot(arena, *dst);
+            if n < width {
+                if *left {
+                    or_bits(arena, *dst, n, *a, 0, width - n);
+                } else {
+                    or_bits(arena, *dst, 0, *a, n, width - n);
+                }
+            }
+        }
+        Op::Mux { dst, cond, t, e } => {
+            let src = if any_set(arena, *cond) { *t } else { *e };
+            copy_slot(arena, *dst, src);
+        }
+        Op::Slice { dst, src, lo } => {
+            zero_slot(arena, *dst);
+            or_bits(arena, *dst, 0, *src, *lo as usize, dst.width());
+        }
+        Op::Concat { dst, parts } => {
+            zero_slot(arena, *dst);
+            for (part, lo) in parts.iter() {
+                or_bits(arena, *dst, *lo as usize, *part, 0, part.width());
+            }
+        }
+        Op::Resize { dst, src } => {
+            zero_slot(arena, *dst);
+            let n = dst.width().min(src.width());
+            or_bits(arena, *dst, 0, *src, 0, n);
+        }
+        Op::ArrayRead { dst, array, index } => {
+            let meta = &metas[*array as usize];
+            let idx = arena[index.off()] as usize;
+            if idx < meta.depth as usize {
+                let wpe = meta.wpe as usize;
+                let elem = &arrays[*array as usize][idx * wpe..(idx + 1) * wpe];
+                arena[dst.range()].copy_from_slice(elem);
+            } else {
+                zero_slot(arena, *dst);
+            }
+        }
+    }
+}
+
+impl ValueSource for TapeEngine {
+    fn signal(&self, id: SignalId) -> Bits {
+        self.slot_bits(self.tape.sig_slots[id.0])
+    }
+
+    fn array_read(&self, array: ArrayId, index: usize) -> Bits {
+        let meta = &self.tape.arrays[array.0];
+        if index < meta.depth as usize {
+            let wpe = meta.wpe as usize;
+            Bits::from_words(
+                meta.width as usize,
+                &self.arrays[array.0][index * wpe..(index + 1) * wpe],
+            )
+        } else {
+            Bits::zero(meta.width as usize)
+        }
+    }
+}
+
+impl SimBackend for TapeEngine {
+    fn kind(&self) -> Backend {
+        Backend::Compiled
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let tape = Arc::clone(&self.tape);
+        for op in &tape.ops {
+            exec_op(
+                op,
+                &mut self.arena,
+                &mut self.scratch,
+                &self.arrays,
+                &tape.arrays,
+            );
+        }
+        self.dirty = false;
+    }
+
+    fn commit(&mut self, cycle: u64, log: &mut Vec<(u64, String)>) {
+        self.settle();
+        let tape = Arc::clone(&self.tape);
+
+        for p in &tape.prints {
+            if any_set(&self.arena, p.enable) {
+                let msg = match p.value {
+                    Some(v) => format!("{}: {:x}", p.label, self.slot_bits(v)),
+                    None => p.label.clone(),
+                };
+                log.push((cycle, msg));
+            }
+        }
+
+        for (i, s) in tape.sig_slots.iter().enumerate() {
+            let mut t = 0u32;
+            for k in s.range() {
+                t += (self.arena[k] ^ self.prev_arena[k]).count_ones();
+            }
+            self.toggles[i] += u64::from(t);
+        }
+        self.prev_arena.copy_from_slice(&self.arena);
+
+        // Array writes read the pre-edge arena (their operand slots may
+        // alias register current-value slots), so they commit first; the
+        // written memories are only read back at the next settle.
+        for w in &tape.writes {
+            if any_set(&self.arena, w.enable) {
+                let meta = &tape.arrays[w.array as usize];
+                let idx = self.arena[w.index.off()] as usize;
+                if idx < meta.depth as usize {
+                    let wpe = meta.wpe as usize;
+                    self.arrays[w.array as usize][idx * wpe..(idx + 1) * wpe]
+                        .copy_from_slice(&self.arena[w.data.range()]);
+                }
+            }
+        }
+        for (cur, next) in &tape.reg_commits {
+            copy_slot(&mut self.arena, *cur, *next);
+        }
+        self.dirty = true;
+    }
+
+    fn peek_id(&self, id: SignalId) -> Bits {
+        self.slot_bits(self.tape.sig_slots[id.0])
+    }
+
+    fn poke_id(&mut self, id: SignalId, value: Bits) {
+        let s = self.tape.sig_slots[id.0];
+        // Skip the dirty flag (and thus the eager re-settle) when the
+        // poked value is already the current one — testbenches re-drive
+        // constant handshake lines every cycle.
+        if self.arena[s.range()] == *value.as_words() {
+            return;
+        }
+        self.arena[s.range()].copy_from_slice(value.as_words());
+        self.dirty = true;
+    }
+
+    fn peek_array(&self, array: ArrayId, index: usize) -> Bits {
+        let meta = &self.tape.arrays[array.0];
+        assert!(
+            index < meta.depth as usize,
+            "array index {index} out of range for depth {}",
+            meta.depth
+        );
+        let wpe = meta.wpe as usize;
+        Bits::from_words(
+            meta.width as usize,
+            &self.arrays[array.0][index * wpe..(index + 1) * wpe],
+        )
+    }
+
+    fn poke_array(&mut self, array: ArrayId, index: usize, value: Bits) {
+        let meta = &self.tape.arrays[array.0];
+        assert!(
+            index < meta.depth as usize,
+            "array index {index} out of range for depth {}",
+            meta.depth
+        );
+        let wpe = meta.wpe as usize;
+        self.arrays[array.0][index * wpe..(index + 1) * wpe].copy_from_slice(value.as_words());
+        self.dirty = true;
+    }
+
+    fn eval(&self, e: &Expr) -> Bits {
+        eval_expr(e, self)
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = StateHasher::new();
+        for s in &self.tape.reg_fp {
+            h.add(s.width(), &self.arena[s.range()]);
+        }
+        for (i, meta) in self.tape.arrays.iter().enumerate() {
+            let wpe = meta.wpe as usize;
+            for e in 0..meta.depth as usize {
+                h.add(meta.width as usize, &self.arrays[i][e * wpe..(e + 1) * wpe]);
+            }
+        }
+        h.finish()
+    }
+
+    fn toggle_counts(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    fn reset(&mut self) {
+        self.arena.copy_from_slice(&self.tape.init_arena);
+        self.prev_arena.copy_from_slice(&self.arena);
+        for (store, meta) in self.arrays.iter_mut().zip(&self.tape.arrays) {
+            store.copy_from_slice(&meta.init);
+        }
+        self.toggles.fill(0);
+        self.dirty = true;
+    }
+}
+
+// The tape and its engine cross thread boundaries (batch simulation,
+// BMC workers).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Tape>();
+    assert_send_sync::<TapeEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 128-bit datapath: multi-word add, mul, slice, concat, shift.
+    #[test]
+    fn wide_ops_match_tree() {
+        use crate::engine::Sim;
+        let mut m = Module::new("wide");
+        let a = m.input("a", 128);
+        let b = m.input("b", 128);
+        let sum = m.output("sum", 128);
+        let prod = m.output("prod", 128);
+        let hi = m.output("hi", 64);
+        let cat = m.output("cat", 192);
+        let shl = m.output("shl", 128);
+        let shr = m.output("shr", 128);
+        let red = m.output("red", 1);
+        m.assign(sum, Expr::Signal(a).add(Expr::Signal(b)));
+        m.assign(
+            prod,
+            Expr::bin(BinaryOp::Mul, Expr::Signal(a), Expr::Signal(b)),
+        );
+        m.assign(
+            hi,
+            Expr::Slice {
+                base: Box::new(Expr::Signal(a)),
+                lo: 64,
+                width: 64,
+            },
+        );
+        m.assign(
+            cat,
+            Expr::Concat(vec![Expr::Signal(b).slice(0, 64), Expr::Signal(a)]),
+        );
+        m.assign(
+            shl,
+            Expr::bin(BinaryOp::Shl, Expr::Signal(a), Expr::lit(65, 8)),
+        );
+        m.assign(
+            shr,
+            Expr::bin(BinaryOp::Shr, Expr::Signal(a), Expr::lit(3, 8)),
+        );
+        m.assign(red, Expr::Unary(UnaryOp::RedXor, Box::new(Expr::Signal(a))));
+
+        let mut tree = Sim::with_backend(&m, Backend::Tree).unwrap();
+        let mut tape = Sim::with_backend(&m, Backend::Compiled).unwrap();
+        let va = Bits::from_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF_FEDC_BA98, 128);
+        let vb = Bits::from_u128(0x1111_2222_3333_4444_5555_6666_7777_8888, 128);
+        for s in [&mut tree, &mut tape] {
+            s.poke("a", va.clone()).unwrap();
+            s.poke("b", vb.clone()).unwrap();
+        }
+        for out in ["sum", "prod", "hi", "cat", "shl", "shr", "red"] {
+            assert_eq!(
+                tree.peek(out).unwrap(),
+                tape.peek(out).unwrap(),
+                "output `{out}` diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn width_mismatched_driver_rejected() {
+        use crate::engine::Sim;
+        let mut m = Module::new("bad");
+        let o = m.output("o", 4);
+        m.assign(o, Expr::lit(0, 5));
+        let err = match Sim::with_backend(&m, Backend::Compiled) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a width error"),
+        };
+        assert_eq!(
+            err,
+            SimError::DriverWidth {
+                signal: "o".into(),
+                expected: 4,
+                found: 5
+            }
+        );
+    }
+}

@@ -25,7 +25,7 @@ use crate::engine::{Sim, SimError};
 /// let mut sim = Sim::new(&m)?;
 /// let mut wave = Waveform::probe_all(&sim);
 /// for _ in 0..4 {
-///     wave.sample(&mut sim);
+///     wave.sample(&sim);
 ///     sim.step()?;
 /// }
 /// let vcd = wave.to_vcd("t");
@@ -75,7 +75,7 @@ impl Waveform {
     }
 
     /// Records the settled value of every probed signal for this cycle.
-    pub fn sample(&mut self, sim: &mut Sim) {
+    pub fn sample(&mut self, sim: &Sim) {
         let row = self
             .signals
             .iter()
@@ -190,7 +190,7 @@ mod tests {
         let mut sim = toggler();
         let mut w = Waveform::probe(&sim, &["o"]).unwrap();
         for _ in 0..4 {
-            w.sample(&mut sim);
+            w.sample(&sim);
             sim.step().unwrap();
         }
         let series: Vec<u64> = w.series("o").unwrap().iter().map(|b| b.to_u64()).collect();
@@ -202,7 +202,7 @@ mod tests {
         let mut sim = toggler();
         let mut w = Waveform::probe_all(&sim);
         for _ in 0..2 {
-            w.sample(&mut sim);
+            w.sample(&sim);
             sim.step().unwrap();
         }
         let vcd = w.to_vcd("t");
@@ -223,7 +223,7 @@ mod tests {
         let mut sim = toggler();
         let mut w = Waveform::probe(&sim, &["o"]).unwrap();
         for _ in 0..3 {
-            w.sample(&mut sim);
+            w.sample(&sim);
             sim.step().unwrap();
         }
         let a = w.to_ascii();

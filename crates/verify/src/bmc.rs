@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 
 use anvil_rtl::{Bits, Expr, Module, SignalKind};
-use anvil_sim::{Sim, SimError};
+use anvil_sim::{Backend, Sim, SimError};
 
 /// Outcome of a bounded model-checking run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +68,26 @@ pub fn bmc(
     depth: usize,
     max_states: usize,
 ) -> Result<(BmcResult, BmcStats), SimError> {
+    bmc_with_backend(module, assertion, depth, max_states, Backend::from_env())
+}
+
+/// [`bmc`] on an explicitly chosen simulation backend.
+///
+/// The module is lowered once and every candidate trace replays through
+/// [`Sim::reset`], so the compiled backend's one-time tape lowering is
+/// amortized across the whole state search — this is the path that makes
+/// brute-forcing deep schedules practical.
+///
+/// # Errors
+///
+/// Propagates simulator preparation errors.
+pub fn bmc_with_backend(
+    module: &Module,
+    assertion: &Expr,
+    depth: usize,
+    max_states: usize,
+    backend: Backend,
+) -> Result<(BmcResult, BmcStats), SimError> {
     let inputs: Vec<(String, usize)> = module
         .iter_signals()
         .filter(|(_, s)| s.kind == SignalKind::Input)
@@ -86,10 +106,13 @@ pub fn bmc(
         .collect();
 
     let mut stats = BmcStats::default();
-    // Frontier of (input trace so far). Re-simulating from scratch per
-    // path keeps memory bounded; state hashing prunes converged paths.
+    // Frontier of (input trace so far). Replaying each path from reset
+    // keeps memory bounded; state hashing prunes converged paths. One
+    // simulation is prepared up front and rewound per path, so the
+    // compiled backend lowers its tape exactly once.
     let mut frontier: Vec<Vec<Vec<u64>>> = vec![vec![]];
     let mut seen: HashSet<u64> = HashSet::new();
+    let mut sim = Sim::with_backend(module, backend)?;
 
     for d in 0..depth {
         let mut next = Vec::new();
@@ -98,13 +121,12 @@ pub fn bmc(
                 let mut trace = prefix.clone();
                 trace.push(combo);
                 // Replay the trace.
-                let mut sim = Sim::new(module)?;
+                sim.reset();
                 let mut violated = false;
                 for step in &trace {
                     for ((name, width), v) in inputs.iter().zip(step) {
                         sim.poke(name, Bits::from_u64(*v, *width))?;
                     }
-                    sim.settle();
                     if sim.eval(assertion).is_zero() {
                         violated = true;
                         break;
@@ -223,5 +245,15 @@ mod tests {
         let (m, a) = deep_bug(40);
         let (result, _) = bmc(&m, &a, 64, 1_000_000).unwrap();
         assert!(matches!(result, BmcResult::Violation { depth, .. } if depth == 41));
+    }
+
+    #[test]
+    fn backends_agree_on_bmc_outcome() {
+        let (m, a) = shallow_bug();
+        let (tree, tree_stats) = bmc_with_backend(&m, &a, 10, 100_000, Backend::Tree).unwrap();
+        let (tape, tape_stats) = bmc_with_backend(&m, &a, 10, 100_000, Backend::Compiled).unwrap();
+        assert_eq!(tree, tape);
+        assert_eq!(tree_stats.states_visited, tape_stats.states_visited);
+        assert_eq!(tree_stats.depth_reached, tape_stats.depth_reached);
     }
 }

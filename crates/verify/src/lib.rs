@@ -20,6 +20,6 @@ pub mod bmc;
 pub mod oracle;
 pub mod rules;
 
-pub use bmc::{bmc, BmcResult, BmcStats};
+pub use bmc::{bmc, bmc_with_backend, BmcResult, BmcStats};
 pub use oracle::{check_run, fuzz_thread, sample_run, ConcreteRun, DynViolation};
 pub use rules::{fig2_contract_violations, fig2_engine, Rule, RuleEngine, State};
