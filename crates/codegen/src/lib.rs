@@ -180,15 +180,9 @@ pub fn compile_program_staged(
     let t = std::time::Instant::now();
     let mut irs_by_proc: Vec<(&str, Vec<ThreadIr>)> = Vec::with_capacity(order.len());
     for name in order {
-        let mut irs = build_ir(program, name)?;
-        stats.events_before += irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
-        if opts.optimize {
-            irs = irs
-                .iter()
-                .map(|ir| optimize(ir, opts.opt_config).0)
-                .collect();
-        }
-        stats.events_after += irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
+        let (irs, before, after) = build_optimized_ir(program, name, opts)?;
+        stats.events_before += before;
+        stats.events_after += after;
         irs_by_proc.push((name, irs));
     }
     stats.optimize = t.elapsed();
@@ -284,6 +278,34 @@ pub fn build_ir(program: &Program, proc_name: &str) -> Result<Vec<ThreadIr>, Cod
     Ok(build_proc(&ctx, 1)?)
 }
 
+/// Builds and (per `opts`) optimizes the single-iteration codegen IR for
+/// one process, returning `(thread IRs, events before, events after)`.
+///
+/// This is the per-item "optimize" stage of the incremental pipeline —
+/// [`compile_program_staged`] runs it over every process, while the
+/// incremental driver runs it per compilation unit and caches the result
+/// keyed by the unit's fingerprint and the optimization options.
+///
+/// # Errors
+///
+/// See [`compile_program`].
+pub fn build_optimized_ir(
+    program: &Program,
+    proc_name: &str,
+    opts: CodegenOptions,
+) -> Result<(Vec<ThreadIr>, usize, usize), CodegenError> {
+    let mut irs = build_ir(program, proc_name)?;
+    let before = irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
+    if opts.optimize {
+        irs = irs
+            .iter()
+            .map(|ir| optimize(ir, opts.opt_config).0)
+            .collect();
+    }
+    let after = irs.iter().map(|ir| ir.graph.len()).sum::<usize>();
+    Ok((irs, before, after))
+}
+
 /// Compiles one process into an RTL module, resolving spawned children and
 /// externs against `lib`.
 ///
@@ -296,13 +318,7 @@ pub fn compile_proc(
     lib: &ModuleLibrary,
     opts: CodegenOptions,
 ) -> Result<Module, CodegenError> {
-    let mut irs = build_ir(program, proc_name)?;
-    if opts.optimize {
-        irs = irs
-            .iter()
-            .map(|ir| optimize(ir, opts.opt_config).0)
-            .collect();
-    }
+    let (irs, _, _) = build_optimized_ir(program, proc_name, opts)?;
     lower_proc(program, proc_name, &irs, lib, opts)
 }
 

@@ -19,11 +19,20 @@
 //! [`CompileOutput`]. Type errors are reported at compile time, and only
 //! timing-safe designs reach RTL.
 //!
+//! Compilation is **incremental**: every `proc` is a compilation unit,
+//! and the session owns a fingerprint-keyed query cache of per-unit
+//! artifacts at each stage boundary (see [`Session`] for the key and
+//! invalidation rules, and [`CacheStats`] for observability). Recompiling
+//! an unchanged program through one session performs no per-proc work at
+//! all, and editing one proc out of ten re-runs check/codegen for exactly
+//! that unit — with output guaranteed byte-identical to a cold compile.
+//!
 //! [`Compiler`] is the ergonomic front door over a session; its
 //! [`Compiler::compile_batch`] fans a set of independent designs out
 //! across scoped worker threads sharing one session — the IR is interned
 //! and `Send + Sync`, so batch output is byte-identical to sequential
-//! compilation.
+//! compilation. Batch workers also share the query cache (it is sharded
+//! and lock-striped), so designs with common procs are compiled once.
 //!
 //! # Examples
 //!
@@ -45,19 +54,28 @@
 
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
+mod cache;
+mod units;
+
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use anvil_codegen::{compile_program_staged, CodegenError, CodegenOptions};
+use anvil_codegen::{
+    build_optimized_ir, check_externs, lower_proc, proc_order, CodegenError, CodegenOptions,
+};
 use anvil_intern::Symbol;
 use anvil_rtl::ModuleLibrary;
-use anvil_syntax::{parse, ParseError, Program, Span};
-use anvil_typeck::{check_program, ProcReport, TypeError};
+use anvil_syntax::{parse, LineIndex, ParseError, Program, Span};
+use anvil_typeck::{check_proc, ProcReport, TypeError};
+
+use crate::cache::{Artifact, IrUnit, QueryCache};
+use crate::units::{options_fingerprint, ItemGraph};
 
 pub use anvil_codegen::CodegenOptions as Options;
+pub use cache::{CacheStats, Stage, StageCounters};
 
 /// Wall-clock timings (and event-graph size effects) per compiler pass.
 #[derive(Clone, Copy, Debug, Default)]
@@ -183,21 +201,26 @@ impl From<ParseError> for CompileError {
 
 impl CompileError {
     /// Renders the error with source locations resolved.
+    ///
+    /// One [`LineIndex`] is built and shared across every diagnostic, so a
+    /// program with many violations resolves each span in O(log lines)
+    /// rather than rescanning the whole source per error.
     pub fn render(&self, source: &str) -> String {
+        let index = LineIndex::new(source);
         match self {
-            CompileError::Parse(e) => e.render(source),
+            CompileError::Parse(e) => e.render_with(&index),
             CompileError::Elaborate(e) => {
-                let (line, col) = e.span.line_col(source);
+                let (line, col) = index.span_start(e.span);
                 format!("{line}:{col}: {}", e.message)
             }
             CompileError::TimingUnsafe(errs) => errs
                 .iter()
-                .map(|e| e.render(source))
+                .map(|e| e.render_with(&index))
                 .collect::<Vec<_>>()
                 .join("\n"),
             CompileError::Codegen(d) => match d.span {
                 Some(span) => {
-                    let (line, col) = span.line_col(source);
+                    let (line, col) = index.span_start(span);
                     format!("{line}:{col}: {}", d.message)
                 }
                 None => d.message.clone(),
@@ -236,23 +259,65 @@ fn codegen_error(program: &Program, e: CodegenError) -> CompileError {
     }
 }
 
-/// Shared compiler state: options and the extern module library.
+/// Shared compiler state: options, the extern module library, and the
+/// incremental query cache.
 ///
-/// A session is immutable during compilation and `Send + Sync`; one
+/// A session's configuration is immutable during compilation and the
+/// cache is internally synchronised, so the session is `Send + Sync`: one
 /// session can serve any number of concurrent [`Session::compile`] calls
 /// (that is exactly what [`Compiler::compile_batch`] does).
+///
+/// # Incremental compilation
+///
+/// Every `proc` definition is one **compilation unit**. The session
+/// caches four artifacts per unit — the checked two-iteration IR +
+/// [`ProcReport`], the optimized single-iteration event graphs, the
+/// lowered RTL [`anvil_rtl::Module`], and the emitted SystemVerilog chunk
+/// — in a sharded LRU keyed by 64-bit **fingerprints**:
+///
+/// * the unit's span-independent content hash
+///   ([`anvil_syntax::content_fingerprint`]), so whitespace, comment, and
+///   top-level reordering edits reuse every artifact;
+/// * the content hashes of the `chan` definitions and `extern fn`
+///   declarations the proc references (its tracked dependencies);
+/// * the [`CodegenOptions`] (for the optimize/lower/emit stages — the
+///   type checker never reads them, so check artifacts survive option
+///   flips);
+/// * the transitive fingerprints of spawned children and the extern
+///   RTL library generation (for lower/emit — a parent's module is
+///   validated against its children's ports).
+///
+/// **Invalidation is purely key-based**: editing any hashed ingredient
+/// produces a new key and therefore a miss; nothing is ever mutated in
+/// place, so a warm compile is guaranteed byte-identical to a cold one.
+/// Reports containing timing violations are never cached — their spans
+/// must always point into the exact source being compiled. Cached *safe*
+/// artifacts may carry spans from the first textual variant of an item
+/// that produced them (loan tables are informational on the safe path).
+///
+/// [`Session::cache_stats`] exposes cumulative hit/miss/eviction counters
+/// per stage; [`Session::set_cache_capacity`] bounds the artifact count
+/// (approximately — capacity is split across shards), with
+/// least-recently-used eviction beyond it.
 #[derive(Debug, Default)]
 pub struct Session {
     options: CodegenOptions,
     externs: ModuleLibrary,
+    /// Bumped on every [`Session::add_extern`]; folded into lower/emit
+    /// keys so registering an implementation invalidates exactly the
+    /// stages that resolve instances against the library.
+    extern_gen: u64,
+    cache: QueryCache,
 }
 
-/// Sessions are shared read-only across batch-compile workers; outputs
-/// travel back across thread boundaries.
+/// Sessions are shared read-only across batch-compile workers (the cache
+/// is internally sharded + locked); outputs travel back across thread
+/// boundaries.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     const fn assert_send<T: Send>() {}
     assert_send_sync::<Session>();
+    assert_send_sync::<QueryCache>();
     assert_send_sync::<ModuleLibrary>();
     assert_send::<CompileOutput>();
     assert_send::<CompileError>();
@@ -277,14 +342,35 @@ impl Session {
 
     /// Registers an RTL implementation for an `extern fn` (module ports:
     /// `in0..inN`, `out`).
+    ///
+    /// Bumps the extern-library generation, which participates in every
+    /// unit's lower/emit cache keys: previously lowered modules are
+    /// re-validated against the changed library on the next compile.
     pub fn add_extern(&mut self, module: anvil_rtl::Module) -> &mut Session {
         self.externs.add(module);
+        self.extern_gen += 1;
         self
     }
 
     /// The extern module library.
     pub fn externs(&self) -> &ModuleLibrary {
         &self.externs
+    }
+
+    /// Cumulative query-cache counters (hits, misses, evictions per
+    /// pipeline stage) since the session was created. Subtract two
+    /// snapshots to measure a single compile.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Bounds the artifact cache to roughly `capacity` entries (four
+    /// artifacts per warm compilation unit), evicting least-recently-used
+    /// artifacts beyond it. Eviction affects only performance: evicted
+    /// units are recomputed with byte-identical results.
+    pub fn set_cache_capacity(&mut self, capacity: usize) -> &mut Session {
+        self.cache.set_capacity(capacity);
+        self
     }
 
     /// Pass 1: lexing and parsing.
@@ -308,11 +394,52 @@ impl Session {
         source: &str,
     ) -> Result<(Program, BTreeMap<Symbol, ProcReport>), CompileError> {
         let program = self.parse(source)?;
-        let reports = check_program(&program).map_err(CompileError::Elaborate)?;
+        let (_, reports) = self.check_units(&program)?;
         Ok((program, reports))
     }
 
-    /// Runs the full pass pipeline: parse, check, optimize, codegen, emit.
+    /// The per-unit check stage shared by [`Session::check`] and
+    /// [`Session::compile`]: builds the item graph and the report map,
+    /// serving every unit through the query cache.
+    fn check_units<'p>(
+        &self,
+        program: &'p Program,
+    ) -> Result<(ItemGraph<'p>, BTreeMap<Symbol, ProcReport>), CompileError> {
+        let items = ItemGraph::new(program);
+        let mut reports = BTreeMap::new();
+        for p in &program.procs {
+            let report = self.checked_unit(program, &items, &p.name)?;
+            reports.insert(Symbol::intern(&p.name), (*report).clone());
+        }
+        Ok((items, reports))
+    }
+
+    /// The check-stage artifact for one compilation unit, through the
+    /// query cache. Reports with violations are never cached, so error
+    /// spans always point into the current source.
+    fn checked_unit(
+        &self,
+        program: &Program,
+        items: &ItemGraph<'_>,
+        proc_name: &str,
+    ) -> Result<Arc<ProcReport>, CompileError> {
+        let key = items.check_key(proc_name);
+        if let Some(Artifact::Checked(report)) = self.cache.get(Stage::Check, key) {
+            return Ok(report);
+        }
+        let report = check_proc(program, proc_name).map_err(CompileError::Elaborate)?;
+        let report = Arc::new(report);
+        if report.is_safe() {
+            self.cache
+                .insert(Stage::Check, key, Artifact::Checked(report.clone()));
+        }
+        Ok(report)
+    }
+
+    /// Runs the full pass pipeline: parse, check, optimize, codegen, emit
+    /// — check through emit per compilation unit through the query cache,
+    /// with `compile` reduced to deterministic assembly of the per-item
+    /// artifacts (byte-identical to a cold, cache-less compile).
     ///
     /// # Errors
     ///
@@ -326,9 +453,9 @@ impl Session {
         let program = self.parse(source)?;
         stats.parse = t.elapsed();
 
-        // ---- Pass 2: check. ----
+        // ---- Pass 2: check, one unit per proc. ----
         let t = Instant::now();
-        let reports = check_program(&program).map_err(CompileError::Elaborate)?;
+        let (items, reports) = self.check_units(&program)?;
         let errors: Vec<TypeError> = reports
             .values()
             .flat_map(|r| r.errors().into_iter().cloned())
@@ -338,24 +465,93 @@ impl Session {
         }
         stats.check = t.elapsed();
 
-        // ---- Passes 3–4: optimize + codegen (one orchestration, shared
-        // with `anvil_codegen::compile_program`). ----
-        let (modules, stage) = compile_program_staged(&program, &self.externs, self.options)
-            .map_err(|e| codegen_error(&program, e))?;
-        stats.events_before = stage.events_before;
-        stats.events_after = stage.events_after;
-        stats.optimize = stage.optimize;
-        stats.codegen = stage.lower;
+        // ---- Codegen preflight (same failure order as the monolithic
+        // pipeline): extern impls first, then the child-before-parent
+        // unit order. ----
+        check_externs(&program, &self.externs).map_err(|e| codegen_error(&program, e))?;
+        let order = proc_order(&program, &self.externs).map_err(|e| codegen_error(&program, e))?;
+        let keys = items.unit_keys(&order, options_fingerprint(&self.options), self.extern_gen);
 
-        // ---- Pass 5: emit. ----
+        // ---- Passes 3–4: per-unit optimize + lower, children before
+        // parents against the growing library. ----
+        let mut lib = ModuleLibrary::new();
+        for m in self.externs.iter() {
+            lib.add(m.clone());
+        }
+        let mut emit_keys: HashMap<&str, u64> = HashMap::new();
+        for &name in &order {
+            let unit_keys = keys[name];
+            emit_keys.insert(name, unit_keys.emit);
+
+            let t = Instant::now();
+            let ir_unit = match self.cache.get(Stage::OptIr, unit_keys.opt_ir) {
+                Some(Artifact::OptIr(unit)) => unit,
+                _ => {
+                    let (irs, before, after) = build_optimized_ir(&program, name, self.options)
+                        .map_err(|e| codegen_error(&program, e))?;
+                    let unit = Arc::new(IrUnit {
+                        irs,
+                        events_before: before,
+                        events_after: after,
+                    });
+                    self.cache.insert(
+                        Stage::OptIr,
+                        unit_keys.opt_ir,
+                        Artifact::OptIr(unit.clone()),
+                    );
+                    unit
+                }
+            };
+            stats.events_before += ir_unit.events_before;
+            stats.events_after += ir_unit.events_after;
+            stats.optimize += t.elapsed();
+
+            let t = Instant::now();
+            let module = match self.cache.get(Stage::Lower, unit_keys.lower) {
+                Some(Artifact::Lowered(m)) => m,
+                _ => {
+                    let m = lower_proc(&program, name, &ir_unit.irs, &lib, self.options)
+                        .map_err(|e| codegen_error(&program, e))?;
+                    let m = Arc::new(m);
+                    self.cache
+                        .insert(Stage::Lower, unit_keys.lower, Artifact::Lowered(m.clone()));
+                    m
+                }
+            };
+            lib.add((*module).clone());
+            stats.codegen += t.elapsed();
+        }
+
+        // ---- Pass 5: emit — deterministic assembly of per-module
+        // chunks in `emit_library` order. ----
         let t = Instant::now();
-        let systemverilog = anvil_rtl::emit_library(&modules);
+        let mut systemverilog = String::new();
+        for name in anvil_rtl::emit_order(&lib) {
+            // Extern modules are session state rather than compilation
+            // units; their chunks are cached under (name, generation).
+            let key = match emit_keys.get(name) {
+                Some(&key) => key,
+                None => units::extern_chunk_key(name, self.extern_gen),
+            };
+            let chunk = match self.cache.get(Stage::Emit, key) {
+                Some(Artifact::Sv(chunk)) => chunk,
+                _ => {
+                    let module = lib.get(name).expect("ordered module exists");
+                    let chunk = Arc::new(anvil_rtl::emit_module(module));
+                    self.cache
+                        .insert(Stage::Emit, key, Artifact::Sv(chunk.clone()));
+                    chunk
+                }
+            };
+            systemverilog.push_str(&chunk);
+            systemverilog.push('\n');
+        }
         stats.emit = t.elapsed();
 
         Ok(CompileOutput {
             program,
             reports,
-            modules,
+            modules: lib,
             systemverilog,
             stats,
         })
@@ -444,6 +640,19 @@ impl Compiler {
     /// SystemVerilog IP like the OpenTitan S-box.
     pub fn with_extern(&mut self, module: anvil_rtl::Module) -> &mut Self {
         self.session.add_extern(module);
+        self
+    }
+
+    /// Cumulative query-cache counters for this compiler's session; see
+    /// [`Session::cache_stats`].
+    pub fn cache_stats(&self) -> CacheStats {
+        self.session.cache_stats()
+    }
+
+    /// Bounds the incremental artifact cache; see
+    /// [`Session::set_cache_capacity`].
+    pub fn set_cache_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.session.set_cache_capacity(capacity);
         self
     }
 

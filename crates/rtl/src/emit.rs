@@ -198,15 +198,19 @@ pub fn emit_module(m: &Module) -> String {
     out
 }
 
-/// Emits every module in the library, leaf modules first so that each
-/// definition precedes its uses.
-pub fn emit_library(lib: &ModuleLibrary) -> String {
+/// The deterministic order [`emit_library`] prints modules in: name-sorted
+/// within topological passes, leaf modules before their instantiators,
+/// with any instance cycle falling back to name order.
+///
+/// Exposed so drivers that assemble the library output from per-module
+/// chunks (the incremental compiler caches one emitted SystemVerilog chunk
+/// per module) reproduce `emit_library`'s bytes exactly.
+pub fn emit_order(lib: &ModuleLibrary) -> Vec<&str> {
     let mut names: Vec<&str> = lib.iter().map(|m| m.name.as_str()).collect();
     names.sort();
-    // Topological order: repeatedly emit modules whose instances are all
-    // already emitted.
+    // Topological order: repeatedly take modules whose instances are all
+    // already taken.
     let mut emitted: Vec<&str> = Vec::new();
-    let mut out = String::new();
     while emitted.len() < names.len() {
         let mut progressed = false;
         for name in &names {
@@ -219,22 +223,29 @@ pub fn emit_library(lib: &ModuleLibrary) -> String {
                 .iter()
                 .all(|i| emitted.contains(&i.module.as_str()) || lib.get(&i.module).is_none());
             if ready {
-                out.push_str(&emit_module(m));
-                out.push('\n');
                 emitted.push(name);
                 progressed = true;
             }
         }
         if !progressed {
-            // Instance cycle: emit the rest in name order anyway.
+            // Instance cycle: order the rest by name anyway.
             for name in &names {
                 if !emitted.contains(name) {
-                    out.push_str(&emit_module(lib.get(name).expect("listed module exists")));
-                    out.push('\n');
                     emitted.push(name);
                 }
             }
         }
+    }
+    emitted
+}
+
+/// Emits every module in the library, leaf modules first so that each
+/// definition precedes its uses (the order of [`emit_order`]).
+pub fn emit_library(lib: &ModuleLibrary) -> String {
+    let mut out = String::new();
+    for name in emit_order(lib) {
+        out.push_str(&emit_module(lib.get(name).expect("listed module exists")));
+        out.push('\n');
     }
     out
 }

@@ -44,7 +44,7 @@ mod netlist;
 
 pub use bits::Bits;
 pub use elab::{elaborate, ElabError};
-pub use emit::{emit_library, emit_module, sv_expr};
+pub use emit::{emit_library, emit_module, emit_order, sv_expr};
 pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use netlist::{
     ArrayDecl, ArrayId, ArrayWrite, DebugPrint, Instance, Module, ModuleLibrary, NetlistError,

@@ -3,7 +3,8 @@
 //! The build environment has no crates.io access, so this workspace-local
 //! crate implements the subset of proptest's API the Anvil workspace's
 //! property tests use: the [`proptest!`] macro (with `pat in strategy`
-//! arguments), [`Strategy`] with `prop_map`, [`prop_oneof!`], `any::<T>()`,
+//! arguments), [`strategy::Strategy`] with `prop_map`, [`prop_oneof!`],
+//! `any::<T>()`,
 //! `prop::collection::vec`, `prop::option::of`, `prop::sample::Index`, and
 //! `ProptestConfig::with_cases`.
 //!

@@ -37,21 +37,12 @@ impl Span {
     }
 
     /// Computes 1-based `(line, column)` of the span start in `source`.
+    ///
+    /// Builds a throwaway [`crate::LineIndex`] — O(source) per call. When
+    /// rendering several diagnostics against the same source, build one
+    /// index and use [`crate::LineIndex::line_col`] for each span instead.
     pub fn line_col(&self, source: &str) -> (usize, usize) {
-        let mut line = 1;
-        let mut col = 1;
-        for (i, c) in source.char_indices() {
-            if i >= self.start {
-                break;
-            }
-            if c == '\n' {
-                line += 1;
-                col = 1;
-            } else {
-                col += 1;
-            }
-        }
-        (line, col)
+        crate::LineIndex::new(source).line_col(self.start)
     }
 }
 

@@ -1,0 +1,558 @@
+//! Span-independent stable content hashing of AST items.
+//!
+//! The incremental compiler keys its per-item query cache on *what an item
+//! says*, not *where it sits in the file*: two `proc` definitions that
+//! differ only in whitespace, comments, or their position relative to other
+//! top-level items must produce the same fingerprint, so that formatting
+//! edits hit the cache. Every [`ContentHash`] implementation therefore
+//! hashes the semantic payload of a node and **skips every [`Span`]**.
+//!
+//! The hash is a hand-rolled 64-bit FNV-1a: deterministic across runs,
+//! platforms, and compiler versions (unlike `DefaultHasher`, whose
+//! algorithm is explicitly unspecified), which keeps fingerprints stable
+//! enough to persist or compare across processes. Enum variants hash an
+//! explicit tag byte (never `mem::discriminant`, which has no stability
+//! guarantee), and every variable-length sequence hashes its length first
+//! so that adjacent fields cannot alias.
+//!
+//! [`Span`]: crate::ast::Span
+//!
+//! # Examples
+//!
+//! ```
+//! use anvil_syntax::{content_fingerprint, parse};
+//!
+//! let a = parse("proc p() { reg r : logic; loop { set r := ~*r >> cycle 1 } }").unwrap();
+//! let b = parse("proc p() {\n  // a comment\n  reg r : logic;\n  loop { set r := ~*r >> cycle 1 }\n}").unwrap();
+//! assert_eq!(
+//!     content_fingerprint(&a.procs[0]),
+//!     content_fingerprint(&b.procs[0]),
+//! );
+//! ```
+
+use crate::ast::*;
+
+/// A 64-bit FNV-1a hasher with a stable, documented algorithm.
+///
+/// Used by [`ContentHash`] implementations; the write methods are public so
+/// downstream crates (the incremental driver in `anvil-core`) can fold
+/// extra key material — option bits, dependency fingerprints, stage tags —
+/// into the same hash.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher::default()
+    }
+
+    /// Hashes one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Hashes a 64-bit value, little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Hashes a `usize` widened to 64 bits (fingerprints must not depend
+    /// on the host's pointer width).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Hashes a string: length first, then the bytes, so `("ab", "c")` and
+    /// `("a", "bc")` cannot collide field-wise.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        for b in s.as_bytes() {
+            self.write_u8(*b);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Span-independent structural hashing: see the module docs.
+pub trait ContentHash {
+    /// Folds this node's semantic content (never its spans) into `h`.
+    fn content_hash(&self, h: &mut StableHasher);
+}
+
+/// Fingerprints one value with a fresh [`StableHasher`].
+pub fn content_fingerprint<T: ContentHash + ?Sized>(t: &T) -> u64 {
+    let mut h = StableHasher::new();
+    t.content_hash(&mut h);
+    h.finish()
+}
+
+impl ContentHash for u64 {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_u64(*self);
+    }
+}
+
+impl ContentHash for usize {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_usize(*self);
+    }
+}
+
+impl ContentHash for bool {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_bool(*self);
+    }
+}
+
+impl ContentHash for str {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl ContentHash for String {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(self);
+    }
+}
+
+impl<T: ContentHash> ContentHash for [T] {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_usize(self.len());
+        for item in self {
+            item.content_hash(h);
+        }
+    }
+}
+
+impl<T: ContentHash> ContentHash for Vec<T> {
+    fn content_hash(&self, h: &mut StableHasher) {
+        self.as_slice().content_hash(h);
+    }
+}
+
+impl<T: ContentHash> ContentHash for Option<T> {
+    fn content_hash(&self, h: &mut StableHasher) {
+        match self {
+            None => h.write_u8(0),
+            Some(v) => {
+                h.write_u8(1);
+                v.content_hash(h);
+            }
+        }
+    }
+}
+
+impl<T: ContentHash + ?Sized> ContentHash for Box<T> {
+    fn content_hash(&self, h: &mut StableHasher) {
+        (**self).content_hash(h);
+    }
+}
+
+impl ContentHash for Dir {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            Dir::Left => 0,
+            Dir::Right => 1,
+        });
+    }
+}
+
+impl ContentHash for Duration {
+    fn content_hash(&self, h: &mut StableHasher) {
+        match self {
+            Duration::Cycles(n) => {
+                h.write_u8(0);
+                h.write_u64(*n);
+            }
+            Duration::Message(m) => {
+                h.write_u8(1);
+                h.write_str(m);
+            }
+            Duration::Eternal => h.write_u8(2),
+        }
+    }
+}
+
+impl ContentHash for SyncMode {
+    fn content_hash(&self, h: &mut StableHasher) {
+        match self {
+            SyncMode::Dynamic => h.write_u8(0),
+            SyncMode::Static(n) => {
+                h.write_u8(1);
+                h.write_u64(*n);
+            }
+            SyncMode::Dependent { msg, offset } => {
+                h.write_u8(2);
+                h.write_str(msg);
+                h.write_u64(*offset);
+            }
+        }
+    }
+}
+
+impl ContentHash for MessageDef {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.dir.content_hash(h);
+        h.write_usize(self.width);
+        self.lifetime.content_hash(h);
+        self.sync_left.content_hash(h);
+        self.sync_right.content_hash(h);
+        // self.span deliberately skipped.
+    }
+}
+
+impl ContentHash for ChanDef {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.messages.content_hash(h);
+    }
+}
+
+impl ContentHash for RegDef {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_usize(self.width);
+        self.depth.content_hash(h);
+        self.init.content_hash(h);
+    }
+}
+
+impl ContentHash for EndpointParam {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.side.content_hash(h);
+        h.write_str(&self.chan);
+    }
+}
+
+impl ContentHash for ChanInst {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.left);
+        h.write_str(&self.right);
+        h.write_str(&self.chan);
+    }
+}
+
+impl ContentHash for Spawn {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.proc_name);
+        self.args.content_hash(h);
+    }
+}
+
+impl ContentHash for Thread {
+    fn content_hash(&self, h: &mut StableHasher) {
+        match self {
+            Thread::Loop(t) => {
+                h.write_u8(0);
+                t.content_hash(h);
+            }
+            Thread::Recursive(t) => {
+                h.write_u8(1);
+                t.content_hash(h);
+            }
+        }
+    }
+}
+
+impl ContentHash for ProcDef {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.params.content_hash(h);
+        self.regs.content_hash(h);
+        self.chans.content_hash(h);
+        self.spawns.content_hash(h);
+        self.threads.content_hash(h);
+    }
+}
+
+impl ContentHash for ExternFn {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        self.arg_widths.content_hash(h);
+        h.write_usize(self.ret_width);
+    }
+}
+
+impl ContentHash for Program {
+    fn content_hash(&self, h: &mut StableHasher) {
+        self.chans.content_hash(h);
+        self.procs.content_hash(h);
+        self.externs.content_hash(h);
+    }
+}
+
+impl ContentHash for BinOp {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            BinOp::Add => 0,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::And => 3,
+            BinOp::Or => 4,
+            BinOp::Xor => 5,
+            BinOp::Eq => 6,
+            BinOp::Ne => 7,
+            BinOp::Lt => 8,
+            BinOp::Le => 9,
+            BinOp::Gt => 10,
+            BinOp::Ge => 11,
+            BinOp::Shl => 12,
+            BinOp::Shr => 13,
+        });
+    }
+}
+
+impl ContentHash for UnOp {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            UnOp::Not => 0,
+            UnOp::LogicNot => 1,
+        });
+    }
+}
+
+impl ContentHash for SeqOp {
+    fn content_hash(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            SeqOp::Wait => 0,
+            SeqOp::Join => 1,
+        });
+    }
+}
+
+impl ContentHash for Term {
+    fn content_hash(&self, h: &mut StableHasher) {
+        // Only the kind: term spans move under whitespace edits.
+        self.kind.content_hash(h);
+    }
+}
+
+impl ContentHash for TermKind {
+    fn content_hash(&self, h: &mut StableHasher) {
+        match self {
+            TermKind::Lit { value, width } => {
+                h.write_u8(0);
+                h.write_u64(*value);
+                width.content_hash(h);
+            }
+            TermKind::Unit => h.write_u8(1),
+            TermKind::Var(name) => {
+                h.write_u8(2);
+                h.write_str(name);
+            }
+            TermKind::RegRead { reg, index } => {
+                h.write_u8(3);
+                h.write_str(reg);
+                index.content_hash(h);
+            }
+            TermKind::Seq { first, op, rest } => {
+                h.write_u8(4);
+                first.content_hash(h);
+                op.content_hash(h);
+                rest.content_hash(h);
+            }
+            TermKind::Let {
+                name,
+                value,
+                op,
+                body,
+            } => {
+                h.write_u8(5);
+                h.write_str(name);
+                value.content_hash(h);
+                op.content_hash(h);
+                body.content_hash(h);
+            }
+            TermKind::If {
+                cond,
+                then_t,
+                else_t,
+            } => {
+                h.write_u8(6);
+                cond.content_hash(h);
+                then_t.content_hash(h);
+                else_t.content_hash(h);
+            }
+            TermKind::Send { ep, msg, value } => {
+                h.write_u8(7);
+                h.write_str(ep);
+                h.write_str(msg);
+                value.content_hash(h);
+            }
+            TermKind::Recv { ep, msg } => {
+                h.write_u8(8);
+                h.write_str(ep);
+                h.write_str(msg);
+            }
+            TermKind::Assign { reg, index, value } => {
+                h.write_u8(9);
+                h.write_str(reg);
+                index.content_hash(h);
+                value.content_hash(h);
+            }
+            TermKind::Cycle(n) => {
+                h.write_u8(10);
+                h.write_u64(*n);
+            }
+            TermKind::Ready { ep, msg } => {
+                h.write_u8(11);
+                h.write_str(ep);
+                h.write_str(msg);
+            }
+            TermKind::Binop(op, a, b) => {
+                h.write_u8(12);
+                op.content_hash(h);
+                a.content_hash(h);
+                b.content_hash(h);
+            }
+            TermKind::Unop(op, a) => {
+                h.write_u8(13);
+                op.content_hash(h);
+                a.content_hash(h);
+            }
+            TermKind::Slice { base, hi, lo } => {
+                h.write_u8(14);
+                base.content_hash(h);
+                h.write_usize(*hi);
+                h.write_usize(*lo);
+            }
+            TermKind::Concat(parts) => {
+                h.write_u8(15);
+                parts.content_hash(h);
+            }
+            TermKind::ExternCall { func, args } => {
+                h.write_u8(16);
+                h.write_str(func);
+                args.content_hash(h);
+            }
+            TermKind::Dprint { label, value } => {
+                h.write_u8(17);
+                h.write_str(label);
+                value.content_hash(h);
+            }
+            TermKind::Recurse => h.write_u8(18),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const BASE: &str = "chan ch { right beat : (logic[8]@#1) }
+proc blink(ep : left ch) {
+    reg c : logic[8];
+    loop { send ep.beat (*c) >> set c := *c + 1 >> cycle 1 }
+}";
+
+    #[test]
+    fn whitespace_and_comments_do_not_change_fingerprints() {
+        let noisy = "// top comment\nchan ch {\n  right beat : (logic[8]@#1)\n}\n\n/* block */\nproc blink(ep : left ch) {\n    reg c : logic[8]; // counter\n    loop {\n        send ep.beat (*c) >>\n        set c := *c + 1 >>\n        cycle 1\n    }\n}";
+        let a = parse(BASE).unwrap();
+        let b = parse(noisy).unwrap();
+        assert_eq!(
+            content_fingerprint(&a.procs[0]),
+            content_fingerprint(&b.procs[0])
+        );
+        assert_eq!(
+            content_fingerprint(&a.chans[0]),
+            content_fingerprint(&b.chans[0])
+        );
+    }
+
+    #[test]
+    fn item_reordering_does_not_change_item_fingerprints() {
+        let swapped = "proc blink(ep : left ch) {
+    reg c : logic[8];
+    loop { send ep.beat (*c) >> set c := *c + 1 >> cycle 1 }
+}
+chan ch { right beat : (logic[8]@#1) }";
+        let a = parse(BASE).unwrap();
+        let b = parse(swapped).unwrap();
+        assert_eq!(
+            content_fingerprint(&a.procs[0]),
+            content_fingerprint(&b.procs[0])
+        );
+        assert_eq!(
+            content_fingerprint(&a.chans[0]),
+            content_fingerprint(&b.chans[0])
+        );
+        // Swapping two *procs* changes the whole-program fingerprint but
+        // neither item's own fingerprint.
+        let two = "proc a() { loop { cycle 1 } } proc b() { loop { cycle 2 } }";
+        let two_swapped = "proc b() { loop { cycle 2 } } proc a() { loop { cycle 1 } }";
+        let p1 = parse(two).unwrap();
+        let p2 = parse(two_swapped).unwrap();
+        assert_ne!(content_fingerprint(&p1), content_fingerprint(&p2));
+        assert_eq!(
+            content_fingerprint(&p1.procs[0]),
+            content_fingerprint(&p2.procs[1])
+        );
+    }
+
+    #[test]
+    fn semantic_edits_change_fingerprints() {
+        let renamed = BASE
+            .replace("reg c", "reg d")
+            .replace("*c", "*d")
+            .replace("set c", "set d");
+        let retimed = BASE.replace("@#1", "@#2");
+        let base = parse(BASE).unwrap();
+        assert_ne!(
+            content_fingerprint(&base.procs[0]),
+            content_fingerprint(&parse(&renamed).unwrap().procs[0])
+        );
+        assert_ne!(
+            content_fingerprint(&base.chans[0]),
+            content_fingerprint(&parse(&retimed).unwrap().chans[0])
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_calls() {
+        let a = parse(BASE).unwrap();
+        assert_eq!(
+            content_fingerprint(&a.procs[0]),
+            content_fingerprint(&parse(BASE).unwrap().procs[0])
+        );
+    }
+
+    #[test]
+    fn sequence_lengths_prevent_field_aliasing() {
+        let mut h1 = StableHasher::new();
+        h1.write_str("ab");
+        h1.write_str("c");
+        let mut h2 = StableHasher::new();
+        h2.write_str("a");
+        h2.write_str("bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

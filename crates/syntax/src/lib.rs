@@ -23,11 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod fingerprint;
 mod lexer;
+mod line_index;
 mod parser;
 mod pretty;
 
 pub use ast::*;
+pub use fingerprint::{content_fingerprint, ContentHash, StableHasher};
 pub use lexer::{lex, LexError, SpannedTok, Tok};
+pub use line_index::LineIndex;
 pub use parser::{parse, ParseError};
 pub use pretty::{pretty_chan, pretty_proc, pretty_program, pretty_term};

@@ -23,8 +23,17 @@ pub struct ParseError {
 impl ParseError {
     /// Renders the error with `line:col` resolved against the source text.
     pub fn render(&self, source: &str) -> String {
-        let (line, col) = self.span.line_col(source);
-        let snippet: String = source[self.span.start..self.span.end.min(source.len())]
+        self.render_with(&crate::LineIndex::new(source))
+    }
+
+    /// [`ParseError::render`] against a prebuilt [`crate::LineIndex`], so a
+    /// driver rendering many diagnostics resolves lines in O(log n) each
+    /// instead of rescanning the source per error.
+    pub fn render_with(&self, index: &crate::LineIndex<'_>) -> String {
+        let source = index.source();
+        let (line, col) = index.span_start(self.span);
+        let snippet: String = source
+            [self.span.start.min(source.len())..self.span.end.min(source.len())]
             .chars()
             .take(40)
             .collect();

@@ -56,7 +56,15 @@ pub struct TypeError {
 impl TypeError {
     /// Renders the error with `line:col` resolved against the source.
     pub fn render(&self, source: &str) -> String {
-        let (line, col) = self.span.line_col(source);
+        self.render_with(&anvil_syntax::LineIndex::new(source))
+    }
+
+    /// [`TypeError::render`] against a prebuilt [`anvil_syntax::LineIndex`]:
+    /// drivers that render many violations build the index once and resolve
+    /// each span in O(log lines) instead of rescanning the source.
+    pub fn render_with(&self, index: &anvil_syntax::LineIndex<'_>) -> String {
+        let source = index.source();
+        let (line, col) = index.span_start(self.span);
         let snippet: String = source
             [self.span.start.min(source.len())..self.span.end.min(source.len())]
             .chars()

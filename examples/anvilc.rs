@@ -1,0 +1,108 @@
+//! `anvilc`: compile an Anvil `.anv` source file to SystemVerilog on disk.
+//!
+//! ```sh
+//! cargo run --release --example anvilc -- design.anv
+//! cargo run --release --example anvilc -- design.anv -o out.sv --repeat 5
+//! ```
+//!
+//! Prints per-pass wall-clock timings (`PassStats`) for every run and the
+//! session's cumulative query-cache counters (`CacheStats`) at the end;
+//! `--repeat N` recompiles the same file N times through one session, so
+//! runs 2..N exercise the warm path (all cache hits, near-zero
+//! check/codegen time).
+
+use std::process::exit;
+
+use anvil::Compiler;
+
+struct Args {
+    input: String,
+    output: Option<String>,
+    repeat: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anvilc <input.anv> [-o <output.sv>] [--repeat N]
+
+Compiles an Anvil source file to SystemVerilog.
+  -o <output.sv>   output path (default: input with a .sv extension)
+  --repeat N       compile N times through one session; runs after the
+                   first demonstrate the incremental warm path"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut output = None;
+    let mut repeat = 1usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-o" | "--output" => match argv.next() {
+                Some(path) => output = Some(path),
+                None => usage(),
+            },
+            "--repeat" => match argv.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => repeat = n,
+                _ => usage(),
+            },
+            "-h" | "--help" => usage(),
+            _ if input.is_none() && !arg.starts_with('-') => input = Some(arg),
+            _ => usage(),
+        }
+    }
+    match input {
+        Some(input) => Args {
+            input,
+            output,
+            repeat,
+        },
+        None => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let source = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("anvilc: cannot read `{}`: {e}", args.input);
+            exit(1);
+        }
+    };
+    let out_path = args.output.unwrap_or_else(|| {
+        let mut p = std::path::PathBuf::from(&args.input);
+        p.set_extension("sv");
+        p.display().to_string()
+    });
+
+    let compiler = Compiler::new();
+    let mut last = None;
+    for run in 1..=args.repeat {
+        match compiler.compile(&source) {
+            Ok(out) => {
+                println!("run {run}/{}: {}", args.repeat, out.stats);
+                last = Some(out);
+            }
+            Err(e) => {
+                eprintln!("{}", e.render(&source));
+                exit(1);
+            }
+        }
+    }
+    let out = last.expect("at least one run");
+
+    if let Err(e) = std::fs::write(&out_path, &out.systemverilog) {
+        eprintln!("anvilc: cannot write `{out_path}`: {e}");
+        exit(1);
+    }
+    println!(
+        "wrote {} ({} bytes, {} modules)",
+        out_path,
+        out.systemverilog.len(),
+        out.modules.iter().count()
+    );
+    println!("cache: {}", compiler.cache_stats());
+}

@@ -28,7 +28,8 @@
 //! ```
 
 pub use anvil_core::{
-    CodegenDiag, CompileError, CompileOutput, Compiler, Options, PassStats, Session,
+    CacheStats, CodegenDiag, CompileError, CompileOutput, Compiler, Options, PassStats, Session,
+    Stage, StageCounters,
 };
 pub use anvil_intern::Symbol;
 pub use anvil_sim::{Sim, SimError, Waveform};
