@@ -1,0 +1,47 @@
+//! Multi-lane batch simulation throughput: scalar tape vs SIMD-style
+//! `SimBatch` vs the thread-chunked sweep driver.
+//!
+//! All three benches execute the identical workload (one
+//! `simload::SimWorkload` pass: the ten-design suite × 16 independent
+//! random stimulus schedules × 256 cycles), so their times compare
+//! directly as aggregate stimulus throughput (cycles·lanes/sec). The
+//! acceptance bar for the multi-lane executor is ≥ 4× over scalar; the
+//! `bench_sim` binary turns the same measurements into the
+//! machine-readable `BENCH_sim.json` CI artifact.
+
+use anvil_bench::simload::SimWorkload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_lane_throughput(c: &mut Criterion) {
+    let load = SimWorkload::prepare();
+    let seed = 0x5EED_CAFE_F00D_BEEFu64;
+
+    // The three modes must compute bit-identical end states before any
+    // timing is trusted.
+    let mut scalars = load.make_scalars();
+    let mut batches = load.make_batches();
+    let expect = load.run_scalar(&mut scalars, seed);
+    assert_eq!(expect, load.run_batch(&mut batches, seed));
+    assert_eq!(expect, load.run_threaded(4, seed));
+
+    c.bench_function("sim_suite_256c_x16_scalar_tape", |b| {
+        b.iter(|| std::hint::black_box(load.run_scalar(&mut scalars, seed)))
+    });
+    c.bench_function("sim_suite_256c_x16_batch8", |b| {
+        b.iter(|| std::hint::black_box(load.run_batch(&mut batches, seed)))
+    });
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
+    c.bench_function("sim_suite_256c_x16_batch8_threaded", |b| {
+        b.iter(|| std::hint::black_box(load.run_threaded(workers, seed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lane_throughput
+}
+criterion_main!(benches);

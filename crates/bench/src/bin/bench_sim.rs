@@ -1,0 +1,114 @@
+//! Emits `BENCH_sim.json`: the machine-readable simulation-throughput
+//! record archived by CI from this PR onward, so the perf trajectory of
+//! the simulator (scalar tape vs multi-lane vs threaded sweep) is tracked
+//! across commits.
+//!
+//! One workload pass = the ten-design evaluation suite × 16 independent
+//! random stimulus schedules × 256 cycles (see
+//! `anvil_bench::simload`). Each mode is timed over several passes after
+//! a verification pass that asserts all modes produce bit-identical state
+//! fingerprints; the best pass time is reported, as throughput in
+//! cycles·lanes/sec.
+//!
+//! Usage: `bench_sim [output-path]` (default `BENCH_sim.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use anvil_bench::simload::{SimWorkload, CYCLES, LANES_TOTAL};
+use anvil_sim::LANE_STRIDE;
+
+const PASSES: usize = 5;
+
+fn time_best(mut f: impl FnMut() -> u64, expect: u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        let got = std::hint::black_box(f());
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(got, expect, "mode diverged from the scalar reference");
+        best = best.min(dt);
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let load = SimWorkload::prepare();
+    let seed = 0x5EED_CAFE_F00D_BEEFu64;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(8);
+
+    let mut scalars = load.make_scalars();
+    let mut batches = load.make_batches();
+    let expect = load.run_scalar(&mut scalars, seed);
+
+    let t_scalar = time_best(|| load.run_scalar(&mut scalars, seed), expect);
+    let t_batch = time_best(|| load.run_batch(&mut batches, seed), expect);
+    let t_threaded = time_best(|| load.run_threaded(workers, seed), expect);
+
+    let volume = load.cycle_lanes() as f64;
+    let thr = |t: f64| volume / t;
+    let modes = [
+        ("scalar_tape", 1, t_scalar),
+        ("batch", 1, t_batch),
+        ("batch_threaded", workers, t_threaded),
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"anvil-bench-sim-v1\",");
+    let _ = writeln!(json, "  \"designs\": {},", load.modules.len());
+    let _ = writeln!(json, "  \"lanes_per_design\": {LANES_TOTAL},");
+    let _ = writeln!(json, "  \"cycles\": {CYCLES},");
+    let _ = writeln!(json, "  \"lane_stride\": {LANE_STRIDE},");
+    let _ = writeln!(json, "  \"cycle_lanes_per_pass\": {},", load.cycle_lanes());
+    let _ = writeln!(json, "  \"passes\": {PASSES},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, (name, threads, t)) in modes.iter().enumerate() {
+        let comma = if i + 1 < modes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{name}\", \"threads\": {threads}, \
+             \"seconds_per_pass\": {t:.6}, \"cycles_lanes_per_sec\": {:.0}}}{comma}",
+            thr(*t)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_batch_over_scalar\": {:.2},",
+        t_scalar / t_batch
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_threaded_over_scalar\": {:.2}",
+        t_scalar / t_threaded
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("writing BENCH_sim.json");
+
+    println!("wrote {out_path}");
+    println!(
+        "workload: {} designs x {LANES_TOTAL} lanes x {CYCLES} cycles = {} cycle-lanes/pass",
+        load.modules.len(),
+        load.cycle_lanes()
+    );
+    for (name, threads, t) in &modes {
+        println!(
+            "{name:<16} threads={threads}  {:>8.2} ms/pass  {:>12.0} cycles*lanes/sec",
+            t * 1e3,
+            thr(*t)
+        );
+    }
+    println!(
+        "speedup: batch {:.2}x, threaded {:.2}x over scalar tape",
+        t_scalar / t_batch,
+        t_scalar / t_threaded
+    );
+}

@@ -5,11 +5,47 @@
 //! is little-endian `u64` words with the unused high bits of the top word
 //! kept zero (a maintained invariant, relied on by `Eq`/`Hash`).
 //!
+//! Values of 64 bits or fewer — the overwhelming majority of signals in
+//! real netlists — are stored inline with no heap allocation, so the
+//! simulator's peek/eval hot paths construct and drop `Bits` without
+//! touching the allocator. Wider values spill to a `Vec<u64>`.
+//!
 //! All arithmetic is unsigned and wraps modulo `2^width`, matching the
 //! semantics of SystemVerilog packed `logic` vectors under the operators the
 //! Anvil code generator emits.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Word storage: one inline word for widths ≤ 64, heap words otherwise.
+///
+/// The two variants never alias in meaning: `One` is used exactly when the
+/// vector needs a single word, so equality and hashing over the word
+/// *slice* (see the manual `PartialEq`/`Hash` impls on [`Bits`]) are
+/// representation-independent.
+#[derive(Clone)]
+enum WordBuf {
+    One(u64),
+    Many(Vec<u64>),
+}
+
+impl WordBuf {
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            WordBuf::One(w) => std::slice::from_ref(w),
+            WordBuf::Many(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            WordBuf::One(w) => std::slice::from_mut(w),
+            WordBuf::Many(v) => v,
+        }
+    }
+}
 
 /// An unsigned bit vector of fixed width.
 ///
@@ -23,10 +59,25 @@ use std::fmt;
 /// assert_eq!(a.add(&b).to_u64(), 0xAC);
 /// assert_eq!(a.slice(4, 4).to_u64(), 0xA);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Bits {
     width: usize,
-    words: Vec<u64>,
+    words: WordBuf,
+}
+
+impl PartialEq for Bits {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.words() == other.words()
+    }
+}
+
+impl Eq for Bits {}
+
+impl Hash for Bits {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.words().hash(state);
+    }
 }
 
 fn words_for(width: usize) -> usize {
@@ -41,16 +92,21 @@ impl Bits {
     /// Panics if `width` is zero.
     pub fn zero(width: usize) -> Self {
         assert!(width > 0, "bit vector width must be positive");
+        let n = words_for(width);
         Bits {
             width,
-            words: vec![0; words_for(width)],
+            words: if n == 1 {
+                WordBuf::One(0)
+            } else {
+                WordBuf::Many(vec![0; n])
+            },
         }
     }
 
     /// Creates an all-ones vector of the given width.
     pub fn ones(width: usize) -> Self {
         let mut b = Bits::zero(width);
-        for w in &mut b.words {
+        for w in b.words_mut() {
             *w = u64::MAX;
         }
         b.normalize();
@@ -60,7 +116,7 @@ impl Bits {
     /// Creates a vector of the given width from a `u64`, truncating high bits.
     pub fn from_u64(value: u64, width: usize) -> Self {
         let mut b = Bits::zero(width);
-        b.words[0] = value;
+        b.words_mut()[0] = value;
         b.normalize();
         b
     }
@@ -68,9 +124,9 @@ impl Bits {
     /// Creates a vector of the given width from a `u128`, truncating high bits.
     pub fn from_u128(value: u128, width: usize) -> Self {
         let mut b = Bits::zero(width);
-        b.words[0] = value as u64;
-        if b.words.len() > 1 {
-            b.words[1] = (value >> 64) as u64;
+        b.words_mut()[0] = value as u64;
+        if b.word_len() > 1 {
+            b.words_mut()[1] = (value >> 64) as u64;
         }
         b.normalize();
         b
@@ -84,10 +140,11 @@ impl Bits {
     /// Creates a vector from bytes, least-significant byte first.
     pub fn from_le_bytes(bytes: &[u8], width: usize) -> Self {
         let mut b = Bits::zero(width);
+        let n = b.word_len();
         for (i, byte) in bytes.iter().enumerate() {
             let word = i / 8;
-            if word < b.words.len() {
-                b.words[word] |= u64::from(*byte) << ((i % 8) * 8);
+            if word < n {
+                b.words_mut()[word] |= u64::from(*byte) << ((i % 8) * 8);
             }
         }
         b.normalize();
@@ -99,36 +156,107 @@ impl Bits {
         self.width
     }
 
+    #[inline]
+    fn words(&self) -> &[u64] {
+        self.words.as_slice()
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        self.words.as_mut_slice()
+    }
+
+    #[inline]
+    fn word_len(&self) -> usize {
+        self.words().len()
+    }
+
     /// The little-endian `u64` word storage (unused high bits of the top
     /// word are zero). Exposed so word-packed consumers (the compiled
     /// simulation backend, state fingerprinting) can avoid per-bit access.
     pub fn as_words(&self) -> &[u64] {
-        &self.words
+        self.words()
     }
 
     /// Builds a vector of `width` bits from little-endian words, truncating
     /// or zero-padding as needed.
     pub fn from_words(width: usize, words: &[u64]) -> Self {
         let mut b = Bits::zero(width);
-        let n = b.words.len().min(words.len());
-        b.words[..n].copy_from_slice(&words[..n]);
+        let n = b.word_len().min(words.len());
+        b.words_mut()[..n].copy_from_slice(&words[..n]);
         b.normalize();
         b
     }
 
+    /// Gathers a `width`-bit value from a lane-strided word slab: logical
+    /// word `w` of lane `lane` lives at `slab[w * stride + lane]`.
+    ///
+    /// This is the transpose the multi-lane simulation backend uses: its
+    /// state arena interleaves `stride` independent lanes word by word so
+    /// every op's inner loop runs across all lanes over contiguous memory.
+    ///
+    /// Words past the end of `slab` read as zero; the result is normalized
+    /// (high bits of the top word masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= stride` or `stride == 0`.
+    pub fn from_lane_slab(width: usize, slab: &[u64], stride: usize, lane: usize) -> Self {
+        assert!(
+            stride > 0 && lane < stride,
+            "lane {lane} out of stride {stride}"
+        );
+        let mut b = Bits::zero(width);
+        let n = b.word_len();
+        for k in 0..n {
+            let idx = k * stride + lane;
+            if idx < slab.len() {
+                b.words_mut()[k] = slab[idx];
+            }
+        }
+        b.normalize();
+        b
+    }
+
+    /// Scatters this value's words into a lane-strided slab laid out as in
+    /// [`Bits::from_lane_slab`]: logical word `w` of lane `lane` is written
+    /// to `slab[w * stride + lane]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= stride`, `stride == 0`, or the slab is too short
+    /// to hold every word of this value.
+    pub fn write_lane_slab(&self, slab: &mut [u64], stride: usize, lane: usize) {
+        assert!(
+            stride > 0 && lane < stride,
+            "lane {lane} out of stride {stride}"
+        );
+        for (k, w) in self.words().iter().enumerate() {
+            slab[k * stride + lane] = *w;
+        }
+    }
+
+    /// Expands a scalar little-endian word image into a lane-strided slab
+    /// with every lane holding the same value: the power-on broadcast used
+    /// when a multi-lane arena is seeded from a single initial image.
+    pub fn broadcast_slab(words: &[u64], stride: usize) -> Vec<u64> {
+        let mut slab = vec![0u64; words.len() * stride];
+        for (k, w) in words.iter().enumerate() {
+            slab[k * stride..(k + 1) * stride].fill(*w);
+        }
+        slab
+    }
+
     /// Low 64 bits of the value.
     pub fn to_u64(&self) -> u64 {
-        self.words[0]
+        self.words()[0]
     }
 
     /// Low 128 bits of the value.
     pub fn to_u128(&self) -> u128 {
-        let lo = self.words[0] as u128;
-        let hi = if self.words.len() > 1 {
-            self.words[1] as u128
-        } else {
-            0
-        };
+        let words = self.words();
+        let lo = words[0] as u128;
+        let hi = if words.len() > 1 { words[1] as u128 } else { 0 };
         lo | (hi << 64)
     }
 
@@ -143,7 +271,7 @@ impl Bits {
             "bit index {i} out of range for width {}",
             self.width
         );
-        (self.words[i / 64] >> (i % 64)) & 1 == 1
+        (self.words()[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Returns a copy with bit `i` set to `v`.
@@ -151,16 +279,16 @@ impl Bits {
         assert!(i < self.width);
         let mut b = self.clone();
         if v {
-            b.words[i / 64] |= 1 << (i % 64);
+            b.words_mut()[i / 64] |= 1 << (i % 64);
         } else {
-            b.words[i / 64] &= !(1 << (i % 64));
+            b.words_mut()[i / 64] &= !(1 << (i % 64));
         }
         b
     }
 
     /// True if every bit is zero.
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|w| *w == 0)
+        self.words().iter().all(|w| *w == 0)
     }
 
     /// True interpreted as a condition: any bit set (SystemVerilog truthiness).
@@ -169,18 +297,19 @@ impl Bits {
     }
 
     fn normalize(&mut self) {
-        let extra = self.words.len() * 64 - self.width;
+        let extra = self.word_len() * 64 - self.width;
         if extra > 0 {
-            let last = self.words.len() - 1;
-            self.words[last] &= u64::MAX >> extra;
+            let last = self.word_len() - 1;
+            self.words_mut()[last] &= u64::MAX >> extra;
         }
     }
 
     /// Zero-extends or truncates to `width`.
     pub fn resize(&self, width: usize) -> Self {
         let mut b = Bits::zero(width);
-        for (i, w) in self.words.iter().enumerate().take(b.words.len()) {
-            b.words[i] = *w;
+        let n = b.word_len().min(self.word_len());
+        for i in 0..n {
+            b.words_mut()[i] = self.words()[i];
         }
         b.normalize();
         b
@@ -192,7 +321,7 @@ impl Bits {
         for i in 0..width {
             let src = lo + i;
             if src < self.width && self.get(src) {
-                b.words[i / 64] |= 1 << (i % 64);
+                b.words_mut()[i / 64] |= 1 << (i % 64);
             }
         }
         b
@@ -204,13 +333,13 @@ impl Bits {
         let mut b = Bits::zero(width);
         for i in 0..low.width {
             if low.get(i) {
-                b.words[i / 64] |= 1 << (i % 64);
+                b.words_mut()[i / 64] |= 1 << (i % 64);
             }
         }
         for i in 0..self.width {
             let dst = low.width + i;
             if self.get(i) {
-                b.words[dst / 64] |= 1 << (dst % 64);
+                b.words_mut()[dst / 64] |= 1 << (dst % 64);
             }
         }
         b
@@ -229,10 +358,10 @@ impl Bits {
         self.check_same_width(rhs);
         let mut out = Bits::zero(self.width);
         let mut carry = 0u64;
-        for i in 0..self.words.len() {
-            let (s1, c1) = self.words[i].overflowing_add(rhs.words[i]);
+        for i in 0..self.word_len() {
+            let (s1, c1) = self.words()[i].overflowing_add(rhs.words()[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out.words[i] = s2;
+            out.words_mut()[i] = s2;
             carry = u64::from(c1) + u64::from(c2);
         }
         out.normalize();
@@ -262,7 +391,7 @@ impl Bits {
     /// Bitwise NOT.
     pub fn not(&self) -> Self {
         let mut out = self.clone();
-        for w in &mut out.words {
+        for w in out.words_mut() {
             *w = !*w;
         }
         out.normalize();
@@ -278,7 +407,7 @@ impl Bits {
     pub fn and(&self, rhs: &Bits) -> Self {
         self.check_same_width(rhs);
         let mut out = self.clone();
-        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+        for (w, r) in out.words_mut().iter_mut().zip(rhs.words()) {
             *w &= r;
         }
         out
@@ -288,7 +417,7 @@ impl Bits {
     pub fn or(&self, rhs: &Bits) -> Self {
         self.check_same_width(rhs);
         let mut out = self.clone();
-        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+        for (w, r) in out.words_mut().iter_mut().zip(rhs.words()) {
             *w |= r;
         }
         out
@@ -298,7 +427,7 @@ impl Bits {
     pub fn xor(&self, rhs: &Bits) -> Self {
         self.check_same_width(rhs);
         let mut out = self.clone();
-        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+        for (w, r) in out.words_mut().iter_mut().zip(rhs.words()) {
             *w ^= r;
         }
         out
@@ -309,7 +438,7 @@ impl Bits {
         let mut out = Bits::zero(self.width);
         for i in n..self.width {
             if self.get(i - n) {
-                out.words[i / 64] |= 1 << (i % 64);
+                out.words_mut()[i / 64] |= 1 << (i % 64);
             }
         }
         out
@@ -323,9 +452,9 @@ impl Bits {
     /// Unsigned comparison: `self < rhs`.
     pub fn lt(&self, rhs: &Bits) -> bool {
         self.check_same_width(rhs);
-        for i in (0..self.words.len()).rev() {
-            if self.words[i] != rhs.words[i] {
-                return self.words[i] < rhs.words[i];
+        for i in (0..self.word_len()).rev() {
+            if self.words()[i] != rhs.words()[i] {
+                return self.words()[i] < rhs.words()[i];
             }
         }
         false
@@ -343,31 +472,42 @@ impl Bits {
 
     /// XOR-reduction: parity of the set bits.
     pub fn reduce_xor(&self) -> bool {
-        self.words.iter().fold(0u32, |acc, w| acc ^ w.count_ones()) % 2 == 1
+        self.words()
+            .iter()
+            .fold(0u32, |acc, w| acc ^ w.count_ones())
+            % 2
+            == 1
     }
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        self.words().iter().map(|w| w.count_ones()).sum()
     }
 
     /// Number of bit positions at which `self` and `rhs` differ.
     ///
     /// Used by the power model to estimate switching activity.
     pub fn hamming_distance(&self, rhs: &Bits) -> u32 {
-        self.xor(rhs).count_ones()
+        self.check_same_width(rhs);
+        self.words()
+            .iter()
+            .zip(rhs.words())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// The hex nibble at position `i` (nibble 0 = bits 0..4), without
+    /// allocating. Nibbles never straddle word boundaries (64 % 4 == 0).
+    fn nibble(&self, i: usize) -> u64 {
+        let n = 4.min(self.width - i * 4);
+        (self.words()[(i * 4) / 64] >> ((i * 4) % 64)) & ((1u64 << n) - 1)
     }
 }
 
 impl fmt::Debug for Bits {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}'h", self.width)?;
-        let nibbles = self.width.div_ceil(4);
-        for i in (0..nibbles).rev() {
-            let nib = self.slice(i * 4, 4.min(self.width - i * 4)).to_u64();
-            write!(f, "{nib:x}")?;
-        }
-        Ok(())
+        fmt::LowerHex::fmt(self, f)
     }
 }
 
@@ -381,8 +521,7 @@ impl fmt::LowerHex for Bits {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let nibbles = self.width.div_ceil(4);
         for i in (0..nibbles).rev() {
-            let nib = self.slice(i * 4, 4.min(self.width - i * 4)).to_u64();
-            write!(f, "{nib:x}")?;
+            write!(f, "{:x}", self.nibble(i))?;
         }
         Ok(())
     }
@@ -511,5 +650,57 @@ mod tests {
     fn display_hex() {
         assert_eq!(format!("{}", Bits::from_u64(0xab, 8)), "8'hab");
         assert_eq!(format!("{:b}", Bits::from_u64(0b101, 3)), "101");
+        // Multi-word hex keeps every nibble, including leading zeros.
+        let wide = Bits::from_u128(0xDEAD_BEEF, 128);
+        assert_eq!(format!("{wide:x}"), format!("{:032x}", 0xDEAD_BEEFu128));
+    }
+
+    #[test]
+    fn lane_slab_roundtrip() {
+        let stride = 8;
+        let vals: Vec<Bits> = (0..stride as u64)
+            .map(|l| Bits::from_u128((l as u128) << 70 | (0x1111 * l as u128), 100))
+            .collect();
+        let mut slab = vec![0u64; words_for(100) * stride];
+        for (l, v) in vals.iter().enumerate() {
+            v.write_lane_slab(&mut slab, stride, l);
+        }
+        for (l, v) in vals.iter().enumerate() {
+            assert_eq!(&Bits::from_lane_slab(100, &slab, stride, l), v);
+        }
+    }
+
+    #[test]
+    fn broadcast_slab_fills_every_lane() {
+        let img = [0xAAu64, 0x55u64];
+        let slab = Bits::broadcast_slab(&img, 4);
+        for l in 0..4 {
+            assert_eq!(Bits::from_lane_slab(128, &slab, 4, l).to_u128(), {
+                (0x55u128 << 64) | 0xAA
+            });
+        }
+    }
+
+    #[test]
+    fn from_lane_slab_zero_extends_past_slab() {
+        // Slab holds one logical word; asking for 128 bits zero-extends.
+        let slab = [7u64, 9u64];
+        assert_eq!(Bits::from_lane_slab(128, &slab, 2, 1).to_u128(), 9);
+    }
+
+    #[test]
+    fn inline_and_heap_values_compare_and_hash_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Same width & value through different constructors must be equal
+        // with equal hashes regardless of internal storage.
+        let a = Bits::from_u64(0x42, 64);
+        let b = Bits::from_words(64, &[0x42, 0, 0]);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
     }
 }

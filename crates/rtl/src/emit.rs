@@ -9,6 +9,12 @@
 //!
 //! Expressions are fully parenthesised, so operator precedence can never
 //! change meaning.
+//!
+//! Emission is allocation-lean: the output `String` is pre-reserved from a
+//! per-construct size estimate and every hot loop appends directly with
+//! `write!`/`push_str` (no per-line `format!` temporaries). The public
+//! string-returning helpers ([`sv_expr`], [`emit_module`]) are thin
+//! wrappers over the `_into` writers.
 
 use std::fmt::Write as _;
 
@@ -34,168 +40,172 @@ use crate::netlist::{Module, ModuleLibrary, SignalKind};
 /// assert!(sv.contains("assign y = (~a);"));
 /// ```
 pub fn emit_module(m: &Module) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "module {} (", sv_ident(&m.name));
-    let mut port_lines = vec!["  input logic clk".to_string()];
+    let mut out = String::with_capacity(estimate_module_bytes(m));
+    emit_module_into(&mut out, m);
+    out
+}
+
+/// A coarse output-size estimate used to pre-reserve the emission buffer:
+/// a fixed per-construct budget (ports, declarations, assigns, register
+/// updates, writes, prints, instances) that lands within a small factor
+/// of the real size for generated FSMs, so the hot emit loops append into
+/// already-reserved capacity instead of growing the `String` repeatedly.
+fn estimate_module_bytes(m: &Module) -> usize {
+    256 + 48 * m.signals.len()
+        + 96 * (m.assigns.len() + m.reg_next.len())
+        + 128 * (m.array_writes.len() + m.prints.len() + m.instances.len())
+        + 64 * m.arrays.len()
+}
+
+/// [`emit_module`], appending into an existing buffer (byte-identical
+/// output).
+fn emit_module_into(out: &mut String, m: &Module) {
+    out.push_str("module ");
+    sv_ident_into(out, &m.name);
+    out.push_str(" (\n");
+    out.push_str("  input logic clk");
     for (_, sig) in m.iter_signals() {
-        match sig.kind {
-            SignalKind::Input => port_lines.push(format!(
-                "  input {} {}",
-                sv_type(sig.width),
-                sv_ident(&sig.name)
-            )),
-            SignalKind::Output => port_lines.push(format!(
-                "  output {} {}",
-                sv_type(sig.width),
-                sv_ident(&sig.name)
-            )),
-            _ => {}
-        }
+        let dir = match sig.kind {
+            SignalKind::Input => "  input ",
+            SignalKind::Output => "  output ",
+            _ => continue,
+        };
+        out.push_str(",\n");
+        out.push_str(dir);
+        sv_type_into(out, sig.width);
+        out.push(' ');
+        sv_ident_into(out, &sig.name);
     }
-    let _ = writeln!(out, "{}", port_lines.join(",\n"));
-    let _ = writeln!(out, ");");
+    out.push_str("\n);\n");
 
     // Declarations.
     for (_, sig) in m.iter_signals() {
         match sig.kind {
             SignalKind::Wire | SignalKind::Reg => {
-                let _ = writeln!(out, "  {} {};", sv_type(sig.width), sv_ident(&sig.name));
+                out.push_str("  ");
+                sv_type_into(out, sig.width);
+                out.push(' ');
+                sv_ident_into(out, &sig.name);
+                out.push_str(";\n");
             }
             _ => {}
         }
     }
     for arr in &m.arrays {
-        let _ = writeln!(
-            out,
-            "  {} {} [0:{}];",
-            sv_type(arr.width),
-            sv_ident(&arr.name),
-            arr.depth - 1
-        );
+        out.push_str("  ");
+        sv_type_into(out, arr.width);
+        out.push(' ');
+        sv_ident_into(out, &arr.name);
+        let _ = writeln!(out, " [0:{}];", arr.depth - 1);
     }
 
     // Initial values.
-    let mut has_init = false;
-    let mut init_block = String::new();
-    for (_, sig) in m.iter_signals() {
-        if sig.kind == SignalKind::Reg {
-            if let Some(init) = &sig.init {
-                let _ = writeln!(
-                    init_block,
-                    "    {} = {};",
-                    sv_ident(&sig.name),
-                    sv_const(init)
-                );
-                has_init = true;
+    let has_init = m
+        .iter_signals()
+        .any(|(_, s)| s.kind == SignalKind::Reg && s.init.is_some())
+        || m.arrays.iter().any(|a| !a.init.is_empty());
+    if has_init {
+        out.push_str("  initial begin\n");
+        for (_, sig) in m.iter_signals() {
+            if sig.kind == SignalKind::Reg {
+                if let Some(init) = &sig.init {
+                    out.push_str("    ");
+                    sv_ident_into(out, &sig.name);
+                    out.push_str(" = ");
+                    sv_const_into(out, init);
+                    out.push_str(";\n");
+                }
             }
         }
-    }
-    for arr in &m.arrays {
-        for (i, v) in arr.init.iter().enumerate() {
-            let _ = writeln!(
-                init_block,
-                "    {}[{}] = {};",
-                sv_ident(&arr.name),
-                i,
-                sv_const(v)
-            );
-            has_init = true;
+        for arr in &m.arrays {
+            for (i, v) in arr.init.iter().enumerate() {
+                out.push_str("    ");
+                sv_ident_into(out, &arr.name);
+                let _ = write!(out, "[{i}] = ");
+                sv_const_into(out, v);
+                out.push_str(";\n");
+            }
         }
-    }
-    if has_init {
-        let _ = writeln!(out, "  initial begin");
-        out.push_str(&init_block);
-        let _ = writeln!(out, "  end");
+        out.push_str("  end\n");
     }
 
     // Continuous assignments, in signal order for determinism.
     let mut assigns: Vec<_> = m.assigns.iter().collect();
     assigns.sort_by_key(|(id, _)| id.0);
     for (id, e) in assigns {
-        let _ = writeln!(
-            out,
-            "  assign {} = {};",
-            sv_ident(&m.signal(*id).name),
-            sv_expr(m, e)
-        );
+        out.push_str("  assign ");
+        sv_ident_into(out, &m.signal(*id).name);
+        out.push_str(" = ");
+        sv_expr_into(out, m, e);
+        out.push_str(";\n");
     }
 
     // Sequential block.
     if !m.reg_next.is_empty() || !m.array_writes.is_empty() {
-        let _ = writeln!(out, "  always_ff @(posedge clk) begin");
+        out.push_str("  always_ff @(posedge clk) begin\n");
         let mut nexts: Vec<_> = m.reg_next.iter().collect();
         nexts.sort_by_key(|(id, _)| id.0);
         for (id, e) in nexts {
-            let _ = writeln!(
-                out,
-                "    {} <= {};",
-                sv_ident(&m.signal(*id).name),
-                sv_expr(m, e)
-            );
+            out.push_str("    ");
+            sv_ident_into(out, &m.signal(*id).name);
+            out.push_str(" <= ");
+            sv_expr_into(out, m, e);
+            out.push_str(";\n");
         }
         for w in &m.array_writes {
-            let _ = writeln!(
-                out,
-                "    if ({}) {}[{}] <= {};",
-                sv_expr(m, &w.enable),
-                sv_ident(&m.arrays[w.array.0].name),
-                sv_expr(m, &w.index),
-                sv_expr(m, &w.data)
-            );
+            out.push_str("    if (");
+            sv_expr_into(out, m, &w.enable);
+            out.push_str(") ");
+            sv_ident_into(out, &m.arrays[w.array.0].name);
+            out.push('[');
+            sv_expr_into(out, m, &w.index);
+            out.push_str("] <= ");
+            sv_expr_into(out, m, &w.data);
+            out.push_str(";\n");
         }
-        let _ = writeln!(out, "  end");
+        out.push_str("  end\n");
     }
 
     // Debug prints (guarded for synthesis).
     if !m.prints.is_empty() {
-        let _ = writeln!(out, "`ifndef SYNTHESIS");
-        let _ = writeln!(out, "  always_ff @(posedge clk) begin");
+        out.push_str("`ifndef SYNTHESIS\n");
+        out.push_str("  always_ff @(posedge clk) begin\n");
         for p in &m.prints {
+            out.push_str("    if (");
+            sv_expr_into(out, m, &p.enable);
             match &p.value {
                 Some(v) => {
-                    let _ = writeln!(
-                        out,
-                        "    if ({}) $display(\"{}: %h\", {});",
-                        sv_expr(m, &p.enable),
-                        p.label,
-                        sv_expr(m, v)
-                    );
+                    let _ = write!(out, ") $display(\"{}: %h\", ", p.label);
+                    sv_expr_into(out, m, v);
+                    out.push_str(");\n");
                 }
                 None => {
-                    let _ = writeln!(
-                        out,
-                        "    if ({}) $display(\"{}\");",
-                        sv_expr(m, &p.enable),
-                        p.label
-                    );
+                    let _ = writeln!(out, ") $display(\"{}\");", p.label);
                 }
             }
         }
-        let _ = writeln!(out, "  end");
-        let _ = writeln!(out, "`endif");
+        out.push_str("  end\n");
+        out.push_str("`endif\n");
     }
 
     // Instances.
     for inst in &m.instances {
-        let mut conns = vec![".clk(clk)".to_string()];
+        out.push_str("  ");
+        sv_ident_into(out, &inst.module);
+        out.push(' ');
+        sv_ident_into(out, &inst.name);
+        out.push_str(" (.clk(clk)");
         for (port, sig) in &inst.connections {
-            conns.push(format!(
-                ".{}({})",
-                sv_ident(port),
-                sv_ident(&m.signal(*sig).name)
-            ));
+            out.push_str(", .");
+            sv_ident_into(out, port);
+            out.push('(');
+            sv_ident_into(out, &m.signal(*sig).name);
+            out.push(')');
         }
-        let _ = writeln!(
-            out,
-            "  {} {} ({});",
-            sv_ident(&inst.module),
-            sv_ident(&inst.name),
-            conns.join(", ")
-        );
+        out.push_str(");\n");
     }
 
-    let _ = writeln!(out, "endmodule");
-    out
+    out.push_str("endmodule\n");
 }
 
 /// The deterministic order [`emit_library`] prints modules in: name-sorted
@@ -242,54 +252,76 @@ pub fn emit_order(lib: &ModuleLibrary) -> Vec<&str> {
 /// Emits every module in the library, leaf modules first so that each
 /// definition precedes its uses (the order of [`emit_order`]).
 pub fn emit_library(lib: &ModuleLibrary) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(
+        lib.iter().map(estimate_module_bytes).sum::<usize>() + lib.iter().count(),
+    );
     for name in emit_order(lib) {
-        out.push_str(&emit_module(lib.get(name).expect("listed module exists")));
+        emit_module_into(&mut out, lib.get(name).expect("listed module exists"));
         out.push('\n');
     }
     out
 }
 
-fn sv_type(width: usize) -> String {
+fn sv_type_into(out: &mut String, width: usize) {
     if width == 1 {
-        "logic".to_string()
+        out.push_str("logic");
     } else {
-        format!("logic [{}:0]", width - 1)
+        let _ = write!(out, "logic [{}:0]", width - 1);
     }
 }
 
 /// Escapes identifiers that contain hierarchy separators from flattening.
-fn sv_ident(name: &str) -> String {
+fn sv_ident_into(out: &mut String, name: &str) {
     if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
         && !name.is_empty()
     {
-        name.to_string()
+        out.push_str(name);
     } else {
         // SystemVerilog escaped identifier: backslash + token + space.
-        format!("\\{name} ")
+        out.push('\\');
+        out.push_str(name);
+        out.push(' ');
     }
 }
 
-fn sv_const(b: &crate::Bits) -> String {
-    format!("{}'h{:x}", b.width(), b)
+#[cfg(test)]
+fn sv_ident(name: &str) -> String {
+    let mut out = String::new();
+    sv_ident_into(&mut out, name);
+    out
+}
+
+fn sv_const_into(out: &mut String, b: &crate::Bits) {
+    let _ = write!(out, "{}'h{:x}", b.width(), b);
 }
 
 /// Prints an expression, fully parenthesised.
 pub fn sv_expr(m: &Module, e: &Expr) -> String {
+    let mut out = String::new();
+    sv_expr_into(&mut out, m, e);
+    out
+}
+
+/// [`sv_expr`], appending into an existing buffer: the emitter's hottest
+/// loop, so the recursion writes directly instead of allocating a
+/// `String` per node.
+fn sv_expr_into(out: &mut String, m: &Module, e: &Expr) {
     match e {
-        Expr::Const(b) => sv_const(b),
-        Expr::Signal(s) => sv_ident(&m.signal(*s).name),
+        Expr::Const(b) => sv_const_into(out, b),
+        Expr::Signal(s) => sv_ident_into(out, &m.signal(*s).name),
         Expr::Unary(op, a) => {
             let sym = match op {
-                UnaryOp::Not => "~",
-                UnaryOp::Neg => "-",
-                UnaryOp::RedAnd => "&",
-                UnaryOp::RedOr => "|",
-                UnaryOp::RedXor => "^",
-                UnaryOp::LogicNot => "!",
+                UnaryOp::Not => "(~",
+                UnaryOp::Neg => "(-",
+                UnaryOp::RedAnd => "(&",
+                UnaryOp::RedOr => "(|",
+                UnaryOp::RedXor => "(^",
+                UnaryOp::LogicNot => "(!",
             };
-            format!("({sym}{})", sv_expr(m, a))
+            out.push_str(sym);
+            sv_expr_into(out, m, a);
+            out.push(')');
         }
         Expr::Binary(op, a, b) => {
             let sym = match op {
@@ -308,36 +340,56 @@ pub fn sv_expr(m: &Module, e: &Expr) -> String {
                 BinaryOp::Shl => "<<",
                 BinaryOp::Shr => ">>",
             };
-            format!("({} {sym} {})", sv_expr(m, a), sv_expr(m, b))
+            out.push('(');
+            sv_expr_into(out, m, a);
+            out.push(' ');
+            out.push_str(sym);
+            out.push(' ');
+            sv_expr_into(out, m, b);
+            out.push(')');
         }
         Expr::Mux {
             cond,
             then_e,
             else_e,
-        } => format!(
-            "((|{}) ? {} : {})",
-            sv_expr(m, cond),
-            sv_expr(m, then_e),
-            sv_expr(m, else_e)
-        ),
+        } => {
+            out.push_str("((|");
+            sv_expr_into(out, m, cond);
+            out.push_str(") ? ");
+            sv_expr_into(out, m, then_e);
+            out.push_str(" : ");
+            sv_expr_into(out, m, else_e);
+            out.push(')');
+        }
         Expr::Concat(parts) => {
-            let inner: Vec<String> = parts.iter().map(|p| sv_expr(m, p)).collect();
-            format!("{{{}}}", inner.join(", "))
+            out.push('{');
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                sv_expr_into(out, m, p);
+            }
+            out.push('}');
         }
         Expr::Slice { base, lo, width } => {
-            format!("{}[{}+:{}]", sv_expr(m, base), lo, width)
+            sv_expr_into(out, m, base);
+            let _ = write!(out, "[{lo}+:{width}]");
         }
-        Expr::ArrayRead { array, index } => format!(
-            "{}[{}]",
-            sv_ident(&m.arrays[array.0].name),
-            sv_expr(m, index)
-        ),
+        Expr::ArrayRead { array, index } => {
+            sv_ident_into(out, &m.arrays[array.0].name);
+            out.push('[');
+            sv_expr_into(out, m, index);
+            out.push(']');
+        }
         Expr::Resize { base, width } => {
             let bw = m.expr_width(base).unwrap_or(*width);
             if bw >= *width {
-                format!("{}[{}+:{}]", sv_expr(m, base), 0, width)
+                sv_expr_into(out, m, base);
+                let _ = write!(out, "[0+:{width}]");
             } else {
-                format!("{{{}'h0, {}}}", width - bw, sv_expr(m, base))
+                let _ = write!(out, "{{{}'h0, ", width - bw);
+                sv_expr_into(out, m, base);
+                out.push('}');
             }
         }
     }

@@ -1,0 +1,651 @@
+//! Multi-lane batch simulation: one compiled tape, many stimulus lanes.
+//!
+//! [`SimBatch`] drives the multi-lane tape executor
+//! (`crate::tape::LaneEngine`): the design is lowered to its instruction
+//! tape **once**, and the word-packed state arena is widened into a
+//! structure-of-arrays holding [`LANE_STRIDE`] independent lanes per
+//! engine (stacked for larger batches). Each settle decodes every op once
+//! and runs its inner loop across all lanes over contiguous memory, so the
+//! per-op dispatch cost is amortized and the lane loops auto-vectorize —
+//! aggregate stimulus throughput (cycles·lanes/sec) scales with SIMD width
+//! where a scalar [`Sim`](crate::Sim) per stimulus pays full dispatch per
+//! lane.
+//!
+//! Lane-divergent behaviour is fully supported: every lane has its own
+//! inputs ([`SimBatch::poke`]), outputs ([`SimBatch::peek`]), debug-print
+//! log ([`SimBatch::log`]), toggle counters, and state fingerprint, and
+//! every observable is bit-identical to running the same stimulus on a
+//! scalar `Sim` (differentially property-tested over the paper's
+//! ten-design evaluation suite in `tests/batch_differential.rs`).
+//!
+//! Unlike [`Sim`](crate::Sim) — which settles eagerly after every poke so
+//! reads can take `&self` — `SimBatch` settles *lazily*: pokes only mark
+//! lanes dirty and the (laned, more expensive) settle runs once per
+//! step/read. Reads therefore take `&mut self`.
+//!
+//! For multi-core sweeps, [`TapeProgram`] shares one lowered tape across
+//! threads and [`sweep_chunks`] is the `std::thread::scope` chunked
+//! driver: it carves a logical lane range into per-worker [`SimBatch`]es
+//! and runs a caller-supplied closure on each chunk. `anvil-verify`'s
+//! `bmc_sweep` and the fuzzing benches are built on it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use anvil_rtl::{ArrayId, Bits, Expr, Module, SignalId, SignalKind};
+
+use crate::engine::{check_driver_widths, SimError};
+use crate::tape::{LaneEngine, Tape, LANES};
+
+/// Number of lanes one laned engine executes in lockstep (the SIMD-style
+/// stride of the multi-lane executor). [`SimBatch`] accepts any lane
+/// count and stacks engines in groups of this size.
+pub const LANE_STRIDE: usize = LANES;
+
+/// A module lowered once to its instruction tape, shareable across
+/// threads.
+///
+/// Lowering is the expensive part of preparing a compiled simulation;
+/// `TapeProgram` performs it once and hands out as many [`SimBatch`]es as
+/// needed (each with its own state, e.g. one per sweep worker). The
+/// program is cheap to share: all heavy pieces sit behind `Arc`s, and the
+/// type is `Send + Sync`.
+///
+/// # Examples
+///
+/// ```
+/// use anvil_rtl::{Bits, Expr, Module};
+/// use anvil_sim::TapeProgram;
+///
+/// let mut m = Module::new("counter");
+/// let en = m.input("en", 1);
+/// let q = m.reg("q", 8);
+/// let out = m.output("out", 8);
+/// m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 8)));
+/// m.assign(out, Expr::Signal(q));
+///
+/// let program = TapeProgram::compile(&m)?;
+/// let mut batch = program.batch(4);
+/// for lane in 0..4 {
+///     batch.poke(lane, "en", Bits::bit(lane % 2 == 0))?;
+/// }
+/// batch.run(5);
+/// assert_eq!(batch.peek(0, "out")?.to_u64(), 5);
+/// assert_eq!(batch.peek(1, "out")?.to_u64(), 0);
+/// # Ok::<(), anvil_sim::SimError>(())
+/// ```
+#[derive(Clone)]
+pub struct TapeProgram {
+    module: Arc<Module>,
+    names: Arc<HashMap<String, SignalId>>,
+    tape: Arc<Tape>,
+}
+
+impl TapeProgram {
+    /// Lowers a flattened module into a shareable tape program.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Sim::new`](crate::Sim::new):
+    /// [`SimError::NotFlat`], [`SimError::CombinationalLoop`],
+    /// [`SimError::DriverWidth`], or [`SimError::MalformedExpr`].
+    pub fn compile(module: &Module) -> Result<TapeProgram, SimError> {
+        if !module.instances.is_empty() {
+            return Err(SimError::NotFlat(module.name.clone()));
+        }
+        check_driver_widths(module)?;
+        let module = Arc::new(module.clone());
+        let names = Arc::new(module.name_index());
+        let tape = Arc::new(Tape::compile(Arc::clone(&module))?);
+        Ok(TapeProgram {
+            module,
+            names,
+            tape,
+        })
+    }
+
+    /// The lowered module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Creates a batch simulation with `lanes` independent stimulus lanes
+    /// over this program's (already lowered) tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn batch(&self, lanes: usize) -> SimBatch {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        let groups = (0..lanes.div_ceil(LANES))
+            .map(|_| LaneEngine::new(Arc::clone(&self.tape)))
+            .collect();
+        SimBatch {
+            module: Arc::clone(&self.module),
+            names: Arc::clone(&self.names),
+            groups,
+            lanes,
+            cycle: 0,
+            logs: vec![Vec::new(); lanes],
+        }
+    }
+}
+
+/// A batch of independent simulations of one module, executed in lockstep
+/// by the multi-lane tape engine.
+///
+/// Execution model: lanes share one lowered tape; each settle decodes
+/// every op once and covers all lanes. Unlike [`Sim`](crate::Sim), the
+/// batch settles *lazily* — pokes mark lanes dirty and reads settle on
+/// demand, which is why reads take `&mut self`.
+pub struct SimBatch {
+    module: Arc<Module>,
+    names: Arc<HashMap<String, SignalId>>,
+    /// Lane engines, each holding [`LANE_STRIDE`] lanes; lane `i` is
+    /// sublane `i % LANE_STRIDE` of group `i / LANE_STRIDE`. Trailing
+    /// sublanes of the last group beyond `lanes` execute but are never
+    /// observed.
+    groups: Vec<LaneEngine>,
+    lanes: usize,
+    cycle: u64,
+    /// Per-lane debug-print logs, `(cycle, message)`.
+    logs: Vec<Vec<(u64, String)>>,
+}
+
+impl SimBatch {
+    /// Lowers `module` and prepares a batch of `lanes` simulations.
+    ///
+    /// When several batches (or sweep workers) need the same design,
+    /// lower once via [`TapeProgram::compile`] instead.
+    ///
+    /// # Errors
+    ///
+    /// See [`TapeProgram::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(module: &Module, lanes: usize) -> Result<SimBatch, SimError> {
+        Ok(TapeProgram::compile(module)?.batch(lanes))
+    }
+
+    /// Number of stimulus lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Current cycle number (clock edges so far; all lanes step together).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The simulated module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Debug prints fired on one lane so far, as `(cycle, message)`.
+    pub fn log(&self, lane: usize) -> &[(u64, String)] {
+        &self.logs[lane]
+    }
+
+    fn resolve(&self, name: &str) -> Result<SignalId, SimError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownSignal(name.to_string()))
+    }
+
+    #[inline]
+    fn group(&mut self, lane: usize) -> &mut LaneEngine {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        &mut self.groups[lane / LANES]
+    }
+
+    /// Sets an input port on one lane for the current cycle. Lazy: the
+    /// lane group is only re-settled on the next read or step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names, non-input signals, or width mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn poke(&mut self, lane: usize, name: &str, value: Bits) -> Result<(), SimError> {
+        let id = self.resolve(name)?;
+        let sig = self.module.signal(id);
+        if sig.kind != SignalKind::Input {
+            return Err(SimError::NotAnInput(name.to_string()));
+        }
+        if sig.width != value.width() {
+            return Err(SimError::WidthMismatch {
+                signal: name.to_string(),
+                expected: sig.width,
+                found: value.width(),
+            });
+        }
+        let sub = lane % LANES;
+        self.group(lane).poke_lane(id, &value, sub);
+        Ok(())
+    }
+
+    /// Sets an input port to the same value on every lane.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimBatch::poke`].
+    pub fn poke_all(&mut self, name: &str, value: Bits) -> Result<(), SimError> {
+        for lane in 0..self.lanes {
+            self.poke(lane, name, value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates all combinational logic on every lane against the
+    /// current inputs and register state (no-op for settled groups).
+    pub fn settle(&mut self) {
+        for g in &mut self.groups {
+            g.settle();
+        }
+    }
+
+    /// Reads a signal's settled value on one lane.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown signal names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn peek(&mut self, lane: usize, name: &str) -> Result<Bits, SimError> {
+        let id = self.resolve(name)?;
+        Ok(self.peek_id(lane, id))
+    }
+
+    /// Reads a signal by id on one lane (no name lookup).
+    pub fn peek_id(&mut self, lane: usize, id: SignalId) -> Bits {
+        let sub = lane % LANES;
+        let g = self.group(lane);
+        g.settle();
+        g.peek_lane(id, sub)
+    }
+
+    /// Reads one element of a memory on one lane.
+    pub fn peek_array(&mut self, lane: usize, array: ArrayId, index: usize) -> Bits {
+        let sub = lane % LANES;
+        let g = self.group(lane);
+        g.settle();
+        g.peek_array_lane(array, index, sub)
+    }
+
+    /// Writes one element of a memory on one lane (test setup). The value
+    /// is resized to the declared element width.
+    pub fn poke_array(&mut self, lane: usize, array: ArrayId, index: usize, value: Bits) {
+        let width = self.module.arrays[array.0].width;
+        let value = if value.width() == width {
+            value
+        } else {
+            value.resize(width)
+        };
+        let sub = lane % LANES;
+        self.group(lane).poke_array_lane(array, index, &value, sub);
+    }
+
+    /// Evaluates an arbitrary expression against one lane's settled state.
+    pub fn eval(&mut self, lane: usize, e: &Expr) -> Bits {
+        let sub = lane % LANES;
+        let g = self.group(lane);
+        g.settle();
+        g.eval_lane(e, sub)
+    }
+
+    /// Architectural-state hash of one lane — identical to
+    /// [`Sim::state_fingerprint`](crate::Sim::state_fingerprint) for
+    /// identical per-lane state.
+    pub fn state_fingerprint(&mut self, lane: usize) -> u64 {
+        let sub = lane % LANES;
+        self.group(lane).state_fingerprint_lane(sub)
+    }
+
+    /// State fingerprints of every lane, in lane order.
+    pub fn fingerprints(&mut self) -> Vec<u64> {
+        (0..self.lanes).map(|l| self.state_fingerprint(l)).collect()
+    }
+
+    /// Total observed bit toggles per signal on one lane, in signal-id
+    /// order (matches [`Sim::toggle_counts`](crate::Sim::toggle_counts)).
+    pub fn toggle_counts(&self, lane: usize) -> Vec<u64> {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        self.groups[lane / LANES].toggle_counts_lane(lane % LANES)
+    }
+
+    /// Advances every lane one clock edge: settles, fires per-lane debug
+    /// prints, counts per-lane toggles, commits registers and memories.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        let lanes = self.lanes;
+        let logs = &mut self.logs;
+        for (g, eng) in self.groups.iter_mut().enumerate() {
+            let base = g * LANES;
+            eng.settle();
+            eng.commit(&mut |sub, msg| {
+                if base + sub < lanes {
+                    logs[base + sub].push((cycle, msg));
+                }
+            });
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` clock cycles with the current per-lane inputs.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs `n` clock cycles with the current per-lane inputs, spreading
+    /// the lane groups over up to `workers` scoped threads (the tape is
+    /// shared; each group's state is independent). Observable behaviour —
+    /// values, logs, toggle counts, fingerprints — is identical to
+    /// [`SimBatch::run`].
+    pub fn run_threaded(&mut self, n: u64, workers: usize) {
+        let n_groups = self.groups.len();
+        let workers = workers.max(1).min(n_groups);
+        if workers <= 1 {
+            self.run(n);
+            return;
+        }
+        let start = self.cycle;
+        let lanes = self.lanes;
+        let logs = &mut self.logs;
+        let chunk = n_groups.div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .groups
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, engines)| {
+                    s.spawn(move || {
+                        let mut local: Vec<(usize, u64, String)> = Vec::new();
+                        for (gi, eng) in engines.iter_mut().enumerate() {
+                            let base = (ci * chunk + gi) * LANES;
+                            for c in 0..n {
+                                eng.settle();
+                                eng.commit(&mut |sub, msg| {
+                                    local.push((base + sub, start + c, msg));
+                                });
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (lane, cyc, msg) in h.join().expect("batch worker panicked") {
+                    if lane < lanes {
+                        logs[lane].push((cyc, msg));
+                    }
+                }
+            }
+        });
+        self.cycle += n;
+    }
+
+    /// Restores every lane to power-on state, clears the per-lane logs
+    /// and toggle counters, and rewinds the cycle counter. The lowered
+    /// tape is reused — this is the cheap path sweep drivers replay
+    /// thousands of schedules through.
+    pub fn reset(&mut self) {
+        for g in &mut self.groups {
+            g.reset();
+        }
+        for l in &mut self.logs {
+            l.clear();
+        }
+        self.cycle = 0;
+    }
+}
+
+/// The `std::thread::scope` chunked sweep driver: carves `total` logical
+/// lanes into [`SimBatch`]es of at most `chunk` lanes and runs `f` on
+/// every chunk across up to `workers` threads, sharing one lowered tape.
+///
+/// `f` receives the chunk's first logical lane index and a fresh batch of
+/// `min(chunk, total - first)` lanes; results are returned **in chunk
+/// order** regardless of which worker ran which chunk, so callers that
+/// need sequential semantics (e.g. `bmc_sweep`'s first-counterexample
+/// guarantee) can fold over the results deterministically.
+///
+/// # Errors
+///
+/// The first `Err` from `f` (in chunk order) is propagated.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, or if a worker thread panics.
+pub fn sweep_chunks<R, F>(
+    program: &TapeProgram,
+    total: usize,
+    chunk: usize,
+    workers: usize,
+    f: F,
+) -> Result<Vec<R>, SimError>
+where
+    R: Send,
+    F: Fn(usize, &mut SimBatch) -> Result<R, SimError> + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let n_chunks = total.div_ceil(chunk);
+    run_indexed(n_chunks, workers, |i| {
+        let first = i * chunk;
+        let lanes = chunk.min(total - first);
+        let mut batch = program.batch(lanes);
+        f(first, &mut batch)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Runs `f(i)` for every `i in 0..n` across up to `workers` scoped
+/// threads (an atomic work-queue — no work partitioning assumptions),
+/// returning the results **in index order** regardless of which worker
+/// ran which index. The generic scaffold under [`sweep_chunks`] and
+/// `anvil-verify`'s schedule sweep; with `workers <= 1` (or `n <= 1`) it
+/// degenerates to a plain sequential map with no thread setup.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_indexed<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        got.push((i, f(i)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("indexed worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+// The program and batch cross thread boundaries (sweep workers).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TapeProgram>();
+    assert_send_sync::<SimBatch>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Sim};
+    use anvil_rtl::Expr;
+
+    fn counter() -> Module {
+        let mut m = Module::new("counter");
+        let en = m.input("en", 1);
+        let q = m.reg("q", 8);
+        let out = m.output("out", 8);
+        m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 8)));
+        m.assign(out, Expr::Signal(q));
+        m
+    }
+
+    #[test]
+    fn lanes_diverge_independently() {
+        // 13 lanes: crosses the group boundary (8-lane stride).
+        let mut b = SimBatch::new(&counter(), 13).unwrap();
+        for lane in 0..13 {
+            b.poke(lane, "en", Bits::bit(lane % 3 == 0)).unwrap();
+        }
+        b.run(6);
+        for lane in 0..13 {
+            let expect = if lane % 3 == 0 { 6 } else { 0 };
+            assert_eq!(b.peek(lane, "out").unwrap().to_u64(), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_sim_per_lane() {
+        let m = counter();
+        let mut b = SimBatch::new(&m, 5).unwrap();
+        let mut scalars: Vec<Sim> = (0..5)
+            .map(|_| Sim::with_backend(&m, Backend::Compiled).unwrap())
+            .collect();
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for _ in 0..50 {
+            for (lane, s) in scalars.iter_mut().enumerate() {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let v = Bits::from_u64(seed, 1);
+                s.poke("en", v.clone()).unwrap();
+                b.poke(lane, "en", v).unwrap();
+            }
+            for (lane, s) in scalars.iter_mut().enumerate() {
+                assert_eq!(s.peek("out").unwrap(), b.peek(lane, "out").unwrap());
+                assert_eq!(s.state_fingerprint(), b.state_fingerprint(lane));
+                s.step().unwrap();
+            }
+            b.step();
+        }
+        for (lane, s) in scalars.iter().enumerate() {
+            assert_eq!(s.toggle_counts(), &b.toggle_counts(lane)[..]);
+        }
+    }
+
+    #[test]
+    fn per_lane_prints() {
+        let mut m = Module::new("p");
+        let en = m.input("en", 1);
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(en));
+        m.dprint(Expr::Signal(en), "fired", Some(Expr::lit(0x5, 4)));
+        let mut b = SimBatch::new(&m, 3).unwrap();
+        b.poke(1, "en", Bits::bit(true)).unwrap();
+        b.step();
+        assert!(b.log(0).is_empty());
+        assert_eq!(b.log(1), &[(0, "fired: 5".to_string())]);
+        assert!(b.log(2).is_empty());
+    }
+
+    #[test]
+    fn reset_restores_every_lane() {
+        let mut b = SimBatch::new(&counter(), 4).unwrap();
+        b.poke_all("en", Bits::bit(true)).unwrap();
+        b.run(3);
+        assert_eq!(b.peek(2, "out").unwrap().to_u64(), 3);
+        b.reset();
+        assert_eq!(b.cycle(), 0);
+        for lane in 0..4 {
+            assert_eq!(b.peek(lane, "out").unwrap().to_u64(), 0);
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential() {
+        let m = counter();
+        let mut a = SimBatch::new(&m, 20).unwrap();
+        let mut b = SimBatch::new(&m, 20).unwrap();
+        for lane in 0..20 {
+            let v = Bits::bit(lane % 2 == 0);
+            a.poke(lane, "en", v.clone()).unwrap();
+            b.poke(lane, "en", v).unwrap();
+        }
+        a.run(16);
+        b.run_threaded(16, 4);
+        assert_eq!(a.fingerprints(), b.fingerprints());
+        for lane in 0..20 {
+            assert_eq!(
+                a.peek(lane, "out").unwrap(),
+                b.peek(lane, "out").unwrap(),
+                "lane {lane}"
+            );
+            assert_eq!(a.toggle_counts(lane), b.toggle_counts(lane));
+            assert_eq!(a.log(lane), b.log(lane));
+        }
+    }
+
+    #[test]
+    fn sweep_chunks_returns_in_chunk_order() {
+        let program = TapeProgram::compile(&counter()).unwrap();
+        let out = sweep_chunks(&program, 30, 8, 4, |first, batch| {
+            batch.poke_all("en", Bits::bit(true))?;
+            batch.run(u64::try_from(first).unwrap() % 5 + 1);
+            Ok((first, batch.lanes(), batch.peek(0, "out")?.to_u64()))
+        })
+        .unwrap();
+        assert_eq!(out, vec![(0, 8, 1), (8, 8, 4), (16, 8, 2), (24, 6, 5)],);
+    }
+
+    #[test]
+    fn poke_errors_match_sim() {
+        let mut b = SimBatch::new(&counter(), 2).unwrap();
+        assert!(matches!(
+            b.poke(0, "nope", Bits::bit(true)),
+            Err(SimError::UnknownSignal(_))
+        ));
+        assert!(matches!(
+            b.poke(0, "out", Bits::from_u64(0, 8)),
+            Err(SimError::NotAnInput(_))
+        ));
+        assert!(matches!(
+            b.poke(0, "en", Bits::from_u64(0, 2)),
+            Err(SimError::WidthMismatch { .. })
+        ));
+    }
+}

@@ -265,7 +265,7 @@ impl StateHasher {
 /// accept exactly the same module set (the tape lowering re-derives the
 /// same widths while allocating slots; the tree engine would otherwise
 /// silently store mis-sized values or panic mid-cycle).
-fn check_driver_widths(module: &Module) -> Result<(), SimError> {
+pub(crate) fn check_driver_widths(module: &Module) -> Result<(), SimError> {
     let check = |target: &str, declared: usize, e: &Expr| -> Result<(), SimError> {
         let found = module.expr_width(e).map_err(SimError::MalformedExpr)?;
         if found != declared {
@@ -320,6 +320,11 @@ pub(crate) struct TreeEngine {
     reg_next: Vec<(SignalId, Expr)>,
     /// Total bit toggles observed per signal across the run.
     toggles: Vec<u64>,
+    /// Reused commit scratch: computed register next-values. Kept on the
+    /// engine so the per-cycle hot path never reallocates.
+    next_scratch: Vec<(SignalId, Bits)>,
+    /// Reused commit scratch: pending array writes.
+    array_scratch: Vec<(ArrayId, usize, Bits)>,
     dirty: bool,
 }
 
@@ -362,6 +367,7 @@ impl TreeEngine {
             .collect();
         reg_next.sort_by_key(|(id, _)| *id);
         let n = values.len();
+        let regs = reg_next.len();
         Ok(TreeEngine {
             module,
             prev_values: values.clone(),
@@ -370,6 +376,8 @@ impl TreeEngine {
             comb_order,
             reg_next,
             toggles: vec![0; n],
+            next_scratch: Vec::with_capacity(regs),
+            array_scratch: Vec::new(),
             dirty: true,
         })
     }
@@ -428,12 +436,16 @@ impl SimBackend for TreeEngine {
 
         // Compute all register next-values and array writes from the
         // settled state, then commit simultaneously (nonblocking
-        // semantics).
-        let mut next: Vec<(SignalId, Bits)> = Vec::with_capacity(self.reg_next.len());
+        // semantics). The scratch vectors live on the engine and are
+        // reused across cycles (taken/cleared/restored) so the per-cycle
+        // hot path never reallocates once warm.
+        let mut next = std::mem::take(&mut self.next_scratch);
+        next.clear();
         for (reg, e) in &self.reg_next {
             next.push((*reg, eval_expr(e, self)));
         }
-        let mut array_commits: Vec<(ArrayId, usize, Bits)> = Vec::new();
+        let mut array_commits = std::mem::take(&mut self.array_scratch);
+        array_commits.clear();
         for w in &self.module.array_writes {
             if eval_expr(&w.enable, self).is_truthy() {
                 let idx = eval_expr(&w.index, self).to_u64() as usize;
@@ -443,12 +455,14 @@ impl SimBackend for TreeEngine {
                 }
             }
         }
-        for (reg, v) in next {
+        for (reg, v) in next.drain(..) {
             self.values[reg.0] = v;
         }
-        for (arr, idx, v) in array_commits {
+        for (arr, idx, v) in array_commits.drain(..) {
             self.arrays[arr.0][idx] = v;
         }
+        self.next_scratch = next;
+        self.array_scratch = array_commits;
         self.dirty = true;
     }
 

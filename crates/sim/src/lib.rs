@@ -34,13 +34,26 @@
 //! drives both over the paper's ten-design evaluation suite with random
 //! stimulus every run.
 
+//! # Multi-lane batch simulation
+//!
+//! [`SimBatch`] executes many independent stimulus lanes over **one**
+//! lowered tape: the state arena becomes a structure-of-arrays with a
+//! fixed [`LANE_STRIDE`]-lane SIMD-style stride, so each op decodes once
+//! and its inner loop covers all lanes over contiguous memory.
+//! [`TapeProgram`] shares the one-time lowering across threads, and
+//! [`sweep_chunks`] spreads lane-chunks over `std::thread::scope` workers
+//! — the substrate for `anvil-verify`'s `bmc_sweep` and bulk differential
+//! fuzzing. Per-lane observables are bit-identical to scalar [`Sim`]s.
+
 #![warn(missing_docs)]
 
+mod batch;
 mod bfm;
 mod engine;
 mod tape;
 mod vcd;
 
+pub use batch::{run_indexed, sweep_chunks, SimBatch, TapeProgram, LANE_STRIDE};
 pub use bfm::{AckPolicy, Agent, MsgPorts, ReceiverBfm, SenderBfm, Testbench};
 pub use engine::{Backend, Sim, SimBackend, SimError};
 pub use vcd::Waveform;

@@ -998,12 +998,681 @@ impl SimBackend for TapeEngine {
     }
 }
 
-// The tape and its engine cross thread boundaries (batch simulation,
-// BMC workers).
+// ---- multi-lane execution ----------------------------------------------
+//
+// The same tape, executed across [`LANES`] independent stimulus lanes at
+// once. The state arena becomes a structure-of-arrays at word granularity:
+// logical arena word `w` of lane `l` lives at `arena[w * LANES + l]`, so a
+// slot's storage is the contiguous range `s.off()*LANES .. (s.off() +
+// s.words())*LANES`. Every op decodes once and its inner loop runs across
+// all lanes over contiguous memory — the dispatch cost is amortized
+// `LANES`-fold and the lane loops auto-vectorize (8 × u64 = one AVX-512
+// register, two AVX2 registers).
+//
+// Lane-divergent behaviour (mux selects, shift amounts, memory indices,
+// print enables, toggle counts, fingerprints) is handled per lane; the
+// result is bit-identical to running `LANES` scalar [`TapeEngine`]s.
+
+/// Number of stimulus lanes a [`LaneEngine`] executes in lockstep. Fixed
+/// (rather than const-generic) so there is exactly one monomorphized
+/// executor; wider batches stack multiple engines.
+pub(crate) const LANES: usize = 8;
+
+#[inline]
+fn lane_base(s: Slot, k: usize) -> usize {
+    (s.off() + k) * LANES
+}
+
+fn zero_slot_lane(arena: &mut [u64], s: Slot, l: usize) {
+    for k in 0..s.words() {
+        arena[lane_base(s, k) + l] = 0;
+    }
+}
+
+fn any_set_lane(arena: &[u64], s: Slot, l: usize) -> bool {
+    (0..s.words()).any(|k| arena[lane_base(s, k) + l] != 0)
+}
+
+/// Lane-indexed [`read_chunk`]: `n` (≤ 64) bits of lane `l` of `s`
+/// starting at bit `lo`.
+fn read_chunk_lane(arena: &[u64], s: Slot, lo: usize, n: usize, l: usize) -> u64 {
+    let total = s.words() * 64;
+    if lo >= total {
+        return 0;
+    }
+    let wi = lo / 64;
+    let sh = lo % 64;
+    let mut v = arena[lane_base(s, wi) + l] >> sh;
+    if sh != 0 && wi + 1 < s.words() {
+        v |= arena[lane_base(s, wi + 1) + l] << (64 - sh);
+    }
+    if n < 64 {
+        v &= (1u64 << n) - 1;
+    }
+    v
+}
+
+/// Lane-indexed [`or_chunk`]; target bits must currently be zero.
+fn or_chunk_lane(arena: &mut [u64], s: Slot, lo: usize, n: usize, val: u64, l: usize) {
+    let wi = lo / 64;
+    let sh = lo % 64;
+    let v = if n < 64 { val & ((1u64 << n) - 1) } else { val };
+    arena[lane_base(s, wi) + l] |= v << sh;
+    if sh != 0 && sh + n > 64 {
+        arena[lane_base(s, wi + 1) + l] |= v >> (64 - sh);
+    }
+}
+
+/// Per-lane [`or_bits`] (used where the bit offset differs per lane, i.e.
+/// run-time shifts).
+fn or_bits_lane(
+    arena: &mut [u64],
+    dst: Slot,
+    dst_lo: usize,
+    src: Slot,
+    src_lo: usize,
+    n: usize,
+    l: usize,
+) {
+    let mut k = 0;
+    while k < n {
+        let step = (n - k).min(64);
+        let v = read_chunk_lane(arena, src, src_lo + k, step, l);
+        or_chunk_lane(arena, dst, dst_lo + k, step, v, l);
+        k += step;
+    }
+}
+
+/// All-lane [`or_bits`]: the chunk arithmetic is shared across lanes, the
+/// inner lane loop runs over contiguous words (slices, concats, resizes).
+fn or_bits_lanes(arena: &mut [u64], dst: Slot, dst_lo: usize, src: Slot, src_lo: usize, n: usize) {
+    let mut k = 0;
+    while k < n {
+        let step = (n - k).min(64);
+        for l in 0..LANES {
+            let v = read_chunk_lane(arena, src, src_lo + k, step, l);
+            or_chunk_lane(arena, dst, dst_lo + k, step, v, l);
+        }
+        k += step;
+    }
+}
+
+fn unsigned_lt_lane(arena: &[u64], a: Slot, b: Slot, l: usize) -> bool {
+    for k in (0..a.words()).rev() {
+        let (x, y) = (arena[lane_base(a, k) + l], arena[lane_base(b, k) + l]);
+        if x != y {
+            return x < y;
+        }
+    }
+    false
+}
+
+/// Masks the top word of every lane of `s` down to its valid bits.
+fn mask_top_lanes(arena: &mut [u64], s: Slot) {
+    let m = s.top_mask();
+    if m == u64::MAX {
+        return;
+    }
+    let base = lane_base(s, s.words() - 1);
+    for l in 0..LANES {
+        arena[base + l] &= m;
+    }
+}
+
+/// Zeroes every lane of `s` (contiguous in the laned layout).
+fn zero_slot_lanes(arena: &mut [u64], s: Slot) {
+    let base = s.off() * LANES;
+    arena[base..base + s.words() * LANES].fill(0);
+}
+
+/// Executes one op across all lanes. `scratch` holds `LANES` lane-major
+/// segments for multi-word multiplication.
+fn exec_op_lanes(
+    op: &Op,
+    arena: &mut [u64],
+    scratch: &mut [u64],
+    arrays: &[Vec<u64>],
+    metas: &[TapeArray],
+) {
+    match op {
+        Op::Copy { dst, src } => {
+            let (d, s) = (dst.off() * LANES, src.off() * LANES);
+            arena.copy_within(s..s + src.words() * LANES, d);
+        }
+        Op::Not { dst, a } => {
+            let (d, s) = (dst.off() * LANES, a.off() * LANES);
+            for i in 0..dst.words() * LANES {
+                arena[d + i] = !arena[s + i];
+            }
+            mask_top_lanes(arena, *dst);
+        }
+        Op::Neg { dst, a } => {
+            let mut borrow = [0u64; LANES];
+            for k in 0..dst.words() {
+                let (ab, db) = (lane_base(*a, k), lane_base(*dst, k));
+                for l in 0..LANES {
+                    let (d1, b1) = 0u64.overflowing_sub(arena[ab + l]);
+                    let (d2, b2) = d1.overflowing_sub(borrow[l]);
+                    arena[db + l] = d2;
+                    borrow[l] = u64::from(b1) | u64::from(b2);
+                }
+            }
+            mask_top_lanes(arena, *dst);
+        }
+        Op::Add { dst, a, b } => {
+            let mut carry = [0u64; LANES];
+            for k in 0..dst.words() {
+                let (ab, bb, db) = (lane_base(*a, k), lane_base(*b, k), lane_base(*dst, k));
+                for l in 0..LANES {
+                    let (s1, c1) = arena[ab + l].overflowing_add(arena[bb + l]);
+                    let (s2, c2) = s1.overflowing_add(carry[l]);
+                    arena[db + l] = s2;
+                    carry[l] = u64::from(c1) | u64::from(c2);
+                }
+            }
+            mask_top_lanes(arena, *dst);
+        }
+        Op::Sub { dst, a, b } => {
+            let mut borrow = [0u64; LANES];
+            for k in 0..dst.words() {
+                let (ab, bb, db) = (lane_base(*a, k), lane_base(*b, k), lane_base(*dst, k));
+                for l in 0..LANES {
+                    let (d1, b1) = arena[ab + l].overflowing_sub(arena[bb + l]);
+                    let (d2, b2) = d1.overflowing_sub(borrow[l]);
+                    arena[db + l] = d2;
+                    borrow[l] = u64::from(b1) | u64::from(b2);
+                }
+            }
+            mask_top_lanes(arena, *dst);
+        }
+        Op::Mul { dst, a, b } => {
+            let w = dst.words();
+            for l in 0..LANES {
+                let acc = l * w;
+                scratch[acc..acc + w].fill(0);
+                for i in 0..w {
+                    let ai = arena[lane_base(*a, i) + l];
+                    if ai == 0 {
+                        continue;
+                    }
+                    let mut carry: u128 = 0;
+                    for j in 0..w - i {
+                        let cur = scratch[acc + i + j] as u128
+                            + (ai as u128) * (arena[lane_base(*b, j) + l] as u128)
+                            + carry;
+                        scratch[acc + i + j] = cur as u64;
+                        carry = cur >> 64;
+                    }
+                }
+                for k in 0..w {
+                    arena[lane_base(*dst, k) + l] = scratch[acc + k];
+                }
+            }
+            mask_top_lanes(arena, *dst);
+        }
+        Op::And { dst, a, b } => {
+            let (d, x, y) = (dst.off() * LANES, a.off() * LANES, b.off() * LANES);
+            for i in 0..dst.words() * LANES {
+                arena[d + i] = arena[x + i] & arena[y + i];
+            }
+        }
+        Op::Or { dst, a, b } => {
+            let (d, x, y) = (dst.off() * LANES, a.off() * LANES, b.off() * LANES);
+            for i in 0..dst.words() * LANES {
+                arena[d + i] = arena[x + i] | arena[y + i];
+            }
+        }
+        Op::Xor { dst, a, b } => {
+            let (d, x, y) = (dst.off() * LANES, a.off() * LANES, b.off() * LANES);
+            for i in 0..dst.words() * LANES {
+                arena[d + i] = arena[x + i] ^ arena[y + i];
+            }
+        }
+        Op::Cmp { dst, a, b, kind } => {
+            let db = dst.off() * LANES;
+            match kind {
+                CmpKind::Eq | CmpKind::Ne => {
+                    let mut diff = [0u64; LANES];
+                    for k in 0..a.words() {
+                        let (ab, bb) = (lane_base(*a, k), lane_base(*b, k));
+                        for l in 0..LANES {
+                            diff[l] |= arena[ab + l] ^ arena[bb + l];
+                        }
+                    }
+                    let want_eq = matches!(kind, CmpKind::Eq);
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from((diff[l] == 0) == want_eq);
+                    }
+                }
+                CmpKind::Lt => {
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from(unsigned_lt_lane(arena, *a, *b, l));
+                    }
+                }
+                CmpKind::Le => {
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from(!unsigned_lt_lane(arena, *b, *a, l));
+                    }
+                }
+                CmpKind::Gt => {
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from(unsigned_lt_lane(arena, *b, *a, l));
+                    }
+                }
+                CmpKind::Ge => {
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from(!unsigned_lt_lane(arena, *a, *b, l));
+                    }
+                }
+            }
+        }
+        Op::Red { dst, a, kind } => {
+            let db = dst.off() * LANES;
+            match kind {
+                RedKind::Or | RedKind::LogicNot => {
+                    let mut acc = [0u64; LANES];
+                    for k in 0..a.words() {
+                        let ab = lane_base(*a, k);
+                        for l in 0..LANES {
+                            acc[l] |= arena[ab + l];
+                        }
+                    }
+                    let want_any = matches!(kind, RedKind::Or);
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from((acc[l] != 0) == want_any);
+                    }
+                }
+                RedKind::Xor => {
+                    let mut acc = [0u64; LANES];
+                    for k in 0..a.words() {
+                        let ab = lane_base(*a, k);
+                        for l in 0..LANES {
+                            acc[l] ^= arena[ab + l];
+                        }
+                    }
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from(acc[l].count_ones() % 2 == 1);
+                    }
+                }
+                RedKind::And => {
+                    let mut all = [true; LANES];
+                    for k in 0..a.words() {
+                        let ab = lane_base(*a, k);
+                        let expect = if k + 1 == a.words() {
+                            a.top_mask()
+                        } else {
+                            u64::MAX
+                        };
+                        for l in 0..LANES {
+                            all[l] &= arena[ab + l] == expect;
+                        }
+                    }
+                    for l in 0..LANES {
+                        arena[db + l] = u64::from(all[l]);
+                    }
+                }
+            }
+        }
+        Op::Shift { dst, a, amt, left } => {
+            let width = dst.width();
+            for l in 0..LANES {
+                let n = arena[amt.off() * LANES + l].min(u64::from(u32::MAX)) as usize;
+                zero_slot_lane(arena, *dst, l);
+                if n < width {
+                    if *left {
+                        or_bits_lane(arena, *dst, n, *a, 0, width - n, l);
+                    } else {
+                        or_bits_lane(arena, *dst, 0, *a, n, width - n, l);
+                    }
+                }
+            }
+        }
+        Op::Mux { dst, cond, t, e } => {
+            let mut mask = [0u64; LANES];
+            for k in 0..cond.words() {
+                let cb = lane_base(*cond, k);
+                for l in 0..LANES {
+                    mask[l] |= arena[cb + l];
+                }
+            }
+            for m in &mut mask {
+                *m = if *m != 0 { u64::MAX } else { 0 };
+            }
+            for k in 0..dst.words() {
+                let (db, tb, eb) = (lane_base(*dst, k), lane_base(*t, k), lane_base(*e, k));
+                for l in 0..LANES {
+                    arena[db + l] = (arena[tb + l] & mask[l]) | (arena[eb + l] & !mask[l]);
+                }
+            }
+        }
+        Op::Slice { dst, src, lo } => {
+            zero_slot_lanes(arena, *dst);
+            or_bits_lanes(arena, *dst, 0, *src, *lo as usize, dst.width());
+        }
+        Op::Concat { dst, parts } => {
+            zero_slot_lanes(arena, *dst);
+            for (part, lo) in parts.iter() {
+                or_bits_lanes(arena, *dst, *lo as usize, *part, 0, part.width());
+            }
+        }
+        Op::Resize { dst, src } => {
+            zero_slot_lanes(arena, *dst);
+            let n = dst.width().min(src.width());
+            or_bits_lanes(arena, *dst, 0, *src, 0, n);
+        }
+        Op::ArrayRead { dst, array, index } => {
+            let meta = &metas[*array as usize];
+            let wpe = meta.wpe as usize;
+            let store = &arrays[*array as usize];
+            for l in 0..LANES {
+                let idx = arena[index.off() * LANES + l] as usize;
+                if idx < meta.depth as usize {
+                    for k in 0..wpe {
+                        arena[lane_base(*dst, k) + l] = store[(idx * wpe + k) * LANES + l];
+                    }
+                } else {
+                    zero_slot_lane(arena, *dst, l);
+                }
+            }
+        }
+    }
+}
+
+/// The multi-lane executor: one laned arena holding [`LANES`] independent
+/// copies of the design's state, all advanced by a single pass over the
+/// op list per settle. Bit-identical to `LANES` scalar [`TapeEngine`]s
+/// (differentially property-tested over the whole evaluation suite).
+pub(crate) struct LaneEngine {
+    tape: Arc<Tape>,
+    /// Laned arena: logical word `w`, lane `l` ↦ `arena[w * LANES + l]`.
+    arena: Vec<u64>,
+    /// Previous settled arena (per-lane toggle counting).
+    prev_arena: Vec<u64>,
+    /// Laned memories: element `e`, word `k`, lane `l` ↦
+    /// `arrays[a][(e * wpe + k) * LANES + l]`.
+    arrays: Vec<Vec<u64>>,
+    /// Per-signal, per-lane toggle counters (`sig * LANES + lane`).
+    toggles: Vec<u64>,
+    /// Lane-major multiplication scratch (`LANES` segments).
+    scratch: Vec<u64>,
+    /// Pre-sized gather buffer reused by every fingerprint call.
+    fp_scratch: Vec<u64>,
+    dirty: bool,
+}
+
+impl LaneEngine {
+    pub(crate) fn new(tape: Arc<Tape>) -> Self {
+        let arena = Bits::broadcast_slab(&tape.init_arena, LANES);
+        let arrays: Vec<Vec<u64>> = tape
+            .arrays
+            .iter()
+            .map(|a| Bits::broadcast_slab(&a.init, LANES))
+            .collect();
+        let n = tape.sig_slots.len();
+        let mul_words = tape
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Mul { dst, .. } => dst.words(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let fp_words = tape
+            .reg_fp
+            .iter()
+            .map(|s| s.words())
+            .chain(tape.arrays.iter().map(|a| a.wpe as usize))
+            .max()
+            .unwrap_or(1);
+        LaneEngine {
+            prev_arena: arena.clone(),
+            arena,
+            arrays,
+            toggles: vec![0; n * LANES],
+            scratch: vec![0; mul_words * LANES],
+            fp_scratch: vec![0; fp_words],
+            tape,
+            dirty: true,
+        }
+    }
+
+    /// Settles all lanes: one pass over the op list, every op's inner loop
+    /// covering all [`LANES`] lanes.
+    pub(crate) fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let tape = Arc::clone(&self.tape);
+        for op in &tape.ops {
+            exec_op_lanes(
+                op,
+                &mut self.arena,
+                &mut self.scratch,
+                &self.arrays,
+                &tape.arrays,
+            );
+        }
+        self.dirty = false;
+    }
+
+    /// One clock edge for every lane: per-lane debug prints (delivered to
+    /// `sink` as `(lane, message)`), per-lane toggle counting, per-lane
+    /// array writes, and the register commit.
+    pub(crate) fn commit(&mut self, sink: &mut dyn FnMut(usize, String)) {
+        self.settle();
+        let tape = Arc::clone(&self.tape);
+
+        for p in &tape.prints {
+            for l in 0..LANES {
+                if any_set_lane(&self.arena, p.enable, l) {
+                    let msg = match p.value {
+                        Some(v) => format!("{}: {:x}", p.label, self.slot_bits_lane(v, l)),
+                        None => p.label.clone(),
+                    };
+                    sink(l, msg);
+                }
+            }
+        }
+
+        for (i, s) in tape.sig_slots.iter().enumerate() {
+            for k in 0..s.words() {
+                let base = lane_base(*s, k);
+                for l in 0..LANES {
+                    self.toggles[i * LANES + l] +=
+                        u64::from((self.arena[base + l] ^ self.prev_arena[base + l]).count_ones());
+                }
+            }
+        }
+        self.prev_arena.copy_from_slice(&self.arena);
+
+        // As in the scalar engine: array writes read the pre-edge arena,
+        // so they commit before the register next-values land.
+        for w in &tape.writes {
+            let meta = &tape.arrays[w.array as usize];
+            let wpe = meta.wpe as usize;
+            for l in 0..LANES {
+                if any_set_lane(&self.arena, w.enable, l) {
+                    let idx = self.arena[w.index.off() * LANES + l] as usize;
+                    if idx < meta.depth as usize {
+                        for k in 0..wpe {
+                            self.arrays[w.array as usize][(idx * wpe + k) * LANES + l] =
+                                self.arena[lane_base(w.data, k) + l];
+                        }
+                    }
+                }
+            }
+        }
+        for (cur, next) in &tape.reg_commits {
+            let (d, s) = (cur.off() * LANES, next.off() * LANES);
+            self.arena.copy_within(s..s + next.words() * LANES, d);
+        }
+        self.dirty = true;
+    }
+
+    fn slot_bits_lane(&self, s: Slot, lane: usize) -> Bits {
+        let base = s.off() * LANES;
+        Bits::from_lane_slab(
+            s.width(),
+            &self.arena[base..base + s.words() * LANES],
+            LANES,
+            lane,
+        )
+    }
+
+    /// Reads one lane of a signal. The caller is responsible for settling
+    /// first (the `SimBatch` facade does).
+    pub(crate) fn peek_lane(&self, id: SignalId, lane: usize) -> Bits {
+        self.slot_bits_lane(self.tape.sig_slots[id.0], lane)
+    }
+
+    /// Writes one lane of an input signal (width pre-checked by the
+    /// facade). Skips the dirty flag when the lane already holds `value`.
+    pub(crate) fn poke_lane(&mut self, id: SignalId, value: &Bits, lane: usize) {
+        let s = self.tape.sig_slots[id.0];
+        let base = s.off() * LANES;
+        let words = value.as_words();
+        if (0..s.words()).all(|k| self.arena[base + k * LANES + lane] == words[k]) {
+            return;
+        }
+        value.write_lane_slab(&mut self.arena[base..base + s.words() * LANES], LANES, lane);
+        self.dirty = true;
+    }
+
+    /// Reads one lane of one memory element.
+    pub(crate) fn peek_array_lane(&self, array: ArrayId, index: usize, lane: usize) -> Bits {
+        let meta = &self.tape.arrays[array.0];
+        assert!(
+            index < meta.depth as usize,
+            "array index {index} out of range for depth {}",
+            meta.depth
+        );
+        let wpe = meta.wpe as usize;
+        Bits::from_lane_slab(
+            meta.width as usize,
+            &self.arrays[array.0][index * wpe * LANES..(index + 1) * wpe * LANES],
+            LANES,
+            lane,
+        )
+    }
+
+    /// Writes one lane of one memory element (width pre-matched by the
+    /// facade).
+    pub(crate) fn poke_array_lane(
+        &mut self,
+        array: ArrayId,
+        index: usize,
+        value: &Bits,
+        lane: usize,
+    ) {
+        let meta = &self.tape.arrays[array.0];
+        assert!(
+            index < meta.depth as usize,
+            "array index {index} out of range for depth {}",
+            meta.depth
+        );
+        let wpe = meta.wpe as usize;
+        value.write_lane_slab(
+            &mut self.arrays[array.0][index * wpe * LANES..(index + 1) * wpe * LANES],
+            LANES,
+            lane,
+        );
+        self.dirty = true;
+    }
+
+    /// Evaluates an expression against one settled lane.
+    pub(crate) fn eval_lane(&self, e: &Expr, lane: usize) -> Bits {
+        eval_expr(e, &LaneView { engine: self, lane })
+    }
+
+    /// Canonical architectural-state hash of one lane — equal to the
+    /// scalar backends' [`SimBackend::state_fingerprint`] for equal
+    /// states. Reuses the engine's pre-sized gather scratch, so the call
+    /// is allocation-free.
+    pub(crate) fn state_fingerprint_lane(&mut self, lane: usize) -> u64 {
+        let tape = Arc::clone(&self.tape);
+        let mut h = StateHasher::new();
+        for s in &tape.reg_fp {
+            let n = s.words();
+            for k in 0..n {
+                self.fp_scratch[k] = self.arena[lane_base(*s, k) + lane];
+            }
+            h.add(s.width(), &self.fp_scratch[..n]);
+        }
+        for (i, meta) in tape.arrays.iter().enumerate() {
+            let wpe = meta.wpe as usize;
+            for e in 0..meta.depth as usize {
+                for k in 0..wpe {
+                    self.fp_scratch[k] = self.arrays[i][(e * wpe + k) * LANES + lane];
+                }
+                h.add(meta.width as usize, &self.fp_scratch[..wpe]);
+            }
+        }
+        h.finish()
+    }
+
+    /// Total observed bit toggles per signal on one lane, in signal-id
+    /// order (matches [`SimBackend::toggle_counts`]).
+    pub(crate) fn toggle_counts_lane(&self, lane: usize) -> Vec<u64> {
+        (0..self.tape.sig_slots.len())
+            .map(|i| self.toggles[i * LANES + lane])
+            .collect()
+    }
+
+    /// Restores every lane to power-on state.
+    pub(crate) fn reset(&mut self) {
+        let tape = Arc::clone(&self.tape);
+        for (k, w) in tape.init_arena.iter().enumerate() {
+            self.arena[k * LANES..(k + 1) * LANES].fill(*w);
+        }
+        self.prev_arena.copy_from_slice(&self.arena);
+        for (store, meta) in self.arrays.iter_mut().zip(&tape.arrays) {
+            for (k, w) in meta.init.iter().enumerate() {
+                store[k * LANES..(k + 1) * LANES].fill(*w);
+            }
+        }
+        self.toggles.fill(0);
+        self.dirty = true;
+    }
+}
+
+/// Read view of one lane, backing [`LaneEngine::eval_lane`] through the
+/// shared expression evaluator.
+struct LaneView<'a> {
+    engine: &'a LaneEngine,
+    lane: usize,
+}
+
+impl ValueSource for LaneView<'_> {
+    fn signal(&self, id: SignalId) -> Bits {
+        self.engine
+            .slot_bits_lane(self.engine.tape.sig_slots[id.0], self.lane)
+    }
+
+    fn array_read(&self, array: ArrayId, index: usize) -> Bits {
+        let meta = &self.engine.tape.arrays[array.0];
+        if index < meta.depth as usize {
+            let wpe = meta.wpe as usize;
+            Bits::from_lane_slab(
+                meta.width as usize,
+                &self.engine.arrays[array.0][index * wpe * LANES..(index + 1) * wpe * LANES],
+                LANES,
+                self.lane,
+            )
+        } else {
+            Bits::zero(meta.width as usize)
+        }
+    }
+}
+
+// The tape and its engines cross thread boundaries (batch simulation,
+// BMC sweep workers).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Tape>();
     assert_send_sync::<TapeEngine>();
+    assert_send_sync::<LaneEngine>();
 };
 
 #[cfg(test)]

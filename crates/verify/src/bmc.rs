@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 
 use anvil_rtl::{Bits, Expr, Module, SignalKind};
-use anvil_sim::{Backend, Sim, SimError};
+use anvil_sim::{sweep_chunks, Backend, Sim, SimBatch, SimError, TapeProgram};
 
 /// Outcome of a bounded model-checking run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,23 +88,7 @@ pub fn bmc_with_backend(
     max_states: usize,
     backend: Backend,
 ) -> Result<(BmcResult, BmcStats), SimError> {
-    let inputs: Vec<(String, usize)> = module
-        .iter_signals()
-        .filter(|(_, s)| s.kind == SignalKind::Input)
-        .map(|(_, s)| (s.name.clone(), s.width))
-        .collect();
-    // Candidate values per input: exhaustive for 1-bit, corners otherwise.
-    let choices: Vec<Vec<u64>> = inputs
-        .iter()
-        .map(|(_, w)| {
-            if *w == 1 {
-                vec![0, 1]
-            } else {
-                vec![0, (1u64 << (*w).min(63)) - 1]
-            }
-        })
-        .collect();
-
+    let (inputs, choices) = input_corners(module);
     let mut stats = BmcStats::default();
     // Frontier of (input trace so far). Replaying each path from reset
     // keeps memory bounded; state hashing prunes converged paths. One
@@ -153,6 +137,172 @@ pub fn bmc_with_backend(
                 if seen.insert(h) {
                     next.push(trace);
                 }
+            }
+        }
+        stats.depth_reached = d + 1;
+        if next.is_empty() {
+            break; // full state space covered
+        }
+        frontier = next;
+    }
+    Ok((
+        BmcResult::ExhaustedDepth {
+            states: stats.states_visited,
+        },
+        stats,
+    ))
+}
+
+/// The input enumeration both checkers share: `(name, width)` per input
+/// port, and the candidate values per input — exhaustive for 1-bit
+/// inputs, the 0 / all-ones corners otherwise.
+fn input_corners(module: &Module) -> (Vec<(String, usize)>, Vec<Vec<u64>>) {
+    let inputs: Vec<(String, usize)> = module
+        .iter_signals()
+        .filter(|(_, s)| s.kind == SignalKind::Input)
+        .map(|(_, s)| (s.name.clone(), s.width))
+        .collect();
+    let choices: Vec<Vec<u64>> = inputs
+        .iter()
+        .map(|(_, w)| {
+            if *w == 1 {
+                vec![0, 1]
+            } else {
+                vec![0, (1u64 << (*w).min(63)) - 1]
+            }
+        })
+        .collect();
+    (inputs, choices)
+}
+
+/// Multi-lane parallel [`bmc`]: explores `lanes` candidate stimulus
+/// schedules per tape pass on the SIMD-style batch executor, with
+/// lane-chunks spread across up to `workers` scoped threads.
+///
+/// The frontier search is *identical* to sequential [`bmc`] — candidates
+/// are enumerated in the same order, each wave's results are folded back
+/// sequentially for violation reporting, the state budget, and
+/// fingerprint pruning — so the outcome (including the counterexample
+/// trace and the visited-state counts) is exactly what [`bmc`] returns on
+/// the compiled backend; only the wall-clock changes. The design is
+/// lowered once ([`TapeProgram`]) and shared by every worker.
+///
+/// # Errors
+///
+/// Propagates simulator preparation errors.
+pub fn bmc_sweep(
+    module: &Module,
+    assertion: &Expr,
+    depth: usize,
+    max_states: usize,
+    lanes: usize,
+    workers: usize,
+) -> Result<(BmcResult, BmcStats), SimError> {
+    let lanes = lanes.max(1);
+    let program = TapeProgram::compile(module)?;
+    let (inputs, choices) = input_corners(module);
+    let combos = cartesian(&choices);
+
+    let mut stats = BmcStats::default();
+    let mut frontier: Vec<Vec<Vec<u64>>> = vec![vec![]];
+    let mut seen: HashSet<u64> = HashSet::new();
+
+    for d in 0..depth {
+        // The wave: every frontier prefix extended by every input combo,
+        // in the exact order sequential `bmc` enumerates them, held as
+        // `(prefix, combo)` index pairs — a candidate's inputs at cycle
+        // `c` are `frontier[pi][c]` for `c < d` and `combos[ci]` at the
+        // final cycle, so no trace is materialized until it survives into
+        // the next frontier (or is the counterexample). Truncated to the
+        // remaining state budget — candidates past it would never be
+        // visited sequentially either.
+        let budget = max_states.saturating_sub(stats.states_visited);
+        let mut wave: Vec<(usize, usize)> =
+            Vec::with_capacity((frontier.len() * combos.len()).min(budget.max(1)));
+        'build: for pi in 0..frontier.len() {
+            for ci in 0..combos.len() {
+                wave.push((pi, ci));
+                if wave.len() >= budget {
+                    break 'build;
+                }
+            }
+        }
+
+        // Replay every candidate of the wave: `lanes` schedules per batch,
+        // chunks across workers. Each lane reports the earliest violating
+        // cycle (if any) and its end-of-trace state fingerprint.
+        let wave_ref = &wave;
+        let frontier_ref = &frontier;
+        let inputs_ref = &inputs;
+        let combos_ref = &combos;
+        let chunk_results = sweep_chunks(
+            &program,
+            wave.len(),
+            lanes,
+            workers.max(1),
+            |first, batch: &mut SimBatch| {
+                let n = batch.lanes();
+                let mut violated = vec![false; n];
+                // Cycle-outer so every lane pokes before the one settle;
+                // `c` indexes a different lane's prefix each inner
+                // iteration, so the range loop is the honest shape.
+                #[allow(clippy::needless_range_loop)]
+                for c in 0..=d {
+                    // Poke every lane first, then evaluate: the lazy
+                    // batch settles once per cycle for all lanes.
+                    for l in 0..n {
+                        let (pi, ci) = wave_ref[first + l];
+                        let step = if c < d {
+                            &frontier_ref[pi][c]
+                        } else {
+                            &combos_ref[ci]
+                        };
+                        for ((name, width), val) in inputs_ref.iter().zip(step) {
+                            batch.poke(l, name, Bits::from_u64(*val, *width))?;
+                        }
+                    }
+                    for (l, v) in violated.iter_mut().enumerate() {
+                        if !*v && batch.eval(l, assertion).is_zero() {
+                            *v = true;
+                        }
+                    }
+                    batch.step();
+                }
+                let fps = batch.fingerprints();
+                Ok((violated, fps))
+            },
+        )?;
+        let mut verdicts = chunk_results
+            .into_iter()
+            .flat_map(|(v, f)| v.into_iter().zip(f));
+
+        // Sequential fold, mirroring `bmc`'s per-candidate bookkeeping.
+        let materialize = |pi: usize, ci: usize| {
+            let mut trace = frontier[pi].clone();
+            trace.push(combos[ci].clone());
+            trace
+        };
+        let mut next = Vec::new();
+        for &(pi, ci) in &wave {
+            let (violated, fp) = verdicts.next().expect("one verdict per candidate");
+            stats.states_visited += 1;
+            if violated {
+                stats.depth_reached = d + 1;
+                let trace = materialize(pi, ci);
+                return Ok((
+                    BmcResult::Violation {
+                        depth: trace.len(),
+                        trace,
+                    },
+                    stats,
+                ));
+            }
+            if stats.states_visited >= max_states {
+                stats.depth_reached = d;
+                return Ok((BmcResult::ExhaustedStates { depth: d }, stats));
+            }
+            if seen.insert(fp) {
+                next.push(materialize(pi, ci));
             }
         }
         stats.depth_reached = d + 1;
@@ -255,5 +405,58 @@ mod tests {
         assert_eq!(tree, tape);
         assert_eq!(tree_stats.states_visited, tape_stats.states_visited);
         assert_eq!(tree_stats.depth_reached, tape_stats.depth_reached);
+    }
+
+    /// `bmc_sweep` must reproduce sequential `bmc` exactly — result,
+    /// counterexample trace, and bookkeeping — for every lane/worker
+    /// split, on every outcome class (violation, depth exhaustion, state
+    /// budget exhaustion).
+    fn assert_sweep_matches(m: &Module, a: &Expr, depth: usize, max_states: usize) {
+        let (seq, seq_stats) =
+            bmc_with_backend(m, a, depth, max_states, Backend::Compiled).unwrap();
+        for lanes in [1, 3, 8, 16] {
+            for workers in [1, 4] {
+                let (swept, sweep_stats) =
+                    bmc_sweep(m, a, depth, max_states, lanes, workers).unwrap();
+                assert_eq!(
+                    seq, swept,
+                    "sweep diverged from sequential bmc at lanes={lanes} workers={workers}"
+                );
+                assert_eq!(seq_stats.states_visited, sweep_stats.states_visited);
+                assert_eq!(seq_stats.depth_reached, sweep_stats.depth_reached);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_finds_the_same_shallow_violation() {
+        let (m, a) = shallow_bug();
+        assert_sweep_matches(&m, &a, 10, 100_000);
+    }
+
+    #[test]
+    fn sweep_misses_the_same_deep_violation_within_budget() {
+        let (m, a) = deep_bug(0x100000);
+        assert_sweep_matches(&m, &a, 12, 2_000);
+    }
+
+    #[test]
+    fn sweep_finds_the_same_deep_bug_with_enough_depth() {
+        let (m, a) = deep_bug(40);
+        assert_sweep_matches(&m, &a, 64, 1_000_000);
+    }
+
+    #[test]
+    fn sweep_covers_exhausted_state_space() {
+        // 4-bit counter wraps: the full reachable state space is covered
+        // before the depth bound, exercising the early-exit path.
+        let mut m = Module::new("wrap");
+        let q = m.reg("q", 2);
+        m.set_next(q, Expr::Signal(q).add(Expr::lit(1, 2)));
+        let ok = m.wire_from("ok", Expr::lit(1, 1));
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(ok));
+        let a = Expr::Signal(m.find("ok").unwrap());
+        assert_sweep_matches(&m, &a, 40, 100_000);
     }
 }

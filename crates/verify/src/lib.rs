@@ -20,6 +20,8 @@ pub mod bmc;
 pub mod oracle;
 pub mod rules;
 
-pub use bmc::{bmc, bmc_with_backend, BmcResult, BmcStats};
-pub use oracle::{check_run, fuzz_thread, sample_run, ConcreteRun, DynViolation};
-pub use rules::{fig2_contract_violations, fig2_engine, Rule, RuleEngine, State};
+pub use bmc::{bmc, bmc_sweep, bmc_with_backend, BmcResult, BmcStats};
+pub use oracle::{
+    check_run, fuzz_thread, fuzz_thread_batch, sample_run, ConcreteRun, DynViolation,
+};
+pub use rules::{fig2_contract_violations, fig2_engine, sweep_schedules, Rule, RuleEngine, State};

@@ -10,7 +10,8 @@
 //! * [`anvil_syntax`] / [`anvil_ir`] / [`anvil_typeck`] /
 //!   [`anvil_codegen`] — the compiler stages,
 //! * [`anvil_rtl`] — the netlist IR and SystemVerilog emitter,
-//! * [`anvil_sim`] — the cycle-accurate simulator ([`Sim`]),
+//! * [`anvil_sim`] — the cycle-accurate simulator ([`Sim`]) and the
+//!   multi-lane batch executor ([`SimBatch`]),
 //! * [`anvil_synth`] — the synthesis cost model,
 //! * [`anvil_verify`] — safety oracle, BMC, rule scheduler,
 //! * [`anvil_designs`] — the ten evaluation designs.
@@ -32,7 +33,7 @@ pub use anvil_core::{
     Stage, StageCounters,
 };
 pub use anvil_intern::Symbol;
-pub use anvil_sim::{Sim, SimError, Waveform};
+pub use anvil_sim::{Sim, SimBatch, SimError, TapeProgram, Waveform};
 
 pub use anvil_codegen;
 pub use anvil_core;
