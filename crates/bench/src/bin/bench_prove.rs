@@ -1,0 +1,157 @@
+//! Emits `BENCH_prove.json`: the machine-readable formal-verification
+//! record archived by CI from this PR onward.
+//!
+//! For every design in the safety-property suite
+//! (`anvil_designs::props`), three engines run on the same assertion:
+//!
+//! * `explicit_bmc` — the explicit-state bounded search (corner-sampled
+//!   inputs, bounded depth and state budget),
+//! * `symbolic_bmc` — SAT-based bounded model checking (all inputs, same
+//!   depth bound),
+//! * `k_induction` — the full [`anvil_verify::prove()`] loop, which can
+//!   return *proved for all time*.
+//!
+//! Per engine the record carries the verdict and wall time; the symbolic
+//! engines also report SAT clause/conflict counts. The seeded-violation
+//! designs ride along so the falsification path is timed too.
+//!
+//! Usage: `bench_prove [output-path]` (default `BENCH_prove.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use anvil_designs::props::{seeded_violations, suite_properties, SafetyProperty};
+use anvil_verify::{bmc, prove, prove_bounded, BmcResult, ProveResult};
+
+/// Depth bound shared by both bounded engines.
+const DEPTH: usize = 8;
+/// Explicit-state search budget.
+const MAX_STATES: usize = 20_000;
+/// k-induction window budget (deep enough to falsify the seeded
+/// hazard counter at depth 13).
+const MAX_K: usize = 16;
+
+struct Row {
+    design: String,
+    property: String,
+    engine: &'static str,
+    verdict: String,
+    millis: f64,
+    clauses: u64,
+    conflicts: u64,
+}
+
+fn verdict_of(r: &ProveResult) -> String {
+    match r {
+        ProveResult::Proved { k } => format!("proved(k={k})"),
+        ProveResult::Falsified { depth, .. } => format!("falsified(depth={depth})"),
+        ProveResult::Unknown { depth } => format!("unknown(depth={depth})"),
+    }
+}
+
+fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) {
+    // Explicit-state bounded search.
+    let t = Instant::now();
+    let (explicit, _) = bmc(&prop.module, &prop.assertion, DEPTH, MAX_STATES)
+        .expect("explicit BMC prepares every suite design");
+    rows.push(Row {
+        design: prop.design.to_string(),
+        property: prop.property.to_string(),
+        engine: "explicit_bmc",
+        verdict: match &explicit {
+            BmcResult::Violation { depth, .. } => format!("falsified(depth={depth})"),
+            BmcResult::ExhaustedDepth { .. } => format!("unknown(depth={DEPTH})"),
+            BmcResult::ExhaustedStates { depth } => format!("budget(depth={depth})"),
+        },
+        millis: t.elapsed().as_secs_f64() * 1e3,
+        clauses: 0,
+        conflicts: 0,
+    });
+
+    // Symbolic bounded model checking.
+    let t = Instant::now();
+    let (sym, stats) =
+        prove_bounded(&prop.module, &prop.assertion, DEPTH).expect("symbolic BMC runs");
+    rows.push(Row {
+        design: prop.design.to_string(),
+        property: prop.property.to_string(),
+        engine: "symbolic_bmc",
+        verdict: verdict_of(&sym),
+        millis: t.elapsed().as_secs_f64() * 1e3,
+        clauses: stats.clauses,
+        conflicts: stats.conflicts,
+    });
+
+    // Full prove: interleaved BMC + k-induction.
+    let t = Instant::now();
+    let (full, stats) = prove(&prop.module, &prop.assertion, MAX_K).expect("k-induction runs");
+    rows.push(Row {
+        design: prop.design.to_string(),
+        property: prop.property.to_string(),
+        engine: "k_induction",
+        verdict: verdict_of(&full),
+        millis: t.elapsed().as_secs_f64() * 1e3,
+        clauses: stats.clauses,
+        conflicts: stats.conflicts,
+    });
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_prove.json".to_string());
+
+    let mut rows = Vec::new();
+    for prop in suite_properties().iter().chain(seeded_violations().iter()) {
+        run_design(prop, &mut rows);
+    }
+
+    let proved = rows
+        .iter()
+        .filter(|r| r.engine == "k_induction" && r.verdict.starts_with("proved"))
+        .count();
+    let falsified = rows
+        .iter()
+        .filter(|r| r.engine == "k_induction" && r.verdict.starts_with("falsified"))
+        .count();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"anvil-bench-prove-v1\",");
+    let _ = writeln!(json, "  \"depth\": {DEPTH},");
+    let _ = writeln!(json, "  \"max_states\": {MAX_STATES},");
+    let _ = writeln!(json, "  \"max_k\": {MAX_K},");
+    let _ = writeln!(json, "  \"proved_by_induction\": {proved},");
+    let _ = writeln!(json, "  \"falsified\": {falsified},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"design\": \"{}\", \"property\": \"{}\", \"engine\": \"{}\", \
+             \"verdict\": \"{}\", \"millis\": {:.3}, \"clauses\": {}, \
+             \"conflicts\": {}}}{comma}",
+            r.design, r.property, r.engine, r.verdict, r.millis, r.clauses, r.conflicts
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("writing BENCH_prove.json");
+
+    println!("wrote {out_path}");
+    println!(
+        "{:<28} {:<13} {:<22} {:>9} {:>9} {:>10}",
+        "design", "engine", "verdict", "ms", "clauses", "conflicts"
+    );
+    for r in &rows {
+        println!(
+            "{:<28} {:<13} {:<22} {:>9.2} {:>9} {:>10}",
+            r.design, r.engine, r.verdict, r.millis, r.clauses, r.conflicts
+        );
+    }
+    println!("k-induction: {proved} proved for all time, {falsified} falsified");
+    assert!(
+        proved >= 3,
+        "regression: fewer than 3 suite designs proved by induction"
+    );
+}

@@ -9,6 +9,7 @@
 //! | opt-ir | optimized single-iteration event graphs + event counts     |
 //! | lower  | the lowered RTL [`Module`]                                 |
 //! | emit   | the emitted SystemVerilog chunk for that module            |
+//! | aig    | the bit-blasted [`AigCircuit`] of a flattened top unit     |
 //!
 //! Keys are 64-bit fingerprints computed by [`crate::units`] from the
 //! item's span-independent content hash, the content hashes of the
@@ -31,6 +32,7 @@ use std::sync::{Arc, Mutex};
 
 use anvil_ir::ThreadIr;
 use anvil_rtl::Module;
+use anvil_smt::AigCircuit;
 use anvil_typeck::ProcReport;
 
 /// Number of independent shards (power of two; keys are well-mixed FNV
@@ -52,10 +54,19 @@ pub enum Stage {
     Lower,
     /// Per-module SystemVerilog emission.
     Emit,
+    /// Bit-blasting of a flattened top-level unit into an And-Inverter
+    /// Graph (the symbolic-verification artifact).
+    Aig,
 }
 
 impl Stage {
-    pub(crate) const ALL: [Stage; 4] = [Stage::Check, Stage::OptIr, Stage::Lower, Stage::Emit];
+    pub(crate) const ALL: [Stage; 5] = [
+        Stage::Check,
+        Stage::OptIr,
+        Stage::Lower,
+        Stage::Emit,
+        Stage::Aig,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -63,6 +74,7 @@ impl Stage {
             Stage::OptIr => 1,
             Stage::Lower => 2,
             Stage::Emit => 3,
+            Stage::Aig => 4,
         }
     }
 
@@ -72,6 +84,7 @@ impl Stage {
             Stage::OptIr => "opt-ir",
             Stage::Lower => "lower",
             Stage::Emit => "emit",
+            Stage::Aig => "aig",
         }
     }
 }
@@ -127,6 +140,8 @@ pub struct CacheStats {
     pub lower: StageCounters,
     /// Counters for SystemVerilog chunk emission.
     pub emit: StageCounters,
+    /// Counters for AIG bit-blasting of flattened units.
+    pub aig: StageCounters,
 }
 
 impl CacheStats {
@@ -137,22 +152,31 @@ impl CacheStats {
             Stage::OptIr => self.opt_ir,
             Stage::Lower => self.lower,
             Stage::Emit => self.emit,
+            Stage::Aig => self.aig,
         }
     }
 
     /// Total hits across stages.
     pub fn hits(&self) -> u64 {
-        self.check.hits + self.opt_ir.hits + self.lower.hits + self.emit.hits
+        self.check.hits + self.opt_ir.hits + self.lower.hits + self.emit.hits + self.aig.hits
     }
 
     /// Total misses across stages.
     pub fn misses(&self) -> u64 {
-        self.check.misses + self.opt_ir.misses + self.lower.misses + self.emit.misses
+        self.check.misses
+            + self.opt_ir.misses
+            + self.lower.misses
+            + self.emit.misses
+            + self.aig.misses
     }
 
     /// Total evictions across stages.
     pub fn evictions(&self) -> u64 {
-        self.check.evictions + self.opt_ir.evictions + self.lower.evictions + self.emit.evictions
+        self.check.evictions
+            + self.opt_ir.evictions
+            + self.lower.evictions
+            + self.emit.evictions
+            + self.aig.evictions
     }
 }
 
@@ -165,6 +189,7 @@ impl std::ops::Sub for CacheStats {
             opt_ir: self.opt_ir - rhs.opt_ir,
             lower: self.lower - rhs.lower,
             emit: self.emit - rhs.emit,
+            aig: self.aig - rhs.aig,
         }
     }
 }
@@ -221,6 +246,7 @@ pub(crate) enum Artifact {
     OptIr(Arc<IrUnit>),
     Lowered(Arc<Module>),
     Sv(Arc<String>),
+    Aig(Arc<AigCircuit>),
 }
 
 struct Entry {
@@ -241,7 +267,7 @@ pub(crate) struct QueryCache {
     /// Global logical clock for LRU recency.
     tick: AtomicU64,
     /// `[stage][hit|miss|evict]`.
-    counters: [[AtomicU64; 3]; 4],
+    counters: [[AtomicU64; 3]; 5],
 }
 
 impl fmt::Debug for QueryCache {
@@ -337,6 +363,7 @@ impl QueryCache {
             opt_ir: read(Stage::OptIr),
             lower: read(Stage::Lower),
             emit: read(Stage::Emit),
+            aig: read(Stage::Aig),
         }
     }
 }
@@ -413,7 +440,7 @@ mod tests {
     #[test]
     fn display_names_every_stage() {
         let line = CacheStats::default().to_string();
-        for name in ["check", "opt-ir", "lower", "emit", "total"] {
+        for name in ["check", "opt-ir", "lower", "emit", "aig", "total"] {
             assert!(line.contains(name), "{line}");
         }
     }

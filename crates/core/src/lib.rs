@@ -557,6 +557,72 @@ impl Session {
         })
     }
 
+    /// Compiles and flattens one process for simulation or verification.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compile`], plus elaboration failures while
+    /// flattening.
+    pub fn compile_flat(&self, source: &str, top: &str) -> Result<anvil_rtl::Module, CompileError> {
+        let out = self.compile(source)?;
+        anvil_rtl::elaborate(top, &out.modules).map_err(|e| {
+            CompileError::Codegen(CodegenDiag {
+                message: e.to_string(),
+                span: None,
+            })
+        })
+    }
+
+    /// Compiles, flattens, and **bit-blasts** one process into an
+    /// And-Inverter Graph for symbolic verification, through the query
+    /// cache: the circuit is cached under the unit's fingerprint (its
+    /// content, tracked dependencies, codegen options, transitive
+    /// children, and the extern-library generation), so re-proving an
+    /// unchanged design skips elaboration and blasting entirely — watch
+    /// the `aig` row of [`CacheStats`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compile_flat`], plus blasting failures (reported as
+    /// codegen diagnostics).
+    pub fn compile_flat_aig(
+        &self,
+        source: &str,
+        top: &str,
+    ) -> Result<Arc<anvil_smt::AigCircuit>, CompileError> {
+        let out = self.compile(source)?;
+        let items = ItemGraph::new(&out.program);
+        let order =
+            proc_order(&out.program, &self.externs).map_err(|e| codegen_error(&out.program, e))?;
+        let keys = items.unit_keys(&order, options_fingerprint(&self.options), self.extern_gen);
+        // Tops that are not compilation units (extern modules) are built
+        // uncached; elaboration rejects unknown names below either way.
+        let key = keys.get(top).map(|k| units::aig_key(k.lower));
+        if let Some(key) = key {
+            if let Some(Artifact::Aig(circuit)) = self.cache.get(Stage::Aig, key) {
+                return Ok(circuit);
+            }
+        }
+        let flat = anvil_rtl::elaborate(top, &out.modules).map_err(|e| {
+            CompileError::Codegen(CodegenDiag {
+                message: e.to_string(),
+                span: None,
+            })
+        })?;
+        let circuit = anvil_smt::AigCircuit::from_module(&flat).map_err(|e| {
+            CompileError::Codegen(CodegenDiag {
+                message: e.to_string(),
+                span: None,
+            })
+        })?;
+        let circuit = Arc::new(circuit);
+        if let Some(key) = key {
+            self.cache
+                .insert(Stage::Aig, key, Artifact::Aig(Arc::clone(&circuit)));
+        }
+        Ok(circuit)
+    }
+
     /// Compiles many independent designs in parallel, sharing this session
     /// read-only across `std::thread::scope` workers.
     ///
@@ -704,13 +770,22 @@ impl Compiler {
     /// As [`Compiler::compile`], plus elaboration failures while
     /// flattening.
     pub fn compile_flat(&self, source: &str, top: &str) -> Result<anvil_rtl::Module, CompileError> {
-        let out = self.compile(source)?;
-        anvil_rtl::elaborate(top, &out.modules).map_err(|e| {
-            CompileError::Codegen(CodegenDiag {
-                message: e.to_string(),
-                span: None,
-            })
-        })
+        self.session.compile_flat(source, top)
+    }
+
+    /// Compiles, flattens, and bit-blasts one process into an AIG for
+    /// symbolic verification, cached in the session's query cache; see
+    /// [`Session::compile_flat_aig`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::compile_flat_aig`].
+    pub fn compile_flat_aig(
+        &self,
+        source: &str,
+        top: &str,
+    ) -> Result<Arc<anvil_smt::AigCircuit>, CompileError> {
+        self.session.compile_flat_aig(source, top)
     }
 }
 
@@ -832,6 +907,39 @@ proc p() { reg r : logic[8]; loop { set r := nope(*r) >> cycle 1 } }";
         sim.run(8).unwrap();
         // One increment per 2-cycle iteration.
         assert_eq!(sim.peek("c").unwrap().to_u64(), 4);
+    }
+
+    #[test]
+    fn aig_blasting_is_cached_per_unit_fingerprint() {
+        let compiler = Compiler::new();
+        let src = "proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }";
+        let a1 = compiler.compile_flat_aig(src, "p").unwrap();
+        let cold = compiler.cache_stats();
+        assert_eq!(cold.aig.misses, 1);
+        assert_eq!(cold.aig.hits, 0);
+
+        // Warm re-blast of the identical source: a pure cache hit, same
+        // shared circuit.
+        let a2 = compiler.compile_flat_aig(src, "p").unwrap();
+        let warm = compiler.cache_stats() - cold;
+        assert_eq!((warm.aig.hits, warm.aig.misses), (1, 0));
+        assert!(Arc::ptr_eq(&a1, &a2));
+
+        // Whitespace/comment edits fingerprint identically: still a hit.
+        let reformatted =
+            "proc p() {\n  reg r : logic[8]; // counter\n  loop { set r := *r + 1 >> cycle 1 }\n}";
+        let a3 = compiler.compile_flat_aig(reformatted, "p").unwrap();
+        let ws = compiler.cache_stats() - cold - warm;
+        assert_eq!((ws.aig.hits, ws.aig.misses), (1, 0));
+        assert!(Arc::ptr_eq(&a1, &a3));
+
+        // A real edit (wider register) misses and rebuilds.
+        let edited = "proc p() { reg r : logic[9]; loop { set r := *r + 1 >> cycle 1 } }";
+        let a4 = compiler.compile_flat_aig(edited, "p").unwrap();
+        let miss = compiler.cache_stats() - cold - warm - ws;
+        assert_eq!(miss.aig.misses, 1);
+        // One extra register bit on top of the unchanged FSM latches.
+        assert_eq!(a4.aig().n_latches(), a1.aig().n_latches() + 1);
     }
 
     #[test]

@@ -30,6 +30,7 @@ const TAG_OPT_IR: u64 = 0xA171_0002;
 const TAG_LOWER: u64 = 0xA171_0003;
 const TAG_EMIT: u64 = 0xA171_0004;
 const TAG_EXTERN_SV: u64 = 0xA171_0005;
+const TAG_AIG: u64 = 0xA171_0006;
 /// Marks a dependency that does not resolve to a definition (the compile
 /// will fail in elaboration; the key still has to be well-defined).
 const TAG_MISSING: u64 = 0xA171_00FF;
@@ -38,6 +39,19 @@ const TAG_MISSING: u64 = 0xA171_00FF;
 /// Extern RTL is session state rather than a compilation unit, so the key
 /// is the module name plus the library generation (bumped whenever an
 /// extern is registered or replaced).
+/// Aig-stage key for the bit-blasted image of one flattened top-level
+/// unit. Derived from the unit's lower-stage key, which already folds in
+/// the proc's content, its tracked dependencies, the codegen options, the
+/// transitive children (the flattened module inlines them), and the
+/// extern-library generation — exactly the ingredients elaboration and
+/// blasting read.
+pub(crate) fn aig_key(lower_key: u64) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(TAG_AIG);
+    h.write_u64(lower_key);
+    h.finish()
+}
+
 pub(crate) fn extern_chunk_key(name: &str, extern_gen: u64) -> u64 {
     let mut h = StableHasher::new();
     h.write_u64(TAG_EXTERN_SV);

@@ -20,6 +20,7 @@ pub mod alu;
 pub mod axi;
 pub mod fifo;
 pub mod hazard;
+pub mod props;
 pub mod ptw;
 pub mod spill;
 pub mod stream_fifo;

@@ -1,0 +1,935 @@
+//! Generic word-level → bit-level lowering ("bit-blasting") of flattened
+//! netlists.
+//!
+//! This is the netlist-side entry point of the symbolic verification
+//! pipeline: a flattened [`Module`] — the same representation both
+//! simulation backends consume — is lowered into a pure gate-level
+//! circuit of AND/NOT nets, single-bit latches, and free input bits.
+//!
+//! The lowering is generic over a [`NetBuilder`] sink so the netlist crate
+//! stays independent of any particular gate representation: `anvil-smt`
+//! implements the trait for its And-Inverter Graph (with structural
+//! hashing and constant folding happening inside the builder), and tests
+//! implement it with a trivial evaluator to pin the semantics against the
+//! simulator.
+//!
+//! The bit-level semantics mirror the simulator's word-level evaluator
+//! ([`Bits`]) exactly — wrapping arithmetic, SystemVerilog truthiness for
+//! mux/print conditions, zero-fill for out-of-range slices and array
+//! reads, low-64-bit interpretation of dynamic shift amounts and array
+//! indices — so a blasted circuit and a [`Module`] simulation agree bit
+//! for bit on every cycle.
+
+use std::fmt;
+
+use crate::bits::Bits;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::netlist::{Module, SignalKind};
+
+/// A sink receiving the gate-level circuit produced by [`blast_module`].
+///
+/// `Net` is one single-bit net. The blaster only ever emits two-input
+/// ANDs, inverters, constants, free input bits, and latches; richer
+/// builders (e.g. an AIG) fold and hash inside these primitives.
+pub trait NetBuilder {
+    /// One single-bit net.
+    type Net: Copy;
+
+    /// The constant net (false or true).
+    fn constant(&mut self, value: bool) -> Self::Net;
+
+    /// A fresh free input bit. The blaster allocates input bits in signal
+    /// id order, LSB first within each input port.
+    fn input(&mut self) -> Self::Net;
+
+    /// A fresh single-bit latch with the given power-on value. Its
+    /// next-state function is connected later via
+    /// [`NetBuilder::set_latch_next`].
+    fn latch(&mut self, init: bool) -> Self::Net;
+
+    /// Connects a latch's next-state function (called exactly once per
+    /// latch).
+    fn set_latch_next(&mut self, latch: Self::Net, next: Self::Net);
+
+    /// Two-input AND.
+    fn and2(&mut self, a: Self::Net, b: Self::Net) -> Self::Net;
+
+    /// Inverter.
+    fn not1(&mut self, a: Self::Net) -> Self::Net;
+}
+
+/// Failures while bit-blasting a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlastError {
+    /// The design still contains instances; flatten it first.
+    NotFlat(String),
+    /// Combinational assignments form a cycle through the named signal.
+    CombinationalLoop(String),
+    /// A driver expression's width differs from its target's declared
+    /// width, or an expression could not be width-checked.
+    Width(String),
+}
+
+impl fmt::Display for BlastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlastError::NotFlat(m) => {
+                write!(f, "module `{m}` contains instances; elaborate first")
+            }
+            BlastError::CombinationalLoop(s) => {
+                write!(f, "combinational loop through signal `{s}`")
+            }
+            BlastError::Width(s) => write!(f, "width error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BlastError {}
+
+/// The bit-level image of one module, generic over the builder's net type.
+///
+/// All bit vectors are LSB first, mirroring [`Bits`] bit order.
+#[derive(Clone, Debug)]
+pub struct Blasted<N> {
+    /// Per-signal bit vectors, indexed by `SignalId`: input bits for
+    /// inputs, latch outputs for registers, combinational functions for
+    /// wires and outputs.
+    pub signals: Vec<Vec<N>>,
+    /// Per-array element bit vectors (`arrays[array][element][bit]`).
+    /// Arrays with no write ports (ROMs) blast to constants; writable
+    /// arrays blast to one latch per element bit.
+    pub arrays: Vec<Vec<Vec<N>>>,
+    /// Input ports in signal id order: `(signal index, bits)`. The bits
+    /// are exactly the builder's input nets in allocation order, LSB
+    /// first — the stimulus interface of the blasted circuit.
+    pub inputs: Vec<(usize, Vec<N>)>,
+}
+
+/// Bit-blasts a flattened module into `builder`, returning the per-signal
+/// and per-array bit map.
+///
+/// The produced circuit has one latch per register bit and per writable
+/// array element bit (with the netlist's power-on values as latch inits),
+/// and one free input bit per input-port bit. Next-state functions encode
+/// the same nonblocking commit semantics the simulator implements,
+/// including array write-port priority (later ports override earlier
+/// ones) and the in-range guard on write indices.
+///
+/// # Errors
+///
+/// Rejects exactly the module set the simulation backends reject:
+/// unflattened designs, combinational cycles, and width-inconsistent
+/// drivers.
+pub fn blast_module<B: NetBuilder>(
+    builder: &mut B,
+    module: &Module,
+) -> Result<Blasted<B::Net>, BlastError> {
+    if !module.instances.is_empty() {
+        return Err(BlastError::NotFlat(module.name.clone()));
+    }
+    check_widths(module)?;
+    let comb_order = module
+        .comb_schedule()
+        .map_err(|sid| BlastError::CombinationalLoop(module.signal(sid).name.clone()))?;
+
+    // ---- Allocate state and input bits. ----
+    let mut signals: Vec<Vec<B::Net>> = Vec::with_capacity(module.signals.len());
+    let mut inputs = Vec::new();
+    for (id, sig) in module.iter_signals() {
+        let bits = match sig.kind {
+            SignalKind::Input => {
+                let bits: Vec<B::Net> = (0..sig.width).map(|_| builder.input()).collect();
+                inputs.push((id.0, bits.clone()));
+                bits
+            }
+            SignalKind::Reg => {
+                let init = sig.init.clone().unwrap_or_else(|| Bits::zero(sig.width));
+                (0..sig.width).map(|i| builder.latch(init.get(i))).collect()
+            }
+            // Placeholder; filled in combinational order below.
+            SignalKind::Wire | SignalKind::Output => Vec::new(),
+        };
+        signals.push(bits);
+    }
+    let mut arrays: Vec<Vec<Vec<B::Net>>> = Vec::with_capacity(module.arrays.len());
+    for (ai, arr) in module.arrays.iter().enumerate() {
+        let written = module.array_writes.iter().any(|w| w.array.0 == ai);
+        let mut elems = Vec::with_capacity(arr.depth);
+        for ei in 0..arr.depth {
+            let init = arr
+                .init
+                .get(ei)
+                .cloned()
+                .unwrap_or_else(|| Bits::zero(arr.width));
+            let elem: Vec<B::Net> = (0..arr.width)
+                .map(|bi| {
+                    if written {
+                        builder.latch(init.get(bi))
+                    } else {
+                        // ROM: elements are constants, so downstream
+                        // builders constant-fold the read muxes away.
+                        builder.constant(init.get(bi))
+                    }
+                })
+                .collect();
+            elems.push(elem);
+        }
+        arrays.push(elems);
+    }
+
+    // ---- Combinational functions in topological order. ----
+    let mut ctx = ExprBlaster {
+        builder,
+        module,
+        signals: &mut signals,
+        arrays: &arrays,
+    };
+    for id in &comb_order {
+        let bits = ctx.expr(&module.assigns[id]);
+        ctx.signals[id.0] = bits;
+    }
+
+    // ---- Register next-state functions (signal-id order; registers
+    // without a next-value expression hold). ----
+    for (id, sig) in module.iter_signals() {
+        if sig.kind != SignalKind::Reg {
+            continue;
+        }
+        let cur = signals[id.0].clone();
+        let next = match module.reg_next.get(&id) {
+            Some(e) => {
+                let mut ctx = ExprBlaster {
+                    builder,
+                    module,
+                    signals: &mut signals,
+                    arrays: &arrays,
+                };
+                ctx.expr(e)
+            }
+            None => cur.clone(),
+        };
+        for (c, n) in cur.iter().zip(&next) {
+            builder.set_latch_next(*c, *n);
+        }
+    }
+
+    // ---- Array write ports: per-element next-state with later ports
+    // taking priority (the commit loop applies writes in port order). ----
+    for (ai, arr) in module.arrays.iter().enumerate() {
+        let written = module.array_writes.iter().any(|w| w.array.0 == ai);
+        if !written {
+            continue;
+        }
+        // next[element] starts as the current latch value.
+        let mut next: Vec<Vec<B::Net>> = arrays[ai].clone();
+        for w in module.array_writes.iter().filter(|w| w.array.0 == ai) {
+            let mut ctx = ExprBlaster {
+                builder,
+                module,
+                signals: &mut signals,
+                arrays: &arrays,
+            };
+            let en_bits = ctx.expr(&w.enable);
+            let idx_bits = ctx.expr(&w.index);
+            let data = ctx.expr(&w.data);
+            let en = or_reduce(builder, &en_bits);
+            for (ei, elem_next) in next.iter_mut().enumerate().take(arr.depth) {
+                let hit0 = eq_const_low64(builder, &idx_bits, ei as u64);
+                let hit = builder.and2(en, hit0);
+                for (bit, d) in elem_next.iter_mut().zip(&data) {
+                    *bit = mux_bit(builder, hit, *d, *bit);
+                }
+            }
+        }
+        for (cur, nxt) in arrays[ai].iter().zip(&next) {
+            for (c, n) in cur.iter().zip(nxt) {
+                builder.set_latch_next(*c, *n);
+            }
+        }
+    }
+
+    Ok(Blasted {
+        signals,
+        arrays,
+        inputs,
+    })
+}
+
+/// Bit-blasts one expression against an already-blasted module image
+/// (used to blast assertions into the same circuit as the design).
+///
+/// # Errors
+///
+/// Fails if the expression does not width-check in the module's context.
+pub fn blast_expr<B: NetBuilder>(
+    builder: &mut B,
+    module: &Module,
+    blasted: &mut Blasted<B::Net>,
+    e: &Expr,
+) -> Result<Vec<B::Net>, BlastError> {
+    module.expr_width(e).map_err(BlastError::Width)?;
+    let mut ctx = ExprBlaster {
+        builder,
+        module,
+        signals: &mut blasted.signals,
+        arrays: &blasted.arrays,
+    };
+    Ok(ctx.expr(e))
+}
+
+/// The same driver-width validation the simulation backends perform, so
+/// blasting accepts exactly the same module set.
+fn check_widths(module: &Module) -> Result<(), BlastError> {
+    let check = |target: &str, declared: usize, e: &Expr| -> Result<(), BlastError> {
+        let found = module.expr_width(e).map_err(BlastError::Width)?;
+        if found != declared {
+            return Err(BlastError::Width(format!(
+                "driver of `{target}` has width {found}, expected {declared}"
+            )));
+        }
+        Ok(())
+    };
+    for (id, e) in &module.assigns {
+        let sig = module.signal(*id);
+        check(&sig.name, sig.width, e)?;
+    }
+    for (id, e) in &module.reg_next {
+        let sig = module.signal(*id);
+        check(&sig.name, sig.width, e)?;
+    }
+    for w in &module.array_writes {
+        let decl = &module.arrays[w.array.0];
+        check(&decl.name, decl.width, &w.data)?;
+        module.expr_width(&w.enable).map_err(BlastError::Width)?;
+        module.expr_width(&w.index).map_err(BlastError::Width)?;
+    }
+    Ok(())
+}
+
+struct ExprBlaster<'a, B: NetBuilder> {
+    builder: &'a mut B,
+    module: &'a Module,
+    signals: &'a mut Vec<Vec<B::Net>>,
+    arrays: &'a Vec<Vec<Vec<B::Net>>>,
+}
+
+impl<B: NetBuilder> ExprBlaster<'_, B> {
+    fn expr(&mut self, e: &Expr) -> Vec<B::Net> {
+        match e {
+            Expr::Const(b) => (0..b.width())
+                .map(|i| self.builder.constant(b.get(i)))
+                .collect(),
+            Expr::Signal(s) => self.signals[s.0].clone(),
+            Expr::Unary(op, a) => {
+                let v = self.expr(a);
+                let b = &mut *self.builder;
+                match op {
+                    UnaryOp::Not => v.iter().map(|x| b.not1(*x)).collect(),
+                    UnaryOp::Neg => neg_v(b, &v),
+                    UnaryOp::RedAnd => vec![and_reduce(b, &v)],
+                    UnaryOp::RedOr => vec![or_reduce(b, &v)],
+                    UnaryOp::RedXor => vec![xor_reduce(b, &v)],
+                    UnaryOp::LogicNot => {
+                        let any = or_reduce(b, &v);
+                        vec![b.not1(any)]
+                    }
+                }
+            }
+            Expr::Binary(op, a, bb) => {
+                let va = self.expr(a);
+                let vb = self.expr(bb);
+                let b = &mut *self.builder;
+                match op {
+                    BinaryOp::Add => add_v(b, &va, &vb, false),
+                    BinaryOp::Sub => {
+                        let nb: Vec<B::Net> = vb.iter().map(|x| b.not1(*x)).collect();
+                        add_v(b, &va, &nb, true)
+                    }
+                    BinaryOp::Mul => mul_v(b, &va, &vb),
+                    BinaryOp::And => zip2(b, &va, &vb, |b, x, y| b.and2(x, y)),
+                    BinaryOp::Or => zip2(b, &va, &vb, or2),
+                    BinaryOp::Xor => zip2(b, &va, &vb, xor2),
+                    BinaryOp::Eq => vec![eq_v(b, &va, &vb)],
+                    BinaryOp::Ne => {
+                        let e = eq_v(b, &va, &vb);
+                        vec![b.not1(e)]
+                    }
+                    BinaryOp::Lt => vec![lt_v(b, &va, &vb)],
+                    BinaryOp::Le => {
+                        let gt = lt_v(b, &vb, &va);
+                        vec![b.not1(gt)]
+                    }
+                    BinaryOp::Gt => vec![lt_v(b, &vb, &va)],
+                    BinaryOp::Ge => {
+                        let lt = lt_v(b, &va, &vb);
+                        vec![b.not1(lt)]
+                    }
+                    BinaryOp::Shl => shift_v(b, &va, &vb, true),
+                    BinaryOp::Shr => shift_v(b, &va, &vb, false),
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let c = self.expr(cond);
+                let t = self.expr(then_e);
+                let f = self.expr(else_e);
+                let b = &mut *self.builder;
+                let sel = or_reduce(b, &c);
+                t.iter()
+                    .zip(&f)
+                    .map(|(x, y)| mux_bit(b, sel, *x, *y))
+                    .collect()
+            }
+            Expr::Concat(parts) => {
+                // Most-significant part first; bit vectors are LSB first,
+                // so the last part supplies the low bits.
+                let mut out = Vec::new();
+                for p in parts.iter().rev() {
+                    out.extend(self.expr(p));
+                }
+                out
+            }
+            Expr::Slice { base, lo, width } => {
+                let v = self.expr(base);
+                let b = &mut *self.builder;
+                (0..*width)
+                    .map(|i| v.get(lo + i).copied().unwrap_or_else(|| b.constant(false)))
+                    .collect()
+            }
+            Expr::ArrayRead { array, index } => {
+                let idx = self.expr(index);
+                let width = self.module.arrays[array.0].width;
+                let elems = &self.arrays[array.0];
+                let b = &mut *self.builder;
+                // Out-of-range reads yield zero: start from the all-zero
+                // vector and mux in each element under its address match.
+                let mut acc: Vec<B::Net> = (0..width).map(|_| b.constant(false)).collect();
+                for (ei, elem) in elems.iter().enumerate() {
+                    let hit = eq_const_low64(b, &idx, ei as u64);
+                    for (a, e) in acc.iter_mut().zip(elem) {
+                        *a = mux_bit(b, hit, *e, *a);
+                    }
+                }
+                acc
+            }
+            Expr::Resize { base, width } => {
+                let v = self.expr(base);
+                let b = &mut *self.builder;
+                (0..*width)
+                    .map(|i| v.get(i).copied().unwrap_or_else(|| b.constant(false)))
+                    .collect()
+            }
+        }
+    }
+}
+
+fn zip2<B: NetBuilder>(
+    b: &mut B,
+    x: &[B::Net],
+    y: &[B::Net],
+    f: impl Fn(&mut B, B::Net, B::Net) -> B::Net,
+) -> Vec<B::Net> {
+    x.iter().zip(y).map(|(a, c)| f(b, *a, *c)).collect()
+}
+
+fn or2<B: NetBuilder>(b: &mut B, x: B::Net, y: B::Net) -> B::Net {
+    let nx = b.not1(x);
+    let ny = b.not1(y);
+    let n = b.and2(nx, ny);
+    b.not1(n)
+}
+
+fn xor2<B: NetBuilder>(b: &mut B, x: B::Net, y: B::Net) -> B::Net {
+    let ny = b.not1(y);
+    let a = b.and2(x, ny);
+    let nx = b.not1(x);
+    let c = b.and2(nx, y);
+    or2(b, a, c)
+}
+
+/// `sel ? t : e`.
+fn mux_bit<B: NetBuilder>(b: &mut B, sel: B::Net, t: B::Net, e: B::Net) -> B::Net {
+    let a = b.and2(sel, t);
+    let ns = b.not1(sel);
+    let c = b.and2(ns, e);
+    or2(b, a, c)
+}
+
+fn or_reduce<B: NetBuilder>(b: &mut B, v: &[B::Net]) -> B::Net {
+    let mut acc = b.constant(false);
+    for x in v {
+        acc = or2(b, acc, *x);
+    }
+    acc
+}
+
+fn and_reduce<B: NetBuilder>(b: &mut B, v: &[B::Net]) -> B::Net {
+    let mut acc = b.constant(true);
+    for x in v {
+        acc = b.and2(acc, *x);
+    }
+    acc
+}
+
+fn xor_reduce<B: NetBuilder>(b: &mut B, v: &[B::Net]) -> B::Net {
+    let mut acc = b.constant(false);
+    for x in v {
+        acc = xor2(b, acc, *x);
+    }
+    acc
+}
+
+/// Ripple-carry adder, wrapping at the operand width.
+fn add_v<B: NetBuilder>(b: &mut B, x: &[B::Net], y: &[B::Net], carry_in: bool) -> Vec<B::Net> {
+    let mut carry = b.constant(carry_in);
+    let mut out = Vec::with_capacity(x.len());
+    for (a, c) in x.iter().zip(y) {
+        let axc = xor2(b, *a, *c);
+        let s = xor2(b, axc, carry);
+        let g = b.and2(*a, *c);
+        let p = b.and2(axc, carry);
+        carry = or2(b, g, p);
+        out.push(s);
+    }
+    out
+}
+
+/// Two's-complement negation (`0 - x`).
+fn neg_v<B: NetBuilder>(b: &mut B, x: &[B::Net]) -> Vec<B::Net> {
+    let nx: Vec<B::Net> = x.iter().map(|a| b.not1(*a)).collect();
+    let zero: Vec<B::Net> = (0..x.len()).map(|_| b.constant(false)).collect();
+    add_v(b, &zero, &nx, true)
+}
+
+/// Shift-add multiplier, wrapping at the operand width.
+fn mul_v<B: NetBuilder>(b: &mut B, x: &[B::Net], y: &[B::Net]) -> Vec<B::Net> {
+    let w = x.len();
+    let mut acc: Vec<B::Net> = (0..w).map(|_| b.constant(false)).collect();
+    for (i, yi) in y.iter().enumerate() {
+        // Partial product: (x << i) masked by y[i].
+        let mut part: Vec<B::Net> = Vec::with_capacity(w);
+        for k in 0..w {
+            if k < i {
+                part.push(b.constant(false));
+            } else {
+                part.push(b.and2(x[k - i], *yi));
+            }
+        }
+        acc = add_v(b, &acc, &part, false);
+    }
+    acc
+}
+
+fn eq_v<B: NetBuilder>(b: &mut B, x: &[B::Net], y: &[B::Net]) -> B::Net {
+    let mut acc = b.constant(true);
+    for (a, c) in x.iter().zip(y) {
+        let d = xor2(b, *a, *c);
+        let nd = b.not1(d);
+        acc = b.and2(acc, nd);
+    }
+    acc
+}
+
+/// Unsigned `x < y`, rippling from the LSB up (higher bits override).
+fn lt_v<B: NetBuilder>(b: &mut B, x: &[B::Net], y: &[B::Net]) -> B::Net {
+    let mut lt = b.constant(false);
+    for (a, c) in x.iter().zip(y) {
+        let diff = xor2(b, *a, *c);
+        let na = b.not1(*a);
+        let here = b.and2(na, *c);
+        lt = mux_bit(b, diff, here, lt);
+    }
+    lt
+}
+
+/// Barrel shifter matching the simulator's dynamic-shift semantics: the
+/// amount is interpreted through its low 64 bits, staged constant shifts
+/// compose, and any stage whose weight reaches the width zeroes the
+/// result (`Bits::shl`/`shr` drop bits past the width).
+fn shift_v<B: NetBuilder>(b: &mut B, x: &[B::Net], amount: &[B::Net], left: bool) -> Vec<B::Net> {
+    let w = x.len();
+    let mut acc = x.to_vec();
+    for (j, aj) in amount.iter().enumerate().take(64) {
+        let step = 1usize.checked_shl(j as u32).filter(|s| *s < w);
+        let shifted: Vec<B::Net> = match step {
+            Some(s) => (0..w)
+                .map(|i| {
+                    let src = if left {
+                        i.checked_sub(s)
+                    } else {
+                        Some(i + s).filter(|k| *k < w)
+                    };
+                    match src {
+                        Some(k) => acc[k],
+                        None => b.constant(false),
+                    }
+                })
+                .collect(),
+            // Weight >= width: selecting this amount bit zeroes the value.
+            None => (0..w).map(|_| b.constant(false)).collect(),
+        };
+        acc = acc
+            .iter()
+            .zip(&shifted)
+            .map(|(keep, sh)| mux_bit(b, *aj, *sh, *keep))
+            .collect();
+    }
+    acc
+}
+
+/// `low-64-bits(x) == value`, mirroring how the simulator resolves array
+/// indices (`Bits::to_u64` reads the low word; higher bits are ignored).
+fn eq_const_low64<B: NetBuilder>(b: &mut B, x: &[B::Net], value: u64) -> B::Net {
+    let cmp_bits = x.len().min(64);
+    if cmp_bits < 64 && value >> cmp_bits != 0 {
+        return b.constant(false);
+    }
+    let mut acc = b.constant(true);
+    for (j, xj) in x.iter().enumerate().take(cmp_bits) {
+        let want = (value >> j) & 1 == 1;
+        let bit = if want { *xj } else { b.not1(*xj) };
+        acc = b.and2(acc, bit);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::netlist::Module;
+
+    /// A trivial builder for semantics tests: nets are indices into a
+    /// vector of gate descriptions evaluated directly.
+    #[derive(Default)]
+    struct EvalBuilder {
+        gates: Vec<Gate>,
+        latch_next: Vec<(usize, usize)>,
+        latch_init: Vec<(usize, bool)>,
+        inputs: Vec<usize>,
+    }
+
+    enum Gate {
+        Const(bool),
+        Input,
+        Latch,
+        And(usize, usize),
+        Not(usize),
+    }
+
+    impl NetBuilder for EvalBuilder {
+        type Net = usize;
+
+        fn constant(&mut self, value: bool) -> usize {
+            self.gates.push(Gate::Const(value));
+            self.gates.len() - 1
+        }
+
+        fn input(&mut self) -> usize {
+            self.gates.push(Gate::Input);
+            let n = self.gates.len() - 1;
+            self.inputs.push(n);
+            n
+        }
+
+        fn latch(&mut self, init: bool) -> usize {
+            self.gates.push(Gate::Latch);
+            let n = self.gates.len() - 1;
+            self.latch_init.push((n, init));
+            n
+        }
+
+        fn set_latch_next(&mut self, latch: usize, next: usize) {
+            self.latch_next.push((latch, next));
+        }
+
+        fn and2(&mut self, a: usize, b: usize) -> usize {
+            self.gates.push(Gate::And(a, b));
+            self.gates.len() - 1
+        }
+
+        fn not1(&mut self, a: usize) -> usize {
+            self.gates.push(Gate::Not(a));
+            self.gates.len() - 1
+        }
+    }
+
+    impl EvalBuilder {
+        /// Evaluates every net given input and latch values.
+        fn eval(&self, input_vals: &[bool], latch_vals: &[(usize, bool)]) -> Vec<bool> {
+            let mut vals = vec![false; self.gates.len()];
+            let mut in_iter = input_vals.iter();
+            for (i, g) in self.gates.iter().enumerate() {
+                vals[i] = match g {
+                    Gate::Const(v) => *v,
+                    Gate::Input => *in_iter.next().expect("an input value per input"),
+                    Gate::Latch => latch_vals
+                        .iter()
+                        .find(|(n, _)| *n == i)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(false),
+                    Gate::And(a, b) => vals[*a] && vals[*b],
+                    Gate::Not(a) => !vals[*a],
+                };
+            }
+            vals
+        }
+    }
+
+    fn to_u64(bits: &[usize], vals: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, n)| acc | (u64::from(vals[*n]) << i))
+    }
+
+    /// One combinational step: compares the blasted function of `expr`
+    /// against `Bits` evaluation for a module with two inputs.
+    fn check_comb(widths: (usize, usize), expr: Expr, cases: &[(u64, u64)]) {
+        let mut m = Module::new("t");
+        let _a = m.input("a", widths.0);
+        let _b = m.input("b", widths.1);
+        let w = m.expr_width(&expr).unwrap();
+        let o = m.output("o", w);
+        m.assign(o, expr);
+        let mut eb = EvalBuilder::default();
+        let blasted = blast_module(&mut eb, &m).unwrap();
+        let sim_like = |va: u64, vb: u64| -> u64 {
+            let mut ins = Vec::new();
+            for i in 0..widths.0 {
+                ins.push((va >> i) & 1 == 1);
+            }
+            for i in 0..widths.1 {
+                ins.push((vb >> i) & 1 == 1);
+            }
+            let vals = eb.eval(&ins, &[]);
+            to_u64(&blasted.signals[o.0], &vals)
+        };
+        use crate::bits::Bits;
+        for (va, vb) in cases {
+            let expect = eval_bits(
+                &m.assigns[&o],
+                &[Bits::from_u64(*va, widths.0), Bits::from_u64(*vb, widths.1)],
+            );
+            assert_eq!(
+                sim_like(*va, *vb),
+                expect.to_u64(),
+                "expr mismatch at a={va:#x} b={vb:#x}"
+            );
+        }
+    }
+
+    /// Minimal word-level evaluator mirroring the simulator semantics
+    /// (inputs only, no arrays), used as the test oracle.
+    fn eval_bits(e: &Expr, inputs: &[Bits]) -> Bits {
+        match e {
+            Expr::Const(b) => b.clone(),
+            Expr::Signal(s) => inputs[s.0].clone(),
+            Expr::Unary(op, a) => {
+                let v = eval_bits(a, inputs);
+                match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::RedAnd => Bits::bit(v.reduce_and()),
+                    UnaryOp::RedOr => Bits::bit(v.reduce_or()),
+                    UnaryOp::RedXor => Bits::bit(v.reduce_xor()),
+                    UnaryOp::LogicNot => Bits::bit(v.is_zero()),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = eval_bits(a, inputs);
+                let vb = eval_bits(b, inputs);
+                match op {
+                    BinaryOp::Add => va.add(&vb),
+                    BinaryOp::Sub => va.sub(&vb),
+                    BinaryOp::Mul => va.mul(&vb),
+                    BinaryOp::And => va.and(&vb),
+                    BinaryOp::Or => va.or(&vb),
+                    BinaryOp::Xor => va.xor(&vb),
+                    BinaryOp::Eq => Bits::bit(va == vb),
+                    BinaryOp::Ne => Bits::bit(va != vb),
+                    BinaryOp::Lt => Bits::bit(va.lt(&vb)),
+                    BinaryOp::Le => Bits::bit(!vb.lt(&va)),
+                    BinaryOp::Gt => Bits::bit(vb.lt(&va)),
+                    BinaryOp::Ge => Bits::bit(!va.lt(&vb)),
+                    BinaryOp::Shl => va.shl(vb.to_u64().min(u64::from(u32::MAX)) as usize),
+                    BinaryOp::Shr => va.shr(vb.to_u64().min(u64::from(u32::MAX)) as usize),
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                if eval_bits(cond, inputs).is_truthy() {
+                    eval_bits(then_e, inputs)
+                } else {
+                    eval_bits(else_e, inputs)
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut vals = parts.iter().map(|p| eval_bits(p, inputs));
+                let first = vals.next().unwrap();
+                vals.fold(first, |acc, v| acc.concat(&v))
+            }
+            Expr::Slice { base, lo, width } => eval_bits(base, inputs).slice(*lo, *width),
+            Expr::Resize { base, width } => eval_bits(base, inputs).resize(*width),
+            Expr::ArrayRead { .. } => unreachable!("oracle handles input-only expressions"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_bits() {
+        let cases: Vec<(u64, u64)> = vec![(0, 0), (1, 1), (5, 3), (13, 13), (15, 1), (9, 14)];
+        let a = || Expr::Signal(crate::netlist::SignalId(0));
+        let b = || Expr::Signal(crate::netlist::SignalId(1));
+        check_comb((4, 4), a().add(b()), &cases);
+        check_comb((4, 4), a().sub(b()), &cases);
+        check_comb((4, 4), Expr::bin(BinaryOp::Mul, a(), b()), &cases);
+        check_comb((4, 4), Expr::Unary(UnaryOp::Neg, Box::new(a())), &cases);
+    }
+
+    #[test]
+    fn comparisons_match_bits() {
+        let cases: Vec<(u64, u64)> = vec![(0, 0), (1, 2), (7, 7), (12, 5), (15, 14)];
+        let a = || Expr::Signal(crate::netlist::SignalId(0));
+        let b = || Expr::Signal(crate::netlist::SignalId(1));
+        for op in [
+            BinaryOp::Eq,
+            BinaryOp::Ne,
+            BinaryOp::Lt,
+            BinaryOp::Le,
+            BinaryOp::Gt,
+            BinaryOp::Ge,
+        ] {
+            check_comb((4, 4), Expr::bin(op, a(), b()), &cases);
+        }
+    }
+
+    #[test]
+    fn shifts_match_bits_including_overshoot() {
+        let cases: Vec<(u64, u64)> = vec![
+            (0b1011, 0),
+            (0b1011, 1),
+            (0b1011, 3),
+            (0b1011, 5),
+            (0b1111, 7),
+        ];
+        let a = || Expr::Signal(crate::netlist::SignalId(0));
+        let b = || Expr::Signal(crate::netlist::SignalId(1));
+        check_comb((4, 3), Expr::bin(BinaryOp::Shl, a(), b()), &cases);
+        check_comb((4, 3), Expr::bin(BinaryOp::Shr, a(), b()), &cases);
+    }
+
+    #[test]
+    fn mux_slices_concat_resize_match_bits() {
+        let cases: Vec<(u64, u64)> = vec![(0, 0), (0xA5, 1), (0x5A, 0), (0xFF, 3)];
+        let a = || Expr::Signal(crate::netlist::SignalId(0));
+        let b = || Expr::Signal(crate::netlist::SignalId(1));
+        check_comb(
+            (8, 2),
+            Expr::mux(b(), a().slice(4, 4), a().slice(0, 4)),
+            &cases,
+        );
+        check_comb((8, 2), Expr::Concat(vec![b(), a().slice(2, 3)]), &cases);
+        check_comb((8, 2), a().slice(5, 6), &cases); // zero-extends past the top
+        check_comb((8, 2), a().resize(3), &cases);
+        check_comb((8, 2), a().resize(11), &cases);
+        check_comb((8, 2), Expr::Unary(UnaryOp::RedXor, Box::new(a())), &cases);
+        check_comb(
+            (8, 2),
+            Expr::Unary(UnaryOp::LogicNot, Box::new(a())),
+            &cases,
+        );
+    }
+
+    #[test]
+    fn latches_and_arrays_step_like_the_simulator() {
+        // A 2-deep memory with one write port plus a counter register;
+        // step the blasted circuit by hand and compare against expected
+        // architectural behaviour.
+        let mut m = Module::new("mem");
+        let we = m.input("we", 1);
+        let wdata = m.input("wdata", 4);
+        let ptr = m.reg("ptr", 1);
+        let arr = m.array("arr", 4, 2);
+        let q = m.output("q", 4);
+        m.array_write(
+            arr,
+            Expr::Signal(we),
+            Expr::Signal(ptr),
+            Expr::Signal(wdata),
+        );
+        m.update_when(
+            ptr,
+            Expr::Signal(we),
+            Expr::Signal(ptr).add(Expr::lit(1, 1)),
+        );
+        m.assign(
+            q,
+            Expr::ArrayRead {
+                array: arr,
+                index: Box::new(Expr::Signal(ptr)),
+            },
+        );
+
+        let mut eb = EvalBuilder::default();
+        let blasted = blast_module(&mut eb, &m).unwrap();
+
+        // Latch order: ptr bit, then arr[0] bits, then arr[1] bits.
+        let mut latch_state: Vec<(usize, bool)> = eb.latch_init.clone();
+        let step = |ins: &[bool], latch_state: &mut Vec<(usize, bool)>| -> u64 {
+            let vals = eb.eval(ins, latch_state);
+            let out = to_u64(&blasted.signals[q.0], &vals);
+            let next: Vec<(usize, bool)> =
+                eb.latch_next.iter().map(|(l, n)| (*l, vals[*n])).collect();
+            *latch_state = next;
+            out
+        };
+
+        // we=1 wdata=9: writes arr[0]=9, ptr->1. Output reads arr[0]=0.
+        let out0 = step(&[true, true, false, false, true], &mut latch_state);
+        assert_eq!(out0, 0);
+        // Now ptr=1, read arr[1] (still 0); write arr[1]=3 (0b0011).
+        let out1 = step(&[true, true, true, false, false], &mut latch_state);
+        assert_eq!(out1, 0);
+        // ptr wrapped to 0: read arr[0] = 9.
+        let out2 = step(&[false, false, false, false, false], &mut latch_state);
+        assert_eq!(out2, 9);
+    }
+
+    #[test]
+    fn rejects_the_same_modules_as_the_simulator() {
+        let mut hier = Module::new("hier");
+        hier.instance("x", "child", vec![]);
+        let mut eb = EvalBuilder::default();
+        assert!(matches!(
+            blast_module(&mut eb, &hier),
+            Err(BlastError::NotFlat(_))
+        ));
+
+        let mut loopy = Module::new("loopy");
+        let w1 = loopy.wire("w1", 1);
+        let w2 = loopy.wire("w2", 1);
+        let o = loopy.output("o", 1);
+        loopy.assign(w1, Expr::Signal(w2).not());
+        loopy.assign(w2, Expr::Signal(w1).not());
+        loopy.assign(o, Expr::Signal(w1));
+        let mut eb = EvalBuilder::default();
+        assert!(matches!(
+            blast_module(&mut eb, &loopy),
+            Err(BlastError::CombinationalLoop(_))
+        ));
+
+        let mut bad = Module::new("bad");
+        let ob = bad.output("o", 4);
+        bad.assign(ob, Expr::lit(0, 5));
+        let mut eb = EvalBuilder::default();
+        assert!(matches!(
+            blast_module(&mut eb, &bad),
+            Err(BlastError::Width(_))
+        ));
+    }
+}

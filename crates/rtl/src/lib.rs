@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod bits;
+mod blast;
 mod elab;
 mod emit;
 mod expr;
 mod netlist;
 
 pub use bits::Bits;
+pub use blast::{blast_expr, blast_module, BlastError, Blasted, NetBuilder};
 pub use elab::{elaborate, ElabError};
 pub use emit::{emit_library, emit_module, emit_order, sv_expr};
 pub use expr::{BinaryOp, Expr, UnaryOp};

@@ -64,6 +64,10 @@ pub enum SimError {
     },
     /// An expression could not be width-checked during tape lowering.
     MalformedExpr(String),
+    /// The `ANVIL_SIM_BACKEND` environment variable holds an unrecognized
+    /// value (never silently ignored: a typo would otherwise run every
+    /// test on the wrong engine).
+    UnknownBackend(String),
 }
 
 impl fmt::Display for SimError {
@@ -92,6 +96,11 @@ impl fmt::Display for SimError {
                 "driver of `{signal}` has width {found}, expected {expected}"
             ),
             SimError::MalformedExpr(s) => write!(f, "malformed expression: {s}"),
+            SimError::UnknownBackend(v) => write!(
+                f,
+                "unrecognized ANVIL_SIM_BACKEND value `{v}`; valid values: \
+                 tree, interp, compiled, tape"
+            ),
         }
     }
 }
@@ -110,13 +119,41 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Backend selected by the `ANVIL_SIM_BACKEND` environment variable
-    /// (`tree` selects the reference engine; anything else — including an
-    /// unset variable — selects the compiled engine).
-    pub fn from_env() -> Backend {
-        match std::env::var("ANVIL_SIM_BACKEND").as_deref() {
-            Ok("tree") | Ok("interp") => Backend::Tree,
-            _ => Backend::Compiled,
+    /// Backend selected by the `ANVIL_SIM_BACKEND` environment variable:
+    /// `tree` / `interp` select the reference engine, `compiled` / `tape`
+    /// (or an unset/empty variable) the compiled engine.
+    ///
+    /// # Errors
+    ///
+    /// Any other value is an error naming the valid choices — an
+    /// unrecognized backend is never silently replaced by the default,
+    /// which would make e.g. `ANVIL_SIM_BACKEND=treee` run everything on
+    /// the wrong engine without a hint.
+    pub fn from_env() -> Result<Backend, SimError> {
+        use std::env::VarError;
+        match std::env::var("ANVIL_SIM_BACKEND") {
+            Err(VarError::NotPresent) => Ok(Backend::Compiled),
+            // A non-UTF-8 value is just as much a typo as a misspelled
+            // one — surface it instead of silently running the default.
+            Err(VarError::NotUnicode(raw)) => {
+                Err(SimError::UnknownBackend(raw.to_string_lossy().into_owned()))
+            }
+            Ok(v) => Backend::from_name(&v),
+        }
+    }
+
+    /// Parses a backend name (the `ANVIL_SIM_BACKEND` value set);
+    /// the empty string selects the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBackend`] (listing the valid values)
+    /// for anything else.
+    pub fn from_name(name: &str) -> Result<Backend, SimError> {
+        match name {
+            "tree" | "interp" => Ok(Backend::Tree),
+            "compiled" | "tape" | "" => Ok(Backend::Compiled),
+            other => Err(SimError::UnknownBackend(other.to_string())),
         }
     }
 }
@@ -571,7 +608,7 @@ impl Sim {
     /// if a driver fails the width check (both backends reject the same
     /// module set).
     pub fn new(module: &Module) -> Result<Self, SimError> {
-        Sim::with_backend(module, Backend::from_env())
+        Sim::with_backend(module, Backend::from_env()?)
     }
 
     /// Prepares a simulation on an explicitly chosen backend.

@@ -4,8 +4,9 @@
 //! stream, so traces from the simulator can be opened in GTKWave and
 //! compared against the paper's waveform figures (Figs. 1 and 4).
 
-use anvil_rtl::{Bits, SignalId};
+use anvil_rtl::{Bits, Module, SignalId};
 
+use crate::batch::SimBatch;
 use crate::engine::{Sim, SimError};
 
 /// Records the values of a set of signals over time.
@@ -46,13 +47,36 @@ impl Waveform {
     ///
     /// Fails if any name is unknown in the simulated module.
     pub fn probe(sim: &Sim, names: &[&str]) -> Result<Self, SimError> {
+        Waveform::probe_module(sim.module(), names)
+    }
+
+    /// Creates a waveform probing every signal in the design.
+    pub fn probe_all(sim: &Sim) -> Self {
+        Waveform::probe_all_module(sim.module())
+    }
+
+    /// Creates a waveform probing the named signals of a [`SimBatch`]'s
+    /// design (sample one lane with [`Waveform::sample_lane`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any name is unknown in the simulated module.
+    pub fn probe_batch(batch: &SimBatch, names: &[&str]) -> Result<Self, SimError> {
+        Waveform::probe_module(batch.module(), names)
+    }
+
+    /// Creates a waveform probing every signal of a [`SimBatch`]'s design.
+    pub fn probe_all_batch(batch: &SimBatch) -> Self {
+        Waveform::probe_all_module(batch.module())
+    }
+
+    fn probe_module(module: &Module, names: &[&str]) -> Result<Self, SimError> {
         let mut signals = Vec::new();
         for name in names {
-            let id = sim
-                .module()
+            let id = module
                 .find(name)
                 .ok_or_else(|| SimError::UnknownSignal(name.to_string()))?;
-            let width = sim.module().signal(id).width;
+            let width = module.signal(id).width;
             signals.push((id, name.to_string(), width));
         }
         Ok(Waveform {
@@ -61,10 +85,8 @@ impl Waveform {
         })
     }
 
-    /// Creates a waveform probing every signal in the design.
-    pub fn probe_all(sim: &Sim) -> Self {
-        let signals = sim
-            .module()
+    fn probe_all_module(module: &Module) -> Self {
+        let signals = module
             .iter_signals()
             .map(|(id, s)| (id, s.name.clone(), s.width))
             .collect();
@@ -80,6 +102,24 @@ impl Waveform {
             .signals
             .iter()
             .map(|(id, _, _)| sim.peek_id(*id))
+            .collect();
+        self.samples.push(row);
+    }
+
+    /// Records the settled value of every probed signal on **one lane**
+    /// of a multi-lane batch — how counterexample traces from sweeps and
+    /// symbolic proofs get into a waveform viewer without re-running the
+    /// lane on a scalar simulator. (`&mut` because batch reads settle
+    /// lazily.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range for the batch.
+    pub fn sample_lane(&mut self, batch: &mut SimBatch, lane: usize) {
+        let row = self
+            .signals
+            .iter()
+            .map(|(id, _, _)| batch.peek_id(lane, *id))
             .collect();
         self.samples.push(row);
     }
@@ -216,6 +256,53 @@ mod tests {
     fn unknown_probe_errors() {
         let sim = toggler();
         assert!(Waveform::probe(&sim, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn batch_lane_matches_scalar_vcd() {
+        // Two lanes with divergent stimulus: the selected lane's VCD must
+        // equal the VCD of a scalar sim driven identically.
+        let mut m = Module::new("t");
+        let en = m.input("en", 1);
+        let q = m.reg("q", 2);
+        let o = m.output("o", 2);
+        m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 2)));
+        m.assign(o, Expr::Signal(q));
+
+        let mut batch = SimBatch::new(&m, 2).unwrap();
+        batch.poke(0, "en", Bits::bit(false)).unwrap();
+        batch.poke(1, "en", Bits::bit(true)).unwrap();
+        let mut wave_lane = Waveform::probe_batch(&batch, &["en", "o"]).unwrap();
+
+        let mut scalar = Sim::new(&m).unwrap();
+        scalar.poke("en", Bits::bit(true)).unwrap();
+        let mut wave_scalar = Waveform::probe(&scalar, &["en", "o"]).unwrap();
+
+        for _ in 0..5 {
+            wave_lane.sample_lane(&mut batch, 1);
+            wave_scalar.sample(&scalar);
+            batch.step();
+            scalar.step().unwrap();
+        }
+        assert_eq!(wave_lane.to_vcd("t"), wave_scalar.to_vcd("t"));
+        // The other lane really is different.
+        let mut wave0 = Waveform::probe_batch(&batch, &["o"]).unwrap();
+        wave0.sample_lane(&mut batch, 0);
+        assert_eq!(wave0.series("o").unwrap()[0].to_u64(), 0);
+    }
+
+    #[test]
+    fn probe_all_batch_covers_every_signal() {
+        let mut m = Module::new("t");
+        let q = m.reg("q", 1);
+        let o = m.output("o", 1);
+        m.set_next(q, Expr::Signal(q).not());
+        m.assign(o, Expr::Signal(q));
+        let mut batch = SimBatch::new(&m, 3).unwrap();
+        let mut w = Waveform::probe_all_batch(&batch);
+        w.sample_lane(&mut batch, 2);
+        assert_eq!(w.len(), 1);
+        assert!(Waveform::probe_batch(&batch, &["nope"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! `ANVIL_SIM_BACKEND` handling: unrecognized values are a hard error
+//! naming the valid choices, never a silent fall-back to the default.
+//!
+//! This lives in its own integration-test binary (= its own process) so
+//! mutating the environment cannot race other tests that prepare
+//! simulations with [`Sim::new`].
+
+use anvil_rtl::{Expr, Module};
+use anvil_sim::{Backend, Sim, SimError};
+
+fn toggler() -> Module {
+    let mut m = Module::new("t");
+    let q = m.reg("q", 1);
+    let o = m.output("o", 1);
+    m.set_next(q, Expr::Signal(q).not());
+    m.assign(o, Expr::Signal(q));
+    m
+}
+
+#[test]
+fn unrecognized_backend_value_is_an_error() {
+    // SAFETY-by-isolation: this test binary holds exactly one test, so no
+    // concurrent test observes the mutated environment.
+    std::env::set_var("ANVIL_SIM_BACKEND", "treee");
+
+    let err = Backend::from_env().unwrap_err();
+    let SimError::UnknownBackend(v) = &err else {
+        panic!("expected UnknownBackend, got {err:?}");
+    };
+    assert_eq!(v, "treee");
+    // The message names the offender and every valid value.
+    let msg = err.to_string();
+    for needle in ["treee", "tree", "interp", "compiled", "tape"] {
+        assert!(msg.contains(needle), "{msg}");
+    }
+
+    // `Sim::new` surfaces the same error instead of silently running the
+    // compiled engine.
+    assert!(matches!(
+        Sim::new(&toggler()),
+        Err(SimError::UnknownBackend(_))
+    ));
+
+    // Valid values and the unset default still work.
+    for (value, backend) in [
+        ("tree", Backend::Tree),
+        ("interp", Backend::Tree),
+        ("compiled", Backend::Compiled),
+        ("tape", Backend::Compiled),
+    ] {
+        std::env::set_var("ANVIL_SIM_BACKEND", value);
+        assert_eq!(Backend::from_env().unwrap(), backend, "{value}");
+    }
+    std::env::remove_var("ANVIL_SIM_BACKEND");
+    assert_eq!(Backend::from_env().unwrap(), Backend::Compiled);
+
+    // `from_name` is the env-free parsing surface.
+    assert!(matches!(
+        Backend::from_name("verilator"),
+        Err(SimError::UnknownBackend(_))
+    ));
+}

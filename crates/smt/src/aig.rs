@@ -1,0 +1,446 @@
+//! And-Inverter Graphs with structural hashing and constant folding.
+//!
+//! An [`Aig`] is a DAG of two-input AND nodes over free inputs, single-bit
+//! latches, and the constant `false`; inversion is free (a bit on the edge
+//! literal). Every [`Aig::and`] call constant-folds (`x ∧ 0 = 0`,
+//! `x ∧ 1 = x`, `x ∧ x = x`, `x ∧ ¬x = 0`) and structurally hashes, so
+//! repeated subcircuits — e.g. the same decode logic blasted once per
+//! array element — collapse to single nodes. Nodes are created in
+//! topological order by construction: an AND's fanins always have smaller
+//! indices, which is what lets the unroller map a whole graph frame by
+//! frame in one linear pass.
+//!
+//! [`AigCircuit`] pairs an AIG with the flattened [`Module`] it was
+//! blasted from (via [`anvil_rtl::blast_module`]) and the signal/array →
+//! literal maps, so assertions phrased as netlist [`Expr`]s can be blasted
+//! into the same graph later.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use anvil_rtl::{blast_expr, blast_module, BlastError, Blasted, Expr, Module, NetBuilder};
+
+/// An edge literal: a node index plus a complement bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    fn new(node: usize, negated: bool) -> Lit {
+        Lit(((node as u32) << 1) | u32::from(negated))
+    }
+
+    /// Index of the referenced node.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge complements the node's value.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// True for the two constant literals.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+/// One AIG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// The constant `false` (always node 0).
+    Const,
+    /// Free input bit number `n` (allocation order).
+    Input(u32),
+    /// Latch number `n` (see [`Aig::latch_info`]).
+    Latch(u32),
+    /// Two-input AND of the fanin literals.
+    And(Lit, Lit),
+}
+
+/// A latch: power-on value plus (once connected) the next-state literal.
+#[derive(Clone, Copy, Debug)]
+pub struct Latch {
+    /// The latch's node index.
+    pub node: u32,
+    /// Power-on value.
+    pub init: bool,
+    /// Next-state function, filled in by [`Aig::set_next`].
+    pub next: Option<Lit>,
+}
+
+/// An And-Inverter Graph.
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    latches: Vec<Latch>,
+    n_inputs: u32,
+    strash: HashMap<(Lit, Lit), Lit>,
+}
+
+impl Aig {
+    /// An empty graph (just the constant node).
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node::Const],
+            latches: Vec::new(),
+            n_inputs: 0,
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes (including the constant).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph holds only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of AND nodes.
+    pub fn n_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(..)))
+            .count()
+    }
+
+    /// Number of free input bits.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs as usize
+    }
+
+    /// Number of latches.
+    pub fn n_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// The node behind an index.
+    pub fn node(&self, index: usize) -> Node {
+        self.nodes[index]
+    }
+
+    /// All nodes in topological order (fanins precede fanouts).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Latch metadata, by latch number.
+    pub fn latch_info(&self, n: u32) -> Latch {
+        self.latches[n as usize]
+    }
+
+    /// All latches in allocation order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    fn push(&mut self, node: Node) -> Lit {
+        let idx = self.nodes.len();
+        self.nodes.push(node);
+        Lit::new(idx, false)
+    }
+
+    /// A fresh free input bit.
+    pub fn add_input(&mut self) -> Lit {
+        let n = self.n_inputs;
+        self.n_inputs += 1;
+        self.push(Node::Input(n))
+    }
+
+    /// A fresh latch with the given power-on value.
+    pub fn add_latch(&mut self, init: bool) -> Lit {
+        let n = self.latches.len() as u32;
+        let lit = self.push(Node::Latch(n));
+        self.latches.push(Latch {
+            node: lit.node() as u32,
+            init,
+            next: None,
+        });
+        lit
+    }
+
+    /// Connects a latch's next-state literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is not an uncomplemented latch literal or the
+    /// latch is already connected.
+    pub fn set_next(&mut self, latch: Lit, next: Lit) {
+        assert!(!latch.is_negated(), "latch literal must be uncomplemented");
+        let Node::Latch(n) = self.nodes[latch.node()] else {
+            panic!("set_next target is not a latch");
+        };
+        let slot = &mut self.latches[n as usize];
+        assert!(slot.next.is_none(), "latch connected twice");
+        slot.next = Some(next);
+    }
+
+    /// The AND of two literals, with constant folding and structural
+    /// hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Order operands for canonical hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.negate() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if let Some(&lit) = self.strash.get(&(a, b)) {
+            return lit;
+        }
+        let lit = self.push(Node::And(a, b));
+        self.strash.insert((a, b), lit);
+        lit
+    }
+
+    /// The OR of two literals (one AND node).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.negate(), b.negate()).negate()
+    }
+
+    /// The XOR of two literals.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let x = self.and(a, b.negate());
+        let y = self.and(a.negate(), b);
+        self.or(x, y)
+    }
+
+    /// `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let x = self.and(sel, t);
+        let y = self.and(sel.negate(), e);
+        self.or(x, y)
+    }
+}
+
+impl NetBuilder for Aig {
+    type Net = Lit;
+
+    fn constant(&mut self, value: bool) -> Lit {
+        if value {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+
+    fn input(&mut self) -> Lit {
+        self.add_input()
+    }
+
+    fn latch(&mut self, init: bool) -> Lit {
+        self.add_latch(init)
+    }
+
+    fn set_latch_next(&mut self, latch: Lit, next: Lit) {
+        self.set_next(latch, next);
+    }
+
+    fn and2(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a, b)
+    }
+
+    fn not1(&mut self, a: Lit) -> Lit {
+        a.negate()
+    }
+}
+
+/// A flattened module bit-blasted into an AIG, with the signal/array →
+/// literal maps needed to blast assertions into the same graph.
+///
+/// This is the cacheable artifact of the symbolic pipeline: building it
+/// costs one pass over the netlist, after which any number of
+/// properties can be checked against clones of the circuit.
+#[derive(Clone, Debug)]
+pub struct AigCircuit {
+    module: Arc<Module>,
+    aig: Aig,
+    blasted: Blasted<Lit>,
+}
+
+/// Circuits are cached in the compiler session's query cache and shared
+/// across prover threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AigCircuit>();
+};
+
+impl AigCircuit {
+    /// Bit-blasts a flattened module.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the same module set the simulation backends reject
+    /// (instances, combinational cycles, width-inconsistent drivers).
+    pub fn from_module(module: &Module) -> Result<AigCircuit, BlastError> {
+        let module = Arc::new(module.clone());
+        let mut aig = Aig::new();
+        let blasted = blast_module(&mut aig, &module)?;
+        Ok(AigCircuit {
+            module,
+            aig,
+            blasted,
+        })
+    }
+
+    /// The blasted module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The module behind its shared handle.
+    pub fn module_arc(&self) -> Arc<Module> {
+        Arc::clone(&self.module)
+    }
+
+    /// The underlying graph.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Input ports in signal-id order: `(signal index, bit literals)`.
+    /// This is the same port order the explicit-state BMC's trace format
+    /// uses.
+    pub fn input_bits(&self) -> &[(usize, Vec<Lit>)] {
+        &self.blasted.inputs
+    }
+
+    /// The literal vector of one signal (LSB first).
+    pub fn signal_lits(&self, signal: usize) -> &[Lit] {
+        &self.blasted.signals[signal]
+    }
+
+    /// Blasts an assertion expression into this circuit, returning its
+    /// *truthiness* literal (true iff any bit of the expression is set,
+    /// matching the simulator's SystemVerilog-style condition semantics).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the expression does not width-check against the module.
+    pub fn blast_assertion(&mut self, e: &Expr) -> Result<Lit, BlastError> {
+        let bits = blast_expr(&mut self.aig, &self.module, &mut self.blasted, e)?;
+        let mut any = Lit::FALSE;
+        for b in bits {
+            any = self.aig.or(any, b);
+        }
+        Ok(any)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.negate()), Lit::FALSE);
+        assert_eq!(g.n_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_dedupes() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.n_ands(), 1);
+        let o1 = g.or(a, b);
+        let o2 = g.or(b, a);
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn xor_and_mux_fold_constants() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        assert_eq!(g.xor(a, Lit::FALSE), a);
+        assert_eq!(g.xor(a, Lit::TRUE), a.negate());
+        assert_eq!(g.mux(Lit::TRUE, a, Lit::FALSE), a);
+        assert_eq!(g.mux(Lit::FALSE, a, Lit::TRUE), Lit::TRUE);
+    }
+
+    #[test]
+    fn circuit_from_module_extracts_latches() {
+        use anvil_rtl::Expr;
+        let mut m = Module::new("c");
+        let en = m.input("en", 1);
+        let q = m.reg("q", 4);
+        let o = m.output("o", 4);
+        m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 4)));
+        m.assign(o, Expr::Signal(q));
+        let c = AigCircuit::from_module(&m).unwrap();
+        assert_eq!(c.aig().n_latches(), 4);
+        assert_eq!(c.aig().n_inputs(), 1);
+        // Every latch is connected.
+        for l in c.aig().latches() {
+            assert!(l.next.is_some());
+        }
+    }
+
+    #[test]
+    fn rom_arrays_blast_to_constants() {
+        use anvil_rtl::{Bits, Expr};
+        let mut m = Module::new("rom");
+        let addr = m.input("addr", 2);
+        let rom = m.array_init(
+            "rom",
+            8,
+            4,
+            (0..4).map(|i| Bits::from_u64(0x11 * i, 8)).collect(),
+        );
+        let o = m.output("o", 8);
+        m.assign(
+            o,
+            Expr::ArrayRead {
+                array: rom,
+                index: Box::new(Expr::Signal(addr)),
+            },
+        );
+        let c = AigCircuit::from_module(&m).unwrap();
+        // No latches: the ROM contents are constants.
+        assert_eq!(c.aig().n_latches(), 0);
+    }
+
+    #[test]
+    fn assertion_blasts_to_truthiness() {
+        use anvil_rtl::Expr;
+        let mut m = Module::new("t");
+        let a = m.input("a", 4);
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(a).eq(Expr::lit(3, 4)));
+        let mut c = AigCircuit::from_module(&m).unwrap();
+        // A constant-true assertion folds to the true literal.
+        let t = c.blast_assertion(&Expr::lit(1, 1)).unwrap();
+        assert_eq!(t, Lit::TRUE);
+        let f = c.blast_assertion(&Expr::lit(0, 4)).unwrap();
+        assert_eq!(f, Lit::FALSE);
+        // Width errors surface.
+        let bad = Expr::Signal(a).add(Expr::lit(0, 2));
+        assert!(c.blast_assertion(&bad).is_err());
+    }
+}

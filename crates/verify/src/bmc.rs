@@ -14,6 +14,7 @@
 //! rejects the source immediately.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use anvil_rtl::{Bits, Expr, Module, SignalKind};
 use anvil_sim::{sweep_chunks, Backend, Sim, SimBatch, SimError, TapeProgram};
@@ -68,7 +69,7 @@ pub fn bmc(
     depth: usize,
     max_states: usize,
 ) -> Result<(BmcResult, BmcStats), SimError> {
-    bmc_with_backend(module, assertion, depth, max_states, Backend::from_env())
+    bmc_with_backend(module, assertion, depth, max_states, Backend::from_env()?)
 }
 
 /// [`bmc`] on an explicitly chosen simulation backend.
@@ -88,6 +89,25 @@ pub fn bmc_with_backend(
     max_states: usize,
     backend: Backend,
 ) -> Result<(BmcResult, BmcStats), SimError> {
+    Ok(
+        bmc_impl(module, assertion, depth, max_states, backend, None)?
+            .expect("search without a stop flag always concludes"),
+    )
+}
+
+/// The explicit-state search loop behind [`bmc_with_backend`], with an
+/// optional cooperative stop flag (polled once per candidate trace).
+/// Returns `Ok(None)` when stopped early — used by
+/// [`crate::prove::prove_portfolio`] to cancel the explicit engine once
+/// the symbolic one concludes.
+pub(crate) fn bmc_impl(
+    module: &Module,
+    assertion: &Expr,
+    depth: usize,
+    max_states: usize,
+    backend: Backend,
+    stop: Option<&AtomicBool>,
+) -> Result<Option<(BmcResult, BmcStats)>, SimError> {
     let (inputs, choices) = input_corners(module);
     let mut stats = BmcStats::default();
     // Frontier of (input trace so far). Replaying each path from reset
@@ -102,6 +122,9 @@ pub fn bmc_with_backend(
         let mut next = Vec::new();
         for prefix in &frontier {
             for combo in cartesian(&choices) {
+                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                    return Ok(None);
+                }
                 let mut trace = prefix.clone();
                 trace.push(combo);
                 // Replay the trace.
@@ -120,17 +143,17 @@ pub fn bmc_with_backend(
                 stats.states_visited += 1;
                 if violated {
                     stats.depth_reached = d + 1;
-                    return Ok((
+                    return Ok(Some((
                         BmcResult::Violation {
                             depth: trace.len(),
                             trace,
                         },
                         stats,
-                    ));
+                    )));
                 }
                 if stats.states_visited >= max_states {
                     stats.depth_reached = d;
-                    return Ok((BmcResult::ExhaustedStates { depth: d }, stats));
+                    return Ok(Some((BmcResult::ExhaustedStates { depth: d }, stats)));
                 }
                 // Prune states we have seen at any depth.
                 let h = sim.state_fingerprint();
@@ -145,12 +168,12 @@ pub fn bmc_with_backend(
         }
         frontier = next;
     }
-    Ok((
+    Ok(Some((
         BmcResult::ExhaustedDepth {
             states: stats.states_visited,
         },
         stats,
-    ))
+    )))
 }
 
 /// The input enumeration both checkers share: `(name, width)` per input

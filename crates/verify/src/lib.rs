@@ -13,15 +13,26 @@
 //! * [`rules`] — a Bluespec-style guarded-atomic-rule scheduler,
 //!   reproducing Fig. 2: per-cycle conflict-free schedules that are
 //!   nonetheless timing-unsafe across cycles.
+//! * [`prove()`](prove::prove) — **symbolic** bounded model checking and
+//!   k-induction over bit-blasted netlists (`anvil-smt`): unlike the
+//!   explicit-state checker it reasons about all inputs at once and can
+//!   return *proved for all time*, with SAT counterexamples reconstructed
+//!   into the explicit checker's replayable trace format and confirmed on
+//!   the simulator. [`prove_portfolio`] races both engines.
 
 #![warn(missing_docs)]
 
 pub mod bmc;
 pub mod oracle;
+pub mod prove;
 pub mod rules;
 
 pub use bmc::{bmc, bmc_sweep, bmc_with_backend, BmcResult, BmcStats};
 pub use oracle::{
     check_run, fuzz_thread, fuzz_thread_batch, sample_run, ConcreteRun, DynViolation,
+};
+pub use prove::{
+    prove, prove_bounded, prove_portfolio, prove_with_circuit, render_trace, replay_trace,
+    trace_inputs, PortfolioOutcome, ProveError, ProveResult, ProveStats, Prover,
 };
 pub use rules::{fig2_contract_violations, fig2_engine, sweep_schedules, Rule, RuleEngine, State};

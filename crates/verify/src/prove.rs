@@ -1,0 +1,793 @@
+//! Symbolic bounded model checking and k-induction over bit-blasted
+//! netlists.
+//!
+//! Where [`crate::bmc()`] enumerates concrete simulator states — and
+//! therefore can never return "holds for all time" — this module reasons
+//! about *all* inputs at once: the flattened [`Module`] is bit-blasted
+//! into an [`AigCircuit`], the latch transition relation is unrolled
+//! frame by frame, and an embedded CDCL SAT solver answers reachability
+//! queries.
+//!
+//! [`prove`] interleaves two incremental solver sessions per depth `k`:
+//!
+//! * **base case** — can the assertion fail `k` cycles after reset? A
+//!   `Sat` answer yields a concrete input trace, reconstructed in the
+//!   exact format [`crate::bmc()`] emits (one `Vec<u64>` of input-port
+//!   values per cycle) and *confirmed by replaying it on the simulator*
+//!   before it is returned as [`ProveResult::Falsified`].
+//! * **induction step** — from an arbitrary (not necessarily reachable)
+//!   state, do `k + 1` consecutive assertion-satisfying cycles force the
+//!   assertion in the next cycle? An `Unsat` answer here, combined with
+//!   the accumulated base cases, proves the property for **all time**:
+//!   [`ProveResult::Proved`].
+//!
+//! If neither side concludes within `max_k`, the result is
+//! [`ProveResult::Unknown`] with the depth that *was* fully checked —
+//! exactly the bounded guarantee the explicit-state checker gives, which
+//! is the comparison the paper's Appendix A draws.
+//!
+//! [`prove_portfolio`] races the symbolic engine against the
+//! explicit-state sweep on scoped threads with a shared cooperative stop
+//! flag, so whichever engine concludes first wins the wall-clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use anvil_rtl::{Bits, BlastError, Expr, Module, SignalId, SignalKind};
+use anvil_sim::{run_indexed, Backend, Sim, SimError};
+use anvil_smt::{AigCircuit, CnfEncoder, Lit, SolveResult, Solver, Unroller};
+
+use crate::bmc::{bmc_impl, BmcResult, BmcStats};
+
+/// Outcome of a symbolic verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProveResult {
+    /// The assertion holds in every reachable state, for all time,
+    /// established by `k`-induction (the property is inductive over
+    /// windows of `k` cycles, and the first `k` cycles from reset are
+    /// violation-free). `k = 0` means the assertion folded to a
+    /// combinational constant truth during blasting — no unrolling was
+    /// needed at all.
+    Proved {
+        /// The induction window length that closed the proof (0 =
+        /// combinationally constant).
+        k: usize,
+    },
+    /// The assertion is violated `depth` cycles after reset; `trace` is
+    /// the per-cycle input-port assignment reproducing it — the same
+    /// replayable format [`crate::bmc()`] emits, confirmed on the
+    /// simulator before being returned.
+    Falsified {
+        /// Number of cycles in the counterexample (violation fires in
+        /// the last one).
+        depth: usize,
+        /// Input values per cycle, in input-port declaration order.
+        trace: Vec<Vec<u64>>,
+    },
+    /// Neither a proof nor a counterexample within the depth budget;
+    /// the assertion is violation-free for at least `depth` cycles from
+    /// reset.
+    Unknown {
+        /// Cycles fully checked from reset.
+        depth: usize,
+    },
+}
+
+/// Work counters for one symbolic run (both solver sessions combined).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProveStats {
+    /// Frames unrolled in the base-case session.
+    pub frames: usize,
+    /// Nodes in the sequential (single-frame) AIG.
+    pub aig_nodes: usize,
+    /// Latches extracted from the netlist (register and memory bits).
+    pub latches: usize,
+    /// SAT variables allocated across both sessions.
+    pub vars: usize,
+    /// Problem clauses added across both sessions.
+    pub clauses: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Clauses learned.
+    pub learned: u64,
+}
+
+/// Failures while preparing or running a symbolic proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProveError {
+    /// Bit-blasting rejected the module (instances, combinational loops,
+    /// width errors) or the assertion (width errors).
+    Blast(BlastError),
+    /// A counterexample drives an input wider than 64 bits to a value a
+    /// `u64` trace cannot carry.
+    WideCounterexample {
+        /// The input port needing more than 64 bits.
+        input: String,
+    },
+    /// Replaying a SAT counterexample on the simulator did not reproduce
+    /// the violation at the expected cycle (this indicates a bug in the
+    /// blasting or solving pipeline and is asserted away in tests).
+    UnconfirmedCounterexample {
+        /// The depth the solver claimed.
+        depth: usize,
+    },
+    /// The simulator rejected the module during counterexample replay.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ProveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProveError::Blast(e) => write!(f, "bit-blasting failed: {e}"),
+            ProveError::WideCounterexample { input } => write!(
+                f,
+                "counterexample drives input `{input}` past the 64-bit trace format"
+            ),
+            ProveError::UnconfirmedCounterexample { depth } => write!(
+                f,
+                "counterexample at depth {depth} did not replay to a concrete violation"
+            ),
+            ProveError::Sim(e) => write!(f, "simulation failed during replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProveError {}
+
+impl From<BlastError> for ProveError {
+    fn from(e: BlastError) -> Self {
+        ProveError::Blast(e)
+    }
+}
+
+impl From<SimError> for ProveError {
+    fn from(e: SimError) -> Self {
+        ProveError::Sim(e)
+    }
+}
+
+/// Input ports `(name, width)` in declaration order — the column order of
+/// every counterexample trace (shared with [`crate::bmc()`]).
+pub fn trace_inputs(module: &Module) -> Vec<(String, usize)> {
+    module
+        .iter_signals()
+        .filter(|(_, s)| s.kind == SignalKind::Input)
+        .map(|(_, s)| (s.name.clone(), s.width))
+        .collect()
+}
+
+/// Proves or refutes `assertion` (truthy = holds, the same convention as
+/// [`crate::bmc()`]) on a flattened module by interleaved symbolic BMC and
+/// k-induction up to window `max_k`.
+///
+/// # Errors
+///
+/// See [`ProveError`].
+pub fn prove(
+    module: &Module,
+    assertion: &Expr,
+    max_k: usize,
+) -> Result<(ProveResult, ProveStats), ProveError> {
+    let circuit = AigCircuit::from_module(module)?;
+    prove_with_circuit(&circuit, assertion, max_k, None)
+}
+
+/// Symbolic bounded model checking only (no induction): search for a
+/// counterexample within `depth` cycles of reset. Returns
+/// [`ProveResult::Falsified`] at the minimal violating depth,
+/// [`ProveResult::Proved`] (with `k = 0`) only when the assertion folds
+/// to a constant truth during blasting, and [`ProveResult::Unknown`]
+/// otherwise. `depth = 0` checks nothing and returns
+/// `Unknown { depth: 0 }` (unless the assertion is constant).
+///
+/// # Errors
+///
+/// See [`ProveError`].
+pub fn prove_bounded(
+    module: &Module,
+    assertion: &Expr,
+    depth: usize,
+) -> Result<(ProveResult, ProveStats), ProveError> {
+    let circuit = AigCircuit::from_module(module)?;
+    Engine::new(&circuit, assertion, None)?.run(depth, false)
+}
+
+/// [`prove`] over a pre-built (possibly session-cached) [`AigCircuit`],
+/// with an optional cooperative stop flag for portfolio runs.
+///
+/// # Errors
+///
+/// See [`ProveError`].
+pub fn prove_with_circuit(
+    circuit: &AigCircuit,
+    assertion: &Expr,
+    max_k: usize,
+    stop: Option<Arc<AtomicBool>>,
+) -> Result<(ProveResult, ProveStats), ProveError> {
+    Engine::new(circuit, assertion, stop)?.run(max_k + 1, true)
+}
+
+/// The interleaved BMC + induction engine over one blasted circuit.
+struct Engine {
+    circuit: Arc<AigCircuit>,
+    assertion: Expr,
+    ok: Lit,
+    base: Session,
+    step: Session,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+/// One unroller + encoder + solver triple.
+struct Session {
+    unroller: Unroller,
+    encoder: CnfEncoder,
+    solver: Solver,
+}
+
+impl Session {
+    fn new(circuit: Arc<AigCircuit>, free_init: bool, stop: Option<Arc<AtomicBool>>) -> Session {
+        let mut solver = Solver::new();
+        if let Some(stop) = stop {
+            solver.set_stop(stop);
+        }
+        Session {
+            unroller: Unroller::new(circuit, free_init),
+            encoder: CnfEncoder::new(),
+            solver,
+        }
+    }
+
+    /// Solves for "this literal is true in this frame".
+    fn solve_lit(&mut self, frame: usize, lit: Lit) -> SolveResult {
+        let comb_lit = self.unroller.lit_at(frame, lit);
+        if comb_lit == Lit::FALSE {
+            return SolveResult::Unsat;
+        }
+        if comb_lit == Lit::TRUE {
+            return SolveResult::Sat;
+        }
+        let slit = self
+            .encoder
+            .encode(self.unroller.comb(), &mut self.solver, comb_lit);
+        self.solver.solve(&[slit])
+    }
+
+    /// Adds "this literal holds in this frame" as a persistent fact.
+    fn assert_lit(&mut self, frame: usize, lit: Lit) {
+        let comb_lit = self.unroller.lit_at(frame, lit);
+        if comb_lit == Lit::TRUE {
+            return;
+        }
+        let slit = self
+            .encoder
+            .encode(self.unroller.comb(), &mut self.solver, comb_lit);
+        self.solver.add_clause(&[slit]);
+    }
+}
+
+impl Engine {
+    fn new(
+        circuit: &AigCircuit,
+        assertion: &Expr,
+        stop: Option<Arc<AtomicBool>>,
+    ) -> Result<Engine, ProveError> {
+        let mut circuit = circuit.clone();
+        let ok = circuit.blast_assertion(assertion)?;
+        let circuit = Arc::new(circuit);
+        let base = Session::new(Arc::clone(&circuit), false, stop.clone());
+        let step = Session::new(Arc::clone(&circuit), true, stop.clone());
+        Ok(Engine {
+            circuit,
+            assertion: assertion.clone(),
+            ok,
+            base,
+            step,
+            stop,
+        })
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    fn stats(&self) -> ProveStats {
+        let b = self.base.solver.stats();
+        let s = self.step.solver.stats();
+        ProveStats {
+            frames: self.base.unroller.frames(),
+            aig_nodes: self.circuit.aig().len(),
+            latches: self.circuit.aig().n_latches(),
+            vars: self.base.solver.n_vars() + self.step.solver.n_vars(),
+            clauses: b.clauses + s.clauses,
+            conflicts: b.conflicts + s.conflicts,
+            decisions: b.decisions + s.decisions,
+            propagations: b.propagations + s.propagations,
+            learned: b.learned + s.learned,
+        }
+    }
+
+    /// Runs interleaved base/step checks for `k in 0..frames` (`frames`
+    /// base frames from reset; with `induction`, one step check per
+    /// frame).
+    fn run(
+        mut self,
+        frames: usize,
+        induction: bool,
+    ) -> Result<(ProveResult, ProveStats), ProveError> {
+        // A combinationally constant-true assertion needs no unrolling at
+        // all — both the bounded and the inductive mode conclude
+        // immediately (`k = 0`: true in every state, reachable or not).
+        if self.ok == Lit::TRUE {
+            return Ok((ProveResult::Proved { k: 0 }, self.stats()));
+        }
+        let bad = self.ok.negate();
+        // The induction window starts with its frame 0 already unrolled.
+        if induction {
+            self.step.unroller.push_frame();
+        }
+        for k in 0..frames {
+            if self.stopped() {
+                return Ok((ProveResult::Unknown { depth: k }, self.stats()));
+            }
+
+            // ---- Base case: violation k cycles after reset? ----
+            self.base.unroller.push_frame();
+            match self.base.solve_lit(k, bad) {
+                SolveResult::Sat => {
+                    let trace = self.extract_trace(k + 1)?;
+                    self.confirm(&trace, k)?;
+                    return Ok((
+                        ProveResult::Falsified {
+                            depth: k + 1,
+                            trace,
+                        },
+                        self.stats(),
+                    ));
+                }
+                SolveResult::Interrupted => {
+                    return Ok((ProveResult::Unknown { depth: k }, self.stats()))
+                }
+                SolveResult::Unsat => {
+                    // The assertion provably holds at frame k; keep that
+                    // as a fact for deeper queries.
+                    self.base.assert_lit(k, self.ok);
+                }
+            }
+
+            // ---- Induction step: k+1 good cycles force a good next
+            // cycle? ----
+            if induction {
+                self.step.unroller.push_frame();
+                self.step.assert_lit(k, self.ok);
+                match self.step.solve_lit(k + 1, bad) {
+                    SolveResult::Unsat => {
+                        return Ok((ProveResult::Proved { k: k + 1 }, self.stats()));
+                    }
+                    SolveResult::Interrupted => {
+                        return Ok((ProveResult::Unknown { depth: k + 1 }, self.stats()))
+                    }
+                    SolveResult::Sat => {}
+                }
+            }
+        }
+        Ok((ProveResult::Unknown { depth: frames }, self.stats()))
+    }
+
+    /// Reads the base-case model back into the explicit-state trace
+    /// format: one `Vec<u64>` of input-port values per cycle.
+    fn extract_trace(&self, frames: usize) -> Result<Vec<Vec<u64>>, ProveError> {
+        let module = self.circuit.module();
+        let mut trace = Vec::with_capacity(frames);
+        for f in 0..frames {
+            let mut step = Vec::new();
+            for (sig, bits) in self.circuit.input_bits() {
+                let name = &module.signal(SignalId(*sig)).name;
+                let mut v = 0u64;
+                for (i, bit) in bits.iter().enumerate() {
+                    let comb = self.base.unroller.lit_at(f, *bit);
+                    let set = self.base.encoder.model_value(&self.base.solver, comb);
+                    if set {
+                        if i >= 64 {
+                            return Err(ProveError::WideCounterexample {
+                                input: name.clone(),
+                            });
+                        }
+                        v |= 1 << i;
+                    }
+                }
+                step.push(v);
+            }
+            trace.push(step);
+        }
+        Ok(trace)
+    }
+
+    /// Replays the trace on the compiled simulator backend and checks the
+    /// violation fires at exactly the claimed cycle.
+    fn confirm(&self, trace: &[Vec<u64>], expect_cycle: usize) -> Result<(), ProveError> {
+        let violated = replay_trace(
+            self.circuit.module(),
+            &self.assertion,
+            trace,
+            Backend::Compiled,
+        );
+        match violated {
+            Ok(Some(cycle)) if cycle == expect_cycle => Ok(()),
+            Ok(_) => Err(ProveError::UnconfirmedCounterexample {
+                depth: expect_cycle + 1,
+            }),
+            Err(e) => Err(ProveError::Sim(e)),
+        }
+    }
+}
+
+/// Replays a counterexample trace (input-port values per cycle, in
+/// declaration order) on the given backend and returns the first cycle —
+/// counted from zero — whose settled state violates the assertion, if
+/// any.
+///
+/// # Errors
+///
+/// Propagates simulator preparation and poke errors.
+pub fn replay_trace(
+    module: &Module,
+    assertion: &Expr,
+    trace: &[Vec<u64>],
+    backend: Backend,
+) -> Result<Option<usize>, SimError> {
+    let inputs = trace_inputs(module);
+    let mut sim = Sim::with_backend(module, backend)?;
+    for (cycle, step) in trace.iter().enumerate() {
+        for ((name, width), v) in inputs.iter().zip(step) {
+            sim.poke(name, Bits::from_u64(*v, *width))?;
+        }
+        if sim.eval(assertion).is_zero() {
+            return Ok(Some(cycle));
+        }
+        sim.step()?;
+    }
+    Ok(None)
+}
+
+/// Renders a counterexample trace as a stable cycle-by-cycle table: the
+/// violated assertion (in SystemVerilog syntax), each cycle's input-port
+/// values, the assertion's settled value, and a marker on the violating
+/// cycle. The text depends only on the module, assertion, and trace, so
+/// it can be pinned by golden tests.
+///
+/// # Errors
+///
+/// Propagates simulator preparation errors from the replay.
+pub fn render_trace(
+    module: &Module,
+    assertion: &Expr,
+    trace: &[Vec<u64>],
+) -> Result<String, SimError> {
+    use std::fmt::Write as _;
+    let inputs = trace_inputs(module);
+    let mut sim = Sim::with_backend(module, Backend::Compiled)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "counterexample: `{}` violates `{}` (depth {})",
+        module.name,
+        anvil_rtl::sv_expr(module, assertion),
+        trace.len()
+    );
+    let _ = writeln!(out, "  inputs: {}", {
+        let names: Vec<&str> = inputs.iter().map(|(n, _)| n.as_str()).collect();
+        if names.is_empty() {
+            "(none)".to_string()
+        } else {
+            names.join(", ")
+        }
+    });
+    for (cycle, step) in trace.iter().enumerate() {
+        for ((name, width), v) in inputs.iter().zip(step) {
+            sim.poke(name, Bits::from_u64(*v, *width))?;
+        }
+        let ok = sim.eval(assertion);
+        let vals: Vec<String> = step.iter().map(|v| format!("{v:#x}")).collect();
+        let _ = writeln!(
+            out,
+            "  cycle {cycle:>3} | {} | assert={}{}",
+            if vals.is_empty() {
+                "-".to_string()
+            } else {
+                vals.join(" ")
+            },
+            if ok.is_zero() { 0 } else { 1 },
+            if ok.is_zero() { "  <-- violation" } else { "" }
+        );
+        if ok.is_zero() {
+            break;
+        }
+        sim.step()?;
+    }
+    Ok(out)
+}
+
+/// Which engine of a [`prove_portfolio`] race produced the verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Prover {
+    /// The symbolic BMC + k-induction engine.
+    Symbolic,
+    /// The explicit-state search of [`crate::bmc()`].
+    ExplicitState,
+}
+
+/// Outcome of a portfolio race between the symbolic and explicit-state
+/// engines.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The combined verdict (symbolic verdicts win ties).
+    pub result: ProveResult,
+    /// The engine that produced [`PortfolioOutcome::result`], when it is
+    /// conclusive.
+    pub winner: Option<Prover>,
+    /// Statistics of the symbolic side.
+    pub symbolic_stats: ProveStats,
+    /// What the explicit-state engine reported (`None` when it was
+    /// stopped before finishing).
+    pub explicit: Option<(BmcResult, BmcStats)>,
+}
+
+/// Races the symbolic engine (BMC + k-induction up to `max_k`) against
+/// the explicit-state bounded search (depth/state budgets as in
+/// [`crate::bmc()`]) on up to `workers` scoped threads sharing a
+/// cooperative stop flag: the first conclusive verdict cancels the other
+/// engine.
+///
+/// A conclusive verdict is a proof or a confirmed counterexample. When
+/// both engines conclude, the symbolic verdict is preferred (the combined
+/// result stays deterministic); the explicit side's raw report is
+/// returned alongside either way.
+///
+/// # Errors
+///
+/// See [`ProveError`].
+pub fn prove_portfolio(
+    module: &Module,
+    assertion: &Expr,
+    max_k: usize,
+    depth: usize,
+    max_states: usize,
+    workers: usize,
+) -> Result<PortfolioOutcome, ProveError> {
+    enum Part {
+        Symbolic(Result<(ProveResult, ProveStats), ProveError>),
+        Explicit(Result<Option<(BmcResult, BmcStats)>, SimError>),
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let circuit = AigCircuit::from_module(module)?;
+    let parts = run_indexed(2, workers.max(1), |i| {
+        if i == 0 {
+            let r = prove_with_circuit(
+                circuit_ref(&circuit),
+                assertion,
+                max_k,
+                Some(Arc::clone(&stop)),
+            );
+            if matches!(
+                r,
+                Ok((
+                    ProveResult::Proved { .. } | ProveResult::Falsified { .. },
+                    _
+                ))
+            ) {
+                stop.store(true, Ordering::Relaxed);
+            }
+            Part::Symbolic(r)
+        } else {
+            let r = bmc_impl(
+                module,
+                assertion,
+                depth,
+                max_states,
+                Backend::Compiled,
+                Some(&stop),
+            );
+            if matches!(r, Ok(Some((BmcResult::Violation { .. }, _)))) {
+                stop.store(true, Ordering::Relaxed);
+            }
+            Part::Explicit(r)
+        }
+    });
+
+    let mut symbolic = None;
+    let mut explicit = None;
+    for p in parts {
+        match p {
+            Part::Symbolic(r) => symbolic = Some(r),
+            Part::Explicit(r) => explicit = Some(r),
+        }
+    }
+    let (sym_result, symbolic_stats) = symbolic.expect("symbolic part ran")?;
+    let explicit = explicit.expect("explicit part ran")?;
+
+    let (result, winner) = match sym_result {
+        ProveResult::Proved { .. } | ProveResult::Falsified { .. } => {
+            (sym_result, Some(Prover::Symbolic))
+        }
+        ProveResult::Unknown { .. } => match &explicit {
+            Some((BmcResult::Violation { depth, trace }, _)) => (
+                ProveResult::Falsified {
+                    depth: *depth,
+                    trace: trace.clone(),
+                },
+                Some(Prover::ExplicitState),
+            ),
+            _ => (sym_result, None),
+        },
+    };
+    Ok(PortfolioOutcome {
+        result,
+        winner,
+        symbolic_stats,
+        explicit,
+    })
+}
+
+/// Identity helper keeping the borrow of the shared circuit readable in
+/// the closure above.
+fn circuit_ref(c: &AigCircuit) -> &AigCircuit {
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter with a shallow bug (same design as the explicit-state
+    /// BMC tests): `q != 3` fails after three enabled cycles.
+    fn shallow_bug() -> (Module, Expr) {
+        let mut m = Module::new("shallow");
+        let en = m.input("en", 1);
+        let q = m.reg("q", 4);
+        m.update_when(q, Expr::Signal(en), Expr::Signal(q).add(Expr::lit(1, 4)));
+        let ok = m.wire_from("ok", Expr::Signal(q).ne(Expr::lit(3, 4)));
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(ok));
+        let assertion = Expr::Signal(m.find("ok").unwrap());
+        (m, assertion)
+    }
+
+    /// A saturating counter: `cnt <= 10` for all time, but only provable
+    /// by induction (the state space is 2^8).
+    fn saturating_counter() -> (Module, Expr) {
+        let mut m = Module::new("sat_cnt");
+        let en = m.input("en", 1);
+        let cnt = m.reg("cnt", 8);
+        let at_max = Expr::Signal(cnt).eq(Expr::lit(10, 8));
+        m.update_when(
+            cnt,
+            Expr::Signal(en).and(at_max.clone().logic_not()),
+            Expr::Signal(cnt).add(Expr::lit(1, 8)),
+        );
+        let ok = m.wire_from(
+            "ok",
+            Expr::bin(anvil_rtl::BinaryOp::Le, Expr::Signal(cnt), Expr::lit(10, 8)),
+        );
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(ok));
+        let assertion = Expr::Signal(m.find("ok").unwrap());
+        (m, assertion)
+    }
+
+    #[test]
+    fn falsifies_shallow_bug_at_minimal_depth() {
+        let (m, a) = shallow_bug();
+        let (result, stats) = prove(&m, &a, 10).unwrap();
+        let ProveResult::Falsified { depth, trace } = result else {
+            panic!("expected falsification, got {result:?}");
+        };
+        assert_eq!(depth, 4);
+        assert_eq!(trace.len(), 4);
+        // `en` must be high in the first three cycles.
+        for step in &trace[..3] {
+            assert_eq!(step, &vec![1]);
+        }
+        assert!(stats.conflicts + stats.decisions > 0 || stats.frames > 0);
+        // The trace replays to a violation on both backends.
+        for backend in [Backend::Tree, Backend::Compiled] {
+            assert_eq!(replay_trace(&m, &a, &trace, backend).unwrap(), Some(3));
+        }
+    }
+
+    #[test]
+    fn proves_saturating_counter_by_induction() {
+        let (m, a) = saturating_counter();
+        let (result, _) = prove(&m, &a, 8).unwrap();
+        assert_eq!(result, ProveResult::Proved { k: 1 });
+    }
+
+    #[test]
+    fn bounded_mode_reports_unknown_without_induction() {
+        let (m, a) = saturating_counter();
+        let (result, _) = prove_bounded(&m, &a, 6).unwrap();
+        assert_eq!(result, ProveResult::Unknown { depth: 6 });
+    }
+
+    #[test]
+    fn bounded_mode_depth_zero_checks_nothing() {
+        // A zero-cycle budget must not surprise the caller with a
+        // counterexample — even when the assertion is false at reset.
+        let mut m = Module::new("init_bad");
+        let q = m.reg_init("q", Bits::from_u64(7, 4));
+        let ok = m.wire_from("ok", Expr::Signal(q).ne(Expr::lit(7, 4)));
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(ok));
+        let a = Expr::Signal(m.find("ok").unwrap());
+        let (result, _) = prove_bounded(&m, &a, 0).unwrap();
+        assert_eq!(result, ProveResult::Unknown { depth: 0 });
+        let (result, _) = prove_bounded(&m, &a, 1).unwrap();
+        assert!(matches!(result, ProveResult::Falsified { depth: 1, .. }));
+    }
+
+    #[test]
+    fn constant_true_assertion_proves_immediately() {
+        let mut m = Module::new("triv");
+        let a = m.input("a", 4);
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(a).eq(Expr::Signal(a)));
+        // Both modes conclude without any unrolling: k = 0 marks the
+        // combinationally-constant case.
+        let (result, stats) = prove(&m, &Expr::lit(1, 1), 4).unwrap();
+        assert_eq!(result, ProveResult::Proved { k: 0 });
+        assert_eq!(stats.frames, 0);
+        let (result, _) = prove_bounded(&m, &Expr::lit(1, 1), 4).unwrap();
+        assert_eq!(result, ProveResult::Proved { k: 0 });
+    }
+
+    #[test]
+    fn initial_state_violation_has_depth_one() {
+        // Assertion false in the reset state itself.
+        let mut m = Module::new("init_bad");
+        let q = m.reg_init("q", Bits::from_u64(7, 4));
+        let ok = m.wire_from("ok", Expr::Signal(q).ne(Expr::lit(7, 4)));
+        let o = m.output("o", 1);
+        m.assign(o, Expr::Signal(ok));
+        let a = Expr::Signal(m.find("ok").unwrap());
+        let (result, _) = prove(&m, &a, 4).unwrap();
+        let ProveResult::Falsified { depth, trace } = result else {
+            panic!("expected falsification, got {result:?}");
+        };
+        assert_eq!(depth, 1);
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn portfolio_agrees_with_both_engines() {
+        let (m, a) = shallow_bug();
+        let out = prove_portfolio(&m, &a, 8, 10, 100_000, 2).unwrap();
+        let ProveResult::Falsified { depth, .. } = out.result else {
+            panic!("expected falsification, got {:?}", out.result);
+        };
+        assert_eq!(depth, 4);
+        assert!(out.winner.is_some());
+
+        let (m, a) = saturating_counter();
+        let out = prove_portfolio(&m, &a, 8, 6, 10_000, 2).unwrap();
+        assert_eq!(out.result, ProveResult::Proved { k: 1 });
+        assert_eq!(out.winner, Some(Prover::Symbolic));
+    }
+
+    #[test]
+    fn render_trace_is_stable() {
+        let (m, a) = shallow_bug();
+        let (result, _) = prove(&m, &a, 10).unwrap();
+        let ProveResult::Falsified { trace, .. } = result else {
+            panic!("expected falsification");
+        };
+        let text = render_trace(&m, &a, &trace).unwrap();
+        assert!(text.contains("counterexample: `shallow`"));
+        assert!(text.contains("<-- violation"));
+    }
+}

@@ -1,51 +1,88 @@
-//! `anvilc`: compile an Anvil `.anv` source file to SystemVerilog on disk.
+//! `anvilc`: compile an Anvil `.anv` source file to SystemVerilog on
+//! disk, or formally verify a safety property of it.
 //!
 //! ```sh
 //! cargo run --release --example anvilc -- design.anv
 //! cargo run --release --example anvilc -- design.anv -o out.sv --repeat 5
+//! cargo run --release --example anvilc -- design.anv --prove ok --top main --max-k 10
 //! ```
 //!
-//! Prints per-pass wall-clock timings (`PassStats`) for every run and the
-//! session's cumulative query-cache counters (`CacheStats`) at the end;
-//! `--repeat N` recompiles the same file N times through one session, so
-//! runs 2..N exercise the warm path (all cache hits, near-zero
-//! check/codegen time).
+//! Compile mode prints per-pass wall-clock timings (`PassStats`) for every
+//! run and the session's cumulative query-cache counters (`CacheStats`)
+//! at the end; `--repeat N` recompiles the same file N times through one
+//! session, so runs 2..N exercise the warm path.
+//!
+//! Prove mode (`--prove <signal>`) bit-blasts the flattened top process
+//! through the session's AIG cache and runs symbolic bounded model
+//! checking plus k-induction on the named 1-bit signal ("the signal stays
+//! truthy in every reachable state"): the result is `proved` (for all
+//! time), `falsified` (with a replayed, rendered counterexample trace),
+//! or `unknown` at the depth budget. `--repeat` demonstrates the warm AIG
+//! path the same way it does for compilation.
 
 use std::process::exit;
 
-use anvil::Compiler;
+use anvil::verify::{prove_with_circuit, render_trace, ProveResult};
+use anvil::{Compiler, Expr};
 
 struct Args {
     input: String,
     output: Option<String>,
     repeat: usize,
+    prove: Option<String>,
+    top: Option<String>,
+    max_k: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: anvilc <input.anv> [-o <output.sv>] [--repeat N]
+       anvilc <input.anv> --prove <signal> [--top <proc>] [--max-k N] [--repeat N]
 
-Compiles an Anvil source file to SystemVerilog.
+Compiles an Anvil source file to SystemVerilog, or proves a property.
   -o <output.sv>   output path (default: input with a .sv extension)
-  --repeat N       compile N times through one session; runs after the
-                   first demonstrate the incremental warm path"
+  --repeat N       compile (or prove) N times through one session; runs
+                   after the first demonstrate the incremental warm path
+  --prove <signal> verify that the 1-bit signal stays truthy in every
+                   reachable state (symbolic BMC + k-induction)
+  --top <proc>     the process to flatten for proving (default: the only
+                   process in the file)
+  --max-k N        k-induction depth budget (default 16)"
     );
     exit(2);
 }
 
 fn parse_args() -> Args {
+    let mut args = Args {
+        input: String::new(),
+        output: None,
+        repeat: 1,
+        prove: None,
+        top: None,
+        max_k: 16,
+    };
     let mut input = None;
-    let mut output = None;
-    let mut repeat = 1usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "-o" | "--output" => match argv.next() {
-                Some(path) => output = Some(path),
+                Some(path) => args.output = Some(path),
                 None => usage(),
             },
             "--repeat" => match argv.next().and_then(|n| n.parse().ok()) {
-                Some(n) if n >= 1 => repeat = n,
+                Some(n) if n >= 1 => args.repeat = n,
+                _ => usage(),
+            },
+            "--prove" => match argv.next() {
+                Some(sig) => args.prove = Some(sig),
+                None => usage(),
+            },
+            "--top" => match argv.next() {
+                Some(t) => args.top = Some(t),
+                None => usage(),
+            },
+            "--max-k" => match argv.next().and_then(|n| n.parse().ok()) {
+                Some(n) => args.max_k = n,
                 _ => usage(),
             },
             "-h" | "--help" => usage(),
@@ -54,11 +91,10 @@ fn parse_args() -> Args {
         }
     }
     match input {
-        Some(input) => Args {
-            input,
-            output,
-            repeat,
-        },
+        Some(i) => {
+            args.input = i;
+            args
+        }
         None => usage(),
     }
 }
@@ -72,7 +108,15 @@ fn main() {
             exit(1);
         }
     };
-    let out_path = args.output.unwrap_or_else(|| {
+    if args.prove.is_some() {
+        prove_mode(&args, &source);
+        return;
+    }
+    compile_mode(&args, &source);
+}
+
+fn compile_mode(args: &Args, source: &str) {
+    let out_path = args.output.clone().unwrap_or_else(|| {
         let mut p = std::path::PathBuf::from(&args.input);
         p.set_extension("sv");
         p.display().to_string()
@@ -81,13 +125,13 @@ fn main() {
     let compiler = Compiler::new();
     let mut last = None;
     for run in 1..=args.repeat {
-        match compiler.compile(&source) {
+        match compiler.compile(source) {
             Ok(out) => {
                 println!("run {run}/{}: {}", args.repeat, out.stats);
                 last = Some(out);
             }
             Err(e) => {
-                eprintln!("{}", e.render(&source));
+                eprintln!("{}", e.render(source));
                 exit(1);
             }
         }
@@ -105,4 +149,106 @@ fn main() {
         out.modules.iter().count()
     );
     println!("cache: {}", compiler.cache_stats());
+}
+
+fn prove_mode(args: &Args, source: &str) {
+    let signal = args.prove.as_deref().expect("prove mode has a signal");
+    let compiler = Compiler::new();
+
+    // Resolve the top process: the single proc of the file unless --top
+    // names one.
+    let top = match &args.top {
+        Some(t) => t.clone(),
+        None => {
+            let program = match compiler.session().parse(source) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{}", e.render(source));
+                    exit(1);
+                }
+            };
+            match program.procs.as_slice() {
+                [only] => only.name.clone(),
+                procs => {
+                    eprintln!(
+                        "anvilc: {} processes in `{}`; pick one with --top (candidates: {})",
+                        procs.len(),
+                        args.input,
+                        procs
+                            .iter()
+                            .map(|p| p.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    exit(2);
+                }
+            }
+        }
+    };
+
+    let mut exit_code = 0;
+    for run in 1..=args.repeat {
+        let t = std::time::Instant::now();
+        // Through the session cache: run 2+ reuses the blasted AIG.
+        let circuit = match compiler.compile_flat_aig(source, &top) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}", e.render(source));
+                exit(1);
+            }
+        };
+        let module = circuit.module();
+        let Some(sig) = module.find(signal) else {
+            eprintln!(
+                "anvilc: no signal `{signal}` in flattened `{top}` (signals: {})",
+                module
+                    .iter_signals()
+                    .map(|(_, s)| s.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            exit(2);
+        };
+        let assertion = Expr::Signal(sig);
+        match prove_with_circuit(&circuit, &assertion, args.max_k, None) {
+            Ok((result, stats)) => {
+                let dt = t.elapsed();
+                match &result {
+                    ProveResult::Proved { k } => {
+                        println!(
+                            "run {run}/{}: proved `{signal}` for all time by {k}-induction \
+                             ({dt:.2?}; {} AIG nodes, {} latches, {} conflicts)",
+                            args.repeat, stats.aig_nodes, stats.latches, stats.conflicts
+                        );
+                    }
+                    ProveResult::Falsified { depth, trace } => {
+                        println!(
+                            "run {run}/{}: FALSIFIED `{signal}` at depth {depth} ({dt:.2?})",
+                            args.repeat
+                        );
+                        match render_trace(module, &assertion, trace) {
+                            Ok(text) => print!("{text}"),
+                            Err(e) => eprintln!("anvilc: trace replay failed: {e}"),
+                        }
+                        exit_code = 1;
+                    }
+                    ProveResult::Unknown { depth } => {
+                        println!(
+                            "run {run}/{}: unknown — no violation within {depth} cycles, \
+                             not {}-inductive ({dt:.2?}; {} conflicts)",
+                            args.repeat,
+                            args.max_k + 1,
+                            stats.conflicts
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("anvilc: prove failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    println!("cache: {}", compiler.cache_stats());
+    exit(exit_code);
 }

@@ -12,9 +12,14 @@
 //! * [`anvil_rtl`] — the netlist IR and SystemVerilog emitter,
 //! * [`anvil_sim`] — the cycle-accurate simulator ([`Sim`]) and the
 //!   multi-lane batch executor ([`SimBatch`]),
+//! * [`anvil_smt`] — AIG bit-blasting, the embedded CDCL SAT solver, and
+//!   transition-relation unrolling,
 //! * [`anvil_synth`] — the synthesis cost model,
-//! * [`anvil_verify`] — safety oracle, BMC, rule scheduler,
-//! * [`anvil_designs`] — the ten evaluation designs.
+//! * [`anvil_verify`] — safety oracle, explicit-state BMC, rule
+//!   scheduler, and the symbolic [`verify::prove()`] /
+//!   [`verify::prove_portfolio`] engines,
+//! * [`anvil_designs`] — the ten evaluation designs (and their safety
+//!   properties, `anvil_designs::props`).
 //!
 //! # Examples
 //!
@@ -33,7 +38,10 @@ pub use anvil_core::{
     Stage, StageCounters,
 };
 pub use anvil_intern::Symbol;
+pub use anvil_rtl::{Expr, Module};
 pub use anvil_sim::{Sim, SimBatch, SimError, TapeProgram, Waveform};
+pub use anvil_smt::AigCircuit;
+pub use anvil_verify as verify;
 
 pub use anvil_codegen;
 pub use anvil_core;
@@ -42,6 +50,7 @@ pub use anvil_intern;
 pub use anvil_ir;
 pub use anvil_rtl;
 pub use anvil_sim;
+pub use anvil_smt;
 pub use anvil_syntax;
 pub use anvil_synth;
 pub use anvil_typeck;
