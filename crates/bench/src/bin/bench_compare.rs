@@ -1,0 +1,124 @@
+//! Gates CI on simulation-throughput regressions: compares a freshly
+//! measured `BENCH_sim.json` against the committed baseline and exits
+//! non-zero when any execution mode's normalized throughput
+//! (cycles·lanes/sec) dropped by more than the threshold — so a tape
+//! executor change that quietly costs 20% shows up as a red build, not
+//! as archaeology three PRs later.
+//!
+//! Usage: `bench_compare <fresh.json> <baseline.json> [threshold]`
+//! (threshold as a fraction; default `0.20`). Both files use the
+//! hand-rolled `anvil-bench-sim-v1` schema `bench_sim` emits. Throughput
+//! is already normalized per cycle·lane, so the two runs may use
+//! different lane counts.
+
+use std::process::ExitCode;
+
+/// Extracts `(mode, cycles_lanes_per_sec)` pairs. The v1 schema writes
+/// one result object per line, so a line-oriented scan is exact.
+fn parse_modes(src: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let Some(mode) = after(line, "\"mode\": \"").and_then(|r| r.split('"').next()) else {
+            continue;
+        };
+        let Some(thr) = after(line, "\"cycles_lanes_per_sec\": ")
+            .and_then(|r| r.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((mode.to_string(), thr));
+    }
+    out
+}
+
+fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.find(key).map(|i| &line[i + key.len()..])
+}
+
+fn load(path: &str) -> (String, Vec<(String, f64)>) {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    assert!(
+        src.contains("\"schema\": \"anvil-bench-sim-v1\""),
+        "{path} is not an anvil-bench-sim-v1 record"
+    );
+    let modes = parse_modes(&src);
+    assert!(!modes.is_empty(), "{path} holds no mode results");
+    (src, modes)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, base_path, rest @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_compare <fresh.json> <baseline.json> [threshold]");
+        return ExitCode::FAILURE;
+    };
+    let threshold: f64 = rest
+        .first()
+        .map(|t| t.parse().expect("threshold must be a fraction, e.g. 0.2"))
+        .unwrap_or(0.20);
+
+    let (_, fresh) = load(fresh_path);
+    let (_, baseline) = load(base_path);
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "mode", "baseline", "fresh", "delta"
+    );
+    let mut failed = false;
+    for (mode, base_thr) in &baseline {
+        let Some((_, fresh_thr)) = fresh.iter().find(|(m, _)| m == mode) else {
+            println!(
+                "{mode:<16} {base_thr:>14.0} {:>14} {:>8}",
+                "MISSING", "FAIL"
+            );
+            failed = true;
+            continue;
+        };
+        let delta = fresh_thr / base_thr - 1.0;
+        let verdict = if delta < -threshold { "FAIL" } else { "ok" };
+        println!(
+            "{mode:<16} {base_thr:>14.0} {fresh_thr:>14.0} {:>+7.1}% {verdict}",
+            delta * 100.0
+        );
+        if delta < -threshold {
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "throughput regressed more than {:.0}% against {base_path}",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("within {:.0}% of the committed baseline", threshold * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_modes;
+
+    const SAMPLE: &str = r#"{
+  "schema": "anvil-bench-sim-v1",
+  "results": [
+    {"mode": "scalar_tape", "threads": 1, "seconds_per_pass": 0.1, "cycles_lanes_per_sec": 400000},
+    {"mode": "batch", "threads": 1, "seconds_per_pass": 0.01, "cycles_lanes_per_sec": 4000000}
+  ],
+  "speedup_batch_over_scalar": 10.00
+}"#;
+
+    #[test]
+    fn parses_the_v1_schema() {
+        let modes = parse_modes(SAMPLE);
+        assert_eq!(
+            modes,
+            vec![
+                ("scalar_tape".to_string(), 400_000.0),
+                ("batch".to_string(), 4_000_000.0)
+            ]
+        );
+    }
+}

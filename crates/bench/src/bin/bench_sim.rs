@@ -3,20 +3,22 @@
 //! the simulator (scalar tape vs multi-lane vs threaded sweep) is tracked
 //! across commits.
 //!
-//! One workload pass = the ten-design evaluation suite × 16 independent
+//! One workload pass = the ten-design evaluation suite × 32 independent
 //! random stimulus schedules × 256 cycles (see
 //! `anvil_bench::simload`). Each mode is timed over several passes after
 //! a verification pass that asserts all modes produce bit-identical state
 //! fingerprints; the best pass time is reported, as throughput in
 //! cycles·lanes/sec.
 //!
-//! Usage: `bench_sim [output-path]` (default `BENCH_sim.json`).
+//! Usage: `bench_sim [--op-mix] [output-path]` (default
+//! `BENCH_sim.json`). With `--op-mix` the post-fusion op-mnemonic
+//! histogram of the whole suite is printed and embedded in the JSON —
+//! the profile future superinstruction candidates are chosen from.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use anvil_bench::simload::{SimWorkload, CYCLES, LANES_TOTAL};
-use anvil_sim::LANE_STRIDE;
+use anvil_bench::simload::{SimWorkload, BENCH_STRIDE, CYCLES, LANES_TOTAL};
 
 const PASSES: usize = 5;
 
@@ -33,9 +35,15 @@ fn time_best(mut f: impl FnMut() -> u64, expect: u64) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let mut op_mix = false;
+    let mut out_path = "BENCH_sim.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--op-mix" {
+            op_mix = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let load = SimWorkload::prepare();
     let seed = 0x5EED_CAFE_F00D_BEEFu64;
     let workers = std::thread::available_parallelism()
@@ -65,9 +73,25 @@ fn main() {
     let _ = writeln!(json, "  \"designs\": {},", load.modules.len());
     let _ = writeln!(json, "  \"lanes_per_design\": {LANES_TOTAL},");
     let _ = writeln!(json, "  \"cycles\": {CYCLES},");
-    let _ = writeln!(json, "  \"lane_stride\": {LANE_STRIDE},");
+    let _ = writeln!(json, "  \"lane_stride\": {BENCH_STRIDE},");
     let _ = writeln!(json, "  \"cycle_lanes_per_pass\": {},", load.cycle_lanes());
     let _ = writeln!(json, "  \"passes\": {PASSES},");
+    if op_mix {
+        // Post-fusion op histogram over the whole suite, sorted by
+        // mnemonic — the profile superinstruction candidates come from.
+        let mut hist = std::collections::BTreeMap::<&'static str, usize>::new();
+        for p in &load.programs {
+            for (k, v) in p.op_mix() {
+                *hist.entry(k).or_insert(0) += v;
+            }
+        }
+        let body: Vec<String> = hist.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        let _ = writeln!(json, "  \"op_mix\": {{{}}},", body.join(", "));
+        println!("op mix (post-fusion, whole suite):");
+        for (k, v) in &hist {
+            println!("  {k:<12} {v}");
+        }
+    }
     let _ = writeln!(json, "  \"results\": [");
     for (i, (name, threads, t)) in modes.iter().enumerate() {
         let comma = if i + 1 < modes.len() { "," } else { "" };

@@ -41,12 +41,17 @@ pub mod simload {
 
     use anvil_designs::tb::{input_ports, xorshift64};
     use anvil_rtl::{Bits, Module};
-    use anvil_sim::{sweep_chunks, Backend, Sim, SimBatch, TapeProgram, LANE_STRIDE};
+    use anvil_sim::{sweep_chunks, Backend, Sim, SimBatch, TapeOptions, TapeProgram};
 
     /// Cycles each stimulus schedule runs.
     pub const CYCLES: u64 = 256;
-    /// Independent stimulus schedules per design.
-    pub const LANES_TOTAL: usize = 16;
+    /// Independent stimulus schedules per design — wide enough to fill
+    /// the widest monomorphized lane engine.
+    pub const LANES_TOTAL: usize = 32;
+    /// Lane stride the suite programs are compiled at: the widest
+    /// monomorphized engine, so one decoded op covers all 32 schedules
+    /// (AVX-512-class row width at 64-bit words).
+    pub const BENCH_STRIDE: usize = 32;
 
     /// Decorrelated nonzero xorshift seed for one (design, lane) stream.
     fn stream_seed(seed: u64, design: usize, lane: usize) -> u64 {
@@ -80,9 +85,13 @@ pub mod simload {
                 .map(|d| (d.anvil)())
                 .collect();
             let inputs = modules.iter().map(input_ports).collect();
+            let opts = TapeOptions {
+                stride: Some(BENCH_STRIDE),
+                ..TapeOptions::default()
+            };
             let programs = modules
                 .iter()
-                .map(|m| TapeProgram::compile(m).expect("suite design lowers"))
+                .map(|m| TapeProgram::compile_with(m, opts).expect("suite design lowers"))
                 .collect();
             SimWorkload {
                 modules,
@@ -131,20 +140,30 @@ pub mod simload {
         }
 
         /// One pass in multi-lane mode: all schedules of a design advance
-        /// in lockstep on one [`SimBatch`].
+        /// in lockstep on one [`SimBatch`]. Input ids are resolved once
+        /// per pass ([`SimBatch::input_id`]) and each input is poked for
+        /// all lanes in one row call ([`SimBatch::poke_u64s`]), so the
+        /// per-cycle stimulus cost is two tight loops, not a name hash
+        /// per (lane, input).
         pub fn run_batch(&self, batches: &mut [SimBatch], seed: u64) -> u64 {
             let mut acc = 0u64;
+            let mut vals = vec![0u64; LANES_TOTAL];
             for (d, batch) in batches.iter_mut().enumerate() {
                 batch.reset();
+                let ids: Vec<anvil_rtl::SignalId> = self.inputs[d]
+                    .iter()
+                    .map(|(name, _)| batch.input_id(name).expect("input id"))
+                    .collect();
                 let mut rngs: Vec<u64> =
                     (0..LANES_TOTAL).map(|l| stream_seed(seed, d, l)).collect();
                 for _ in 0..CYCLES {
-                    for (l, rng) in rngs.iter_mut().enumerate() {
-                        for (name, width) in &self.inputs[d] {
-                            batch
-                                .poke(l, name, Bits::from_u64(xorshift64(rng), *width))
-                                .expect("poking lane");
+                    // Lane-major draws per input preserve each lane's
+                    // per-stream xorshift sequence (one rng per lane).
+                    for id in &ids {
+                        for (l, rng) in rngs.iter_mut().enumerate() {
+                            vals[l] = xorshift64(rng);
                         }
+                        batch.poke_u64s(*id, &vals);
                     }
                     batch.step();
                 }
@@ -156,7 +175,7 @@ pub mod simload {
         }
 
         /// One pass in thread-chunked sweep mode: per design, the
-        /// [`LANES_TOTAL`] schedules are carved into [`LANE_STRIDE`]-lane
+        /// [`LANES_TOTAL`] schedules are carved into [`BENCH_STRIDE`]-lane
         /// chunks spread across `workers` scoped threads (the pattern
         /// `bmc_sweep` and fuzzing drivers use, including per-worker
         /// batch setup).
@@ -167,17 +186,23 @@ pub mod simload {
                 let folds = sweep_chunks(
                     program,
                     LANES_TOTAL,
-                    LANE_STRIDE,
+                    BENCH_STRIDE,
                     workers,
                     |first, batch| {
                         let n = batch.lanes();
+                        let ids: Vec<anvil_rtl::SignalId> = inputs
+                            .iter()
+                            .map(|(name, _)| batch.input_id(name))
+                            .collect::<Result<_, anvil_sim::SimError>>()?;
                         let mut rngs: Vec<u64> =
                             (0..n).map(|l| stream_seed(seed, d, first + l)).collect();
+                        let mut vals = vec![0u64; n];
                         for _ in 0..CYCLES {
-                            for (l, rng) in rngs.iter_mut().enumerate() {
-                                for (name, width) in inputs {
-                                    batch.poke(l, name, Bits::from_u64(xorshift64(rng), *width))?;
+                            for id in &ids {
+                                for (l, rng) in rngs.iter_mut().enumerate() {
+                                    vals[l] = xorshift64(rng);
                                 }
+                                batch.poke_u64s(*id, &vals);
                             }
                             batch.step();
                         }

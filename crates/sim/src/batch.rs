@@ -3,8 +3,13 @@
 //! [`SimBatch`] drives the multi-lane tape executor
 //! (`crate::tape::LaneEngine`): the design is lowered to its instruction
 //! tape **once**, and the word-packed state arena is widened into a
-//! structure-of-arrays holding [`LANE_STRIDE`] independent lanes per
-//! engine (stacked for larger batches). Each settle decodes every op once
+//! structure-of-arrays holding a const-generic number of independent
+//! lanes per engine — monomorphized at widths 4, 8, 16, and 32, picked at
+//! [`TapeProgram`] build time ([`TapeOptions::stride`], the
+//! `ANVIL_SIM_LANES` environment override, or the [`LANE_STRIDE`]
+//! default), with full-width groups stacked for larger batches and a
+//! smallest-covering-width tail group for the remainder. Each settle
+//! decodes every op once
 //! and runs its inner loop across all lanes over contiguous memory, so the
 //! per-op dispatch cost is amortized and the lane loops auto-vectorize —
 //! aggregate stimulus throughput (cycles·lanes/sec) scales with SIMD width
@@ -36,12 +41,18 @@ use std::sync::Arc;
 use anvil_rtl::{ArrayId, Bits, Expr, Module, SignalId, SignalKind};
 
 use crate::engine::{check_driver_widths, SimError};
-use crate::tape::{LaneEngine, Tape, LANES};
+use crate::tape::{
+    check_lane_width, lane_width_from_env, new_lane_group, tail_width, LaneGroup, Tape, TapeOptions,
+};
 
-/// Number of lanes one laned engine executes in lockstep (the SIMD-style
-/// stride of the multi-lane executor). [`SimBatch`] accepts any lane
-/// count and stacks engines in groups of this size.
-pub const LANE_STRIDE: usize = LANES;
+/// Default number of lanes one laned engine executes in lockstep (the
+/// SIMD-style stride of the multi-lane executor). The engine is
+/// monomorphized for widths 4, 8, 16, and 32; the stride is chosen at
+/// [`TapeProgram`] build time — [`TapeOptions::stride`], then the
+/// `ANVIL_SIM_LANES` environment variable, then this default — and
+/// [`SimBatch`] accepts any lane count, stacking full-stride groups plus
+/// one tail group of the smallest width that covers the remainder.
+pub const LANE_STRIDE: usize = 16;
 
 /// A module lowered once to its instruction tape, shareable across
 /// threads.
@@ -79,29 +90,56 @@ pub const LANE_STRIDE: usize = LANES;
 pub struct TapeProgram {
     module: Arc<Module>,
     names: Arc<HashMap<String, SignalId>>,
+    /// Compact per-signal width table for the hot poke paths (avoids
+    /// touching the `Signal` structs and their name strings per poke).
+    widths: Arc<Vec<u32>>,
     tape: Arc<Tape>,
+    stride: usize,
 }
 
 impl TapeProgram {
-    /// Lowers a flattened module into a shareable tape program.
+    /// Lowers a flattened module into a shareable tape program with the
+    /// default optimization options (fusion and dirty-region skipping on,
+    /// stride from `ANVIL_SIM_LANES` or [`LANE_STRIDE`]).
     ///
     /// # Errors
     ///
     /// Same contract as [`Sim::new`](crate::Sim::new):
     /// [`SimError::NotFlat`], [`SimError::CombinationalLoop`],
-    /// [`SimError::DriverWidth`], or [`SimError::MalformedExpr`].
+    /// [`SimError::DriverWidth`], or [`SimError::MalformedExpr`] — plus
+    /// [`SimError::UnknownLaneWidth`] when `ANVIL_SIM_LANES` holds
+    /// anything but 4, 8, 16, or 32.
     pub fn compile(module: &Module) -> Result<TapeProgram, SimError> {
+        TapeProgram::compile_with(module, TapeOptions::default())
+    }
+
+    /// [`TapeProgram::compile`] with explicit [`TapeOptions`] — the
+    /// differential test matrix drives every (stride × fusion ×
+    /// dirty-region) combination through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`TapeProgram::compile`]; an explicit [`TapeOptions::stride`]
+    /// outside {4, 8, 16, 32} is [`SimError::UnknownLaneWidth`].
+    pub fn compile_with(module: &Module, opts: TapeOptions) -> Result<TapeProgram, SimError> {
         if !module.instances.is_empty() {
             return Err(SimError::NotFlat(module.name.clone()));
         }
+        let stride = match opts.stride {
+            Some(w) => check_lane_width(w)?,
+            None => lane_width_from_env()?.unwrap_or(LANE_STRIDE),
+        };
         check_driver_widths(module)?;
         let module = Arc::new(module.clone());
         let names = Arc::new(module.name_index());
-        let tape = Arc::new(Tape::compile(Arc::clone(&module))?);
+        let widths = Arc::new(module.signals.iter().map(|s| s.width as u32).collect());
+        let tape = Arc::new(Tape::compile_with(Arc::clone(&module), opts)?);
         Ok(TapeProgram {
             module,
             names,
+            widths,
             tape,
+            stride,
         })
     }
 
@@ -110,21 +148,48 @@ impl TapeProgram {
         &self.module
     }
 
+    /// The lane stride full groups of this program's batches use.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Histogram of op mnemonics in the optimized settle program, sorted
+    /// by mnemonic — the data `bench_sim --op-mix` aggregates so future
+    /// fusion candidates are profile-driven.
+    pub fn op_mix(&self) -> Vec<(&'static str, usize)> {
+        self.tape.op_mix()
+    }
+
+    /// Number of settle regions the tape was partitioned into.
+    pub fn region_count(&self) -> usize {
+        self.tape.region_count()
+    }
+
     /// Creates a batch simulation with `lanes` independent stimulus lanes
-    /// over this program's (already lowered) tape.
+    /// over this program's (already lowered) tape: `lanes / stride` full
+    /// groups plus, for any remainder, one tail group of the smallest
+    /// monomorphized width that covers it (no wasted full-stride arena).
     ///
     /// # Panics
     ///
     /// Panics if `lanes` is zero.
     pub fn batch(&self, lanes: usize) -> SimBatch {
         assert!(lanes > 0, "a batch needs at least one lane");
-        let groups = (0..lanes.div_ceil(LANES))
-            .map(|_| LaneEngine::new(Arc::clone(&self.tape)))
-            .collect();
+        let full = lanes / self.stride;
+        let rem = lanes % self.stride;
+        let mut groups: Vec<Box<dyn LaneGroup>> = Vec::with_capacity(full + 1);
+        for _ in 0..full {
+            groups.push(new_lane_group(Arc::clone(&self.tape), self.stride));
+        }
+        if rem > 0 {
+            groups.push(new_lane_group(Arc::clone(&self.tape), tail_width(rem)));
+        }
         SimBatch {
             module: Arc::clone(&self.module),
             names: Arc::clone(&self.names),
+            widths: Arc::clone(&self.widths),
             groups,
+            stride: self.stride,
             lanes,
             cycle: 0,
             logs: vec![Vec::new(); lanes],
@@ -142,11 +207,17 @@ impl TapeProgram {
 pub struct SimBatch {
     module: Arc<Module>,
     names: Arc<HashMap<String, SignalId>>,
-    /// Lane engines, each holding [`LANE_STRIDE`] lanes; lane `i` is
-    /// sublane `i % LANE_STRIDE` of group `i / LANE_STRIDE`. Trailing
-    /// sublanes of the last group beyond `lanes` execute but are never
-    /// observed.
-    groups: Vec<LaneEngine>,
+    /// Per-signal widths, indexed by `SignalId` (poke-path width checks).
+    widths: Arc<Vec<u32>>,
+    /// Lane engines: full groups of `stride` lanes, then (for a
+    /// non-multiple lane count) one tail group of the smallest
+    /// monomorphized width covering the remainder. Lane `i` is sublane
+    /// `i % stride` of group `i / stride` (valid for the tail too, since
+    /// its base is a stride multiple). Trailing sublanes of the tail
+    /// group beyond `lanes` execute but are never observed.
+    groups: Vec<Box<dyn LaneGroup>>,
+    /// Full-group lane stride of this batch (the program's stride).
+    stride: usize,
     lanes: usize,
     cycle: u64,
     /// Per-lane debug-print logs, `(cycle, message)`.
@@ -175,6 +246,102 @@ impl SimBatch {
         self.lanes
     }
 
+    /// Lane stride of the full groups (the compiled program's stride).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Lane width of each underlying engine group, in group order: full
+    /// groups at the program stride, then — for a non-multiple lane
+    /// count — one tail group at the smallest monomorphized width that
+    /// covers the remainder.
+    pub fn group_strides(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.stride()).collect()
+    }
+
+    /// Total laned-arena words across all groups — the batch's state
+    /// footprint. With a non-multiple lane count the tail group uses the
+    /// smallest monomorphized width that covers it, so this shrinks
+    /// compared to padding the tail to a full stride.
+    pub fn arena_words(&self) -> usize {
+        self.groups.iter().map(|g| g.arena_words()).sum()
+    }
+
+    /// Resolves an input port's id for the hot poke path
+    /// ([`SimBatch::poke_id`]): resolve once, poke every cycle without
+    /// the name lookup.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown names and non-input signals.
+    pub fn input_id(&self, name: &str) -> Result<SignalId, SimError> {
+        let id = self.resolve(name)?;
+        if self.module.signal(id).kind != SignalKind::Input {
+            return Err(SimError::NotAnInput(name.to_string()));
+        }
+        Ok(id)
+    }
+
+    /// Sets an input port on one lane by pre-resolved id (see
+    /// [`SimBatch::input_id`]). Width-checked like [`SimBatch::poke`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on width mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn poke_id(&mut self, lane: usize, id: SignalId, value: &Bits) -> Result<(), SimError> {
+        if self.widths[id.0] as usize != value.width() {
+            let sig = self.module.signal(id);
+            return Err(SimError::WidthMismatch {
+                signal: sig.name.clone(),
+                expected: sig.width,
+                found: value.width(),
+            });
+        }
+        let sub = lane % self.stride;
+        self.group(lane).poke_lane(id, value, sub);
+        Ok(())
+    }
+
+    /// Sets an input port on **every** lane from one `u64` per lane, in a
+    /// single call — the sweep-driver hot path. `vals[l]` is truncated to
+    /// the port width and zero-extended, exactly like
+    /// `poke_id(l, id, &Bits::from_u64(vals[l], width))` per lane, but
+    /// the slot and dirty-region lookups are amortized over each lane
+    /// group's whole row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals.len() != self.lanes()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anvil_rtl::{Expr, Module};
+    /// use anvil_sim::SimBatch;
+    ///
+    /// let mut m = Module::new("inc");
+    /// let x = m.input("x", 8);
+    /// let out = m.output("out", 8);
+    /// m.assign(out, Expr::Signal(x).add(Expr::lit(1, 8)));
+    ///
+    /// let mut batch = SimBatch::new(&m, 3)?;
+    /// let id = batch.input_id("x")?;
+    /// batch.poke_u64s(id, &[10, 20, 0xFFF]);
+    /// assert_eq!(batch.peek(2, "out")?.to_u64(), 0); // 0xFF + 1 wraps
+    /// # Ok::<(), anvil_sim::SimError>(())
+    /// ```
+    pub fn poke_u64s(&mut self, id: SignalId, vals: &[u64]) {
+        assert_eq!(vals.len(), self.lanes, "one value per lane");
+        let stride = self.stride;
+        for (g, chunk) in vals.chunks(stride).enumerate() {
+            self.groups[g].poke_rows_u64(id, chunk);
+        }
+    }
+
     /// Current cycle number (clock edges so far; all lanes step together).
     pub fn cycle(&self) -> u64 {
         self.cycle
@@ -198,9 +365,9 @@ impl SimBatch {
     }
 
     #[inline]
-    fn group(&mut self, lane: usize) -> &mut LaneEngine {
+    fn group(&mut self, lane: usize) -> &mut dyn LaneGroup {
         assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
-        &mut self.groups[lane / LANES]
+        &mut *self.groups[lane / self.stride]
     }
 
     /// Sets an input port on one lane for the current cycle. Lazy: the
@@ -226,7 +393,7 @@ impl SimBatch {
                 found: value.width(),
             });
         }
-        let sub = lane % LANES;
+        let sub = lane % self.stride;
         self.group(lane).poke_lane(id, &value, sub);
         Ok(())
     }
@@ -267,7 +434,7 @@ impl SimBatch {
 
     /// Reads a signal by id on one lane (no name lookup).
     pub fn peek_id(&mut self, lane: usize, id: SignalId) -> Bits {
-        let sub = lane % LANES;
+        let sub = lane % self.stride;
         let g = self.group(lane);
         g.settle();
         g.peek_lane(id, sub)
@@ -275,7 +442,7 @@ impl SimBatch {
 
     /// Reads one element of a memory on one lane.
     pub fn peek_array(&mut self, lane: usize, array: ArrayId, index: usize) -> Bits {
-        let sub = lane % LANES;
+        let sub = lane % self.stride;
         let g = self.group(lane);
         g.settle();
         g.peek_array_lane(array, index, sub)
@@ -290,13 +457,13 @@ impl SimBatch {
         } else {
             value.resize(width)
         };
-        let sub = lane % LANES;
+        let sub = lane % self.stride;
         self.group(lane).poke_array_lane(array, index, &value, sub);
     }
 
     /// Evaluates an arbitrary expression against one lane's settled state.
     pub fn eval(&mut self, lane: usize, e: &Expr) -> Bits {
-        let sub = lane % LANES;
+        let sub = lane % self.stride;
         let g = self.group(lane);
         g.settle();
         g.eval_lane(e, sub)
@@ -306,7 +473,7 @@ impl SimBatch {
     /// [`Sim::state_fingerprint`](crate::Sim::state_fingerprint) for
     /// identical per-lane state.
     pub fn state_fingerprint(&mut self, lane: usize) -> u64 {
-        let sub = lane % LANES;
+        let sub = lane % self.stride;
         self.group(lane).state_fingerprint_lane(sub)
     }
 
@@ -319,7 +486,7 @@ impl SimBatch {
     /// order (matches [`Sim::toggle_counts`](crate::Sim::toggle_counts)).
     pub fn toggle_counts(&self, lane: usize) -> Vec<u64> {
         assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
-        self.groups[lane / LANES].toggle_counts_lane(lane % LANES)
+        self.groups[lane / self.stride].toggle_counts_lane(lane % self.stride)
     }
 
     /// Advances every lane one clock edge: settles, fires per-lane debug
@@ -327,9 +494,10 @@ impl SimBatch {
     pub fn step(&mut self) {
         let cycle = self.cycle;
         let lanes = self.lanes;
+        let stride = self.stride;
         let logs = &mut self.logs;
         for (g, eng) in self.groups.iter_mut().enumerate() {
-            let base = g * LANES;
+            let base = g * stride;
             eng.settle();
             eng.commit(&mut |sub, msg| {
                 if base + sub < lanes {
@@ -361,6 +529,7 @@ impl SimBatch {
         }
         let start = self.cycle;
         let lanes = self.lanes;
+        let stride = self.stride;
         let logs = &mut self.logs;
         let chunk = n_groups.div_ceil(workers);
         std::thread::scope(|s| {
@@ -372,7 +541,7 @@ impl SimBatch {
                     s.spawn(move || {
                         let mut local: Vec<(usize, u64, String)> = Vec::new();
                         for (gi, eng) in engines.iter_mut().enumerate() {
-                            let base = (ci * chunk + gi) * LANES;
+                            let base = (ci * chunk + gi) * stride;
                             for c in 0..n {
                                 eng.settle();
                                 eng.commit(&mut |sub, msg| {

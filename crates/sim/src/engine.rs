@@ -68,6 +68,11 @@ pub enum SimError {
     /// value (never silently ignored: a typo would otherwise run every
     /// test on the wrong engine).
     UnknownBackend(String),
+    /// A lane-engine stride (from `ANVIL_SIM_LANES` or
+    /// [`TapeOptions::stride`](crate::TapeOptions)) is not one of the
+    /// monomorphized widths. Like an unknown backend, a typo'd width is
+    /// surfaced instead of silently running the default stride.
+    UnknownLaneWidth(String),
 }
 
 impl fmt::Display for SimError {
@@ -100,6 +105,11 @@ impl fmt::Display for SimError {
                 f,
                 "unrecognized ANVIL_SIM_BACKEND value `{v}`; valid values: \
                  tree, interp, compiled, tape"
+            ),
+            SimError::UnknownLaneWidth(v) => write!(
+                f,
+                "unrecognized lane width `{v}`; valid ANVIL_SIM_LANES values: \
+                 4, 8, 16, 32"
             ),
         }
     }

@@ -37,9 +37,14 @@
 //! # Multi-lane batch simulation
 //!
 //! [`SimBatch`] executes many independent stimulus lanes over **one**
-//! lowered tape: the state arena becomes a structure-of-arrays with a
-//! fixed [`LANE_STRIDE`]-lane SIMD-style stride, so each op decodes once
-//! and its inner loop covers all lanes over contiguous memory.
+//! lowered tape: the state arena becomes a structure-of-arrays whose lane
+//! stride is monomorphized at `{4, 8, 16, 32}` and chosen when the
+//! [`TapeProgram`] is built (`ANVIL_SIM_LANES` overrides the
+//! [`LANE_STRIDE`] default), so each op decodes once and its inner loop
+//! covers a compile-time-known row over contiguous memory. A
+//! superinstruction fusion pass and dirty-region settle-skipping
+//! ([`TapeOptions`]) cut the op count and the per-cycle work further —
+//! all bit-identical to the scalar engines.
 //! [`TapeProgram`] shares the one-time lowering across threads, and
 //! [`sweep_chunks`] spreads lane-chunks over `std::thread::scope` workers
 //! — the substrate for `anvil-verify`'s `bmc_sweep` and bulk differential
@@ -56,4 +61,5 @@ mod vcd;
 pub use batch::{run_indexed, sweep_chunks, SimBatch, TapeProgram, LANE_STRIDE};
 pub use bfm::{AckPolicy, Agent, MsgPorts, ReceiverBfm, SenderBfm, Testbench};
 pub use engine::{Backend, Sim, SimBackend, SimError};
+pub use tape::TapeOptions;
 pub use vcd::Waveform;

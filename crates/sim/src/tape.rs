@@ -16,6 +16,45 @@
 //! it enforces the same driver width discipline as the facade's shared
 //! pre-check ([`SimError::DriverWidth`] / [`SimError::MalformedExpr`]) —
 //! a malformed module can never reach the executor.
+//!
+//! # Superinstructions
+//!
+//! After lowering, [`TapeOptions::fuse`] runs a peephole fusion pass over
+//! the op list. Single-use temporaries produced by one op and consumed by
+//! exactly the next tier of the dataflow collapse into *superinstructions*
+//! that decode once and keep their intermediate in registers instead of
+//! round-tripping through the arena:
+//!
+//! | superinstruction | replaces | pattern |
+//! |---|---|---|
+//! | `slice`/`resize` folds | 2 ops | `slice∘slice`, `slice∘resize`, `resize∘slice`, `resize∘resize` |
+//! | `add3` | 2 ops | `(a + b) + c` add ladders |
+//! | `logic3` | 2 ops | `(a ⊕ b) ⊕ c` for `⊕ ∈ {&, \|, ^}`, all widths equal |
+//! | `mux_chain` | n ops | nested 2-way mux trees (priority selects) |
+//! | `gather` | n+1 ops | `concat` of single-use `slice`/`resize` parts — one bit-field shuffle |
+//! | `copy_range` | n ops | adjacent-slot copies coalesced after partitioning |
+//!
+//! Fusion is exact: every rule requires the producer to be an unprotected
+//! single-def/single-use temp, so observable slots (signals, register
+//! next-values, print/array operands) are never rewritten, and
+//! out-of-range `slice` reads keep their zero-extension semantics.
+//!
+//! # Settle regions
+//!
+//! [`TapeOptions::dirty_regions`] partitions the scheduled op list into
+//! *input-cone regions* — the weakly connected components of the
+//! slot-dataflow graph, each contiguous in topological order. Invariants
+//! the partition maintains (and the engines rely on):
+//!
+//! - ops in different regions share **no** slots, so regions settle
+//!   independently and in any order;
+//! - every input signal, register, and array maps to the set of regions
+//!   that read it; a poke that changes a value, a register commit that
+//!   lands a new value, or an array write marks exactly those regions
+//!   dirty;
+//! - a clean region's slots already hold their settled values, so the
+//!   settle loop skips it entirely — the basis of settle-skipping for
+//!   designs with quiet subgraphs.
 
 use std::sync::Arc;
 
@@ -74,6 +113,23 @@ enum CmpKind {
     Le,
     Gt,
     Ge,
+}
+
+/// Bitwise operator selector for [`Op::Logic3`].
+#[derive(Clone, Copy, Debug)]
+enum BwKind {
+    And,
+    Or,
+    Xor,
+}
+
+#[inline(always)]
+fn bw(x: u64, y: u64, k: BwKind) -> u64 {
+    match k {
+        BwKind::And => x & y,
+        BwKind::Or => x | y,
+        BwKind::Xor => x ^ y,
+    }
 }
 
 /// Reduction selector for [`Op::Red`].
@@ -140,8 +196,168 @@ enum Op {
     },
     /// Zero-extension or truncation.
     Resize { dst: Slot, src: Slot },
+    /// Superinstruction: a bit-field gather. Each part ORs `width` bits
+    /// of `src` starting at `src_lo` into `dst` at `dst_lo` (bits past
+    /// the top of `src` read as zero; parts tile `dst`, which is zeroed
+    /// first). Fused from single-use [`Op::Slice`]/[`Op::Resize`] temps
+    /// feeding one [`Op::Concat`] — the byte-shuffle pattern (cipher
+    /// state permutations, bus packing) — so each shuffled field moves
+    /// source→destination in one pass instead of materializing a temp.
+    Gather { dst: Slot, parts: Box<[GatherPart]> },
     /// Asynchronous memory read; out-of-range indices yield zero.
     ArrayRead { dst: Slot, array: u32, index: Slot },
+    /// Superinstruction: `dst = a + b + c` (wrapping; all widths equal).
+    /// Fused from an add-with-carry ladder — one decode, one carry chain,
+    /// and the intermediate sum's slot is never materialized.
+    Add3 {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        c: Slot,
+    },
+    /// Superinstruction: `dst = (a <first> b) <second> c` for bitwise
+    /// operators (all five widths equal). Fused from bitwise reduction
+    /// trees — XOR ladders in ciphers and CRCs, AND/OR enable chains —
+    /// so one decode covers two ops and the intermediate result is never
+    /// materialized. Exact because bitwise ops are word-local and the
+    /// equal widths make the intermediate mask a no-op.
+    Logic3 {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        c: Slot,
+        first: BwKind,
+        second: BwKind,
+    },
+    /// Superinstruction: a priority mux tree. The first case whose
+    /// condition is truthy selects its value; otherwise `default`. Fused
+    /// from an else-chained run of [`Op::Mux`]es — one decode and one
+    /// copy replace `cases.len()` mux blends through eliminated temps.
+    MuxChain {
+        dst: Slot,
+        /// `(cond, value)` pairs, highest priority first.
+        cases: Box<[(Slot, Slot)]>,
+        default: Slot,
+    },
+    /// Superinstruction: one contiguous block copy covering what was a
+    /// run of adjacent [`Op::Copy`]s (raw word offsets, not slots).
+    CopyRange {
+        dst_off: u32,
+        src_off: u32,
+        words: u32,
+    },
+}
+
+impl Op {
+    /// Short stable name of the variant (op-mix histograms).
+    fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Copy { .. } => "copy",
+            Op::Not { .. } => "not",
+            Op::Neg { .. } => "neg",
+            Op::Add { .. } => "add",
+            Op::Sub { .. } => "sub",
+            Op::Mul { .. } => "mul",
+            Op::And { .. } => "and",
+            Op::Or { .. } => "or",
+            Op::Xor { .. } => "xor",
+            Op::Cmp { .. } => "cmp",
+            Op::Red { .. } => "red",
+            Op::Shift { .. } => "shift",
+            Op::Mux { .. } => "mux",
+            Op::Slice { .. } => "slice",
+            Op::Concat { .. } => "concat",
+            Op::Resize { .. } => "resize",
+            Op::Gather { .. } => "gather",
+            Op::ArrayRead { .. } => "array_read",
+            Op::Add3 { .. } => "add3",
+            Op::Logic3 { .. } => "logic3",
+            Op::MuxChain { .. } => "mux_chain",
+            Op::CopyRange { .. } => "copy_range",
+        }
+    }
+
+    /// All slots this op touches (destination first). `CopyRange` is
+    /// created only after region partitioning, so it never appears here.
+    fn slots(&self, out: &mut Vec<Slot>) {
+        out.clear();
+        match self {
+            Op::Copy { dst, src } => out.extend([*dst, *src]),
+            Op::Not { dst, a } | Op::Neg { dst, a } | Op::Red { dst, a, .. } => {
+                out.extend([*dst, *a])
+            }
+            Op::Add { dst, a, b }
+            | Op::Sub { dst, a, b }
+            | Op::Mul { dst, a, b }
+            | Op::And { dst, a, b }
+            | Op::Or { dst, a, b }
+            | Op::Xor { dst, a, b }
+            | Op::Cmp { dst, a, b, .. } => out.extend([*dst, *a, *b]),
+            Op::Shift { dst, a, amt, .. } => out.extend([*dst, *a, *amt]),
+            Op::Mux { dst, cond, t, e } => out.extend([*dst, *cond, *t, *e]),
+            Op::Slice { dst, src, .. } | Op::Resize { dst, src } => out.extend([*dst, *src]),
+            Op::Concat { dst, parts } => {
+                out.push(*dst);
+                out.extend(parts.iter().map(|(s, _)| *s));
+            }
+            Op::Gather { dst, parts } => {
+                out.push(*dst);
+                out.extend(parts.iter().map(|p| p.src));
+            }
+            Op::ArrayRead { dst, index, .. } => out.extend([*dst, *index]),
+            Op::Add3 { dst, a, b, c } | Op::Logic3 { dst, a, b, c, .. } => {
+                out.extend([*dst, *a, *b, *c])
+            }
+            Op::MuxChain {
+                dst,
+                cases,
+                default,
+            } => {
+                out.extend([*dst, *default]);
+                for (c, v) in cases.iter() {
+                    out.extend([*c, *v]);
+                }
+            }
+            Op::CopyRange { .. } => unreachable!("CopyRange exists only post-partitioning"),
+        }
+    }
+
+    fn dst_off(&self) -> Option<u32> {
+        match self {
+            Op::Copy { dst, .. }
+            | Op::Not { dst, .. }
+            | Op::Neg { dst, .. }
+            | Op::Add { dst, .. }
+            | Op::Sub { dst, .. }
+            | Op::Mul { dst, .. }
+            | Op::And { dst, .. }
+            | Op::Or { dst, .. }
+            | Op::Xor { dst, .. }
+            | Op::Cmp { dst, .. }
+            | Op::Red { dst, .. }
+            | Op::Shift { dst, .. }
+            | Op::Mux { dst, .. }
+            | Op::Slice { dst, .. }
+            | Op::Concat { dst, .. }
+            | Op::Resize { dst, .. }
+            | Op::Gather { dst, .. }
+            | Op::ArrayRead { dst, .. }
+            | Op::Add3 { dst, .. }
+            | Op::Logic3 { dst, .. }
+            | Op::MuxChain { dst, .. } => Some(dst.off),
+            Op::CopyRange { .. } => None,
+        }
+    }
+}
+
+/// One part of an [`Op::Gather`]: `width` bits of `src` starting at bit
+/// `src_lo`, placed into the destination at bit `dst_lo`.
+#[derive(Clone, Copy, Debug)]
+struct GatherPart {
+    src: Slot,
+    dst_lo: u32,
+    src_lo: u32,
+    width: u32,
 }
 
 /// A lowered synchronous array write port.
@@ -171,13 +387,85 @@ struct TapeArray {
     init: Vec<u64>,
 }
 
+/// Compile-time knobs for the tape optimization layer. The defaults
+/// (everything on, auto stride) are what [`TapeProgram::compile`]
+/// (crate::TapeProgram::compile) and `Sim` use; the differential test
+/// matrix exercises every combination against the scalar engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TapeOptions {
+    /// Run the superinstruction fusion pass (slice/resize folds,
+    /// add-ladder fusion, mux-chain fusion, copy coalescing).
+    pub fuse: bool,
+    /// Partition the tape into input-cone regions and let the lane
+    /// engines skip settling regions whose inputs did not change.
+    pub dirty_regions: bool,
+    /// Lane-engine stride override. `None` consults `ANVIL_SIM_LANES`
+    /// and falls back to the default stride; `Some(w)` must be one of
+    /// the monomorphized widths {4, 8, 16, 32}.
+    pub stride: Option<usize>,
+}
+
+impl Default for TapeOptions {
+    fn default() -> Self {
+        TapeOptions {
+            fuse: true,
+            dirty_regions: true,
+            stride: None,
+        }
+    }
+}
+
+/// The monomorphized lane-engine widths.
+pub(crate) const LANE_WIDTHS: [usize; 4] = [4, 8, 16, 32];
+
+/// Validates a lane stride against the monomorphized widths.
+pub(crate) fn check_lane_width(w: usize) -> Result<usize, SimError> {
+    if LANE_WIDTHS.contains(&w) {
+        Ok(w)
+    } else {
+        Err(SimError::UnknownLaneWidth(w.to_string()))
+    }
+}
+
+/// Stride requested through `ANVIL_SIM_LANES`, if any. Mirrors
+/// [`Backend::from_env`]: an unset variable means "no preference", and
+/// anything unparseable or outside {4, 8, 16, 32} is a structured error
+/// rather than a silently-applied default.
+pub(crate) fn lane_width_from_env() -> Result<Option<usize>, SimError> {
+    use std::env::VarError;
+    match std::env::var("ANVIL_SIM_LANES") {
+        Err(VarError::NotPresent) => Ok(None),
+        Err(VarError::NotUnicode(raw)) => Err(SimError::UnknownLaneWidth(
+            raw.to_string_lossy().into_owned(),
+        )),
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) => check_lane_width(n).map(Some),
+            Err(_) => Err(SimError::UnknownLaneWidth(v)),
+        },
+    }
+}
+
 /// The immutable compiled program: share one `Arc<Tape>` across as many
 /// [`TapeEngine`] instances (and threads) as needed — e.g. the bounded
 /// model checker lowers once and replays thousands of traces.
 pub(crate) struct Tape {
-    /// The settle program: comb drivers in topological order, then print
-    /// operands, then register next-values, then array-write operands.
+    /// The settle program: region-contiguous, and topologically ordered
+    /// within each region (fused superinstructions included).
     ops: Vec<Op>,
+    /// Op-index ranges of the settle regions (see the module docs):
+    /// `ops[r.0 as usize .. r.1 as usize]` is one region; regions share
+    /// no dynamic slots, so a lane engine may skip any clean region.
+    regions: Vec<(u32, u32)>,
+    /// Region reading each signal's slot, indexed by [`SignalId`]
+    /// (`u32::MAX` when no op reads it — poking it dirties nothing).
+    sig_region: Vec<u32>,
+    /// Region reading each committed register's current-value slot,
+    /// parallel to `reg_commits` (`u32::MAX` when unread).
+    commit_region: Vec<u32>,
+    /// Regions containing an [`Op::ArrayRead`] of each array: a write to
+    /// the array (committed port or test poke) dirties all of them.
+    array_regions: Vec<Vec<u32>>,
     /// Current-value slot of every signal, indexed by [`SignalId`].
     sig_slots: Vec<Slot>,
     /// `(current, next)` slot pairs for registers with next-value drivers.
@@ -440,6 +728,12 @@ impl Tape {
     /// [`SimError::DriverWidth`] / [`SimError::MalformedExpr`] when a
     /// driver fails the width check.
     pub(crate) fn compile(module: Arc<Module>) -> Result<Tape, SimError> {
+        Tape::compile_with(module, TapeOptions::default())
+    }
+
+    /// [`Tape::compile`] with explicit optimization options (the
+    /// differential test matrix runs every combination).
+    pub(crate) fn compile_with(module: Arc<Module>, opts: TapeOptions) -> Result<Tape, SimError> {
         if !module.instances.is_empty() {
             return Err(SimError::NotFlat(module.name.clone()));
         }
@@ -544,8 +838,12 @@ impl Tape {
             .map(|(id, _)| b.sig_slots[id.0])
             .collect();
 
-        Ok(Tape {
+        let mut tape = Tape {
             ops: b.ops,
+            regions: Vec::new(),
+            sig_region: Vec::new(),
+            commit_region: Vec::new(),
+            array_regions: Vec::new(),
             sig_slots: b.sig_slots,
             reg_commits,
             reg_fp,
@@ -553,8 +851,470 @@ impl Tape {
             prints,
             arrays,
             init_arena: b.arena,
-        })
+        };
+        if opts.fuse {
+            let protected = protected_offs(&tape);
+            tape.ops = fuse_ops(std::mem::take(&mut tape.ops), &protected);
+        }
+        partition_regions(&mut tape, opts.dirty_regions, opts.fuse);
+        Ok(tape)
     }
+
+    /// Histogram of op mnemonics over the settle program (data for
+    /// choosing future fusion candidates; `bench_sim --op-mix`).
+    pub(crate) fn op_mix(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for op in &self.ops {
+            *counts.entry(op.mnemonic()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Number of settle regions (1 when dirty-region partitioning is off
+    /// or the whole design is one connected input cone).
+    pub(crate) fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+// ---- tape optimization: superinstruction fusion + region partition ------
+
+/// Slot offsets that must keep their lowered values: signal slots,
+/// register next-value slots, and every commit-time operand (print
+/// enables/values, array-write enables/indices/data). Everything else is
+/// a lowering temp, eligible for elimination when written and read
+/// exactly once.
+fn protected_offs(t: &Tape) -> std::collections::HashSet<u32> {
+    let mut p: std::collections::HashSet<u32> = t.sig_slots.iter().map(|s| s.off).collect();
+    for (cur, next) in &t.reg_commits {
+        p.insert(cur.off);
+        p.insert(next.off);
+    }
+    for pr in &t.prints {
+        p.insert(pr.enable.off);
+        if let Some(v) = pr.value {
+            p.insert(v.off);
+        }
+    }
+    for w in &t.writes {
+        p.insert(w.enable.off);
+        p.insert(w.index.off);
+        p.insert(w.data.off);
+    }
+    p
+}
+
+/// The superinstruction fusion pass: repeated peephole rewrites over the
+/// op list until a fixpoint (bounded). Each rewrite eliminates a
+/// single-def single-use unprotected temp, so values in every observable
+/// slot — and therefore outputs, prints, toggle counts, and fingerprints
+/// — are bit-identical to the unfused tape.
+fn fuse_ops(mut ops: Vec<Op>, protected: &std::collections::HashSet<u32>) -> Vec<Op> {
+    for _ in 0..4 {
+        let before = ops.len();
+        ops = fuse_pass(ops, protected);
+        if ops.len() == before {
+            break;
+        }
+    }
+    ops
+}
+
+/// Views an op as a two-input bitwise op, for the `Logic3` fusion rule.
+fn as_bw(op: &Op) -> Option<(Slot, Slot, Slot, BwKind)> {
+    match op {
+        Op::And { dst, a, b } => Some((*dst, *a, *b, BwKind::And)),
+        Op::Or { dst, a, b } => Some((*dst, *a, *b, BwKind::Or)),
+        Op::Xor { dst, a, b } => Some((*dst, *a, *b, BwKind::Xor)),
+        _ => None,
+    }
+}
+
+fn fuse_pass(ops: Vec<Op>, protected: &std::collections::HashSet<u32>) -> Vec<Op> {
+    use std::collections::HashMap;
+    let mut defs: HashMap<u32, u32> = HashMap::new();
+    let mut uses: HashMap<u32, u32> = HashMap::new();
+    let mut slots = Vec::new();
+    for op in &ops {
+        if let Some(d) = op.dst_off() {
+            *defs.entry(d).or_insert(0) += 1;
+        }
+        op.slots(&mut slots);
+        for s in &slots[1..] {
+            *uses.entry(s.off).or_insert(0) += 1;
+        }
+    }
+    let temp = |off: u32| -> bool {
+        !protected.contains(&off)
+            && defs.get(&off).copied().unwrap_or(0) == 1
+            && uses.get(&off).copied().unwrap_or(0) == 1
+    };
+
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        if i + 1 < ops.len() {
+            let fused = match (&ops[i], &ops[i + 1]) {
+                // slice → resize: keep only the kept bits of the slice.
+                (Op::Slice { dst: t, src, lo }, Op::Resize { dst, src: s2 })
+                    if s2.off == t.off && temp(t.off) && dst.width <= t.width =>
+                {
+                    Some(Op::Slice {
+                        dst: *dst,
+                        src: *src,
+                        lo: *lo,
+                    })
+                }
+                // slice of slice: offsets add while the inner window covers
+                // the outer read.
+                (
+                    Op::Slice {
+                        dst: t,
+                        src,
+                        lo: lo1,
+                    },
+                    Op::Slice {
+                        dst,
+                        src: s2,
+                        lo: lo2,
+                    },
+                ) if s2.off == t.off && temp(t.off) && lo2 + dst.width <= t.width => {
+                    Some(Op::Slice {
+                        dst: *dst,
+                        src: *src,
+                        lo: lo1 + lo2,
+                    })
+                }
+                // resize of resize: the middle hop is redundant when it
+                // either keeps all final bits or all source bits.
+                (Op::Resize { dst: t, src }, Op::Resize { dst, src: s2 })
+                    if s2.off == t.off
+                        && temp(t.off)
+                        && (dst.width <= t.width || t.width >= src.width) =>
+                {
+                    Some(Op::Resize {
+                        dst: *dst,
+                        src: *src,
+                    })
+                }
+                // resize → slice: read straight from the source when the
+                // slice window lies inside the resize (or the resize was a
+                // pure zero-extension).
+                (Op::Resize { dst: t, src }, Op::Slice { dst, src: s2, lo })
+                    if s2.off == t.off
+                        && temp(t.off)
+                        && (lo + dst.width <= t.width || t.width >= src.width) =>
+                {
+                    Some(Op::Slice {
+                        dst: *dst,
+                        src: *src,
+                        lo: *lo,
+                    })
+                }
+                // add ladder: (a + b) + c with the intermediate sum
+                // unobservable. Exact because all widths are equal, so the
+                // intermediate mod-2^w reduction commutes with the outer add.
+                (Op::Add { dst: t, a, b }, Op::Add { dst, a: x, b: y })
+                    if temp(t.off) && (x.off == t.off) != (y.off == t.off) =>
+                {
+                    let c = if x.off == t.off { *y } else { *x };
+                    Some(Op::Add3 {
+                        dst: *dst,
+                        a: *a,
+                        b: *b,
+                        c,
+                    })
+                }
+                _ => None,
+            };
+            // Bitwise chain: (a <op> b) <op> c with the intermediate
+            // unobservable, any mix of and/or/xor. Requires all five
+            // widths equal: bitwise ops are word-local, so with equal
+            // widths the intermediate mask is a no-op and the fused
+            // result is bit-identical.
+            let fused = fused.or_else(|| {
+                let (t, a, b, first) = as_bw(&ops[i])?;
+                let (dst, x, y, second) = as_bw(&ops[i + 1])?;
+                if !temp(t.off) || (x.off == t.off) == (y.off == t.off) {
+                    return None;
+                }
+                let c = if x.off == t.off { y } else { x };
+                if [t.width, a.width, b.width, c.width]
+                    .iter()
+                    .any(|w| *w != dst.width)
+                {
+                    return None;
+                }
+                Some(Op::Logic3 {
+                    dst,
+                    a,
+                    b,
+                    c,
+                    first,
+                    second,
+                })
+            });
+            if let Some(op) = fused {
+                out.push(op);
+                i += 2;
+                continue;
+            }
+        }
+        // concat of slice/resize temps → one bit-field gather. Each
+        // foldable part's defining op is removed from the already-emitted
+        // prefix (safe: ops are side-effect-free and single-assignment,
+        // the temp has no other reader, and the part source's def
+        // precedes the removed op, hence also the gather). Non-foldable
+        // parts become whole-source fields (src_lo 0), exactly the
+        // original concat semantics.
+        if let Op::Concat { dst, parts } = &ops[i] {
+            let mut gparts = Vec::with_capacity(parts.len());
+            let mut remove = Vec::new();
+            for (part, lo) in parts.iter() {
+                let def = if temp(part.off) {
+                    out.iter()
+                        .enumerate()
+                        .rev()
+                        .find(|(_, o)| o.dst_off() == Some(part.off))
+                        .and_then(|(j, o)| match o {
+                            Op::Slice { src, lo: slo, .. } => Some((j, *src, *slo)),
+                            Op::Resize { src, .. } => Some((j, *src, 0)),
+                            _ => None,
+                        })
+                } else {
+                    None
+                };
+                match def {
+                    Some((j, src, src_lo)) => {
+                        remove.push(j);
+                        gparts.push(GatherPart {
+                            src,
+                            dst_lo: *lo,
+                            src_lo,
+                            width: part.width,
+                        });
+                    }
+                    None => gparts.push(GatherPart {
+                        src: *part,
+                        dst_lo: *lo,
+                        src_lo: 0,
+                        width: part.width,
+                    }),
+                }
+            }
+            if !remove.is_empty() {
+                remove.sort_unstable();
+                for j in remove.into_iter().rev() {
+                    out.remove(j);
+                }
+                out.push(Op::Gather {
+                    dst: *dst,
+                    parts: gparts.into_boxed_slice(),
+                });
+                i += 1;
+                continue;
+            }
+        }
+        // else-chained mux run → one priority-select superinstruction.
+        if let Op::Mux { dst, cond, t, e } = &ops[i] {
+            let mut cases = vec![(*cond, *t)];
+            let mut cur = *dst;
+            let default = *e;
+            let mut j = i + 1;
+            while j < ops.len() {
+                if let Op::Mux {
+                    dst: d2,
+                    cond: c2,
+                    t: t2,
+                    e: e2,
+                } = &ops[j]
+                {
+                    if e2.off == cur.off && temp(cur.off) {
+                        cases.push((*c2, *t2));
+                        cur = *d2;
+                        j += 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+            if cases.len() >= 2 {
+                // The outermost (last-lowered) mux has highest priority.
+                cases.reverse();
+                out.push(Op::MuxChain {
+                    dst: cur,
+                    cases: cases.into_boxed_slice(),
+                    default,
+                });
+                i = j;
+                continue;
+            }
+        }
+        out.push(ops[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Partitions the op list into settle regions — the weakly connected
+/// components of the op graph under "shares a dynamic slot" — then
+/// reorders it region-contiguous (stably, preserving each region's
+/// topological order) and coalesces adjacent copies within regions.
+///
+/// Dynamic slots are those whose value can change between settles:
+/// anything an op writes, plus every signal slot (inputs change via
+/// pokes, register currents via commits). Materialized constants are
+/// excluded, so sharing a constant does not merge unrelated cones.
+/// Because components are maximal, ops in different regions share *no*
+/// dynamic slot — a clean region's outputs are already settled, and
+/// skipping it can never be observed by another region.
+fn partition_regions(tape: &mut Tape, enabled: bool, coalesce: bool) {
+    use std::collections::HashMap;
+    let nops = tape.ops.len();
+
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+    fn union(uf: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(uf, a), find(uf, b));
+        if ra != rb {
+            uf[ra] = rb;
+        }
+    }
+
+    let mut uf: Vec<usize> = (0..nops).collect();
+    let mut slots = Vec::new();
+    if enabled {
+        let mut dynamic: std::collections::HashSet<u32> =
+            tape.sig_slots.iter().map(|s| s.off).collect();
+        for op in &tape.ops {
+            if let Some(d) = op.dst_off() {
+                dynamic.insert(d);
+            }
+        }
+        let mut owner: HashMap<u32, usize> = HashMap::new();
+        for (i, op) in tape.ops.iter().enumerate() {
+            op.slots(&mut slots);
+            for s in &slots {
+                if !dynamic.contains(&s.off) {
+                    continue;
+                }
+                match owner.entry(s.off) {
+                    std::collections::hash_map::Entry::Occupied(o) => union(&mut uf, *o.get(), i),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(i);
+                    }
+                }
+            }
+        }
+    } else if nops > 0 {
+        for i in 1..nops {
+            union(&mut uf, 0, i);
+        }
+    }
+
+    // Region ids in order of first appearance; ops bucketed stably.
+    let mut region_of_root: HashMap<usize, u32> = HashMap::new();
+    let mut op_region: Vec<u32> = Vec::with_capacity(nops);
+    let mut buckets: Vec<Vec<Op>> = Vec::new();
+    for (i, op) in tape.ops.iter().enumerate() {
+        let root = find(&mut uf, i);
+        let next_id = region_of_root.len() as u32;
+        let rid = *region_of_root.entry(root).or_insert(next_id);
+        if rid as usize == buckets.len() {
+            buckets.push(Vec::new());
+        }
+        op_region.push(rid);
+        buckets[rid as usize].push(op.clone());
+    }
+
+    // Slot offset → region (before coalescing erases Copy slots).
+    let mut slot_region: HashMap<u32, u32> = HashMap::new();
+    for (i, op) in tape.ops.iter().enumerate() {
+        op.slots(&mut slots);
+        for s in &slots {
+            slot_region.entry(s.off).or_insert(op_region[i]);
+        }
+    }
+
+    // Within-region copy coalescing: adjacent Copy ops over contiguous
+    // word ranges become one block copy (safe: same region, same order).
+    if coalesce {
+        for ops in &mut buckets {
+            let mut merged: Vec<Op> = Vec::with_capacity(ops.len());
+            for op in ops.drain(..) {
+                if let Op::Copy { dst, src } = op {
+                    match merged.last_mut() {
+                        Some(Op::Copy { dst: d1, src: s1 })
+                            if dst.off == d1.off + d1.words && src.off == s1.off + s1.words =>
+                        {
+                            let repl = Op::CopyRange {
+                                dst_off: d1.off,
+                                src_off: s1.off,
+                                words: d1.words + dst.words,
+                            };
+                            *merged.last_mut().unwrap() = repl;
+                            continue;
+                        }
+                        Some(Op::CopyRange {
+                            dst_off,
+                            src_off,
+                            words,
+                        }) if dst.off == *dst_off + *words && src.off == *src_off + *words => {
+                            *words += dst.words;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    merged.push(Op::Copy { dst, src });
+                } else {
+                    merged.push(op);
+                }
+            }
+            *ops = merged;
+        }
+    }
+
+    let mut ops = Vec::with_capacity(nops);
+    let mut regions = Vec::with_capacity(buckets.len());
+    for bucket in buckets {
+        let start = ops.len() as u32;
+        ops.extend(bucket);
+        regions.push((start, ops.len() as u32));
+    }
+    tape.ops = ops;
+    tape.regions = regions;
+
+    tape.sig_region = tape
+        .sig_slots
+        .iter()
+        .map(|s| slot_region.get(&s.off).copied().unwrap_or(u32::MAX))
+        .collect();
+    tape.commit_region = tape
+        .reg_commits
+        .iter()
+        .map(|(cur, _)| slot_region.get(&cur.off).copied().unwrap_or(u32::MAX))
+        .collect();
+    let mut array_regions: Vec<Vec<u32>> = vec![Vec::new(); tape.arrays.len()];
+    for (i, op) in tape.ops.iter().enumerate() {
+        if let Op::ArrayRead { array, .. } = op {
+            // Recompute the region from the final (reordered) index.
+            let rid = tape
+                .regions
+                .iter()
+                .position(|(s, e)| (*s as usize..*e as usize).contains(&i))
+                .expect("op inside some region") as u32;
+            let regs = &mut array_regions[*array as usize];
+            if !regs.contains(&rid) {
+                regs.push(rid);
+            }
+        }
+    }
+    tape.array_regions = array_regions;
 }
 
 // ---- word-level helpers -------------------------------------------------
@@ -825,6 +1585,19 @@ fn exec_op(
             let n = dst.width().min(src.width());
             or_bits(arena, *dst, 0, *src, 0, n);
         }
+        Op::Gather { dst, parts } => {
+            zero_slot(arena, *dst);
+            for p in parts.iter() {
+                or_bits(
+                    arena,
+                    *dst,
+                    p.dst_lo as usize,
+                    p.src,
+                    p.src_lo as usize,
+                    p.width as usize,
+                );
+            }
+        }
         Op::ArrayRead { dst, array, index } => {
             let meta = &metas[*array as usize];
             let idx = arena[index.off()] as usize;
@@ -835,6 +1608,53 @@ fn exec_op(
             } else {
                 zero_slot(arena, *dst);
             }
+        }
+        Op::Add3 { dst, a, b, c } => {
+            let mut carry: u128 = 0;
+            for k in 0..dst.words() {
+                let cur = arena[a.off() + k] as u128
+                    + arena[b.off() + k] as u128
+                    + arena[c.off() + k] as u128
+                    + carry;
+                arena[dst.off() + k] = cur as u64;
+                carry = cur >> 64;
+            }
+            arena[dst.off() + dst.words() - 1] &= dst.top_mask();
+        }
+        Op::Logic3 {
+            dst,
+            a,
+            b,
+            c,
+            first,
+            second,
+        } => {
+            for k in 0..dst.words() {
+                let t = bw(arena[a.off() + k], arena[b.off() + k], *first);
+                arena[dst.off() + k] = bw(t, arena[c.off() + k], *second);
+            }
+        }
+        Op::MuxChain {
+            dst,
+            cases,
+            default,
+        } => {
+            let mut src = *default;
+            for (c, v) in cases.iter() {
+                if any_set(arena, *c) {
+                    src = *v;
+                    break;
+                }
+            }
+            copy_slot(arena, *dst, src);
+        }
+        Op::CopyRange {
+            dst_off,
+            src_off,
+            words,
+        } => {
+            let (d, s, w) = (*dst_off as usize, *src_off as usize, *words as usize);
+            arena.copy_within(s..s + w, d);
         }
     }
 }
@@ -1000,51 +1820,73 @@ impl SimBackend for TapeEngine {
 
 // ---- multi-lane execution ----------------------------------------------
 //
-// The same tape, executed across [`LANES`] independent stimulus lanes at
-// once. The state arena becomes a structure-of-arrays at word granularity:
-// logical arena word `w` of lane `l` lives at `arena[w * LANES + l]`, so a
-// slot's storage is the contiguous range `s.off()*LANES .. (s.off() +
-// s.words())*LANES`. Every op decodes once and its inner loop runs across
+// The same tape, executed across `L` independent stimulus lanes at once.
+// The state arena becomes a structure-of-arrays at word granularity:
+// logical arena word `w` of lane `l` lives at `arena[w * L + l]`, so a
+// slot's storage is the contiguous range `s.off()*L .. (s.off() +
+// s.words())*L`. Every op decodes once and its inner loop runs across
 // all lanes over contiguous memory — the dispatch cost is amortized
-// `LANES`-fold and the lane loops auto-vectorize (8 × u64 = one AVX-512
-// register, two AVX2 registers).
+// `L`-fold and the lane loops auto-vectorize.
+//
+// `L` is a const generic, monomorphized for every width in
+// [`LANE_WIDTHS`] (4 · u64 = one AVX2 register, 8 = one AVX-512
+// register, 16/32 = unrolled multiples that amortize the decode
+// further). The [`LaneGroup`] trait object erases the width so
+// `SimBatch` can mix strides — full-width groups plus a narrower tail.
 //
 // Lane-divergent behaviour (mux selects, shift amounts, memory indices,
 // print enables, toggle counts, fingerprints) is handled per lane; the
-// result is bit-identical to running `LANES` scalar [`TapeEngine`]s.
-
-/// Number of stimulus lanes a [`LaneEngine`] executes in lockstep. Fixed
-/// (rather than const-generic) so there is exactly one monomorphized
-/// executor; wider batches stack multiple engines.
-pub(crate) const LANES: usize = 8;
+// result is bit-identical to running `L` scalar [`TapeEngine`]s.
+//
+// Settle-skipping: the tape's regions (see [`Tape::regions`]) each carry
+// a dirty bit. A poke that changes an input dirties the region reading
+// it; a commit dirties the regions reading each register that actually
+// changed and each memory actually written; settle executes only dirty
+// regions. Clean regions' slots already hold settled values, and no
+// region reads another's slots, so the skip is unobservable.
 
 #[inline]
-fn lane_base(s: Slot, k: usize) -> usize {
-    (s.off() + k) * LANES
+fn lane_base<const L: usize>(s: Slot, k: usize) -> usize {
+    (s.off() + k) * L
 }
 
-fn zero_slot_lane(arena: &mut [u64], s: Slot, l: usize) {
+/// Loads one laned word row as a fixed-size array (two AVX-512 loads at
+/// `L = 16`). The copy decouples source reads from destination writes:
+/// the per-op lane loops then carry no aliasing or bounds checks and
+/// compile to straight vector code.
+#[inline(always)]
+fn row<const L: usize>(arena: &[u64], base: usize) -> [u64; L] {
+    arena[base..base + L].try_into().unwrap()
+}
+
+/// Mutable view of one laned word row with compile-time length.
+#[inline(always)]
+fn row_mut<const L: usize>(arena: &mut [u64], base: usize) -> &mut [u64; L] {
+    (&mut arena[base..base + L]).try_into().unwrap()
+}
+
+fn zero_slot_lane<const L: usize>(arena: &mut [u64], s: Slot, l: usize) {
     for k in 0..s.words() {
-        arena[lane_base(s, k) + l] = 0;
+        arena[lane_base::<L>(s, k) + l] = 0;
     }
 }
 
-fn any_set_lane(arena: &[u64], s: Slot, l: usize) -> bool {
-    (0..s.words()).any(|k| arena[lane_base(s, k) + l] != 0)
+fn any_set_lane<const L: usize>(arena: &[u64], s: Slot, l: usize) -> bool {
+    (0..s.words()).any(|k| arena[lane_base::<L>(s, k) + l] != 0)
 }
 
 /// Lane-indexed [`read_chunk`]: `n` (≤ 64) bits of lane `l` of `s`
 /// starting at bit `lo`.
-fn read_chunk_lane(arena: &[u64], s: Slot, lo: usize, n: usize, l: usize) -> u64 {
+fn read_chunk_lane<const L: usize>(arena: &[u64], s: Slot, lo: usize, n: usize, l: usize) -> u64 {
     let total = s.words() * 64;
     if lo >= total {
         return 0;
     }
     let wi = lo / 64;
     let sh = lo % 64;
-    let mut v = arena[lane_base(s, wi) + l] >> sh;
+    let mut v = arena[lane_base::<L>(s, wi) + l] >> sh;
     if sh != 0 && wi + 1 < s.words() {
-        v |= arena[lane_base(s, wi + 1) + l] << (64 - sh);
+        v |= arena[lane_base::<L>(s, wi + 1) + l] << (64 - sh);
     }
     if n < 64 {
         v &= (1u64 << n) - 1;
@@ -1053,19 +1895,26 @@ fn read_chunk_lane(arena: &[u64], s: Slot, lo: usize, n: usize, l: usize) -> u64
 }
 
 /// Lane-indexed [`or_chunk`]; target bits must currently be zero.
-fn or_chunk_lane(arena: &mut [u64], s: Slot, lo: usize, n: usize, val: u64, l: usize) {
+fn or_chunk_lane<const L: usize>(
+    arena: &mut [u64],
+    s: Slot,
+    lo: usize,
+    n: usize,
+    val: u64,
+    l: usize,
+) {
     let wi = lo / 64;
     let sh = lo % 64;
     let v = if n < 64 { val & ((1u64 << n) - 1) } else { val };
-    arena[lane_base(s, wi) + l] |= v << sh;
+    arena[lane_base::<L>(s, wi) + l] |= v << sh;
     if sh != 0 && sh + n > 64 {
-        arena[lane_base(s, wi + 1) + l] |= v >> (64 - sh);
+        arena[lane_base::<L>(s, wi + 1) + l] |= v >> (64 - sh);
     }
 }
 
 /// Per-lane [`or_bits`] (used where the bit offset differs per lane, i.e.
 /// run-time shifts).
-fn or_bits_lane(
+fn or_bits_lane<const L: usize>(
     arena: &mut [u64],
     dst: Slot,
     dst_lo: usize,
@@ -1077,29 +1926,148 @@ fn or_bits_lane(
     let mut k = 0;
     while k < n {
         let step = (n - k).min(64);
-        let v = read_chunk_lane(arena, src, src_lo + k, step, l);
-        or_chunk_lane(arena, dst, dst_lo + k, step, v, l);
+        let v = read_chunk_lane::<L>(arena, src, src_lo + k, step, l);
+        or_chunk_lane::<L>(arena, dst, dst_lo + k, step, v, l);
         k += step;
     }
 }
 
-/// All-lane [`or_bits`]: the chunk arithmetic is shared across lanes, the
-/// inner lane loop runs over contiguous words (slices, concats, resizes).
-fn or_bits_lanes(arena: &mut [u64], dst: Slot, dst_lo: usize, src: Slot, src_lo: usize, n: usize) {
+/// All-lane funnel-shift extract for [`Op::Slice`]: each destination word
+/// is `(src[wi+k] >> sh) | (src[wi+k+1] << (64-sh))`, so the shift
+/// arithmetic is decided once per word and the lane loops are straight
+/// (branch-free, auto-vectorizable) passes over contiguous words.
+fn slice_lanes<const L: usize>(arena: &mut [u64], dst: Slot, src: Slot, lo: usize) {
+    let (wi, sh) = (lo / 64, lo % 64);
+    let sw = src.words();
+    for k in 0..dst.words() {
+        let db = lane_base::<L>(dst, k);
+        if wi + k >= sw {
+            *row_mut::<L>(arena, db) = [0u64; L];
+            continue;
+        }
+        let lo_r = row::<L>(arena, lane_base::<L>(src, wi + k));
+        if sh == 0 {
+            *row_mut::<L>(arena, db) = lo_r;
+        } else {
+            let hi_r = if wi + k + 1 < sw {
+                row::<L>(arena, lane_base::<L>(src, wi + k + 1))
+            } else {
+                [0u64; L]
+            };
+            let out = row_mut::<L>(arena, db);
+            for l in 0..L {
+                out[l] = (lo_r[l] >> sh) | (hi_r[l] << (64 - sh));
+            }
+        }
+    }
+    mask_top_lanes::<L>(arena, dst);
+}
+
+/// All-lane bit deposit for [`Op::Concat`]/[`Op::Resize`]: ORs the low
+/// `n` bits of `src` into `dst` starting at bit `dst_lo` (target bits
+/// must be zero). One shift decision per source word, branch-free lane
+/// loops.
+fn deposit_lanes<const L: usize>(arena: &mut [u64], dst: Slot, dst_lo: usize, src: Slot, n: usize) {
+    let mut k = 0;
+    while k * 64 < n {
+        let bits = (n - k * 64).min(64);
+        let m = if bits < 64 {
+            (1u64 << bits) - 1
+        } else {
+            u64::MAX
+        };
+        let lo = dst_lo + k * 64;
+        let (wi, sh) = (lo / 64, lo % 64);
+        let s_r = row::<L>(arena, lane_base::<L>(src, k));
+        let d = row_mut::<L>(arena, lane_base::<L>(dst, wi));
+        if sh == 0 {
+            for l in 0..L {
+                d[l] |= s_r[l] & m;
+            }
+        } else {
+            for l in 0..L {
+                d[l] |= (s_r[l] & m) << sh;
+            }
+            if sh + bits > 64 {
+                let d2 = row_mut::<L>(arena, lane_base::<L>(dst, wi + 1));
+                for l in 0..L {
+                    d2[l] |= (s_r[l] & m) >> (64 - sh);
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// All-lane bit-field move for one [`Op::Gather`] part: ORs `n` bits of
+/// `src` starting at `src_lo` into `dst` at `dst_lo` (bits past the top
+/// of `src` read as zero; target bits must be zero). A funnel-shift read
+/// feeds a shifted deposit, 64 bits per chunk — shift decisions happen
+/// once per chunk, the lane loops are branch-free.
+fn gather_lanes<const L: usize>(
+    arena: &mut [u64],
+    dst: Slot,
+    dst_lo: usize,
+    src: Slot,
+    src_lo: usize,
+    n: usize,
+) {
+    let sw = src.words();
     let mut k = 0;
     while k < n {
-        let step = (n - k).min(64);
-        for l in 0..LANES {
-            let v = read_chunk_lane(arena, src, src_lo + k, step, l);
-            or_chunk_lane(arena, dst, dst_lo + k, step, v, l);
+        let bits = (n - k).min(64);
+        let m = if bits < 64 {
+            (1u64 << bits) - 1
+        } else {
+            u64::MAX
+        };
+        let (swi, ssh) = ((src_lo + k) / 64, (src_lo + k) % 64);
+        let mut v = [0u64; L];
+        if swi < sw {
+            let lo_r = row::<L>(arena, lane_base::<L>(src, swi));
+            if ssh == 0 {
+                v = lo_r;
+            } else if ssh + bits <= 64 || swi + 1 >= sw {
+                // The masked chunk lives entirely in the lo word (the
+                // common case for byte-granular shuffles) — skip the hi
+                // row read, the mask below kills those bits anyway.
+                for l in 0..L {
+                    v[l] = lo_r[l] >> ssh;
+                }
+            } else {
+                let hi_r = row::<L>(arena, lane_base::<L>(src, swi + 1));
+                for l in 0..L {
+                    v[l] = (lo_r[l] >> ssh) | (hi_r[l] << (64 - ssh));
+                }
+            }
         }
-        k += step;
+        let (dwi, dsh) = ((dst_lo + k) / 64, (dst_lo + k) % 64);
+        let d = row_mut::<L>(arena, lane_base::<L>(dst, dwi));
+        if dsh == 0 {
+            for l in 0..L {
+                d[l] |= v[l] & m;
+            }
+        } else {
+            for l in 0..L {
+                d[l] |= (v[l] & m) << dsh;
+            }
+            if dsh + bits > 64 {
+                let d2 = row_mut::<L>(arena, lane_base::<L>(dst, dwi + 1));
+                for l in 0..L {
+                    d2[l] |= (v[l] & m) >> (64 - dsh);
+                }
+            }
+        }
+        k += bits;
     }
 }
 
-fn unsigned_lt_lane(arena: &[u64], a: Slot, b: Slot, l: usize) -> bool {
+fn unsigned_lt_lane<const L: usize>(arena: &[u64], a: Slot, b: Slot, l: usize) -> bool {
     for k in (0..a.words()).rev() {
-        let (x, y) = (arena[lane_base(a, k) + l], arena[lane_base(b, k) + l]);
+        let (x, y) = (
+            arena[lane_base::<L>(a, k) + l],
+            arena[lane_base::<L>(b, k) + l],
+        );
         if x != y {
             return x < y;
         }
@@ -1108,26 +2076,28 @@ fn unsigned_lt_lane(arena: &[u64], a: Slot, b: Slot, l: usize) -> bool {
 }
 
 /// Masks the top word of every lane of `s` down to its valid bits.
-fn mask_top_lanes(arena: &mut [u64], s: Slot) {
+fn mask_top_lanes<const L: usize>(arena: &mut [u64], s: Slot) {
     let m = s.top_mask();
     if m == u64::MAX {
         return;
     }
-    let base = lane_base(s, s.words() - 1);
-    for l in 0..LANES {
-        arena[base + l] &= m;
+    let top = row_mut::<L>(arena, lane_base::<L>(s, s.words() - 1));
+    for v in top.iter_mut() {
+        *v &= m;
     }
 }
 
-/// Zeroes every lane of `s` (contiguous in the laned layout).
-fn zero_slot_lanes(arena: &mut [u64], s: Slot) {
-    let base = s.off() * LANES;
-    arena[base..base + s.words() * LANES].fill(0);
+/// Zeroes every lane of `s` (fixed-size rows: plain vector stores, no
+/// `memset` call for the typical one/two-word slot).
+fn zero_slot_lanes<const L: usize>(arena: &mut [u64], s: Slot) {
+    for k in 0..s.words() {
+        *row_mut::<L>(arena, lane_base::<L>(s, k)) = [0u64; L];
+    }
 }
 
-/// Executes one op across all lanes. `scratch` holds `LANES` lane-major
+/// Executes one op across all lanes. `scratch` holds `L` lane-major
 /// segments for multi-word multiplication.
-fn exec_op_lanes(
+fn exec_op_lanes<const L: usize>(
     op: &Op,
     arena: &mut [u64],
     scratch: &mut [u64],
@@ -1136,277 +2106,481 @@ fn exec_op_lanes(
 ) {
     match op {
         Op::Copy { dst, src } => {
-            let (d, s) = (dst.off() * LANES, src.off() * LANES);
-            arena.copy_within(s..s + src.words() * LANES, d);
+            for k in 0..src.words() {
+                let r = row::<L>(arena, lane_base::<L>(*src, k));
+                *row_mut::<L>(arena, lane_base::<L>(*dst, k)) = r;
+            }
         }
         Op::Not { dst, a } => {
-            let (d, s) = (dst.off() * LANES, a.off() * LANES);
-            for i in 0..dst.words() * LANES {
-                arena[d + i] = !arena[s + i];
+            for k in 0..dst.words() {
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    d[l] = !a_r[l];
+                }
             }
-            mask_top_lanes(arena, *dst);
+            mask_top_lanes::<L>(arena, *dst);
         }
         Op::Neg { dst, a } => {
-            let mut borrow = [0u64; LANES];
+            let mut borrow = [0u64; L];
             for k in 0..dst.words() {
-                let (ab, db) = (lane_base(*a, k), lane_base(*dst, k));
-                for l in 0..LANES {
-                    let (d1, b1) = 0u64.overflowing_sub(arena[ab + l]);
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    let (d1, b1) = 0u64.overflowing_sub(a_r[l]);
                     let (d2, b2) = d1.overflowing_sub(borrow[l]);
-                    arena[db + l] = d2;
+                    d[l] = d2;
                     borrow[l] = u64::from(b1) | u64::from(b2);
                 }
             }
-            mask_top_lanes(arena, *dst);
+            mask_top_lanes::<L>(arena, *dst);
         }
         Op::Add { dst, a, b } => {
-            let mut carry = [0u64; LANES];
+            let mut carry = [0u64; L];
             for k in 0..dst.words() {
-                let (ab, bb, db) = (lane_base(*a, k), lane_base(*b, k), lane_base(*dst, k));
-                for l in 0..LANES {
-                    let (s1, c1) = arena[ab + l].overflowing_add(arena[bb + l]);
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    let (s1, c1) = a_r[l].overflowing_add(b_r[l]);
                     let (s2, c2) = s1.overflowing_add(carry[l]);
-                    arena[db + l] = s2;
+                    d[l] = s2;
                     carry[l] = u64::from(c1) | u64::from(c2);
                 }
             }
-            mask_top_lanes(arena, *dst);
+            mask_top_lanes::<L>(arena, *dst);
         }
         Op::Sub { dst, a, b } => {
-            let mut borrow = [0u64; LANES];
+            let mut borrow = [0u64; L];
             for k in 0..dst.words() {
-                let (ab, bb, db) = (lane_base(*a, k), lane_base(*b, k), lane_base(*dst, k));
-                for l in 0..LANES {
-                    let (d1, b1) = arena[ab + l].overflowing_sub(arena[bb + l]);
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    let (d1, b1) = a_r[l].overflowing_sub(b_r[l]);
                     let (d2, b2) = d1.overflowing_sub(borrow[l]);
-                    arena[db + l] = d2;
+                    d[l] = d2;
                     borrow[l] = u64::from(b1) | u64::from(b2);
                 }
             }
-            mask_top_lanes(arena, *dst);
+            mask_top_lanes::<L>(arena, *dst);
         }
         Op::Mul { dst, a, b } => {
             let w = dst.words();
-            for l in 0..LANES {
+            for l in 0..L {
                 let acc = l * w;
                 scratch[acc..acc + w].fill(0);
                 for i in 0..w {
-                    let ai = arena[lane_base(*a, i) + l];
+                    let ai = arena[lane_base::<L>(*a, i) + l];
                     if ai == 0 {
                         continue;
                     }
                     let mut carry: u128 = 0;
                     for j in 0..w - i {
                         let cur = scratch[acc + i + j] as u128
-                            + (ai as u128) * (arena[lane_base(*b, j) + l] as u128)
+                            + (ai as u128) * (arena[lane_base::<L>(*b, j) + l] as u128)
                             + carry;
                         scratch[acc + i + j] = cur as u64;
                         carry = cur >> 64;
                     }
                 }
                 for k in 0..w {
-                    arena[lane_base(*dst, k) + l] = scratch[acc + k];
+                    arena[lane_base::<L>(*dst, k) + l] = scratch[acc + k];
                 }
             }
-            mask_top_lanes(arena, *dst);
+            mask_top_lanes::<L>(arena, *dst);
         }
         Op::And { dst, a, b } => {
-            let (d, x, y) = (dst.off() * LANES, a.off() * LANES, b.off() * LANES);
-            for i in 0..dst.words() * LANES {
-                arena[d + i] = arena[x + i] & arena[y + i];
+            for k in 0..dst.words() {
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    d[l] = a_r[l] & b_r[l];
+                }
             }
         }
         Op::Or { dst, a, b } => {
-            let (d, x, y) = (dst.off() * LANES, a.off() * LANES, b.off() * LANES);
-            for i in 0..dst.words() * LANES {
-                arena[d + i] = arena[x + i] | arena[y + i];
+            for k in 0..dst.words() {
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    d[l] = a_r[l] | b_r[l];
+                }
             }
         }
         Op::Xor { dst, a, b } => {
-            let (d, x, y) = (dst.off() * LANES, a.off() * LANES, b.off() * LANES);
-            for i in 0..dst.words() * LANES {
-                arena[d + i] = arena[x + i] ^ arena[y + i];
+            for k in 0..dst.words() {
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    d[l] = a_r[l] ^ b_r[l];
+                }
             }
         }
         Op::Cmp { dst, a, b, kind } => {
-            let db = dst.off() * LANES;
             match kind {
                 CmpKind::Eq | CmpKind::Ne => {
-                    let mut diff = [0u64; LANES];
+                    let mut diff = [0u64; L];
                     for k in 0..a.words() {
-                        let (ab, bb) = (lane_base(*a, k), lane_base(*b, k));
-                        for l in 0..LANES {
-                            diff[l] |= arena[ab + l] ^ arena[bb + l];
+                        let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                        let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                        for l in 0..L {
+                            diff[l] |= a_r[l] ^ b_r[l];
                         }
                     }
                     let want_eq = matches!(kind, CmpKind::Eq);
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from((diff[l] == 0) == want_eq);
+                    let d = row_mut::<L>(arena, dst.off() * L);
+                    for l in 0..L {
+                        d[l] = u64::from((diff[l] == 0) == want_eq);
+                    }
+                }
+                // Ordered compares: branch-free single-word fast path
+                // (the common case), word-scan per lane otherwise.
+                _ if a.words() == 1 => {
+                    let a_r = row::<L>(arena, a.off() * L);
+                    let b_r = row::<L>(arena, b.off() * L);
+                    let d = row_mut::<L>(arena, dst.off() * L);
+                    for l in 0..L {
+                        d[l] = u64::from(match kind {
+                            CmpKind::Lt => a_r[l] < b_r[l],
+                            CmpKind::Le => a_r[l] <= b_r[l],
+                            CmpKind::Gt => a_r[l] > b_r[l],
+                            _ => a_r[l] >= b_r[l],
+                        });
                     }
                 }
                 CmpKind::Lt => {
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from(unsigned_lt_lane(arena, *a, *b, l));
+                    for l in 0..L {
+                        arena[dst.off() * L + l] =
+                            u64::from(unsigned_lt_lane::<L>(arena, *a, *b, l));
                     }
                 }
                 CmpKind::Le => {
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from(!unsigned_lt_lane(arena, *b, *a, l));
+                    for l in 0..L {
+                        arena[dst.off() * L + l] =
+                            u64::from(!unsigned_lt_lane::<L>(arena, *b, *a, l));
                     }
                 }
                 CmpKind::Gt => {
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from(unsigned_lt_lane(arena, *b, *a, l));
+                    for l in 0..L {
+                        arena[dst.off() * L + l] =
+                            u64::from(unsigned_lt_lane::<L>(arena, *b, *a, l));
                     }
                 }
                 CmpKind::Ge => {
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from(!unsigned_lt_lane(arena, *a, *b, l));
+                    for l in 0..L {
+                        arena[dst.off() * L + l] =
+                            u64::from(!unsigned_lt_lane::<L>(arena, *a, *b, l));
                     }
                 }
             }
         }
-        Op::Red { dst, a, kind } => {
-            let db = dst.off() * LANES;
-            match kind {
-                RedKind::Or | RedKind::LogicNot => {
-                    let mut acc = [0u64; LANES];
-                    for k in 0..a.words() {
-                        let ab = lane_base(*a, k);
-                        for l in 0..LANES {
-                            acc[l] |= arena[ab + l];
-                        }
-                    }
-                    let want_any = matches!(kind, RedKind::Or);
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from((acc[l] != 0) == want_any);
+        Op::Red { dst, a, kind } => match kind {
+            RedKind::Or | RedKind::LogicNot => {
+                let mut acc = [0u64; L];
+                for k in 0..a.words() {
+                    let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                    for l in 0..L {
+                        acc[l] |= a_r[l];
                     }
                 }
-                RedKind::Xor => {
-                    let mut acc = [0u64; LANES];
-                    for k in 0..a.words() {
-                        let ab = lane_base(*a, k);
-                        for l in 0..LANES {
-                            acc[l] ^= arena[ab + l];
-                        }
-                    }
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from(acc[l].count_ones() % 2 == 1);
-                    }
-                }
-                RedKind::And => {
-                    let mut all = [true; LANES];
-                    for k in 0..a.words() {
-                        let ab = lane_base(*a, k);
-                        let expect = if k + 1 == a.words() {
-                            a.top_mask()
-                        } else {
-                            u64::MAX
-                        };
-                        for l in 0..LANES {
-                            all[l] &= arena[ab + l] == expect;
-                        }
-                    }
-                    for l in 0..LANES {
-                        arena[db + l] = u64::from(all[l]);
-                    }
+                let want_any = matches!(kind, RedKind::Or);
+                let d = row_mut::<L>(arena, dst.off() * L);
+                for l in 0..L {
+                    d[l] = u64::from((acc[l] != 0) == want_any);
                 }
             }
-        }
+            RedKind::Xor => {
+                let mut acc = [0u64; L];
+                for k in 0..a.words() {
+                    let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                    for l in 0..L {
+                        acc[l] ^= a_r[l];
+                    }
+                }
+                let d = row_mut::<L>(arena, dst.off() * L);
+                for l in 0..L {
+                    d[l] = u64::from(acc[l].count_ones() % 2 == 1);
+                }
+            }
+            RedKind::And => {
+                let mut all = [true; L];
+                for k in 0..a.words() {
+                    let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                    let expect = if k + 1 == a.words() {
+                        a.top_mask()
+                    } else {
+                        u64::MAX
+                    };
+                    for l in 0..L {
+                        all[l] &= a_r[l] == expect;
+                    }
+                }
+                let d = row_mut::<L>(arena, dst.off() * L);
+                for l in 0..L {
+                    d[l] = u64::from(all[l]);
+                }
+            }
+        },
         Op::Shift { dst, a, amt, left } => {
             let width = dst.width();
-            for l in 0..LANES {
-                let n = arena[amt.off() * LANES + l].min(u64::from(u32::MAX)) as usize;
-                zero_slot_lane(arena, *dst, l);
+            // Shift amounts are frequently lane-uniform (constant
+            // rotations, shared control): detect it and run the all-lane
+            // funnel-shift path instead of the per-lane bit walk.
+            let amt_r = row::<L>(arena, amt.off() * L);
+            if amt.words() == 1 && amt_r.iter().all(|&v| v == amt_r[0]) {
+                let n = amt_r[0].min(u64::from(u32::MAX)) as usize;
+                if n >= width {
+                    zero_slot_lanes::<L>(arena, *dst);
+                } else if *left {
+                    zero_slot_lanes::<L>(arena, *dst);
+                    deposit_lanes::<L>(arena, *dst, n, *a, width - n);
+                } else {
+                    slice_lanes::<L>(arena, *dst, *a, n);
+                }
+                return;
+            }
+            for l in 0..L {
+                let n = arena[amt.off() * L + l].min(u64::from(u32::MAX)) as usize;
+                zero_slot_lane::<L>(arena, *dst, l);
                 if n < width {
                     if *left {
-                        or_bits_lane(arena, *dst, n, *a, 0, width - n, l);
+                        or_bits_lane::<L>(arena, *dst, n, *a, 0, width - n, l);
                     } else {
-                        or_bits_lane(arena, *dst, 0, *a, n, width - n, l);
+                        or_bits_lane::<L>(arena, *dst, 0, *a, n, width - n, l);
                     }
                 }
             }
         }
         Op::Mux { dst, cond, t, e } => {
-            let mut mask = [0u64; LANES];
+            let mut mask = [0u64; L];
             for k in 0..cond.words() {
-                let cb = lane_base(*cond, k);
-                for l in 0..LANES {
-                    mask[l] |= arena[cb + l];
+                let c_r = row::<L>(arena, lane_base::<L>(*cond, k));
+                for l in 0..L {
+                    mask[l] |= c_r[l];
                 }
             }
             for m in &mut mask {
                 *m = if *m != 0 { u64::MAX } else { 0 };
             }
             for k in 0..dst.words() {
-                let (db, tb, eb) = (lane_base(*dst, k), lane_base(*t, k), lane_base(*e, k));
-                for l in 0..LANES {
-                    arena[db + l] = (arena[tb + l] & mask[l]) | (arena[eb + l] & !mask[l]);
+                let t_r = row::<L>(arena, lane_base::<L>(*t, k));
+                let e_r = row::<L>(arena, lane_base::<L>(*e, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    d[l] = (t_r[l] & mask[l]) | (e_r[l] & !mask[l]);
                 }
             }
         }
         Op::Slice { dst, src, lo } => {
-            zero_slot_lanes(arena, *dst);
-            or_bits_lanes(arena, *dst, 0, *src, *lo as usize, dst.width());
+            slice_lanes::<L>(arena, *dst, *src, *lo as usize);
         }
         Op::Concat { dst, parts } => {
-            zero_slot_lanes(arena, *dst);
+            zero_slot_lanes::<L>(arena, *dst);
             for (part, lo) in parts.iter() {
-                or_bits_lanes(arena, *dst, *lo as usize, *part, 0, part.width());
+                deposit_lanes::<L>(arena, *dst, *lo as usize, *part, part.width());
             }
         }
         Op::Resize { dst, src } => {
-            zero_slot_lanes(arena, *dst);
+            zero_slot_lanes::<L>(arena, *dst);
             let n = dst.width().min(src.width());
-            or_bits_lanes(arena, *dst, 0, *src, 0, n);
+            deposit_lanes::<L>(arena, *dst, 0, *src, n);
+        }
+        Op::Gather { dst, parts } => {
+            if dst.words() == 1 {
+                // Single-word destination (the byte-shuffle common case):
+                // every part is a single ≤64-bit chunk, so the whole
+                // gather accumulates in one local row and the destination
+                // is written exactly once — no zero pass, no per-part
+                // read-modify-write of the destination row.
+                let mut acc = [0u64; L];
+                for p in parts.iter() {
+                    let (bits, ssh) = (p.width as usize, p.src_lo as usize % 64);
+                    let swi = p.src_lo as usize / 64;
+                    let sw = p.src.words();
+                    let m = if bits < 64 {
+                        (1u64 << bits) - 1
+                    } else {
+                        u64::MAX
+                    };
+                    if swi >= sw {
+                        continue;
+                    }
+                    let lo_r = row::<L>(arena, lane_base::<L>(p.src, swi));
+                    let dsh = p.dst_lo as usize;
+                    if ssh == 0 {
+                        for l in 0..L {
+                            acc[l] |= (lo_r[l] & m) << dsh;
+                        }
+                    } else if ssh + bits <= 64 || swi + 1 >= sw {
+                        for l in 0..L {
+                            acc[l] |= ((lo_r[l] >> ssh) & m) << dsh;
+                        }
+                    } else {
+                        let hi_r = row::<L>(arena, lane_base::<L>(p.src, swi + 1));
+                        for l in 0..L {
+                            acc[l] |= (((lo_r[l] >> ssh) | (hi_r[l] << (64 - ssh))) & m) << dsh;
+                        }
+                    }
+                }
+                *row_mut::<L>(arena, dst.off() * L) = acc;
+            } else {
+                zero_slot_lanes::<L>(arena, *dst);
+                for p in parts.iter() {
+                    gather_lanes::<L>(
+                        arena,
+                        *dst,
+                        p.dst_lo as usize,
+                        p.src,
+                        p.src_lo as usize,
+                        p.width as usize,
+                    );
+                }
+            }
         }
         Op::ArrayRead { dst, array, index } => {
             let meta = &metas[*array as usize];
             let wpe = meta.wpe as usize;
             let store = &arrays[*array as usize];
-            for l in 0..LANES {
-                let idx = arena[index.off() * LANES + l] as usize;
+            for l in 0..L {
+                let idx = arena[index.off() * L + l] as usize;
                 if idx < meta.depth as usize {
                     for k in 0..wpe {
-                        arena[lane_base(*dst, k) + l] = store[(idx * wpe + k) * LANES + l];
+                        arena[lane_base::<L>(*dst, k) + l] = store[(idx * wpe + k) * L + l];
                     }
                 } else {
-                    zero_slot_lane(arena, *dst, l);
+                    zero_slot_lane::<L>(arena, *dst, l);
                 }
             }
+        }
+        Op::Add3 { dst, a, b, c } => {
+            let mut carry = [0u64; L];
+            for k in 0..dst.words() {
+                let (ab, bb, cb, db) = (
+                    lane_base::<L>(*a, k),
+                    lane_base::<L>(*b, k),
+                    lane_base::<L>(*c, k),
+                    lane_base::<L>(*dst, k),
+                );
+                for l in 0..L {
+                    let cur = arena[ab + l] as u128
+                        + arena[bb + l] as u128
+                        + arena[cb + l] as u128
+                        + carry[l] as u128;
+                    arena[db + l] = cur as u64;
+                    carry[l] = (cur >> 64) as u64;
+                }
+            }
+            mask_top_lanes::<L>(arena, *dst);
+        }
+        Op::Logic3 {
+            dst,
+            a,
+            b,
+            c,
+            first,
+            second,
+        } => {
+            for k in 0..dst.words() {
+                let a_r = row::<L>(arena, lane_base::<L>(*a, k));
+                let b_r = row::<L>(arena, lane_base::<L>(*b, k));
+                let c_r = row::<L>(arena, lane_base::<L>(*c, k));
+                let d = row_mut::<L>(arena, lane_base::<L>(*dst, k));
+                for l in 0..L {
+                    d[l] = bw(bw(a_r[l], b_r[l], *first), c_r[l], *second);
+                }
+            }
+        }
+        Op::MuxChain {
+            dst,
+            cases,
+            default,
+        } => {
+            // Branch-free priority scan: sel[l] = first case whose
+            // condition is set (cases.len() = default), then one gather
+            // per destination word.
+            let mut sel = [usize::MAX; L];
+            let mut unresolved = L;
+            for (ci, (c, _)) in cases.iter().enumerate() {
+                let mut any = [0u64; L];
+                for k in 0..c.words() {
+                    let c_r = row::<L>(arena, lane_base::<L>(*c, k));
+                    for l in 0..L {
+                        any[l] |= c_r[l];
+                    }
+                }
+                for l in 0..L {
+                    if sel[l] == usize::MAX && any[l] != 0 {
+                        sel[l] = ci;
+                        unresolved -= 1;
+                    }
+                }
+                // Once every lane picked a case the rest of the chain is
+                // dead — skip its condition reads entirely.
+                if unresolved == 0 {
+                    break;
+                }
+            }
+            for k in 0..dst.words() {
+                let mut out = [0u64; L];
+                for (l, out_l) in out.iter_mut().enumerate() {
+                    let src = if sel[l] == usize::MAX {
+                        *default
+                    } else {
+                        cases[sel[l]].1
+                    };
+                    *out_l = arena[lane_base::<L>(src, k) + l];
+                }
+                *row_mut::<L>(arena, lane_base::<L>(*dst, k)) = out;
+            }
+        }
+        Op::CopyRange {
+            dst_off,
+            src_off,
+            words,
+        } => {
+            let (d, s) = (*dst_off as usize * L, *src_off as usize * L);
+            arena.copy_within(s..s + *words as usize * L, d);
         }
     }
 }
 
-/// The multi-lane executor: one laned arena holding [`LANES`] independent
+/// The multi-lane executor: one laned arena holding [`L`] independent
 /// copies of the design's state, all advanced by a single pass over the
-/// op list per settle. Bit-identical to `LANES` scalar [`TapeEngine`]s
+/// op list per settle. Bit-identical to `L` scalar [`TapeEngine`]s
 /// (differentially property-tested over the whole evaluation suite).
-pub(crate) struct LaneEngine {
+pub(crate) struct LaneEngine<const L: usize> {
     tape: Arc<Tape>,
-    /// Laned arena: logical word `w`, lane `l` ↦ `arena[w * LANES + l]`.
+    /// Laned arena: logical word `w`, lane `l` ↦ `arena[w * L + l]`.
     arena: Vec<u64>,
     /// Previous settled arena (per-lane toggle counting).
     prev_arena: Vec<u64>,
     /// Laned memories: element `e`, word `k`, lane `l` ↦
-    /// `arrays[a][(e * wpe + k) * LANES + l]`.
+    /// `arrays[a][(e * wpe + k) * L + l]`.
     arrays: Vec<Vec<u64>>,
-    /// Per-signal, per-lane toggle counters (`sig * LANES + lane`).
+    /// Per-signal, per-lane toggle counters (`sig * L + lane`).
     toggles: Vec<u64>,
-    /// Lane-major multiplication scratch (`LANES` segments).
+    /// Lane-major multiplication scratch (`L` segments).
     scratch: Vec<u64>,
     /// Pre-sized gather buffer reused by every fingerprint call.
     fp_scratch: Vec<u64>,
-    dirty: bool,
+    /// Per-region dirty bits (settle-skipping): a region executes on the
+    /// next settle only if one of its inputs changed since the last one.
+    region_dirty: Vec<bool>,
+    /// Fast path: true iff any region is dirty.
+    any_dirty: bool,
 }
 
-impl LaneEngine {
+impl<const L: usize> LaneEngine<L> {
     pub(crate) fn new(tape: Arc<Tape>) -> Self {
-        let arena = Bits::broadcast_slab(&tape.init_arena, LANES);
+        let arena = Bits::broadcast_slab(&tape.init_arena, L);
         let arrays: Vec<Vec<u64>> = tape
             .arrays
             .iter()
-            .map(|a| Bits::broadcast_slab(&a.init, LANES))
+            .map(|a| Bits::broadcast_slab(&a.init, L))
             .collect();
         let n = tape.sig_slots.len();
         let mul_words = tape
@@ -1430,31 +2604,47 @@ impl LaneEngine {
             prev_arena: arena.clone(),
             arena,
             arrays,
-            toggles: vec![0; n * LANES],
-            scratch: vec![0; mul_words * LANES],
+            toggles: vec![0; n * L],
+            scratch: vec![0; mul_words * L],
             fp_scratch: vec![0; fp_words],
+            region_dirty: vec![true; tape.regions.len()],
             tape,
-            dirty: true,
+            any_dirty: true,
         }
     }
 
-    /// Settles all lanes: one pass over the op list, every op's inner loop
-    /// covering all [`LANES`] lanes.
+    #[inline]
+    fn mark_region(&mut self, r: u32) {
+        if r != u32::MAX {
+            self.region_dirty[r as usize] = true;
+            self.any_dirty = true;
+        }
+    }
+
+    /// Settles all lanes: one pass over the dirty regions' op ranges,
+    /// every op's inner loop covering all `L` lanes. Clean regions are
+    /// skipped entirely — their slots already hold settled values.
     pub(crate) fn settle(&mut self) {
-        if !self.dirty {
+        if !self.any_dirty {
             return;
         }
         let tape = Arc::clone(&self.tape);
-        for op in &tape.ops {
-            exec_op_lanes(
-                op,
-                &mut self.arena,
-                &mut self.scratch,
-                &self.arrays,
-                &tape.arrays,
-            );
+        for (ri, (s, e)) in tape.regions.iter().enumerate() {
+            if !self.region_dirty[ri] {
+                continue;
+            }
+            for op in &tape.ops[*s as usize..*e as usize] {
+                exec_op_lanes::<L>(
+                    op,
+                    &mut self.arena,
+                    &mut self.scratch,
+                    &self.arrays,
+                    &tape.arrays,
+                );
+            }
+            self.region_dirty[ri] = false;
         }
-        self.dirty = false;
+        self.any_dirty = false;
     }
 
     /// One clock edge for every lane: per-lane debug prints (delivered to
@@ -1465,8 +2655,8 @@ impl LaneEngine {
         let tape = Arc::clone(&self.tape);
 
         for p in &tape.prints {
-            for l in 0..LANES {
-                if any_set_lane(&self.arena, p.enable, l) {
+            for l in 0..L {
+                if any_set_lane::<L>(&self.arena, p.enable, l) {
                     let msg = match p.value {
                         Some(v) => format!("{}: {:x}", p.label, self.slot_bits_lane(v, l)),
                         None => p.label.clone(),
@@ -1476,49 +2666,64 @@ impl LaneEngine {
             }
         }
 
+        // One fused pass: count toggles against the previous edge and
+        // refresh the per-signal snapshot in place. Only signal slots are
+        // touched — temp slots never enter the toggle observables, so the
+        // full-arena copy the scalar engine does is unnecessary here.
         for (i, s) in tape.sig_slots.iter().enumerate() {
+            let tg = row_mut::<L>(&mut self.toggles, i * L);
             for k in 0..s.words() {
-                let base = lane_base(*s, k);
-                for l in 0..LANES {
-                    self.toggles[i * LANES + l] +=
-                        u64::from((self.arena[base + l] ^ self.prev_arena[base + l]).count_ones());
+                let base = lane_base::<L>(*s, k);
+                let cur = row::<L>(&self.arena, base);
+                let prev = row_mut::<L>(&mut self.prev_arena, base);
+                for l in 0..L {
+                    tg[l] += u64::from((cur[l] ^ prev[l]).count_ones());
                 }
+                *prev = cur;
             }
         }
-        self.prev_arena.copy_from_slice(&self.arena);
 
         // As in the scalar engine: array writes read the pre-edge arena,
-        // so they commit before the register next-values land.
+        // so they commit before the register next-values land. A write
+        // that actually lands dirties every region reading the array.
         for w in &tape.writes {
             let meta = &tape.arrays[w.array as usize];
             let wpe = meta.wpe as usize;
-            for l in 0..LANES {
-                if any_set_lane(&self.arena, w.enable, l) {
-                    let idx = self.arena[w.index.off() * LANES + l] as usize;
+            let mut wrote = false;
+            for l in 0..L {
+                if any_set_lane::<L>(&self.arena, w.enable, l) {
+                    let idx = self.arena[w.index.off() * L + l] as usize;
                     if idx < meta.depth as usize {
                         for k in 0..wpe {
-                            self.arrays[w.array as usize][(idx * wpe + k) * LANES + l] =
-                                self.arena[lane_base(w.data, k) + l];
+                            self.arrays[w.array as usize][(idx * wpe + k) * L + l] =
+                                self.arena[lane_base::<L>(w.data, k) + l];
                         }
+                        wrote = true;
                     }
                 }
             }
+            if wrote {
+                for ri in 0..tape.array_regions[w.array as usize].len() {
+                    self.mark_region(tape.array_regions[w.array as usize][ri]);
+                }
+            }
         }
-        for (cur, next) in &tape.reg_commits {
-            let (d, s) = (cur.off() * LANES, next.off() * LANES);
-            self.arena.copy_within(s..s + next.words() * LANES, d);
+        // Register commit with settle-skipping: only registers whose next
+        // value differs from the current one (on any lane) are copied, and
+        // only their reader regions are re-settled next cycle.
+        for (i, (cur, next)) in tape.reg_commits.iter().enumerate() {
+            let (d, s) = (cur.off() * L, next.off() * L);
+            let n = next.words() * L;
+            if self.arena[d..d + n] != self.arena[s..s + n] {
+                self.arena.copy_within(s..s + n, d);
+                self.mark_region(tape.commit_region[i]);
+            }
         }
-        self.dirty = true;
     }
 
     fn slot_bits_lane(&self, s: Slot, lane: usize) -> Bits {
-        let base = s.off() * LANES;
-        Bits::from_lane_slab(
-            s.width(),
-            &self.arena[base..base + s.words() * LANES],
-            LANES,
-            lane,
-        )
+        let base = s.off() * L;
+        Bits::from_lane_slab(s.width(), &self.arena[base..base + s.words() * L], L, lane)
     }
 
     /// Reads one lane of a signal. The caller is responsible for settling
@@ -1528,16 +2733,57 @@ impl LaneEngine {
     }
 
     /// Writes one lane of an input signal (width pre-checked by the
-    /// facade). Skips the dirty flag when the lane already holds `value`.
+    /// facade). Skips the dirty marking when the lane already holds
+    /// `value`; otherwise only the region reading this input re-settles.
     pub(crate) fn poke_lane(&mut self, id: SignalId, value: &Bits, lane: usize) {
         let s = self.tape.sig_slots[id.0];
-        let base = s.off() * LANES;
+        let base = s.off() * L;
         let words = value.as_words();
-        if (0..s.words()).all(|k| self.arena[base + k * LANES + lane] == words[k]) {
+        if (0..s.words()).all(|k| self.arena[base + k * L + lane] == words[k]) {
             return;
         }
-        value.write_lane_slab(&mut self.arena[base..base + s.words() * LANES], LANES, lane);
-        self.dirty = true;
+        value.write_lane_slab(&mut self.arena[base..base + s.words() * L], L, lane);
+        let r = self.tape.sig_region[id.0];
+        self.mark_region(r);
+    }
+
+    /// Writes one `u64`-sourced value per sublane of an input signal in a
+    /// single call (the sweep drivers' hot path): the slot, mask, and
+    /// dirty-region lookup are resolved once for the whole row instead of
+    /// per lane. Values are truncated to the signal width and
+    /// zero-extended across higher words — exactly
+    /// [`Bits::from_u64`] + [`LaneEngine::poke_lane`] per lane. `vals`
+    /// may be shorter than `L` (tail groups); missing sublanes keep their
+    /// value.
+    pub(crate) fn poke_rows_u64(&mut self, id: SignalId, vals: &[u64]) {
+        let s = self.tape.sig_slots[id.0];
+        let base = s.off() * L;
+        let mask = if s.width() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << s.width()) - 1
+        };
+        let mut changed = false;
+        for (l, &raw) in vals.iter().enumerate() {
+            let v = raw & mask;
+            if self.arena[base + l] != v {
+                self.arena[base + l] = v;
+                changed = true;
+            }
+        }
+        for k in 1..s.words() {
+            for l in 0..vals.len() {
+                let w = &mut self.arena[base + k * L + l];
+                if *w != 0 {
+                    *w = 0;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            let r = self.tape.sig_region[id.0];
+            self.mark_region(r);
+        }
     }
 
     /// Reads one lane of one memory element.
@@ -1551,8 +2797,8 @@ impl LaneEngine {
         let wpe = meta.wpe as usize;
         Bits::from_lane_slab(
             meta.width as usize,
-            &self.arrays[array.0][index * wpe * LANES..(index + 1) * wpe * LANES],
-            LANES,
+            &self.arrays[array.0][index * wpe * L..(index + 1) * wpe * L],
+            L,
             lane,
         )
     }
@@ -1574,11 +2820,14 @@ impl LaneEngine {
         );
         let wpe = meta.wpe as usize;
         value.write_lane_slab(
-            &mut self.arrays[array.0][index * wpe * LANES..(index + 1) * wpe * LANES],
-            LANES,
+            &mut self.arrays[array.0][index * wpe * L..(index + 1) * wpe * L],
+            L,
             lane,
         );
-        self.dirty = true;
+        let tape = Arc::clone(&self.tape);
+        for r in &tape.array_regions[array.0] {
+            self.mark_region(*r);
+        }
     }
 
     /// Evaluates an expression against one settled lane.
@@ -1596,7 +2845,7 @@ impl LaneEngine {
         for s in &tape.reg_fp {
             let n = s.words();
             for k in 0..n {
-                self.fp_scratch[k] = self.arena[lane_base(*s, k) + lane];
+                self.fp_scratch[k] = self.arena[lane_base::<L>(*s, k) + lane];
             }
             h.add(s.width(), &self.fp_scratch[..n]);
         }
@@ -1604,7 +2853,7 @@ impl LaneEngine {
             let wpe = meta.wpe as usize;
             for e in 0..meta.depth as usize {
                 for k in 0..wpe {
-                    self.fp_scratch[k] = self.arrays[i][(e * wpe + k) * LANES + lane];
+                    self.fp_scratch[k] = self.arrays[i][(e * wpe + k) * L + lane];
                 }
                 h.add(meta.width as usize, &self.fp_scratch[..wpe]);
             }
@@ -1616,7 +2865,7 @@ impl LaneEngine {
     /// order (matches [`SimBackend::toggle_counts`]).
     pub(crate) fn toggle_counts_lane(&self, lane: usize) -> Vec<u64> {
         (0..self.tape.sig_slots.len())
-            .map(|i| self.toggles[i * LANES + lane])
+            .map(|i| self.toggles[i * L + lane])
             .collect()
     }
 
@@ -1624,27 +2873,126 @@ impl LaneEngine {
     pub(crate) fn reset(&mut self) {
         let tape = Arc::clone(&self.tape);
         for (k, w) in tape.init_arena.iter().enumerate() {
-            self.arena[k * LANES..(k + 1) * LANES].fill(*w);
+            self.arena[k * L..(k + 1) * L].fill(*w);
         }
         self.prev_arena.copy_from_slice(&self.arena);
         for (store, meta) in self.arrays.iter_mut().zip(&tape.arrays) {
             for (k, w) in meta.init.iter().enumerate() {
-                store[k * LANES..(k + 1) * LANES].fill(*w);
+                store[k * L..(k + 1) * L].fill(*w);
             }
         }
         self.toggles.fill(0);
-        self.dirty = true;
+        self.region_dirty.fill(true);
+        self.any_dirty = true;
     }
+}
+
+/// Width-erasing interface over [`LaneEngine`]: one monomorphized
+/// executor per width in [`LANE_WIDTHS`], boxed so `SimBatch` can stack
+/// heterogeneous strides (full-width groups plus a smaller tail group).
+pub(crate) trait LaneGroup: Send + Sync {
+    /// Number of lanes this group executes in lockstep.
+    fn stride(&self) -> usize;
+    /// Words of laned arena storage this group owns (tail-group sizing
+    /// tests assert the footprint shrinks with the stride).
+    fn arena_words(&self) -> usize;
+    fn settle(&mut self);
+    fn commit(&mut self, sink: &mut dyn FnMut(usize, String));
+    fn peek_lane(&self, id: SignalId, lane: usize) -> Bits;
+    fn poke_lane(&mut self, id: SignalId, value: &Bits, lane: usize);
+    fn poke_rows_u64(&mut self, id: SignalId, vals: &[u64]);
+    fn peek_array_lane(&self, array: ArrayId, index: usize, lane: usize) -> Bits;
+    fn poke_array_lane(&mut self, array: ArrayId, index: usize, value: &Bits, lane: usize);
+    fn eval_lane(&self, e: &Expr, lane: usize) -> Bits;
+    fn state_fingerprint_lane(&mut self, lane: usize) -> u64;
+    fn toggle_counts_lane(&self, lane: usize) -> Vec<u64>;
+    fn reset(&mut self);
+}
+
+impl<const L: usize> LaneGroup for LaneEngine<L> {
+    fn stride(&self) -> usize {
+        L
+    }
+
+    fn arena_words(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn settle(&mut self) {
+        LaneEngine::settle(self)
+    }
+
+    fn commit(&mut self, sink: &mut dyn FnMut(usize, String)) {
+        LaneEngine::commit(self, sink)
+    }
+
+    fn peek_lane(&self, id: SignalId, lane: usize) -> Bits {
+        LaneEngine::peek_lane(self, id, lane)
+    }
+
+    fn poke_lane(&mut self, id: SignalId, value: &Bits, lane: usize) {
+        LaneEngine::poke_lane(self, id, value, lane)
+    }
+
+    fn poke_rows_u64(&mut self, id: SignalId, vals: &[u64]) {
+        LaneEngine::poke_rows_u64(self, id, vals)
+    }
+
+    fn peek_array_lane(&self, array: ArrayId, index: usize, lane: usize) -> Bits {
+        LaneEngine::peek_array_lane(self, array, index, lane)
+    }
+
+    fn poke_array_lane(&mut self, array: ArrayId, index: usize, value: &Bits, lane: usize) {
+        LaneEngine::poke_array_lane(self, array, index, value, lane)
+    }
+
+    fn eval_lane(&self, e: &Expr, lane: usize) -> Bits {
+        LaneEngine::eval_lane(self, e, lane)
+    }
+
+    fn state_fingerprint_lane(&mut self, lane: usize) -> u64 {
+        LaneEngine::state_fingerprint_lane(self, lane)
+    }
+
+    fn toggle_counts_lane(&self, lane: usize) -> Vec<u64> {
+        LaneEngine::toggle_counts_lane(self, lane)
+    }
+
+    fn reset(&mut self) {
+        LaneEngine::reset(self)
+    }
+}
+
+/// Instantiates the monomorphized lane engine for a validated width.
+pub(crate) fn new_lane_group(tape: Arc<Tape>, width: usize) -> Box<dyn LaneGroup> {
+    match width {
+        4 => Box::new(LaneEngine::<4>::new(tape)),
+        8 => Box::new(LaneEngine::<8>::new(tape)),
+        16 => Box::new(LaneEngine::<16>::new(tape)),
+        32 => Box::new(LaneEngine::<32>::new(tape)),
+        other => unreachable!("unvalidated lane width {other}"),
+    }
+}
+
+/// Smallest monomorphized width that covers `lanes` (tail groups), or
+/// the widest when even that is too small.
+pub(crate) fn tail_width(lanes: usize) -> usize {
+    for w in LANE_WIDTHS {
+        if w >= lanes {
+            return w;
+        }
+    }
+    LANE_WIDTHS[LANE_WIDTHS.len() - 1]
 }
 
 /// Read view of one lane, backing [`LaneEngine::eval_lane`] through the
 /// shared expression evaluator.
-struct LaneView<'a> {
-    engine: &'a LaneEngine,
+struct LaneView<'a, const L: usize> {
+    engine: &'a LaneEngine<L>,
     lane: usize,
 }
 
-impl ValueSource for LaneView<'_> {
+impl<const L: usize> ValueSource for LaneView<'_, L> {
     fn signal(&self, id: SignalId) -> Bits {
         self.engine
             .slot_bits_lane(self.engine.tape.sig_slots[id.0], self.lane)
@@ -1656,8 +3004,8 @@ impl ValueSource for LaneView<'_> {
             let wpe = meta.wpe as usize;
             Bits::from_lane_slab(
                 meta.width as usize,
-                &self.engine.arrays[array.0][index * wpe * LANES..(index + 1) * wpe * LANES],
-                LANES,
+                &self.engine.arrays[array.0][index * wpe * L..(index + 1) * wpe * L],
+                L,
                 self.lane,
             )
         } else {
@@ -1672,7 +3020,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Tape>();
     assert_send_sync::<TapeEngine>();
-    assert_send_sync::<LaneEngine>();
+    assert_send_sync::<LaneEngine<8>>();
 };
 
 #[cfg(test)]
@@ -1735,6 +3083,85 @@ mod tests {
                 "output `{out}` diverged"
             );
         }
+    }
+
+    /// `(a ^ b) & c` with an unobservable intermediate fuses into one
+    /// [`Op::Logic3`], and the fused tape matches the tree engine.
+    #[test]
+    fn bitwise_chains_fuse_to_logic3() {
+        use crate::batch::TapeProgram;
+        use crate::engine::Sim;
+        let mut m = Module::new("bwchain");
+        let a = m.input("a", 32);
+        let b = m.input("b", 32);
+        let c = m.input("c", 32);
+        let o = m.output("o", 32);
+        m.assign(
+            o,
+            Expr::bin(
+                BinaryOp::And,
+                Expr::bin(BinaryOp::Xor, Expr::Signal(a), Expr::Signal(b)),
+                Expr::Signal(c),
+            ),
+        );
+
+        let mix = TapeProgram::compile(&m).unwrap().op_mix();
+        assert!(mix.contains(&("logic3", 1)), "{mix:?}");
+        assert!(
+            !mix.iter().any(|(k, _)| *k == "xor" || *k == "and"),
+            "{mix:?}"
+        );
+
+        let mut tree = Sim::with_backend(&m, Backend::Tree).unwrap();
+        let mut tape = Sim::with_backend(&m, Backend::Compiled).unwrap();
+        for s in [&mut tree, &mut tape] {
+            s.poke("a", Bits::from_u64(0xDEAD_BEEF, 32)).unwrap();
+            s.poke("b", Bits::from_u64(0x0123_4567, 32)).unwrap();
+            s.poke("c", Bits::from_u64(0xF0F0_F0F0, 32)).unwrap();
+        }
+        assert_eq!(tree.peek("o").unwrap(), tape.peek("o").unwrap());
+        assert_eq!(
+            tape.peek("o").unwrap().to_u64(),
+            (0xDEAD_BEEFu64 ^ 0x0123_4567) & 0xF0F0_F0F0
+        );
+    }
+
+    /// A concat of slice temps (the byte-shuffle pattern) fuses into one
+    /// [`Op::Gather`] — no slices or concats remain — and the fused tape
+    /// matches the tree engine, including zero-extension past the top of
+    /// a sliced source.
+    #[test]
+    fn slice_concat_shuffles_fuse_to_gather() {
+        use crate::batch::TapeProgram;
+        use crate::engine::Sim;
+        let mut m = Module::new("shuffle");
+        let a = m.input("a", 64);
+        let o = m.output("o", 40);
+        // Three fields gathered out of `a`, one reading past its top bit
+        // (slice zero-extends).
+        m.assign(
+            o,
+            Expr::Concat(vec![
+                Expr::Signal(a).slice(56, 16),
+                Expr::Signal(a).slice(8, 16),
+                Expr::Signal(a).slice(32, 8),
+            ]),
+        );
+
+        let mix = TapeProgram::compile(&m).unwrap().op_mix();
+        assert!(mix.contains(&("gather", 1)), "{mix:?}");
+        assert!(
+            !mix.iter().any(|(k, _)| *k == "slice" || *k == "concat"),
+            "{mix:?}"
+        );
+
+        let mut tree = Sim::with_backend(&m, Backend::Tree).unwrap();
+        let mut tape = Sim::with_backend(&m, Backend::Compiled).unwrap();
+        let v = Bits::from_u64(0xFEDC_BA98_7654_3210, 64);
+        for s in [&mut tree, &mut tape] {
+            s.poke("a", v.clone()).unwrap();
+        }
+        assert_eq!(tree.peek("o").unwrap(), tape.peek("o").unwrap());
     }
 
     #[test]

@@ -265,24 +265,36 @@ pub fn bmc_sweep(
             workers.max(1),
             |first, batch: &mut SimBatch| {
                 let n = batch.lanes();
+                // Input ids resolve once per chunk; each cycle then costs
+                // one row poke per input ([`SimBatch::poke_u64s`]) instead
+                // of a name lookup per (lane, input).
+                let ids: Vec<_> = inputs_ref
+                    .iter()
+                    .map(|(name, _)| batch.input_id(name))
+                    .collect::<Result<_, SimError>>()?;
                 let mut violated = vec![false; n];
-                // Cycle-outer so every lane pokes before the one settle;
-                // `c` indexes a different lane's prefix each inner
-                // iteration, so the range loop is the honest shape.
+                let mut vals = vec![0u64; n];
+                // `c` indexes a different `frontier_ref[pi]` per lane, so
+                // iterator-chaining it away is not possible.
                 #[allow(clippy::needless_range_loop)]
                 for c in 0..=d {
                     // Poke every lane first, then evaluate: the lazy
                     // batch settles once per cycle for all lanes.
-                    for l in 0..n {
-                        let (pi, ci) = wave_ref[first + l];
-                        let step = if c < d {
-                            &frontier_ref[pi][c]
-                        } else {
-                            &combos_ref[ci]
-                        };
-                        for ((name, width), val) in inputs_ref.iter().zip(step) {
-                            batch.poke(l, name, Bits::from_u64(*val, *width))?;
+                    let steps: Vec<&Vec<u64>> = (first..first + n)
+                        .map(|w| {
+                            let (pi, ci) = wave_ref[w];
+                            if c < d {
+                                &frontier_ref[pi][c]
+                            } else {
+                                &combos_ref[ci]
+                            }
+                        })
+                        .collect();
+                    for (k, id) in ids.iter().enumerate() {
+                        for (l, step) in steps.iter().enumerate() {
+                            vals[l] = step[k];
                         }
+                        batch.poke_u64s(*id, &vals);
                     }
                     for (l, v) in violated.iter_mut().enumerate() {
                         if !*v && batch.eval(l, assertion).is_zero() {

@@ -17,24 +17,28 @@ fn main() {
     let fifo = anvil_designs::fifo::anvil_flat();
     let mut batch = SimBatch::new(&fifo, 16).expect("fifo simulates");
     // Every lane gets its own enqueue cadence: lane l enqueues value
-    // 0x100 + l whenever (cycle + l) % (l + 2) == 0.
+    // 0x100 + l whenever (cycle + l) % (l + 2) == 0. Constant-per-lane
+    // inputs are poked once; the per-cycle cadence goes through the
+    // row-poke hot path (`input_id` once, `poke_u64s` per cycle).
+    for lane in 0..batch.lanes() {
+        batch
+            .poke(
+                lane,
+                "in_ep_enq_data",
+                Bits::from_u64(0x100 + lane as u64, 16),
+            )
+            .unwrap();
+        batch
+            .poke(lane, "out_ep_deq_ack", Bits::bit(lane % 2 == 0))
+            .unwrap();
+    }
+    let enq_valid = batch.input_id("in_ep_enq_valid").unwrap();
+    let mut fire = vec![0u64; batch.lanes()];
     for cycle in 0u64..64 {
-        for lane in 0..batch.lanes() {
-            let fire = (cycle + lane as u64).is_multiple_of(lane as u64 + 2);
-            batch
-                .poke(lane, "in_ep_enq_valid", Bits::bit(fire))
-                .unwrap();
-            batch
-                .poke(
-                    lane,
-                    "in_ep_enq_data",
-                    Bits::from_u64(0x100 + lane as u64, 16),
-                )
-                .unwrap();
-            batch
-                .poke(lane, "out_ep_deq_ack", Bits::bit(lane % 2 == 0))
-                .unwrap();
+        for (lane, f) in fire.iter_mut().enumerate() {
+            *f = u64::from((cycle + lane as u64).is_multiple_of(lane as u64 + 2));
         }
+        batch.poke_u64s(enq_valid, &fire);
         batch.step();
     }
     println!("  lane stride: {LANE_STRIDE} (one laned engine per {LANE_STRIDE} lanes)");
