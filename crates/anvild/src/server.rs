@@ -1,0 +1,632 @@
+//! The compile service: method dispatch, the versioned file registry,
+//! request cancellation, and the newline-delimited serve loop.
+//!
+//! One [`CompileService`] owns one [`Session`] — and therefore one
+//! sharded query cache — shared by every request on every connection.
+//! A warm `compile` of an unchanged (or whitespace-edited) file is a
+//! pure cache hit regardless of which client sends it; the `cacheDelta`
+//! member of each compile response makes that observable on the wire.
+//!
+//! # Crash and cancellation safety
+//!
+//! Every request handler runs under `catch_unwind`: a panicking compile
+//! produces an `internal error` response for *that request* and the
+//! daemon keeps serving (the session's cache recovers poisoned shards
+//! by itself, see `anvil_core`'s cache docs). Requests carrying an id
+//! register a cooperative stop flag keyed by that id; the `cancel`
+//! method raises the flag, and [`Session::compile_cancellable`] /
+//! the prover poll it at unit boundaries. A `cancel` that arrives
+//! before its request pre-raises the flag, so cancelling is never racy
+//! from the client's point of view. Ids must not be reused after
+//! cancellation (a pre-raised flag for an id lingers until that id is
+//! seen once).
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use anvil_core::{CacheStats, CompileError, Session, StageCounters};
+use anvil_rtl::Expr;
+use anvil_syntax::WireDiagnostic;
+use anvil_verify::{prove_with_circuit, render_trace, ProveResult};
+
+use crate::json::Json;
+use crate::proto::{
+    self, error_response, notification, parse_incoming, Incoming, RpcError, COMPILE_FAILED,
+    FILE_NOT_OPEN, INTERNAL_ERROR, METHOD_NOT_FOUND, PROVE_FAILED, REQUEST_CANCELLED,
+};
+
+/// Wire-protocol version reported by `ping`.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// One open file: the registry holds full-text versioned buffers (the
+/// `sus-compiler`-style `add_file`/`update_file` model — full-text
+/// replacement, no incremental deltas; the fingerprint cache already
+/// makes an unchanged-proc recompile free, so deltas would only save
+/// wire bytes).
+struct FileEntry {
+    text: Arc<String>,
+    version: i64,
+}
+
+/// The persistent compile service behind `anvild`.
+///
+/// Owns the shared [`Session`], the file registry, and the in-flight
+/// request table. All methods are `&self` and internally synchronised:
+/// one service instance serves any number of concurrent connections
+/// ([`CompileService::serve`] is `&self` too).
+pub struct CompileService {
+    session: Session,
+    files: Mutex<HashMap<String, FileEntry>>,
+    /// Stop flags for in-flight (or pre-cancelled) requests, keyed by
+    /// the compact serialization of the request id.
+    inflight: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    shutdown: AtomicBool,
+}
+
+impl Default for CompileService {
+    fn default() -> Self {
+        CompileService::new()
+    }
+}
+
+impl CompileService {
+    /// A service over a fresh default [`Session`].
+    pub fn new() -> CompileService {
+        CompileService::with_session(Session::new())
+    }
+
+    /// A service over a configured session (options, externs, cache
+    /// capacity).
+    pub fn with_session(session: Session) -> CompileService {
+        CompileService {
+            session,
+            files: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The shared session (tests inspect its cache stats directly).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Number of files currently open in the registry.
+    pub fn open_files(&self) -> usize {
+        self.lock_files().len()
+    }
+
+    fn lock_files(&self) -> std::sync::MutexGuard<'_, HashMap<String, FileEntry>> {
+        // Service mutexes never stay poisoned: state is a plain map a
+        // panicked handler cannot leave half-updated mid-operation.
+        self.files.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<AtomicBool>>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers (or adopts a pre-cancelled) stop flag for a request id.
+    fn register(&self, id: &Json) -> Arc<AtomicBool> {
+        self.lock_inflight()
+            .entry(id.to_string())
+            .or_default()
+            .clone()
+    }
+
+    fn unregister(&self, id: &Json) {
+        self.lock_inflight().remove(&id.to_string());
+    }
+
+    /// Handles one frame, invoking `notify` for every server→client
+    /// notification streamed while the request runs, and returning the
+    /// response frame (`None` for notifications, which get no response).
+    ///
+    /// This is the transport-independent core: [`CompileService::serve`]
+    /// calls it from the socket loop, tests call it directly.
+    pub fn handle(&self, msg: Incoming, notify: &mut dyn FnMut(Json)) -> Option<Json> {
+        let id = msg.id.clone();
+        let stop = id.as_ref().map(|id| self.register(id));
+        // A panicking handler must answer *this* request with an error,
+        // not unwind through the serve loop: panic-safety is the whole
+        // point of a multi-tenant daemon.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch(&msg, stop.as_ref(), notify)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(RpcError::new(
+                INTERNAL_ERROR,
+                format!("request handler panicked: {}", panic_message(&payload)),
+            ))
+        });
+        if let Some(id) = &id {
+            self.unregister(id);
+        }
+        match (id, result) {
+            (Some(id), Ok(result)) => Some(proto::response(&id, result)),
+            (Some(id), Err(err)) => Some(error_response(Some(&id), &err)),
+            (None, _) => None,
+        }
+    }
+
+    fn dispatch(
+        &self,
+        msg: &Incoming,
+        stop: Option<&Arc<AtomicBool>>,
+        notify: &mut dyn FnMut(Json),
+    ) -> Result<Json, RpcError> {
+        match msg.method.as_str() {
+            "ping" => Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("service", Json::str("anvild")),
+                ("protocol", Json::int(PROTOCOL_VERSION)),
+            ])),
+            "open" => self.open(&msg.params),
+            "update" => self.update(&msg.params),
+            "close" => self.close(&msg.params),
+            "compile" => self.compile(&msg.params, stop, notify),
+            "diagnostics" => self.diagnostics(&msg.params, notify),
+            "prove" => self.prove(&msg.params, stop, notify),
+            "cacheStats" => Ok(self.cache_stats_json()),
+            "cancel" => self.cancel(&msg.params),
+            "shutdown" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Raise every in-flight flag so workers wind down fast.
+                for flag in self.lock_inflight().values() {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                Ok(Json::obj([("ok", Json::Bool(true))]))
+            }
+            other => Err(RpcError::new(
+                METHOD_NOT_FOUND,
+                format!("unknown method `{other}`"),
+            )),
+        }
+    }
+
+    fn open(&self, params: &Json) -> Result<Json, RpcError> {
+        let uri = str_param(params, "uri")?;
+        let text = str_param(params, "text")?;
+        let version = int_param(params, "version")?.unwrap_or(1);
+        self.lock_files().insert(
+            uri.to_string(),
+            FileEntry {
+                text: Arc::new(text.to_string()),
+                version,
+            },
+        );
+        Ok(Json::obj([
+            ("uri", Json::str(uri)),
+            ("version", Json::int(version)),
+        ]))
+    }
+
+    fn update(&self, params: &Json) -> Result<Json, RpcError> {
+        let uri = str_param(params, "uri")?;
+        let text = str_param(params, "text")?;
+        let version = int_param(params, "version")?;
+        let mut files = self.lock_files();
+        let entry = files.get_mut(uri).ok_or_else(|| not_open(uri))?;
+        let version = version.unwrap_or(entry.version + 1);
+        if version <= entry.version {
+            return Err(RpcError::invalid_params(format!(
+                "version must increase: got {version}, have {}",
+                entry.version
+            )));
+        }
+        entry.text = Arc::new(text.to_string());
+        entry.version = version;
+        Ok(Json::obj([
+            ("uri", Json::str(uri)),
+            ("version", Json::int(version)),
+        ]))
+    }
+
+    fn close(&self, params: &Json) -> Result<Json, RpcError> {
+        let uri = str_param(params, "uri")?;
+        match self.lock_files().remove(uri) {
+            Some(_) => Ok(Json::obj([("ok", Json::Bool(true))])),
+            None => Err(not_open(uri)),
+        }
+    }
+
+    /// A point-in-time snapshot of an open buffer (compiles run outside
+    /// the registry lock; a concurrent `update` produces a new `Arc`,
+    /// never mutates the one being compiled).
+    fn snapshot(&self, uri: &str) -> Result<(Arc<String>, i64), RpcError> {
+        let files = self.lock_files();
+        let entry = files.get(uri).ok_or_else(|| not_open(uri))?;
+        Ok((Arc::clone(&entry.text), entry.version))
+    }
+
+    fn compile(
+        &self,
+        params: &Json,
+        stop: Option<&Arc<AtomicBool>>,
+        notify: &mut dyn FnMut(Json),
+    ) -> Result<Json, RpcError> {
+        let uri = str_param(params, "uri")?;
+        let (text, version) = self.snapshot(uri)?;
+        let before = self.session.cache_stats();
+        let result = match stop {
+            Some(flag) => self.session.compile_cancellable(&text, flag),
+            None => self.session.compile(&text),
+        };
+        let delta = self.session.cache_stats() - before;
+        match result {
+            Ok(out) => {
+                // A clean compile clears the file's diagnostics.
+                notify(diagnostics_notification(uri, version, &[]));
+                Ok(Json::obj([
+                    ("uri", Json::str(uri)),
+                    ("version", Json::int(version)),
+                    ("systemverilog", Json::str(out.systemverilog)),
+                    ("modules", Json::int(out.modules.iter().count() as i64)),
+                    (
+                        "passStats",
+                        Json::obj([
+                            ("parseUs", Json::int(out.stats.parse.as_micros() as i64)),
+                            ("checkUs", Json::int(out.stats.check.as_micros() as i64)),
+                            (
+                                "optimizeUs",
+                                Json::int(out.stats.optimize.as_micros() as i64),
+                            ),
+                            ("codegenUs", Json::int(out.stats.codegen.as_micros() as i64)),
+                            ("emitUs", Json::int(out.stats.emit.as_micros() as i64)),
+                            ("eventsBefore", Json::int(out.stats.events_before as i64)),
+                            ("eventsAfter", Json::int(out.stats.events_after as i64)),
+                        ]),
+                    ),
+                    ("cacheDelta", cache_delta_json(&delta)),
+                ]))
+            }
+            Err(e) => Err(compile_failure(&e, &text, uri, version, notify)),
+        }
+    }
+
+    fn diagnostics(&self, params: &Json, notify: &mut dyn FnMut(Json)) -> Result<Json, RpcError> {
+        let uri = str_param(params, "uri")?;
+        let (text, version) = self.snapshot(uri)?;
+        let diags = match self.session.check(&text) {
+            Ok((_, reports)) => {
+                let errors: Vec<_> = reports
+                    .values()
+                    .flat_map(|r| r.errors().into_iter().cloned())
+                    .collect();
+                if errors.is_empty() {
+                    Vec::new()
+                } else {
+                    CompileError::TimingUnsafe(errors).wire_diagnostics(&text)
+                }
+            }
+            Err(e) => e.wire_diagnostics(&text),
+        };
+        notify(diagnostics_notification(uri, version, &diags));
+        Ok(Json::obj([
+            ("uri", Json::str(uri)),
+            ("version", Json::int(version)),
+            ("count", Json::int(diags.len() as i64)),
+        ]))
+    }
+
+    fn prove(
+        &self,
+        params: &Json,
+        stop: Option<&Arc<AtomicBool>>,
+        notify: &mut dyn FnMut(Json),
+    ) -> Result<Json, RpcError> {
+        let uri = str_param(params, "uri")?;
+        let signal = str_param(params, "signal")?;
+        let max_k = int_param(params, "maxK")?.unwrap_or(16).max(0) as usize;
+        let (text, version) = self.snapshot(uri)?;
+
+        // Resolve the top process: explicit `top`, else the file's only
+        // proc (the same rule the anvilc CLI uses).
+        let top = match params.get("top").and_then(Json::as_str) {
+            Some(t) => t.to_string(),
+            None => {
+                let program = self
+                    .session
+                    .parse(&text)
+                    .map_err(|e| compile_failure(&e, &text, uri, version, notify))?;
+                match program.procs.as_slice() {
+                    [only] => only.name.clone(),
+                    procs => {
+                        return Err(RpcError::invalid_params(format!(
+                            "{} processes in `{uri}`; pick one with `top` (candidates: {})",
+                            procs.len(),
+                            procs
+                                .iter()
+                                .map(|p| p.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )))
+                    }
+                }
+            }
+        };
+
+        let circuit = self
+            .session
+            .compile_flat_aig(&text, &top)
+            .map_err(|e| compile_failure(&e, &text, uri, version, notify))?;
+        let module = circuit.module();
+        let Some(sig) = module.find(signal) else {
+            return Err(RpcError::invalid_params(format!(
+                "no signal `{signal}` in flattened `{top}` (signals: {})",
+                module
+                    .iter_signals()
+                    .map(|(_, s)| s.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        };
+        let assertion = Expr::Signal(sig);
+        let (result, stats) = prove_with_circuit(&circuit, &assertion, max_k, stop.map(Arc::clone))
+            .map_err(|e| RpcError::new(PROVE_FAILED, e.to_string()))?;
+        if stop.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Err(RpcError::new(REQUEST_CANCELLED, "prove cancelled"));
+        }
+        let mut fields = vec![
+            ("uri", Json::str(uri)),
+            ("version", Json::int(version)),
+            ("signal", Json::str(signal)),
+            ("aigNodes", Json::int(stats.aig_nodes as i64)),
+            ("latches", Json::int(stats.latches as i64)),
+            ("conflicts", Json::int(stats.conflicts as i64)),
+        ];
+        match &result {
+            ProveResult::Proved { k } => {
+                fields.push(("verdict", Json::str("proved")));
+                fields.push(("k", Json::int(*k as i64)));
+            }
+            ProveResult::Falsified { depth, trace } => {
+                fields.push(("verdict", Json::str("falsified")));
+                fields.push(("depth", Json::int(*depth as i64)));
+                match render_trace(module, &assertion, trace) {
+                    Ok(rendered) => fields.push(("trace", Json::str(rendered))),
+                    Err(e) => fields.push(("traceError", Json::str(e.to_string()))),
+                }
+            }
+            ProveResult::Unknown { depth } => {
+                fields.push(("verdict", Json::str("unknown")));
+                fields.push(("depth", Json::int(*depth as i64)));
+            }
+        }
+        Ok(Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        ))
+    }
+
+    fn cache_stats_json(&self) -> Json {
+        let stats = self.session.cache_stats();
+        Json::obj([
+            ("check", stage_json(stats.check)),
+            ("optIr", stage_json(stats.opt_ir)),
+            ("lower", stage_json(stats.lower)),
+            ("emit", stage_json(stats.emit)),
+            ("aig", stage_json(stats.aig)),
+            ("poisoned", Json::int(stats.poisoned as i64)),
+            (
+                "totals",
+                Json::obj([
+                    ("hits", Json::int(stats.hits() as i64)),
+                    ("misses", Json::int(stats.misses() as i64)),
+                    ("evictions", Json::int(stats.evictions() as i64)),
+                ]),
+            ),
+            ("openFiles", Json::int(self.open_files() as i64)),
+        ])
+    }
+
+    fn cancel(&self, params: &Json) -> Result<Json, RpcError> {
+        let id = params
+            .get("id")
+            .filter(|id| matches!(id, Json::Str(_) | Json::Num(_)))
+            .ok_or_else(|| RpcError::invalid_params("cancel needs a string or number `id`"))?;
+        let mut inflight = self.lock_inflight();
+        let inflight_now = inflight.contains_key(&id.to_string());
+        // Raise the flag; for an id not yet seen, pre-raise it so the
+        // request observes cancellation the moment it arrives.
+        inflight
+            .entry(id.to_string())
+            .or_default()
+            .store(true, Ordering::Relaxed);
+        Ok(Json::obj([
+            ("id", id.clone()),
+            ("inflight", Json::Bool(inflight_now)),
+        ]))
+    }
+
+    /// Serves one connection: newline-delimited JSON-RPC frames from
+    /// `reader`, responses and notifications to `writer`.
+    ///
+    /// Registry and control methods (`open`, `update`, `close`,
+    /// `cancel`, `cacheStats`, `ping`, `shutdown`) are handled inline on
+    /// the read loop — they are cheap and their order matters. Long
+    /// requests (`compile`, `diagnostics`, `prove`) run on scoped worker
+    /// threads so the loop keeps reading — that is what lets a `cancel`
+    /// frame reach an in-flight compile. Responses may therefore arrive
+    /// out of order; clients match on `id`.
+    ///
+    /// Returns when the peer disconnects or after a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors from the transport; write failures are
+    /// swallowed (a vanished client is not a server error).
+    pub fn serve<R, W>(&self, reader: R, writer: W) -> std::io::Result<()>
+    where
+        R: BufRead,
+        W: Write + Send,
+    {
+        let out = Mutex::new(writer);
+        let send = |frame: &Json| {
+            let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = writeln!(w, "{frame}");
+            let _ = w.flush();
+        };
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let msg = match parse_incoming(&line) {
+                    Ok(msg) => msg,
+                    Err(e) => {
+                        send(&error_response(None, &e));
+                        continue;
+                    }
+                };
+                if matches!(msg.method.as_str(), "compile" | "diagnostics" | "prove") {
+                    // Register the stop flag *before* the worker starts,
+                    // so a cancel read next never misses the request.
+                    if let Some(id) = &msg.id {
+                        self.register(id);
+                    }
+                    let send = &send;
+                    scope.spawn(move || {
+                        if let Some(frame) = self.handle(msg, &mut |n| send(&n)) {
+                            send(&frame);
+                        }
+                    });
+                } else {
+                    if let Some(frame) = self.handle(msg, &mut |n| send(&n)) {
+                        send(&frame);
+                    }
+                    if self.is_shut_down() {
+                        break;
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+/// `FILE_NOT_OPEN` for a uri.
+fn not_open(uri: &str) -> RpcError {
+    RpcError::new(
+        FILE_NOT_OPEN,
+        format!("`{uri}` is not open; send `open` first"),
+    )
+    .with_data(Json::obj([("uri", Json::str(uri))]))
+}
+
+/// Required string param.
+fn str_param<'p>(params: &'p Json, key: &str) -> Result<&'p str, RpcError> {
+    params
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| RpcError::invalid_params(format!("missing string param `{key}`")))
+}
+
+/// Optional integer param (error if present but not an integer).
+fn int_param(params: &Json, key: &str) -> Result<Option<i64>, RpcError> {
+    match params.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_i64()
+            .map(Some)
+            .ok_or_else(|| RpcError::invalid_params(format!("param `{key}` must be an integer"))),
+    }
+}
+
+fn stage_json(c: StageCounters) -> Json {
+    Json::obj([
+        ("hits", Json::int(c.hits as i64)),
+        ("misses", Json::int(c.misses as i64)),
+        ("evictions", Json::int(c.evictions as i64)),
+    ])
+}
+
+fn cache_delta_json(delta: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::int(delta.hits() as i64)),
+        ("misses", Json::int(delta.misses() as i64)),
+        ("evictions", Json::int(delta.evictions() as i64)),
+        ("poisoned", Json::int(delta.poisoned as i64)),
+    ])
+}
+
+/// One wire diagnostic as a JSON value (same field names and shape as
+/// [`WireDiagnostic::to_json`]).
+fn diagnostic_json(d: &WireDiagnostic) -> Json {
+    let mut map = std::collections::BTreeMap::new();
+    map.insert("severity".to_string(), Json::str(d.severity.as_str()));
+    map.insert("message".to_string(), Json::str(&d.message));
+    if let Some(span) = d.span {
+        map.insert("start".to_string(), Json::int(span.start as i64));
+        map.insert("end".to_string(), Json::int(span.end as i64));
+        map.insert("line".to_string(), Json::int(d.line as i64));
+        map.insert("col".to_string(), Json::int(d.col as i64));
+    }
+    Json::Obj(map)
+}
+
+/// The `diagnostics` notification frame for a file version (an empty
+/// list clears previously streamed diagnostics).
+fn diagnostics_notification(uri: &str, version: i64, diags: &[WireDiagnostic]) -> Json {
+    notification(
+        "diagnostics",
+        Json::obj([
+            ("uri", Json::str(uri)),
+            ("version", Json::int(version)),
+            (
+                "diagnostics",
+                Json::Arr(diags.iter().map(diagnostic_json).collect()),
+            ),
+        ]),
+    )
+}
+
+/// Converts a compile failure into the wire error, streaming the
+/// diagnostics notification as a side effect (cancellation produces
+/// [`REQUEST_CANCELLED`] and no diagnostics).
+fn compile_failure(
+    e: &CompileError,
+    text: &str,
+    uri: &str,
+    version: i64,
+    notify: &mut dyn FnMut(Json),
+) -> RpcError {
+    if matches!(e, CompileError::Cancelled) {
+        return RpcError::new(REQUEST_CANCELLED, "request cancelled");
+    }
+    let diags = e.wire_diagnostics(text);
+    notify(diagnostics_notification(uri, version, &diags));
+    RpcError::new(
+        COMPILE_FAILED,
+        format!("compile failed: {} diagnostic(s)", diags.len()),
+    )
+    .with_data(Json::obj([
+        ("rendered", Json::str(e.render(text))),
+        (
+            "diagnostics",
+            Json::Arr(diags.iter().map(diagnostic_json).collect()),
+        ),
+    ]))
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

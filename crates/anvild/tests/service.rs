@@ -1,0 +1,384 @@
+//! Integration tests for the compile service: the full method surface
+//! through [`CompileService::handle`], and the serve loop over real
+//! socket pairs — including two clients sharing one warm session and a
+//! panicking compile that must not take the daemon down.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+use anvild::{parse_incoming, CompileService, Incoming, Json, RpcError};
+
+const GOOD: &str = "proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }";
+const BAD: &str = "proc p() { loop { ??? } }";
+
+/// Sends one request through `handle`, returning (response, notes).
+fn call(service: &CompileService, id: i64, method: &str, params: Json) -> (Json, Vec<Json>) {
+    let mut notes = Vec::new();
+    let resp = service
+        .handle(Incoming::request(id, method, params), &mut |n| {
+            notes.push(n)
+        })
+        .expect("requests get responses");
+    (resp, notes)
+}
+
+fn result<'r>(resp: &'r Json, key: &str) -> &'r Json {
+    resp.get("result")
+        .and_then(|r| r.get(key))
+        .unwrap_or_else(|| panic!("missing result.{key} in {resp}"))
+}
+
+fn error_code(resp: &Json) -> i64 {
+    resp.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("expected an error response, got {resp}"))
+}
+
+fn open(service: &CompileService, uri: &str, text: &str) {
+    let (resp, _) = call(
+        service,
+        90,
+        "open",
+        Json::obj([("uri", Json::str(uri)), ("text", Json::str(text))]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+}
+
+#[test]
+fn compile_is_cold_then_warm_with_cache_delta_on_the_wire() {
+    let service = CompileService::new();
+    open(&service, "a.anv", GOOD);
+
+    let (cold, notes) = call(
+        &service,
+        1,
+        "compile",
+        Json::obj([("uri", Json::str("a.anv"))]),
+    );
+    let misses = result(&cold, "cacheDelta")
+        .get("misses")
+        .and_then(Json::as_i64);
+    assert!(misses > Some(0), "cold compile: {cold}");
+    assert!(
+        result(&cold, "systemverilog")
+            .as_str()
+            .unwrap()
+            .contains("module p"),
+        "{cold}"
+    );
+    // A clean compile streams an empty diagnostics notification.
+    assert_eq!(notes.len(), 1);
+    assert_eq!(
+        notes[0]
+            .get("params")
+            .and_then(|p| p.get("diagnostics"))
+            .and_then(Json::as_array)
+            .map(|d| d.len()),
+        Some(0)
+    );
+
+    let (warm, _) = call(
+        &service,
+        2,
+        "compile",
+        Json::obj([("uri", Json::str("a.anv"))]),
+    );
+    let delta = result(&warm, "cacheDelta");
+    assert_eq!(
+        delta.get("misses").and_then(Json::as_i64),
+        Some(0),
+        "{warm}"
+    );
+    assert!(delta.get("hits").and_then(Json::as_i64) > Some(0), "{warm}");
+}
+
+#[test]
+fn broken_file_answers_compile_failed_and_streams_diagnostics() {
+    let service = CompileService::new();
+    open(&service, "b.anv", BAD);
+
+    let (resp, notes) = call(
+        &service,
+        1,
+        "compile",
+        Json::obj([("uri", Json::str("b.anv"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::COMPILE_FAILED);
+    let diags = notes
+        .iter()
+        .find_map(|n| {
+            (n.get("method").and_then(Json::as_str) == Some("diagnostics"))
+                .then(|| n.get("params").unwrap().get("diagnostics").unwrap())
+        })
+        .expect("diagnostics notification streamed");
+    let diags = diags.as_array().unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("line").and_then(Json::as_i64), Some(1));
+    assert!(diags[0].get("col").and_then(Json::as_i64) > Some(0));
+
+    // The `diagnostics` (check-only) method reports the same count.
+    let (resp, notes) = call(
+        &service,
+        2,
+        "diagnostics",
+        Json::obj([("uri", Json::str("b.anv"))]),
+    );
+    assert_eq!(result(&resp, "count").as_i64(), Some(1));
+    assert_eq!(notes.len(), 1);
+}
+
+#[test]
+fn registry_enforces_open_and_version_monotonicity() {
+    let service = CompileService::new();
+
+    // Compile before open → FILE_NOT_OPEN.
+    let (resp, _) = call(&service, 1, "compile", Json::obj([("uri", Json::str("x"))]));
+    assert_eq!(error_code(&resp), anvild::FILE_NOT_OPEN);
+
+    open(&service, "x", GOOD);
+    let (resp, _) = call(
+        &service,
+        2,
+        "update",
+        Json::obj([
+            ("uri", Json::str("x")),
+            ("text", Json::str(GOOD)),
+            ("version", Json::int(5)),
+        ]),
+    );
+    assert_eq!(result(&resp, "version").as_i64(), Some(5));
+
+    // Going backwards (or sideways) is rejected.
+    let (resp, _) = call(
+        &service,
+        3,
+        "update",
+        Json::obj([
+            ("uri", Json::str("x")),
+            ("text", Json::str(GOOD)),
+            ("version", Json::int(5)),
+        ]),
+    );
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+
+    // Close, then the uri is gone.
+    let (resp, _) = call(&service, 4, "close", Json::obj([("uri", Json::str("x"))]));
+    assert!(resp.get("result").is_some());
+    let (resp, _) = call(&service, 5, "close", Json::obj([("uri", Json::str("x"))]));
+    assert_eq!(error_code(&resp), anvild::FILE_NOT_OPEN);
+    assert_eq!(service.open_files(), 0);
+}
+
+#[test]
+fn unknown_methods_and_malformed_params_get_spec_codes() {
+    let service = CompileService::new();
+    let (resp, _) = call(&service, 1, "transmogrify", Json::Null);
+    assert_eq!(error_code(&resp), anvild::METHOD_NOT_FOUND);
+
+    let (resp, _) = call(&service, 2, "open", Json::obj([("uri", Json::str("u"))]));
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+
+    let (resp, _) = call(&service, 3, "cancel", Json::Null);
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+}
+
+#[test]
+fn pre_cancellation_cancels_the_request_when_it_arrives() {
+    let service = CompileService::new();
+    open(&service, "c.anv", GOOD);
+
+    let (resp, _) = call(&service, 100, "cancel", Json::obj([("id", Json::int(7))]));
+    assert_eq!(result(&resp, "inflight").as_bool(), Some(false));
+
+    let (resp, _) = call(
+        &service,
+        7,
+        "compile",
+        Json::obj([("uri", Json::str("c.anv"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::REQUEST_CANCELLED);
+
+    // The id is consumed: reusing it afterwards works normally.
+    let (resp, _) = call(
+        &service,
+        7,
+        "compile",
+        Json::obj([("uri", Json::str("c.anv"))]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+}
+
+#[test]
+fn injected_compiler_panic_kills_the_request_not_the_service() {
+    let service = CompileService::new();
+    let boom = format!("proc boom() {{ }} // {}", anvil_core::PANIC_MARKER);
+    open(&service, "boom.anv", &boom);
+    open(&service, "ok.anv", GOOD);
+
+    let (resp, _) = call(
+        &service,
+        1,
+        "compile",
+        Json::obj([("uri", Json::str("boom.anv"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::INTERNAL_ERROR);
+
+    // The service keeps serving, and the cache recovered by itself.
+    let (resp, _) = call(
+        &service,
+        2,
+        "compile",
+        Json::obj([("uri", Json::str("ok.anv"))]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+    let (stats, _) = call(&service, 3, "cacheStats", Json::Null);
+    assert!(result(&stats, "poisoned").as_i64().is_some());
+}
+
+#[test]
+fn prove_falsifies_a_failing_property_over_the_wire() {
+    let service = CompileService::new();
+    // Registers reset to 0, so "ok stays truthy" is falsified at the
+    // first checked cycle.
+    open(
+        &service,
+        "p.anv",
+        "proc main() { reg ok : logic; loop { set ok := 1 >> cycle 1 } }",
+    );
+    let (resp, _) = call(
+        &service,
+        1,
+        "prove",
+        Json::obj([
+            ("uri", Json::str("p.anv")),
+            ("signal", Json::str("ok")),
+            ("maxK", Json::int(4)),
+        ]),
+    );
+    assert_eq!(result(&resp, "verdict").as_str(), Some("falsified"));
+    assert_eq!(result(&resp, "depth").as_i64(), Some(1));
+    assert!(result(&resp, "trace").as_str().is_some(), "{resp}");
+
+    // Unknown signal → invalid params naming the candidates.
+    let (resp, _) = call(
+        &service,
+        2,
+        "prove",
+        Json::obj([("uri", Json::str("p.anv")), ("signal", Json::str("nope"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+}
+
+#[test]
+fn notifications_get_no_response() {
+    let service = CompileService::new();
+    let msg = parse_incoming(r#"{"jsonrpc":"2.0","method":"ping"}"#).unwrap();
+    assert!(service.handle(msg, &mut |_| {}).is_none());
+}
+
+/// Runs the serve loop over a socketpair on a scoped thread, returning
+/// the client end.
+fn serve_pair<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    service: &'env CompileService,
+) -> UnixStream {
+    let (client, server) = UnixStream::pair().expect("socketpair");
+    scope.spawn(move || {
+        let reader = BufReader::new(server.try_clone().expect("clone"));
+        service.serve(reader, &server).expect("serve");
+    });
+    client
+}
+
+fn call_over_wire(
+    stream: &mut UnixStream,
+    reader: &mut BufReader<UnixStream>,
+    frame: &str,
+) -> Json {
+    writeln!(stream, "{frame}").expect("write");
+    // A malformed frame has no recoverable id; the server answers it
+    // with `"id":null`, so match on Null in that case.
+    let want = Json::parse(frame)
+        .ok()
+        .and_then(|f| f.get("id").cloned())
+        .unwrap_or(Json::Null);
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read") > 0,
+            "server hung up"
+        );
+        let resp = Json::parse(line.trim()).expect("valid frame");
+        if resp.get("id") == Some(&want) {
+            return resp;
+        }
+    }
+}
+
+#[test]
+fn serve_loop_shares_one_warm_session_across_two_clients() {
+    let service = CompileService::new();
+    std::thread::scope(|scope| {
+        let mut c1 = serve_pair(scope, &service);
+        let mut r1 = BufReader::new(c1.try_clone().unwrap());
+        let mut c2 = serve_pair(scope, &service);
+        let mut r2 = BufReader::new(c2.try_clone().unwrap());
+
+        // Client 1 opens and compiles cold.
+        let open = Incoming::request(
+            1,
+            "open",
+            Json::obj([("uri", Json::str("s.anv")), ("text", Json::str(GOOD))]),
+        )
+        .to_frame()
+        .to_string();
+        call_over_wire(&mut c1, &mut r1, &open);
+        let resp = call_over_wire(
+            &mut c1,
+            &mut r1,
+            r#"{"jsonrpc":"2.0","id":2,"method":"compile","params":{"uri":"s.anv"}}"#,
+        );
+        assert!(
+            result(&resp, "cacheDelta")
+                .get("misses")
+                .and_then(Json::as_i64)
+                > Some(0),
+            "{resp}"
+        );
+
+        // Client 2 sees the same registry AND a fully warm cache.
+        let resp = call_over_wire(
+            &mut c2,
+            &mut r2,
+            r#"{"jsonrpc":"2.0","id":3,"method":"compile","params":{"uri":"s.anv"}}"#,
+        );
+        assert_eq!(
+            result(&resp, "cacheDelta")
+                .get("misses")
+                .and_then(Json::as_i64),
+            Some(0),
+            "second client was not warm: {resp}"
+        );
+
+        // Malformed JSON gets a parse error, id null, connection lives.
+        let resp = call_over_wire(&mut c2, &mut r2, "{nope");
+        assert_eq!(error_code(&resp), anvild::PARSE_ERROR);
+
+        // Shutdown via client 1 ends both serve loops (scope joins).
+        call_over_wire(
+            &mut c1,
+            &mut r1,
+            r#"{"jsonrpc":"2.0","id":9,"method":"shutdown"}"#,
+        );
+        assert!(service.is_shut_down());
+        drop((c1, c2));
+    });
+}
+
+#[test]
+fn rpc_error_type_is_usable_downstream() {
+    let err = RpcError::invalid_params("nope");
+    assert_eq!(err.code, anvild::INVALID_PARAMS);
+    assert_eq!(err.to_string(), "[-32602] nope");
+}

@@ -24,6 +24,19 @@
 //! Eviction is least-recently-used per shard, driven by a global logical
 //! clock; hits, misses, and evictions are counted per stage in
 //! [`CacheStats`].
+//!
+//! # Poisoned-shard recovery
+//!
+//! The cache is the one piece of state shared across every compile of a
+//! long-running service, so a panicking compile must never take it down.
+//! If a thread panics while holding a shard lock, the shard mutex is
+//! poisoned; instead of propagating the poison (which would make *every*
+//! future compile that touches the shard panic too), `get`/`insert`
+//! recover: the poisoned shard's entries are discarded — a panic mid
+//! mutation could have left them half-updated — the poison is cleared,
+//! and the event is counted in [`CacheStats::poisoned`]. Artifacts are
+//! immutable `Arc`s, so dropping a shard only costs warm-path misses;
+//! correctness is unaffected (recomputed artifacts are byte-identical).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -142,6 +155,10 @@ pub struct CacheStats {
     pub emit: StageCounters,
     /// Counters for AIG bit-blasting of flattened units.
     pub aig: StageCounters,
+    /// Shards recovered from mutex poisoning: a compile panicked while
+    /// holding a shard lock, and the shard was cleared and kept serving
+    /// instead of cascading the panic into every future compile.
+    pub poisoned: u64,
 }
 
 impl CacheStats {
@@ -190,6 +207,7 @@ impl std::ops::Sub for CacheStats {
             lower: self.lower - rhs.lower,
             emit: self.emit - rhs.emit,
             aig: self.aig - rhs.aig,
+            poisoned: self.poisoned.saturating_sub(rhs.poisoned),
         }
     }
 }
@@ -218,7 +236,11 @@ impl fmt::Display for CacheStats {
             self.hits(),
             self.misses(),
             self.evictions()
-        )
+        )?;
+        if self.poisoned > 0 {
+            write!(f, ", {} poisoned shard(s) recovered", self.poisoned)?;
+        }
+        Ok(())
     }
 }
 
@@ -268,6 +290,8 @@ pub(crate) struct QueryCache {
     tick: AtomicU64,
     /// `[stage][hit|miss|evict]`.
     counters: [[AtomicU64; 3]; 5],
+    /// Shards recovered from a poisoning panic (see the module docs).
+    poisoned: AtomicU64,
 }
 
 impl fmt::Debug for QueryCache {
@@ -292,6 +316,7 @@ impl QueryCache {
             capacity: AtomicUsize::new(capacity),
             tick: AtomicU64::new(0),
             counters: Default::default(),
+            poisoned: AtomicU64::new(0),
         }
     }
 
@@ -311,13 +336,51 @@ impl QueryCache {
         &self.shards[(key as usize) % SHARDS]
     }
 
+    /// Locks the shard `key` maps to, recovering from poisoning.
+    ///
+    /// A panicking compile that died while holding this lock may have
+    /// left the shard's bookkeeping half-updated, so the recovered
+    /// shard is cleared before reuse: one panicked request costs warm
+    /// misses, never a wedged or panicking cache (the daemon-fatal
+    /// failure mode this guards against).
+    fn lock_shard(&self, key: u64) -> std::sync::MutexGuard<'_, Shard> {
+        let mutex = self.shard(key);
+        match mutex.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                mutex.clear_poison();
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Test support: poisons the shard `key` maps to exactly as a compile
+    /// panicking under the lock would (a helper thread panics while
+    /// holding it). Used by the poisoned-shard regression tests.
+    #[doc(hidden)]
+    pub(crate) fn poison_shard_for_tests(&self, key: u64) {
+        let mutex = self.shard(key);
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = mutex.lock().expect("shard not yet poisoned");
+                    panic!("injected shard poisoning");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "poisoning thread must panic");
+    }
+
     fn bump(&self, stage: Stage, kind: usize) {
         self.counters[stage.index()][kind].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Looks up an artifact, counting a hit or miss for `stage`.
     pub(crate) fn get(&self, stage: Stage, key: u64) -> Option<Artifact> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.lock_shard(key);
         match shard.map.get_mut(&key) {
             Some(entry) => {
                 entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -336,7 +399,7 @@ impl QueryCache {
     /// are attributed to the inserting stage's counters.
     pub(crate) fn insert(&self, stage: Stage, key: u64, value: Artifact) {
         let cap = self.per_shard_capacity();
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.lock_shard(key);
         let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
         shard.map.insert(key, Entry { value, last_used });
         while shard.map.len() > cap {
@@ -364,6 +427,7 @@ impl QueryCache {
             lower: read(Stage::Lower),
             emit: read(Stage::Emit),
             aig: read(Stage::Aig),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
         }
     }
 }
@@ -435,6 +499,29 @@ mod tests {
         assert_eq!(delta.opt_ir.hits, 1);
         assert_eq!(delta.opt_ir.misses, 1);
         assert_eq!(delta.lower, StageCounters::default());
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_serving() {
+        let cache = QueryCache::with_capacity(64);
+        let (key, other) = (3u64, 5u64); // different shards
+        cache.insert(Stage::Emit, key, sv("a"));
+        cache.insert(Stage::Emit, other, sv("b"));
+
+        cache.poison_shard_for_tests(key);
+
+        // The poisoned shard's entries are discarded, the event is
+        // counted, and both lookups *work* (the pre-fix code panicked
+        // right here with "cache shard poisoned").
+        assert!(cache.get(Stage::Emit, key).is_none());
+        assert_eq!(cache.stats().poisoned, 1);
+        // Other shards are untouched.
+        assert_eq!(chunk(&cache.get(Stage::Emit, other).expect("hit")), "b");
+
+        // The shard is fully usable again: insert + hit, no re-count.
+        cache.insert(Stage::Emit, key, sv("a2"));
+        assert_eq!(chunk(&cache.get(Stage::Emit, key).expect("hit")), "a2");
+        assert_eq!(cache.stats().poisoned, 1);
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod units;
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -68,7 +68,7 @@ use anvil_codegen::{
 };
 use anvil_intern::Symbol;
 use anvil_rtl::ModuleLibrary;
-use anvil_syntax::{parse, LineIndex, ParseError, Program, Span};
+use anvil_syntax::{parse, LineIndex, ParseError, Program, Span, WireDiagnostic};
 use anvil_typeck::{check_proc, ProcReport, TypeError};
 
 use crate::cache::{Artifact, IrUnit, QueryCache};
@@ -76,6 +76,34 @@ use crate::units::{options_fingerprint, ItemGraph};
 
 pub use anvil_codegen::CodegenOptions as Options;
 pub use cache::{CacheStats, Stage, StageCounters};
+
+/// Source marker that makes [`Session::compile`] panic deliberately.
+///
+/// The crash-safety regression tests (panic-catching batch workers,
+/// poisoned-shard recovery, the `anvild` request loop) need a
+/// reproducible panicking compile; any source containing this token
+/// panics at the top of the pipeline. Real sources never contain it.
+#[doc(hidden)]
+pub const PANIC_MARKER: &str = "__anvil_injected_panic__";
+
+/// Renders a caught panic payload for [`CompileError::Internal`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "compile panicked with a non-string payload".to_string()
+    }
+}
+
+/// `Err(Cancelled)` once the cooperative stop flag is raised.
+fn poll_stop(stop: Option<&AtomicBool>) -> Result<(), CompileError> {
+    match stop {
+        Some(flag) if flag.load(Ordering::Relaxed) => Err(CompileError::Cancelled),
+        _ => Ok(()),
+    }
+}
 
 /// Wall-clock timings (and event-graph size effects) per compiler pass.
 #[derive(Clone, Copy, Debug, Default)]
@@ -172,6 +200,15 @@ pub enum CompileError {
     TimingUnsafe(Vec<TypeError>),
     /// RTL generation failed.
     Codegen(CodegenDiag),
+    /// The compiler itself panicked while processing this input. Batch
+    /// workers and the `anvild` request loop catch per-compile panics
+    /// and surface them here, so one bad input produces one structured
+    /// error in one result slot instead of aborting the whole batch (or
+    /// the whole daemon).
+    Internal(String),
+    /// The compilation was cancelled through the cooperative stop flag
+    /// of [`Session::compile_cancellable`] before it finished.
+    Cancelled,
 }
 
 impl fmt::Display for CompileError {
@@ -187,6 +224,8 @@ impl fmt::Display for CompileError {
                 Ok(())
             }
             CompileError::Codegen(e) => write!(f, "code generation error: {e}"),
+            CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
+            CompileError::Cancelled => write!(f, "compilation cancelled"),
         }
     }
 }
@@ -225,6 +264,40 @@ impl CompileError {
                 }
                 None => d.message.clone(),
             },
+            CompileError::Internal(msg) => format!("internal compiler error: {msg}"),
+            CompileError::Cancelled => "compilation cancelled".to_string(),
+        }
+    }
+
+    /// Flattens the error into location-resolved [`WireDiagnostic`]s
+    /// ready for JSON serialization — the form the `anvild` compile
+    /// server streams to clients as `diagnostics` notifications.
+    ///
+    /// Multi-violation errors ([`CompileError::TimingUnsafe`]) produce
+    /// one diagnostic per violation; everything else produces exactly
+    /// one, with the span resolved against `source` when the failure is
+    /// attributable to a definition.
+    pub fn wire_diagnostics(&self, source: &str) -> Vec<WireDiagnostic> {
+        let index = LineIndex::new(source);
+        match self {
+            CompileError::Parse(e) => vec![WireDiagnostic::error_at(&e.message, e.span, &index)],
+            CompileError::Elaborate(e) => {
+                vec![WireDiagnostic::error_at(&e.message, e.span, &index)]
+            }
+            CompileError::TimingUnsafe(errs) => errs
+                .iter()
+                .map(|e| WireDiagnostic::error_at(&e.message, e.span, &index))
+                .collect(),
+            CompileError::Codegen(d) => vec![match d.span {
+                Some(span) => WireDiagnostic::error_at(&d.message, span, &index),
+                None => WireDiagnostic::error(&d.message),
+            }],
+            CompileError::Internal(msg) => {
+                vec![WireDiagnostic::error(&format!(
+                    "internal compiler error: {msg}"
+                ))]
+            }
+            CompileError::Cancelled => vec![WireDiagnostic::error("compilation cancelled")],
         }
     }
 }
@@ -394,7 +467,7 @@ impl Session {
         source: &str,
     ) -> Result<(Program, BTreeMap<Symbol, ProcReport>), CompileError> {
         let program = self.parse(source)?;
-        let (_, reports) = self.check_units(&program)?;
+        let (_, reports) = self.check_units(&program, None)?;
         Ok((program, reports))
     }
 
@@ -404,10 +477,12 @@ impl Session {
     fn check_units<'p>(
         &self,
         program: &'p Program,
+        stop: Option<&AtomicBool>,
     ) -> Result<(ItemGraph<'p>, BTreeMap<Symbol, ProcReport>), CompileError> {
         let items = ItemGraph::new(program);
         let mut reports = BTreeMap::new();
         for p in &program.procs {
+            poll_stop(stop)?;
             let report = self.checked_unit(program, &items, &p.name)?;
             reports.insert(Symbol::intern(&p.name), (*report).clone());
         }
@@ -446,6 +521,42 @@ impl Session {
     /// Fails if any pass fails; timing-unsafe programs yield
     /// [`CompileError::TimingUnsafe`] with every violation.
     pub fn compile(&self, source: &str) -> Result<CompileOutput, CompileError> {
+        self.compile_impl(source, None)
+    }
+
+    /// [`Session::compile`] with a cooperative stop flag, for services
+    /// that must abandon an in-flight request (the `anvild` daemon's
+    /// `cancel` method threads its per-request flag through here).
+    ///
+    /// The flag is polled at every compilation-unit boundary — per proc
+    /// in the check stage, per unit in optimize/lower, per module chunk
+    /// in emit — so cancellation latency is bounded by one unit's work,
+    /// and a cancelled compile leaves the session fully consistent: the
+    /// query cache keeps every artifact completed before the stop, and
+    /// a retry resumes warm from exactly that point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compile`], plus [`CompileError::Cancelled`] once
+    /// the flag is observed raised.
+    pub fn compile_cancellable(
+        &self,
+        source: &str,
+        stop: &AtomicBool,
+    ) -> Result<CompileOutput, CompileError> {
+        self.compile_impl(source, Some(stop))
+    }
+
+    fn compile_impl(
+        &self,
+        source: &str,
+        stop: Option<&AtomicBool>,
+    ) -> Result<CompileOutput, CompileError> {
+        // Deliberate crash hook: see `PANIC_MARKER`.
+        if source.contains(PANIC_MARKER) {
+            panic!("injected compile panic ({PANIC_MARKER})");
+        }
+        poll_stop(stop)?;
         let mut stats = PassStats::default();
 
         // ---- Pass 1: parse. ----
@@ -455,7 +566,7 @@ impl Session {
 
         // ---- Pass 2: check, one unit per proc. ----
         let t = Instant::now();
-        let (items, reports) = self.check_units(&program)?;
+        let (items, reports) = self.check_units(&program, stop)?;
         let errors: Vec<TypeError> = reports
             .values()
             .flat_map(|r| r.errors().into_iter().cloned())
@@ -480,6 +591,7 @@ impl Session {
         }
         let mut emit_keys: HashMap<&str, u64> = HashMap::new();
         for &name in &order {
+            poll_stop(stop)?;
             let unit_keys = keys[name];
             emit_keys.insert(name, unit_keys.emit);
 
@@ -527,6 +639,7 @@ impl Session {
         let t = Instant::now();
         let mut systemverilog = String::new();
         for name in anvil_rtl::emit_order(&lib) {
+            poll_stop(stop)?;
             // Extern modules are session state rather than compilation
             // units; their chunks are cached under (name, generation).
             let key = match emit_keys.get(name) {
@@ -650,7 +763,7 @@ impl Session {
         if n <= 1 || workers <= 1 {
             // Nothing to fan out (or nowhere to fan out to): compile
             // inline, skipping thread setup.
-            return sources.iter().map(|s| self.compile(s)).collect();
+            return sources.iter().map(|s| self.compile_caught(s)).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<CompileOutput, CompileError>>>> =
@@ -662,8 +775,14 @@ impl Session {
                     if i >= n {
                         break;
                     }
-                    let result = self.compile(sources[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    // Per-unit panics are caught inside `compile_caught`,
+                    // so the slot is always filled and the worker (and
+                    // every sibling slot's mutex) survives a bad input.
+                    let result = self.compile_caught(sources[i]);
+                    match slots[i].lock() {
+                        Ok(mut slot) => *slot = Some(result),
+                        Err(poisoned) => *poisoned.into_inner() = Some(result),
+                    }
                 });
             }
         });
@@ -671,10 +790,33 @@ impl Session {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker filled every claimed slot")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        Err(CompileError::Internal(
+                            "batch worker died before filling its result slot".to_string(),
+                        ))
+                    })
             })
             .collect()
+    }
+
+    /// [`Session::compile`] with panics converted into
+    /// [`CompileError::Internal`] — the unit of work batch workers run,
+    /// so one panicking input yields one structured error in its own
+    /// result slot instead of unwinding through the worker and poisoning
+    /// every slot behind it.
+    fn compile_caught(&self, source: &str) -> Result<CompileOutput, CompileError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.compile(source)))
+            .unwrap_or_else(|payload| Err(CompileError::Internal(panic_message(payload))))
+    }
+
+    /// Test support: poisons the query-cache shard `key` maps to, as a
+    /// compile panicking under the shard lock would. Hidden — exists so
+    /// the poisoned-shard recovery regression tests can exercise the
+    /// failure mode from outside the crate.
+    #[doc(hidden)]
+    pub fn poison_cache_shard_for_tests(&self, key: u64) {
+        self.cache.poison_shard_for_tests(key);
     }
 }
 
@@ -745,6 +887,20 @@ impl Compiler {
     /// [`CompileError::TimingUnsafe`] with every violation.
     pub fn compile(&self, source: &str) -> Result<CompileOutput, CompileError> {
         self.session.compile(source)
+    }
+
+    /// [`Compiler::compile`] with a cooperative stop flag; see
+    /// [`Session::compile_cancellable`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile`], plus [`CompileError::Cancelled`].
+    pub fn compile_cancellable(
+        &self,
+        source: &str,
+        stop: &AtomicBool,
+    ) -> Result<CompileOutput, CompileError> {
+        self.session.compile_cancellable(source, stop)
     }
 
     /// Compiles many independent designs in parallel on scoped worker
@@ -940,6 +1096,104 @@ proc p() { reg r : logic[8]; loop { set r := nope(*r) >> cycle 1 } }";
         assert_eq!(miss.aig.misses, 1);
         // One extra register bit on top of the unchanged FSM latches.
         assert_eq!(a4.aig().n_latches(), a1.aig().n_latches() + 1);
+    }
+
+    #[test]
+    fn batch_panic_surfaces_as_internal_error_in_its_slot() {
+        let good = "proc a() { reg r : logic[4]; loop { set r := *r + 1 >> cycle 1 } }";
+        let boom = format!("proc {PANIC_MARKER}() {{}}");
+        // Pre-fix, the panicking unit unwound through its worker and the
+        // whole batch aborted on "worker filled every claimed slot";
+        // now the panic is scoped to its own slot.
+        let out = Compiler::new().compile_batch_with_workers(&[good, &boom, good], 2);
+        assert!(out[0].is_ok());
+        assert!(
+            matches!(&out[1], Err(CompileError::Internal(msg)) if msg.contains(PANIC_MARKER)),
+            "{:?}",
+            out[1].as_ref().err()
+        );
+        assert!(out[2].is_ok());
+
+        // The inline (single-worker) path catches identically.
+        let out = Compiler::new().compile_batch_with_workers(&[&boom], 1);
+        assert!(matches!(&out[0], Err(CompileError::Internal(_))));
+    }
+
+    #[test]
+    fn poisoned_cache_shard_does_not_wedge_the_session() {
+        let compiler = Compiler::new();
+        let src = "proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }";
+        let cold = compiler.compile(src).unwrap();
+
+        // Poison every shard: whatever shard this unit's keys map to is
+        // covered. Pre-fix, the next compile panicked on the first
+        // `get` with "cache shard poisoned".
+        for key in 0..64u64 {
+            compiler.session().poison_cache_shard_for_tests(key);
+        }
+        let again = compiler.compile(src).unwrap();
+        assert_eq!(cold.systemverilog, again.systemverilog);
+        let stats = compiler.cache_stats();
+        assert!(stats.poisoned >= 1, "{stats}");
+
+        // And the cache still *works*: a third compile is pure warm.
+        let before = compiler.cache_stats();
+        compiler.compile(src).unwrap();
+        let delta = compiler.cache_stats() - before;
+        assert_eq!(delta.misses(), 0, "{delta}");
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_cancels_immediately() {
+        let compiler = Compiler::new();
+        let stop = AtomicBool::new(true);
+        let err = compiler
+            .compile_cancellable(
+                "proc p() { reg r : logic; loop { set r := ~*r >> cycle 1 } }",
+                &stop,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Cancelled));
+        assert_eq!(err.render(""), "compilation cancelled");
+
+        // Unraised flag: identical output to the plain path.
+        let stop = AtomicBool::new(false);
+        let src = "proc p() { reg r : logic; loop { set r := ~*r >> cycle 1 } }";
+        let a = compiler.compile_cancellable(src, &stop).unwrap();
+        let b = compiler.compile(src).unwrap();
+        assert_eq!(a.systemverilog, b.systemverilog);
+    }
+
+    #[test]
+    fn wire_diagnostics_resolve_spans() {
+        let src = "proc p() { loop { ??? } }";
+        let err = Compiler::new().compile(src).unwrap_err();
+        let diags = err.wire_diagnostics(src);
+        assert_eq!(diags.len(), 1);
+        let json = diags[0].to_json();
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"line\":1"), "{json}");
+
+        // Multi-violation errors flatten one diagnostic per violation.
+        let src = "
+            chan memory_ch {
+                right address : (logic[8]@#2),
+                left data : (logic[8]@#1)
+            }
+            proc top_unsafe(mem : left memory_ch) {
+                reg addr : logic[8];
+                loop {
+                    send mem.address (*addr) >>
+                    set addr := *addr + 1 >>
+                    let d = recv mem.data >>
+                    cycle 1
+                }
+            }";
+        let err = Compiler::new().compile(src).unwrap_err();
+        let CompileError::TimingUnsafe(n) = &err else {
+            panic!("expected violations");
+        };
+        assert_eq!(err.wire_diagnostics(src).len(), n.len());
     }
 
     #[test]

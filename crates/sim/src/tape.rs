@@ -388,9 +388,10 @@ struct TapeArray {
 }
 
 /// Compile-time knobs for the tape optimization layer. The defaults
-/// (everything on, auto stride) are what [`TapeProgram::compile`]
-/// (crate::TapeProgram::compile) and `Sim` use; the differential test
-/// matrix exercises every combination against the scalar engines.
+/// (everything on, auto stride) are what
+/// [`TapeProgram::compile`](crate::TapeProgram::compile) and `Sim` use;
+/// the differential test matrix exercises every combination against the
+/// scalar engines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TapeOptions {
     /// Run the superinstruction fusion pass (slice/resize folds,

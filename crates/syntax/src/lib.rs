@@ -28,6 +28,7 @@ mod lexer;
 mod line_index;
 mod parser;
 mod pretty;
+pub mod wire;
 
 pub use ast::*;
 pub use fingerprint::{content_fingerprint, ContentHash, StableHasher};
@@ -35,3 +36,4 @@ pub use lexer::{lex, LexError, SpannedTok, Tok};
 pub use line_index::LineIndex;
 pub use parser::{parse, ParseError};
 pub use pretty::{pretty_chan, pretty_proc, pretty_program, pretty_term};
+pub use wire::{json_escape_into, json_string, Severity, WireDiagnostic};

@@ -26,6 +26,12 @@ impl ParseError {
         self.render_with(&crate::LineIndex::new(source))
     }
 
+    /// The error as a JSON-serializable [`crate::WireDiagnostic`], for
+    /// compile services streaming diagnostics over a wire protocol.
+    pub fn to_wire(&self, index: &crate::LineIndex<'_>) -> crate::WireDiagnostic {
+        crate::WireDiagnostic::error_at(&self.message, self.span, index)
+    }
+
     /// [`ParseError::render`] against a prebuilt [`crate::LineIndex`], so a
     /// driver rendering many diagnostics resolves lines in O(log n) each
     /// instead of rescanning the source per error.

@@ -1,0 +1,252 @@
+//! `anvil-client`: a scripted smoke client for the `anvild` daemon.
+//!
+//! ```sh
+//! cargo run --release --example anvild -- --socket /tmp/anvild.sock &
+//! cargo run --release --example anvil-client -- --socket /tmp/anvild.sock
+//! ```
+//!
+//! Connects over the Unix socket and drives the full protocol surface,
+//! printing every frame it sends and receives (the transcript CI
+//! archives): open → cold compile → warm compile (asserting ZERO cache
+//! misses) → comment edit → recompile (still zero misses) → broken edit
+//! → compile failure with a streamed `diagnostics` notification →
+//! pre-cancellation → `cacheStats` → `shutdown`. Exits 0 and prints
+//! `SMOKE OK` only if every assertion held.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::process::exit;
+
+use anvil::anvild::{Incoming, Json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anvil-client --socket <path>
+
+Scripted smoke test against a running anvild; prints the full frame
+transcript and `SMOKE OK` on success."
+    );
+    exit(2);
+}
+
+fn parse_args() -> String {
+    let mut socket = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--socket" => match argv.next() {
+                Some(path) => socket = Some(path),
+                None => usage(),
+            },
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    socket.unwrap_or_else(|| usage())
+}
+
+/// One connection: sends request frames, reads frames back until the
+/// response with the matching id arrives, collecting notifications that
+/// interleave. Every frame is printed to stdout as it crosses the wire.
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    notifications: Vec<Json>,
+}
+
+impl Client {
+    fn connect(path: &str) -> Client {
+        let stream = match UnixStream::connect(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("anvil-client: cannot connect to `{path}`: {e}");
+                exit(1);
+            }
+        };
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        Client {
+            reader,
+            writer: stream,
+            notifications: Vec::new(),
+        }
+    }
+
+    /// Sends a frame without waiting for anything back.
+    fn send(&mut self, frame: &Incoming) {
+        let line = frame.to_frame().to_string();
+        println!("--> {line}");
+        writeln!(self.writer, "{line}").expect("socket write");
+        self.writer.flush().expect("socket flush");
+    }
+
+    /// Sends a request and blocks until its response frame arrives;
+    /// notifications seen in between accumulate in `self.notifications`.
+    fn call(&mut self, id: i64, method: &str, params: Json) -> Json {
+        self.send(&Incoming::request(id, method, params));
+        self.wait_for(id)
+    }
+
+    fn wait_for(&mut self, id: i64) -> Json {
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line).expect("socket read") == 0 {
+                eprintln!("anvil-client: server closed the connection");
+                exit(1);
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            println!("<-- {line}");
+            let frame = Json::parse(line).expect("server sent invalid JSON");
+            match frame.get("id").and_then(Json::as_i64) {
+                Some(got) if got == id => return frame,
+                _ => self.notifications.push(frame),
+            }
+        }
+    }
+}
+
+/// Extracts `result.<key>` as an integer, failing the smoke run loudly.
+fn result_int(resp: &Json, key: &str) -> i64 {
+    resp.get("result")
+        .and_then(|r| r.get(key))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail(&format!("response missing integer result.{key}: {resp}")))
+}
+
+fn cache_misses(resp: &Json) -> i64 {
+    resp.get("result")
+        .and_then(|r| r.get("cacheDelta"))
+        .and_then(|d| d.get("misses"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail(&format!("response missing cacheDelta.misses: {resp}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("SMOKE FAIL: {msg}");
+    exit(1);
+}
+
+fn check(cond: bool, msg: &str) {
+    if !cond {
+        fail(msg);
+    }
+}
+
+fn main() {
+    let path = parse_args();
+    let mut client = Client::connect(&path);
+    let uri = "smoke:fifo.anv";
+
+    // A real design from the evaluation suite, compiled cold then warm.
+    let (name, text) = anvil::anvil_designs::suite_sources()
+        .into_iter()
+        .find(|(name, _)| *name == "fifo")
+        .unwrap_or_else(|| fail("fifo missing from suite_sources()"));
+    println!("# smoke design: {name} ({} bytes)", text.len());
+
+    let ping = client.call(1, "ping", Json::Null);
+    check(
+        ping.get("result").and_then(|r| r.get("ok")) == Some(&Json::Bool(true)),
+        "ping did not answer ok:true",
+    );
+
+    client.call(
+        2,
+        "open",
+        Json::obj([("uri", Json::str(uri)), ("text", Json::str(&text))]),
+    );
+
+    let cold = client.call(3, "compile", Json::obj([("uri", Json::str(uri))]));
+    check(cache_misses(&cold) > 0, "cold compile reported zero misses");
+    let sv = cold
+        .get("result")
+        .and_then(|r| r.get("systemverilog"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("cold compile returned no systemverilog"));
+    check(sv.contains("module"), "emitted SystemVerilog has no module");
+
+    let warm = client.call(4, "compile", Json::obj([("uri", Json::str(uri))]));
+    check(
+        cache_misses(&warm) == 0,
+        "warm compile of an unchanged file was not a pure cache hit",
+    );
+
+    // A comment-only edit must still be a pure warm compile: the cache
+    // keys on per-proc fingerprints, not file bytes.
+    let commented = format!("// smoke edit\n{text}");
+    client.call(
+        5,
+        "update",
+        Json::obj([
+            ("uri", Json::str(uri)),
+            ("text", Json::str(commented)),
+            ("version", Json::int(2)),
+        ]),
+    );
+    let edited = client.call(6, "compile", Json::obj([("uri", Json::str(uri))]));
+    check(
+        cache_misses(&edited) == 0,
+        "comment-only edit caused cache misses",
+    );
+
+    // Break the file: compile must fail with COMPILE_FAILED and stream a
+    // diagnostics notification carrying a resolved line/col.
+    let broken = format!("{text}\nproc smoke_broken() {{ loop {{ ??? }} }}");
+    client.call(
+        7,
+        "update",
+        Json::obj([("uri", Json::str(uri)), ("text", Json::str(broken))]),
+    );
+    client.notifications.clear();
+    let failed = client.call(8, "compile", Json::obj([("uri", Json::str(uri))]));
+    let code = failed
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail("broken compile did not answer with an error"));
+    check(code == -32000, "broken compile error code was not -32000");
+    let diag_note = client
+        .notifications
+        .iter()
+        .find(|n| {
+            n.get("method").and_then(Json::as_str) == Some("diagnostics")
+                && n.get("params")
+                    .and_then(|p| p.get("diagnostics"))
+                    .and_then(Json::as_array)
+                    .is_some_and(|d| !d.is_empty())
+        })
+        .unwrap_or_else(|| fail("no non-empty diagnostics notification streamed"));
+    let first = &diag_note.get("params").unwrap().get("diagnostics").unwrap();
+    let line = first
+        .as_array()
+        .and_then(|d| d[0].get("line"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail("diagnostic carries no resolved line"));
+    check(line > 0, "diagnostic line was not resolved to 1-based");
+
+    // Pre-cancellation: cancel id 9 before sending it; the compile must
+    // come back REQUEST_CANCELLED (-32800) without running.
+    client.call(100, "cancel", Json::obj([("id", Json::int(9))]));
+    let cancelled = client.call(9, "compile", Json::obj([("uri", Json::str(uri))]));
+    let code = cancelled
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail("pre-cancelled compile did not answer with an error"));
+    check(code == -32800, "pre-cancelled compile was not -32800");
+
+    let stats = client.call(10, "cacheStats", Json::Null);
+    check(
+        result_int(&stats, "poisoned") == 0,
+        "smoke run poisoned a cache shard",
+    );
+    check(
+        result_int(&stats, "openFiles") == 1,
+        "expected one open file",
+    );
+
+    client.call(11, "shutdown", Json::Null);
+    println!("SMOKE OK");
+}

@@ -104,8 +104,10 @@ fn main() {
     let source = match std::fs::read_to_string(&args.input) {
         Ok(s) => s,
         Err(e) => {
+            // Usage-class failure (bad invocation, not a bad program):
+            // exit 2, same as unknown flags and missing arguments.
             eprintln!("anvilc: cannot read `{}`: {e}", args.input);
-            exit(1);
+            exit(2);
         }
     };
     if args.prove.is_some() {

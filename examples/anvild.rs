@@ -1,0 +1,126 @@
+//! `anvild`: the persistent Anvil compile server.
+//!
+//! ```sh
+//! # Editor/pipe mode: JSON-RPC frames on stdin, responses on stdout.
+//! cargo run --release --example anvild -- --stdio
+//!
+//! # Daemon mode: serve any number of clients over a Unix socket.
+//! cargo run --release --example anvild -- --socket /tmp/anvild.sock
+//! ```
+//!
+//! Every connection shares ONE compile session, so the query cache stays
+//! warm across clients and across edits: the second client to compile an
+//! unchanged file gets a pure cache hit. See the README's "Compile
+//! server" section for the wire protocol, and `examples/anvil-client.rs`
+//! for a scripted client.
+
+use std::io::{BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::process::exit;
+use std::sync::Arc;
+
+use anvil::anvild::CompileService;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anvild [--stdio]
+       anvild --socket <path>
+
+Persistent Anvil compile server (JSON-RPC 2.0, one JSON frame per line).
+  --stdio          serve a single client on stdin/stdout (default)
+  --socket <path>  listen on a Unix socket; serves concurrent clients
+                   against one shared compile session"
+    );
+    exit(2);
+}
+
+enum Transport {
+    Stdio,
+    Socket(String),
+}
+
+fn parse_args() -> Transport {
+    let mut transport = Transport::Stdio;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--stdio" => transport = Transport::Stdio,
+            "--socket" => match argv.next() {
+                Some(path) => transport = Transport::Socket(path),
+                None => usage(),
+            },
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    transport
+}
+
+fn main() {
+    let service = Arc::new(CompileService::new());
+    match parse_args() {
+        Transport::Stdio => {
+            let stdin = std::io::stdin();
+            // `Stdout` (not the lock) — workers stream notifications from
+            // other threads, so the writer must be `Send`.
+            if let Err(e) = service.serve(stdin.lock(), std::io::stdout()) {
+                eprintln!("anvild: transport error: {e}");
+                exit(1);
+            }
+        }
+        Transport::Socket(path) => serve_socket(&service, &path),
+    }
+}
+
+fn serve_socket(service: &Arc<CompileService>, path: &str) {
+    // A stale socket file from a dead daemon would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("anvild: cannot bind `{path}`: {e}");
+            exit(1);
+        }
+    };
+    // Nonblocking accept so the loop can notice `shutdown` (sent by any
+    // client) between connections and exit instead of hanging forever.
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("anvild: cannot configure `{path}`: {e}");
+        exit(1);
+    }
+    eprintln!("anvild: listening on {path}");
+    let mut connections = Vec::new();
+    while !service.is_shut_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(service);
+                connections.push(std::thread::spawn(move || {
+                    let reader = BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("anvild: cannot clone connection: {e}");
+                            return;
+                        }
+                    });
+                    let mut writer = stream;
+                    if let Err(e) = service.serve(reader, &mut writer) {
+                        eprintln!("anvild: connection error: {e}");
+                    }
+                    let _ = writer.flush();
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("anvild: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    let _ = std::fs::remove_file(path);
+    eprintln!("anvild: shut down");
+}

@@ -19,7 +19,9 @@
 //!   scheduler, and the symbolic [`verify::prove()`] /
 //!   [`verify::prove_portfolio`] engines,
 //! * [`anvil_designs`] — the ten evaluation designs (and their safety
-//!   properties, `anvil_designs::props`).
+//!   properties, `anvil_designs::props`),
+//! * [`anvild`] — the persistent JSON-RPC compile server behind the
+//!   `anvild` daemon ([`anvild::CompileService`]).
 //!
 //! # Examples
 //!
@@ -55,3 +57,4 @@ pub use anvil_syntax;
 pub use anvil_synth;
 pub use anvil_typeck;
 pub use anvil_verify;
+pub use anvild;
