@@ -28,9 +28,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use anvil_core::{CacheStats, CompileError, Session, StageCounters};
-use anvil_rtl::Expr;
+use anvil_rtl::{Expr, Module};
 use anvil_syntax::WireDiagnostic;
-use anvil_verify::{prove_with_circuit, render_trace, ProveResult};
+use anvil_verify::{
+    prove_portfolio, render_trace, revalidate_certificate, ProveResult, ProveStats, Prover,
+};
 
 use crate::json::Json;
 use crate::proto::{
@@ -370,42 +372,70 @@ impl CompileService {
             )));
         };
         let assertion = Expr::Signal(sig);
-        let (result, stats) = prove_with_circuit(&circuit, &assertion, max_k, stop.map(Arc::clone))
-            .map_err(|e| RpcError::new(PROVE_FAILED, e.to_string()))?;
-        if stop.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
-            return Err(RpcError::new(REQUEST_CANCELLED, "prove cancelled"));
-        }
-        let mut fields = vec![
-            ("uri", Json::str(uri)),
-            ("version", Json::int(version)),
-            ("signal", Json::str(signal)),
-            ("aigNodes", Json::int(stats.aig_nodes as i64)),
-            ("latches", Json::int(stats.latches as i64)),
-            ("conflicts", Json::int(stats.conflicts as i64)),
-        ];
-        match &result {
-            ProveResult::Proved { k } => {
-                fields.push(("verdict", Json::str("proved")));
-                fields.push(("k", Json::int(*k as i64)));
-            }
-            ProveResult::Falsified { depth, trace } => {
-                fields.push(("verdict", Json::str("falsified")));
-                fields.push(("depth", Json::int(*depth as i64)));
-                match render_trace(module, &assertion, trace) {
-                    Ok(rendered) => fields.push(("trace", Json::str(rendered))),
-                    Err(e) => fields.push(("traceError", Json::str(e.to_string()))),
+
+        // ---- Proof cache: fingerprint-keyed certificates. ----
+        // A hit is *revalidated* against the current circuit (one
+        // incremental SAT session — no invariant search, no optimization
+        // pipeline) rather than trusted blindly; a certificate that fails
+        // its check falls through to the cold path below.
+        let proof_key = self.session.proof_key(&text, &top, signal).ok().flatten();
+        if let Some(key) = proof_key {
+            if let Some(cert) = self.session.cached_proof(key) {
+                if let Ok(Some(result)) = revalidate_certificate(&circuit, &assertion, &cert) {
+                    return Ok(prove_response(
+                        uri,
+                        version,
+                        signal,
+                        &result,
+                        "cache",
+                        Some(cert.engine),
+                        None,
+                        module,
+                        &assertion,
+                    ));
                 }
             }
-            ProveResult::Unknown { depth } => {
-                fields.push(("verdict", Json::str("unknown")));
-                fields.push(("depth", Json::int(*depth as i64)));
-            }
         }
-        Ok(Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+
+        // ---- Cold path: the cooperating portfolio. ----
+        let out = prove_portfolio(
+            circuit.module(),
+            &assertion,
+            max_k,
+            max_k.max(8),
+            100_000,
+            3,
+            stop.map(Arc::clone),
+        )
+        .map_err(|e| RpcError::new(PROVE_FAILED, e.to_string()))?;
+        let cancelled = stop.is_some_and(|flag| flag.load(Ordering::Relaxed))
+            && matches!(out.result, ProveResult::Unknown { .. });
+        if cancelled {
+            return Err(RpcError::new(REQUEST_CANCELLED, "prove cancelled"));
+        }
+        if let (Some(key), Some(cert)) = (proof_key, &out.certificate) {
+            self.session.store_proof(key, Arc::new(cert.clone()));
+        }
+        let engine = match out.winner {
+            Some(Prover::Symbolic) => "symbolic",
+            Some(Prover::Pdr) => "pdr",
+            Some(Prover::ExplicitState) => "explicit",
+            None => "none",
+        };
+        let stats = match out.winner {
+            Some(Prover::Pdr) => out.pdr_stats,
+            _ => out.symbolic_stats,
+        };
+        Ok(prove_response(
+            uri,
+            version,
+            signal,
+            &out.result,
+            engine,
+            None,
+            Some(&stats),
+            module,
+            &assertion,
         ))
     }
 
@@ -417,6 +447,7 @@ impl CompileService {
             ("lower", stage_json(stats.lower)),
             ("emit", stage_json(stats.emit)),
             ("aig", stage_json(stats.aig)),
+            ("proof", stage_json(stats.proof)),
             ("poisoned", Json::int(stats.poisoned as i64)),
             (
                 "totals",
@@ -542,6 +573,65 @@ fn int_param(params: &Json, key: &str) -> Result<Option<i64>, RpcError> {
             .map(Some)
             .ok_or_else(|| RpcError::invalid_params(format!("param `{key}` must be an integer"))),
     }
+}
+
+/// Builds the `anvil/prove` response object. `engine` names who settled
+/// the property (`symbolic` / `pdr` / `explicit` / `cache` / `none`);
+/// `cached_engine` names the certificate's original producer on cache
+/// hits. `stats` is absent on cache hits — revalidation does not rerun
+/// the optimization pipeline, so node counts would be stale guesses.
+#[allow(clippy::too_many_arguments)]
+fn prove_response(
+    uri: &str,
+    version: i64,
+    signal: &str,
+    result: &ProveResult,
+    engine: &str,
+    cached_engine: Option<&str>,
+    stats: Option<&ProveStats>,
+    module: &Module,
+    assertion: &Expr,
+) -> Json {
+    let mut fields = vec![
+        ("uri", Json::str(uri)),
+        ("version", Json::int(version)),
+        ("signal", Json::str(signal)),
+        ("engine", Json::str(engine)),
+    ];
+    if let Some(src) = cached_engine {
+        fields.push(("cachedEngine", Json::str(src)));
+    }
+    if let Some(s) = stats {
+        fields.push(("aigNodes", Json::int(s.aig_nodes as i64)));
+        fields.push(("aigNodesAfterRewrite", Json::int(s.aig_nodes_after as i64)));
+        fields.push(("latches", Json::int(s.latches as i64)));
+        fields.push(("conflicts", Json::int(s.conflicts as i64)));
+        fields.push(("clauses", Json::int(s.clauses as i64)));
+    }
+    match result {
+        ProveResult::Proved { k } => {
+            fields.push(("verdict", Json::str("proved")));
+            fields.push(("k", Json::int(*k as i64)));
+        }
+        ProveResult::Falsified { depth, trace } => {
+            fields.push(("verdict", Json::str("falsified")));
+            fields.push(("depth", Json::int(*depth as i64)));
+            match render_trace(module, assertion, trace) {
+                Ok(rendered) => fields.push(("trace", Json::str(rendered))),
+                Err(e) => fields.push(("traceError", Json::str(e.to_string()))),
+            }
+        }
+        ProveResult::Unknown { depth } => {
+            fields.push(("verdict", Json::str("unknown")));
+            fields.push(("depth", Json::int(*depth as i64)));
+        }
+    }
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn stage_json(c: StageCounters) -> Json {

@@ -259,6 +259,17 @@ fn prove_falsifies_a_failing_property_over_the_wire() {
     assert_eq!(result(&resp, "verdict").as_str(), Some("falsified"));
     assert_eq!(result(&resp, "depth").as_i64(), Some(1));
     assert!(result(&resp, "trace").as_str().is_some(), "{resp}");
+    // A cold prove names its winning engine and reports both AIG sizes.
+    assert!(
+        matches!(
+            result(&resp, "engine").as_str(),
+            Some("symbolic" | "pdr" | "explicit")
+        ),
+        "{resp}"
+    );
+    assert!(result(&resp, "aigNodes").as_i64().is_some());
+    assert!(result(&resp, "aigNodesAfterRewrite").as_i64().is_some());
+    assert!(result(&resp, "clauses").as_i64().is_some());
 
     // Unknown signal → invalid params naming the candidates.
     let (resp, _) = call(
@@ -268,6 +279,48 @@ fn prove_falsifies_a_failing_property_over_the_wire() {
         Json::obj([("uri", Json::str("p.anv")), ("signal", Json::str("nope"))]),
     );
     assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+}
+
+#[test]
+fn warm_reprove_is_a_proof_cache_hit_across_whitespace_edits() {
+    let service = CompileService::new();
+    let src = "proc main() { reg ok : logic; loop { set ok := 1 >> cycle 1 } }";
+    open(&service, "w.anv", src);
+    let params = Json::obj([
+        ("uri", Json::str("w.anv")),
+        ("signal", Json::str("ok")),
+        ("maxK", Json::int(4)),
+    ]);
+
+    let (cold, _) = call(&service, 1, "prove", params.clone());
+    assert_eq!(result(&cold, "verdict").as_str(), Some("falsified"));
+    let cold_engine = result(&cold, "engine").as_str().unwrap().to_string();
+    assert_ne!(cold_engine, "cache");
+
+    // Reformat the file (whitespace only): the lower-stage fingerprint
+    // is unchanged, so re-proving revalidates the cached certificate
+    // instead of rerunning the portfolio.
+    open(&service, "w.anv", &src.replace(" { ", " {\n    "));
+    let (warm, _) = call(&service, 2, "prove", params);
+    assert_eq!(result(&warm, "engine").as_str(), Some("cache"), "{warm}");
+    // The certificate remembers its producer by proof style: "bmc" /
+    // "k-induction" / "pdr" / "explicit".
+    assert!(
+        matches!(
+            result(&warm, "cachedEngine").as_str(),
+            Some("bmc" | "k-induction" | "pdr" | "explicit")
+        ),
+        "{warm}"
+    );
+    assert_eq!(result(&warm, "verdict").as_str(), Some("falsified"));
+    assert_eq!(result(&warm, "depth").as_i64(), Some(1));
+
+    // The proof stage's counters saw exactly one miss (cold) and one
+    // hit (warm).
+    let (stats, _) = call(&service, 3, "cacheStats", Json::Null);
+    let proof = result(&stats, "proof");
+    assert_eq!(proof.get("hits").and_then(Json::as_i64), Some(1), "{stats}");
+    assert_eq!(proof.get("misses").and_then(Json::as_i64), Some(1));
 }
 
 #[test]

@@ -2,14 +2,20 @@
 //! record archived by CI from this PR onward.
 //!
 //! For every design in the safety-property suite
-//! (`anvil_designs::props`), three engines run on the same assertion:
+//! (`anvil_designs::props`), five engines run on the same assertion:
 //!
 //! * `explicit_bmc` — the explicit-state bounded search (corner-sampled
 //!   inputs, bounded depth and state budget),
 //! * `symbolic_bmc` — SAT-based bounded model checking (all inputs, same
 //!   depth bound),
 //! * `k_induction` — the full [`anvil_verify::prove()`] loop, which can
-//!   return *proved for all time*.
+//!   return *proved for all time*,
+//! * `pdr` — the IC3/PDR engine ([`anvil_verify::prove_pdr()`]),
+//! * `portfolio_cold` / `warm_cache` — the proof-cache pair: a cold
+//!   cooperating-portfolio run that yields a certificate, then the
+//!   certificate *revalidated* against the circuit — the exact work a
+//!   warm `anvild` re-prove performs. The record's `warm_speedup` is
+//!   total cold over total warm wall time.
 //!
 //! Per engine the record carries the verdict and wall time; the symbolic
 //! engines also report SAT clause/conflict counts. The seeded-violation
@@ -21,7 +27,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use anvil_designs::props::{seeded_violations, suite_properties, SafetyProperty};
-use anvil_verify::{bmc, prove, prove_bounded, BmcResult, ProveResult};
+use anvil_verify::{
+    bmc, prove, prove_bounded, prove_pdr, prove_portfolio, revalidate_certificate, AigCircuit,
+    BmcResult, ProveResult,
+};
 
 /// Depth bound shared by both bounded engines.
 const DEPTH: usize = 8;
@@ -49,7 +58,14 @@ fn verdict_of(r: &ProveResult) -> String {
     }
 }
 
-fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) {
+/// Per-design cold (portfolio) and warm (certificate revalidation) wall
+/// times, in milliseconds.
+struct CachePair {
+    cold: f64,
+    warm: f64,
+}
+
+fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
     // Explicit-state bounded search.
     let t = Instant::now();
     let (explicit, _) = bmc(&prop.module, &prop.assertion, DEPTH, MAX_STATES)
@@ -94,6 +110,66 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) {
         clauses: stats.clauses,
         conflicts: stats.conflicts,
     });
+
+    // IC3/PDR.
+    let t = Instant::now();
+    let (pdr, stats) = prove_pdr(&prop.module, &prop.assertion, MAX_K * 2).expect("PDR runs");
+    rows.push(Row {
+        design: prop.design.to_string(),
+        property: prop.property.to_string(),
+        engine: "pdr",
+        verdict: verdict_of(&pdr),
+        millis: t.elapsed().as_secs_f64() * 1e3,
+        clauses: stats.clauses,
+        conflicts: stats.conflicts,
+    });
+
+    // The proof-cache pair: a cold portfolio run leaves a certificate;
+    // revalidating that certificate is the warm `anvild` re-prove path.
+    let t = Instant::now();
+    let out = prove_portfolio(
+        &prop.module,
+        &prop.assertion,
+        MAX_K,
+        DEPTH,
+        MAX_STATES,
+        3,
+        None,
+    )
+    .expect("portfolio runs");
+    let cold = t.elapsed().as_secs_f64() * 1e3;
+    rows.push(Row {
+        design: prop.design.to_string(),
+        property: prop.property.to_string(),
+        engine: "portfolio_cold",
+        verdict: verdict_of(&out.result),
+        millis: cold,
+        clauses: out.symbolic_stats.clauses + out.pdr_stats.clauses,
+        conflicts: out.symbolic_stats.conflicts + out.pdr_stats.conflicts,
+    });
+    let cert = out.certificate?;
+    let mut circuit = AigCircuit::from_module(&prop.module).expect("suite design blasts");
+    circuit
+        .blast_assertion(&prop.assertion)
+        .expect("assertion blasts");
+    let t = Instant::now();
+    let warm = revalidate_certificate(&circuit, &prop.assertion, &cert)
+        .expect("revalidation runs")
+        .expect("fresh certificate revalidates");
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    rows.push(Row {
+        design: prop.design.to_string(),
+        property: prop.property.to_string(),
+        engine: "warm_cache",
+        verdict: verdict_of(&warm),
+        millis: warm_ms,
+        clauses: 0,
+        conflicts: 0,
+    });
+    Some(CachePair {
+        cold,
+        warm: warm_ms,
+    })
 }
 
 fn main() {
@@ -102,9 +178,15 @@ fn main() {
         .unwrap_or_else(|| "BENCH_prove.json".to_string());
 
     let mut rows = Vec::new();
+    let mut cold_total = 0.0;
+    let mut warm_total = 0.0;
     for prop in suite_properties().iter().chain(seeded_violations().iter()) {
-        run_design(prop, &mut rows);
+        if let Some(pair) = run_design(prop, &mut rows) {
+            cold_total += pair.cold;
+            warm_total += pair.warm;
+        }
     }
+    let warm_speedup = cold_total / warm_total.max(1e-9);
 
     let proved = rows
         .iter()
@@ -123,6 +205,9 @@ fn main() {
     let _ = writeln!(json, "  \"max_k\": {MAX_K},");
     let _ = writeln!(json, "  \"proved_by_induction\": {proved},");
     let _ = writeln!(json, "  \"falsified\": {falsified},");
+    let _ = writeln!(json, "  \"cold_millis_total\": {cold_total:.3},");
+    let _ = writeln!(json, "  \"warm_millis_total\": {warm_total:.3},");
+    let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.2},");
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -150,8 +235,16 @@ fn main() {
         );
     }
     println!("k-induction: {proved} proved for all time, {falsified} falsified");
+    println!(
+        "proof cache: cold {cold_total:.1} ms, warm {warm_total:.1} ms \
+         ({warm_speedup:.1}x speedup)"
+    );
     assert!(
         proved >= 3,
         "regression: fewer than 3 suite designs proved by induction"
+    );
+    assert!(
+        warm_speedup >= 5.0,
+        "regression: warm re-prove only {warm_speedup:.1}x faster than cold"
     );
 }

@@ -1,0 +1,155 @@
+//! Gates CI on formal-verification performance regressions: compares a
+//! freshly measured `BENCH_prove.json` against the committed baseline
+//! and exits non-zero when any engine's total wall time grew by more
+//! than the threshold — the prove-side counterpart of `bench_compare`.
+//!
+//! Engines are compared on *total milliseconds across all designs*
+//! (per-design times are too noisy on CI runners; totals smooth over
+//! SAT-solver variance while still catching a pipeline that got 20%
+//! slower across the board). Totals under an absolute slack are exempt
+//! from the relative check — a 26 ms engine total can swing 40% on
+//! solver heuristics alone, which is noise, not a regression. The fresh
+//! record's `warm_speedup` (cold portfolio vs certificate revalidation)
+//! must also stay at or above the floor.
+//!
+//! Usage: `bench_prove_compare <fresh.json> <baseline.json> [threshold]`
+//! (threshold as a fraction; default `0.20`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Engine totals must grow by more than this many milliseconds *and*
+/// the relative threshold before the gate fails.
+const SLACK_MS: f64 = 25.0;
+
+/// Sums `millis` per engine. The v1 schema writes one result object per
+/// line, so a line-oriented scan is exact.
+fn engine_totals(src: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in src.lines() {
+        let Some(engine) = after(line, "\"engine\": \"").and_then(|r| r.split('"').next()) else {
+            continue;
+        };
+        let Some(ms) = after(line, "\"millis\": ")
+            .and_then(|r| r.split([',', '}']).next())
+            .and_then(|r| r.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        *out.entry(engine.to_string()).or_insert(0.0) += ms;
+    }
+    out
+}
+
+fn top_level_f64(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    src.lines().find_map(|line| {
+        after(line, &pat).and_then(|r| r.trim_end_matches([',', ' ']).parse::<f64>().ok())
+    })
+}
+
+fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.find(key).map(|i| &line[i + key.len()..])
+}
+
+fn load(path: &str) -> (String, BTreeMap<String, f64>) {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    assert!(
+        src.contains("\"schema\": \"anvil-bench-prove-v1\""),
+        "{path} is not an anvil-bench-prove-v1 record"
+    );
+    let totals = engine_totals(&src);
+    assert!(!totals.is_empty(), "{path} holds no engine results");
+    (src, totals)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, base_path, rest @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_prove_compare <fresh.json> <baseline.json> [threshold]");
+        return ExitCode::FAILURE;
+    };
+    let threshold: f64 = rest
+        .first()
+        .map(|t| t.parse().expect("threshold must be a fraction, e.g. 0.2"))
+        .unwrap_or(0.20);
+
+    let (fresh_src, fresh) = load(fresh_path);
+    let (_, baseline) = load(base_path);
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>8}",
+        "engine", "base ms", "fresh ms", "delta"
+    );
+    let mut failed = false;
+    for (engine, base_ms) in &baseline {
+        let Some(fresh_ms) = fresh.get(engine) else {
+            println!(
+                "{engine:<16} {base_ms:>12.1} {:>12} {:>8}",
+                "MISSING", "FAIL"
+            );
+            failed = true;
+            continue;
+        };
+        let delta = fresh_ms / base_ms - 1.0;
+        let regressed = delta > threshold && fresh_ms - base_ms > SLACK_MS;
+        let verdict = if regressed { "FAIL" } else { "ok" };
+        println!(
+            "{engine:<16} {base_ms:>12.1} {fresh_ms:>12.1} {:>+7.1}% {verdict}",
+            delta * 100.0
+        );
+        if regressed {
+            failed = true;
+        }
+    }
+
+    // The proof-cache contract: a warm re-prove (certificate
+    // revalidation) stays at least 5x faster than a cold portfolio run.
+    match top_level_f64(&fresh_src, "warm_speedup") {
+        Some(speedup) if speedup >= 5.0 => {
+            println!("warm_speedup     {speedup:>12.1}x (floor 5x) ok");
+        }
+        Some(speedup) => {
+            println!("warm_speedup     {speedup:>12.1}x (floor 5x) FAIL");
+            failed = true;
+        }
+        None => {
+            println!("warm_speedup     MISSING FAIL");
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "prove wall time regressed more than {:.0}% against {base_path}",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("within {:.0}% of the committed baseline", threshold * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{engine_totals, top_level_f64};
+
+    const SAMPLE: &str = r#"{
+  "schema": "anvil-bench-prove-v1",
+  "warm_speedup": 12.40,
+  "results": [
+    {"design": "a", "property": "p", "engine": "pdr", "verdict": "proved(k=3)", "millis": 1.500, "clauses": 10, "conflicts": 2},
+    {"design": "b", "property": "q", "engine": "pdr", "verdict": "proved(k=2)", "millis": 2.500, "clauses": 12, "conflicts": 3},
+    {"design": "a", "property": "p", "engine": "warm_cache", "verdict": "proved(k=0)", "millis": 0.250, "clauses": 0, "conflicts": 0}
+  ]
+}"#;
+
+    #[test]
+    fn sums_millis_per_engine_and_reads_speedup() {
+        let totals = engine_totals(SAMPLE);
+        assert_eq!(totals.get("pdr"), Some(&4.0));
+        assert_eq!(totals.get("warm_cache"), Some(&0.25));
+        assert_eq!(top_level_f64(SAMPLE, "warm_speedup"), Some(12.40));
+    }
+}

@@ -10,6 +10,7 @@
 //! | lower  | the lowered RTL [`Module`]                                 |
 //! | emit   | the emitted SystemVerilog chunk for that module            |
 //! | aig    | the bit-blasted [`AigCircuit`] of a flattened top unit     |
+//! | proof  | a proof certificate for one (unit, property) pair          |
 //!
 //! Keys are 64-bit fingerprints computed by [`crate::units`] from the
 //! item's span-independent content hash, the content hashes of the
@@ -45,7 +46,7 @@ use std::sync::{Arc, Mutex};
 
 use anvil_ir::ThreadIr;
 use anvil_rtl::Module;
-use anvil_smt::AigCircuit;
+use anvil_smt::{AigCircuit, ProofCert};
 use anvil_typeck::ProcReport;
 
 /// Number of independent shards (power of two; keys are well-mixed FNV
@@ -70,15 +71,19 @@ pub enum Stage {
     /// Bit-blasting of a flattened top-level unit into an And-Inverter
     /// Graph (the symbolic-verification artifact).
     Aig,
+    /// Proof certificates (inductive invariants, k-induction depths,
+    /// replayable counterexamples) keyed by unit fingerprint × property.
+    Proof,
 }
 
 impl Stage {
-    pub(crate) const ALL: [Stage; 5] = [
+    pub(crate) const ALL: [Stage; 6] = [
         Stage::Check,
         Stage::OptIr,
         Stage::Lower,
         Stage::Emit,
         Stage::Aig,
+        Stage::Proof,
     ];
 
     fn index(self) -> usize {
@@ -88,6 +93,7 @@ impl Stage {
             Stage::Lower => 2,
             Stage::Emit => 3,
             Stage::Aig => 4,
+            Stage::Proof => 5,
         }
     }
 
@@ -98,6 +104,7 @@ impl Stage {
             Stage::Lower => "lower",
             Stage::Emit => "emit",
             Stage::Aig => "aig",
+            Stage::Proof => "proof",
         }
     }
 }
@@ -155,6 +162,8 @@ pub struct CacheStats {
     pub emit: StageCounters,
     /// Counters for AIG bit-blasting of flattened units.
     pub aig: StageCounters,
+    /// Counters for proof-certificate lookups.
+    pub proof: StageCounters,
     /// Shards recovered from mutex poisoning: a compile panicked while
     /// holding a shard lock, and the shard was cleared and kept serving
     /// instead of cascading the panic into every future compile.
@@ -170,30 +179,23 @@ impl CacheStats {
             Stage::Lower => self.lower,
             Stage::Emit => self.emit,
             Stage::Aig => self.aig,
+            Stage::Proof => self.proof,
         }
     }
 
     /// Total hits across stages.
     pub fn hits(&self) -> u64 {
-        self.check.hits + self.opt_ir.hits + self.lower.hits + self.emit.hits + self.aig.hits
+        Stage::ALL.iter().map(|&s| self.stage(s).hits).sum()
     }
 
     /// Total misses across stages.
     pub fn misses(&self) -> u64 {
-        self.check.misses
-            + self.opt_ir.misses
-            + self.lower.misses
-            + self.emit.misses
-            + self.aig.misses
+        Stage::ALL.iter().map(|&s| self.stage(s).misses).sum()
     }
 
     /// Total evictions across stages.
     pub fn evictions(&self) -> u64 {
-        self.check.evictions
-            + self.opt_ir.evictions
-            + self.lower.evictions
-            + self.emit.evictions
-            + self.aig.evictions
+        Stage::ALL.iter().map(|&s| self.stage(s).evictions).sum()
     }
 }
 
@@ -207,6 +209,7 @@ impl std::ops::Sub for CacheStats {
             lower: self.lower - rhs.lower,
             emit: self.emit - rhs.emit,
             aig: self.aig - rhs.aig,
+            proof: self.proof - rhs.proof,
             poisoned: self.poisoned.saturating_sub(rhs.poisoned),
         }
     }
@@ -269,6 +272,7 @@ pub(crate) enum Artifact {
     Lowered(Arc<Module>),
     Sv(Arc<String>),
     Aig(Arc<AigCircuit>),
+    Proof(Arc<ProofCert>),
 }
 
 struct Entry {
@@ -289,7 +293,7 @@ pub(crate) struct QueryCache {
     /// Global logical clock for LRU recency.
     tick: AtomicU64,
     /// `[stage][hit|miss|evict]`.
-    counters: [[AtomicU64; 3]; 5],
+    counters: [[AtomicU64; 3]; 6],
     /// Shards recovered from a poisoning panic (see the module docs).
     poisoned: AtomicU64,
 }
@@ -427,6 +431,7 @@ impl QueryCache {
             lower: read(Stage::Lower),
             emit: read(Stage::Emit),
             aig: read(Stage::Aig),
+            proof: read(Stage::Proof),
             poisoned: self.poisoned.load(Ordering::Relaxed),
         }
     }
@@ -527,7 +532,7 @@ mod tests {
     #[test]
     fn display_names_every_stage() {
         let line = CacheStats::default().to_string();
-        for name in ["check", "opt-ir", "lower", "emit", "aig", "total"] {
+        for name in ["check", "opt-ir", "lower", "emit", "aig", "proof", "total"] {
             assert!(line.contains(name), "{line}");
         }
     }

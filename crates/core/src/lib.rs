@@ -736,6 +736,51 @@ impl Session {
         Ok(circuit)
     }
 
+    /// Fingerprint key for the proof artifact of `(top unit, property)`:
+    /// the unit's lower-stage fingerprint — covering the proc's content,
+    /// tracked dependencies, codegen options, transitive children, and
+    /// the extern-library generation — crossed with the property text.
+    /// Whitespace and comment edits key identically, so a re-prove after
+    /// a formatting change is a pure [`Stage::Proof`] cache hit; any
+    /// semantic edit or a different property misses.
+    ///
+    /// Returns `Ok(None)` when `top` is not a compilation unit (extern
+    /// modules have no unit fingerprint to key on).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compile`] (the key is derived from the compiled
+    /// program's item graph).
+    pub fn proof_key(
+        &self,
+        source: &str,
+        top: &str,
+        property: &str,
+    ) -> Result<Option<u64>, CompileError> {
+        let out = self.compile(source)?;
+        let items = ItemGraph::new(&out.program);
+        let order =
+            proc_order(&out.program, &self.externs).map_err(|e| codegen_error(&out.program, e))?;
+        let keys = items.unit_keys(&order, options_fingerprint(&self.options), self.extern_gen);
+        Ok(keys.get(top).map(|k| units::proof_key(k.lower, property)))
+    }
+
+    /// Looks up a cached proof certificate by [`Session::proof_key`],
+    /// counting a `proof`-stage hit or miss in [`CacheStats`]. The caller
+    /// is expected to *revalidate* the certificate against the current
+    /// circuit (one incremental SAT session) rather than trust it blindly.
+    pub fn cached_proof(&self, key: u64) -> Option<Arc<anvil_smt::ProofCert>> {
+        match self.cache.get(Stage::Proof, key) {
+            Some(Artifact::Proof(cert)) => Some(cert),
+            _ => None,
+        }
+    }
+
+    /// Stores a proof certificate under a [`Session::proof_key`].
+    pub fn store_proof(&self, key: u64, cert: Arc<anvil_smt::ProofCert>) {
+        self.cache.insert(Stage::Proof, key, Artifact::Proof(cert));
+    }
+
     /// Compiles many independent designs in parallel, sharing this session
     /// read-only across `std::thread::scope` workers.
     ///
@@ -943,6 +988,31 @@ impl Compiler {
     ) -> Result<Arc<anvil_smt::AigCircuit>, CompileError> {
         self.session.compile_flat_aig(source, top)
     }
+
+    /// Fingerprint key for a `(top unit, property)` proof artifact; see
+    /// [`Session::proof_key`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::proof_key`].
+    pub fn proof_key(
+        &self,
+        source: &str,
+        top: &str,
+        property: &str,
+    ) -> Result<Option<u64>, CompileError> {
+        self.session.proof_key(source, top, property)
+    }
+
+    /// Cached proof certificate lookup; see [`Session::cached_proof`].
+    pub fn cached_proof(&self, key: u64) -> Option<Arc<anvil_smt::ProofCert>> {
+        self.session.cached_proof(key)
+    }
+
+    /// Stores a proof certificate; see [`Session::store_proof`].
+    pub fn store_proof(&self, key: u64, cert: Arc<anvil_smt::ProofCert>) {
+        self.session.store_proof(key, cert)
+    }
 }
 
 #[cfg(test)]
@@ -1096,6 +1166,46 @@ proc p() { reg r : logic[8]; loop { set r := nope(*r) >> cycle 1 } }";
         assert_eq!(miss.aig.misses, 1);
         // One extra register bit on top of the unchanged FSM latches.
         assert_eq!(a4.aig().n_latches(), a1.aig().n_latches() + 1);
+    }
+
+    #[test]
+    fn proof_certificates_are_cached_per_unit_fingerprint_and_property() {
+        let compiler = Compiler::new();
+        let src = "proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }";
+        let prop = "r < 255";
+        let key = compiler.proof_key(src, "p", prop).unwrap().expect("unit");
+
+        // Cold: a proof-stage miss, then the prover's certificate lands.
+        assert!(compiler.cached_proof(key).is_none());
+        let cert = Arc::new(anvil_smt::ProofCert {
+            kind: anvil_smt::CertKind::KInduction { k: 1 },
+            engine: "k-induction",
+        });
+        compiler.store_proof(key, Arc::clone(&cert));
+        let cold = compiler.cache_stats();
+        assert_eq!((cold.proof.hits, cold.proof.misses), (0, 1));
+
+        // Whitespace edits key identically: warm re-prove is a pure hit
+        // on the same shared certificate.
+        let reformatted =
+            "proc p() {\n  reg r : logic[8]; // counter\n  loop { set r := *r + 1 >> cycle 1 }\n}";
+        let warm_key = compiler
+            .proof_key(reformatted, "p", prop)
+            .unwrap()
+            .expect("unit");
+        assert_eq!(warm_key, key);
+        let got = compiler.cached_proof(warm_key).expect("warm hit");
+        assert!(Arc::ptr_eq(&got, &cert));
+        let warm = compiler.cache_stats() - cold;
+        assert_eq!((warm.proof.hits, warm.proof.misses), (1, 0));
+
+        // A different property or a semantic edit keys elsewhere.
+        assert_ne!(
+            compiler.proof_key(src, "p", "r < 128").unwrap().unwrap(),
+            key
+        );
+        let edited = "proc p() { reg r : logic[9]; loop { set r := *r + 1 >> cycle 1 } }";
+        assert_ne!(compiler.proof_key(edited, "p", prop).unwrap().unwrap(), key);
     }
 
     #[test]

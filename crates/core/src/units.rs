@@ -31,6 +31,7 @@ const TAG_LOWER: u64 = 0xA171_0003;
 const TAG_EMIT: u64 = 0xA171_0004;
 const TAG_EXTERN_SV: u64 = 0xA171_0005;
 const TAG_AIG: u64 = 0xA171_0006;
+const TAG_PROOF: u64 = 0xA171_0007;
 /// Marks a dependency that does not resolve to a definition (the compile
 /// will fail in elaboration; the key still has to be well-defined).
 const TAG_MISSING: u64 = 0xA171_00FF;
@@ -49,6 +50,19 @@ pub(crate) fn aig_key(lower_key: u64) -> u64 {
     let mut h = StableHasher::new();
     h.write_u64(TAG_AIG);
     h.write_u64(lower_key);
+    h.finish()
+}
+
+/// Proof-stage key for one (unit, property) pair: the unit's lower-stage
+/// fingerprint (which already covers everything the flattened circuit is
+/// built from — so whitespace/comment edits key identically) crossed with
+/// the property text. A changed property or any semantic edit to the unit
+/// or its dependencies produces a fresh key.
+pub(crate) fn proof_key(lower_key: u64, property: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(TAG_PROOF);
+    h.write_u64(lower_key);
+    h.write_str(property);
     h.finish()
 }
 

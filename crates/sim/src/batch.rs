@@ -612,6 +612,25 @@ where
         return Ok(Vec::new());
     }
     let n_chunks = total.div_ceil(chunk);
+    if workers.max(1).min(n_chunks) <= 1 {
+        // Inline path: with one effective worker the per-chunk batch
+        // allocation (and the thread scope) is pure overhead — reuse a
+        // single batch, rewound between chunks. `reset` restores
+        // power-on state, so `f` still sees a factory-fresh batch.
+        let mut batch = program.batch(chunk.min(total));
+        let mut out = Vec::with_capacity(n_chunks);
+        for i in 0..n_chunks {
+            let first = i * chunk;
+            let lanes = chunk.min(total - first);
+            if lanes != batch.lanes() {
+                batch = program.batch(lanes);
+            } else if i > 0 {
+                batch.reset();
+            }
+            out.push(f(first, &mut batch)?);
+        }
+        return Ok(out);
+    }
     run_indexed(n_chunks, workers, |i| {
         let first = i * chunk;
         let lanes = chunk.min(total - first);
@@ -799,6 +818,26 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, vec![(0, 8, 1), (8, 8, 4), (16, 8, 2), (24, 6, 5)],);
+    }
+
+    #[test]
+    fn sweep_chunks_single_worker_inline_path_matches_threaded() {
+        // With one effective worker, chunks run inline on a single
+        // reused batch (rewound between chunks) instead of a fresh
+        // allocation each — `f` must still observe power-on state,
+        // empty logs, and cycle 0 on every chunk.
+        let program = TapeProgram::compile(&counter()).unwrap();
+        let pass = |workers| {
+            sweep_chunks(&program, 30, 8, workers, |first, batch| {
+                assert_eq!(batch.cycle(), 0);
+                assert_eq!(batch.peek(0, "out")?.to_u64(), 0);
+                batch.poke_all("en", Bits::bit(true))?;
+                batch.run(u64::try_from(first).unwrap() % 5 + 1);
+                Ok((first, batch.lanes(), batch.peek(0, "out")?.to_u64()))
+            })
+            .unwrap()
+        };
+        assert_eq!(pass(1), pass(4));
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl Lit {
     /// The constant-true literal.
     pub const TRUE: Lit = Lit(1);
 
-    fn new(node: usize, negated: bool) -> Lit {
+    pub(crate) fn new(node: usize, negated: bool) -> Lit {
         Lit(((node as u32) << 1) | u32::from(negated))
     }
 
@@ -86,6 +86,7 @@ pub struct Aig {
     nodes: Vec<Node>,
     latches: Vec<Latch>,
     n_inputs: u32,
+    input_nodes: Vec<u32>,
     strash: HashMap<(Lit, Lit), Lit>,
 }
 
@@ -96,6 +97,7 @@ impl Aig {
             nodes: vec![Node::Const],
             latches: Vec::new(),
             n_inputs: 0,
+            input_nodes: Vec::new(),
             strash: HashMap::new(),
         }
     }
@@ -158,7 +160,19 @@ impl Aig {
     pub fn add_input(&mut self) -> Lit {
         let n = self.n_inputs;
         self.n_inputs += 1;
-        self.push(Node::Input(n))
+        let lit = self.push(Node::Input(n));
+        self.input_nodes.push(lit.node() as u32);
+        lit
+    }
+
+    /// The (uncomplemented) literal of input bit `n`.
+    pub fn input_lit(&self, n: u32) -> Lit {
+        Lit::new(self.input_nodes[n as usize] as usize, false)
+    }
+
+    /// The (uncomplemented) literal of latch `n`.
+    pub fn latch_lit(&self, n: u32) -> Lit {
+        Lit::new(self.latches[n as usize].node as usize, false)
     }
 
     /// A fresh latch with the given power-on value.
@@ -229,6 +243,94 @@ impl Aig {
         let y = self.and(sel.negate(), e);
         self.or(x, y)
     }
+
+    /// Word-parallel evaluation: one 64-pattern word per input and latch
+    /// in, one word per node out (bit `i` of a node's word is its value
+    /// under pattern `i`). This is the lane-engine trick applied to the
+    /// graph itself — 64 stimulus vectors per linear pass — and is what
+    /// fraiging uses to find candidate equivalences.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer words than inputs or latches are supplied.
+    pub fn simulate(&self, inputs: &[u64], latches: &[u64]) -> Vec<u64> {
+        let mut vals = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let v = match *node {
+                Node::Const => 0,
+                Node::Input(n) => inputs[n as usize],
+                Node::Latch(n) => latches[n as usize],
+                Node::And(a, b) => {
+                    let va = vals[a.node()] ^ if a.is_negated() { !0u64 } else { 0 };
+                    let vb = vals[b.node()] ^ if b.is_negated() { !0u64 } else { 0 };
+                    va & vb
+                }
+            };
+            vals.push(v);
+        }
+        vals
+    }
+
+    /// The value of one literal given a node-value vector from
+    /// [`Aig::simulate`].
+    pub fn lit_value(values: &[u64], l: Lit) -> u64 {
+        values[l.node()] ^ if l.is_negated() { !0u64 } else { 0 }
+    }
+
+    /// Depth (logic levels) of every node: inputs, latches, and the
+    /// constant are level 0; an AND is one more than its deepest fanin.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels: Vec<u32> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let l = match *node {
+                Node::And(a, b) => 1 + levels[a.node()].max(levels[b.node()]),
+                _ => 0,
+            };
+            levels.push(l);
+        }
+        levels
+    }
+
+    /// Maximum logic level over the whole graph.
+    pub fn max_level(&self) -> u32 {
+        self.levels().into_iter().max().unwrap_or(0)
+    }
+
+    /// A span-independent structural fingerprint (FNV-1a over the node
+    /// array, latch metadata, and input count). Two graphs built by the
+    /// same deterministic pipeline from semantically identical units hash
+    /// identically, which is what keys proof certificates in the
+    /// session's query cache.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.n_inputs as u64);
+        mix(self.nodes.len() as u64);
+        for node in &self.nodes {
+            match *node {
+                Node::Const => mix(1),
+                Node::Input(n) => mix(2 | (u64::from(n) << 8)),
+                Node::Latch(n) => mix(3 | (u64::from(n) << 8)),
+                Node::And(a, b) => {
+                    mix(4 | (u64::from(a.0) << 8) | (u64::from(b.0) << 40));
+                }
+            }
+        }
+        for l in &self.latches {
+            mix(u64::from(l.node) << 2 | u64::from(l.init) << 1 | u64::from(l.next.is_some()));
+            if let Some(n) = l.next {
+                mix(u64::from(n.0));
+            }
+        }
+        h
+    }
 }
 
 impl NetBuilder for Aig {
@@ -272,7 +374,7 @@ impl NetBuilder for Aig {
 #[derive(Clone, Debug)]
 pub struct AigCircuit {
     module: Arc<Module>,
-    aig: Aig,
+    aig: Arc<Aig>,
     blasted: Blasted<Lit>,
 }
 
@@ -296,7 +398,7 @@ impl AigCircuit {
         let blasted = blast_module(&mut aig, &module)?;
         Ok(AigCircuit {
             module,
-            aig,
+            aig: Arc::new(aig),
             blasted,
         })
     }
@@ -314,6 +416,12 @@ impl AigCircuit {
     /// The underlying graph.
     pub fn aig(&self) -> &Aig {
         &self.aig
+    }
+
+    /// The underlying graph behind its shared handle (what the unroller
+    /// and the PDR engine hold).
+    pub fn aig_arc(&self) -> Arc<Aig> {
+        Arc::clone(&self.aig)
     }
 
     /// Input ports in signal-id order: `(signal index, bit literals)`.
@@ -336,10 +444,11 @@ impl AigCircuit {
     ///
     /// Fails if the expression does not width-check against the module.
     pub fn blast_assertion(&mut self, e: &Expr) -> Result<Lit, BlastError> {
-        let bits = blast_expr(&mut self.aig, &self.module, &mut self.blasted, e)?;
+        let aig = Arc::make_mut(&mut self.aig);
+        let bits = blast_expr(aig, &self.module, &mut self.blasted, e)?;
         let mut any = Lit::FALSE;
         for b in bits {
-            any = self.aig.or(any, b);
+            any = aig.or(any, b);
         }
         Ok(any)
     }

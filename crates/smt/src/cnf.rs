@@ -17,15 +17,22 @@
 
 use std::sync::Arc;
 
-use crate::aig::{Aig, AigCircuit, Lit, Node};
+use crate::aig::{Aig, Lit, Node};
 use crate::solver::{SLit, Solver};
+
+/// Sentinel frame marking a comb node with no recorded sequential source.
+const NO_SRC: u32 = u32::MAX;
 
 /// A time-expansion of a sequential circuit into a combinational AIG.
 pub struct Unroller {
-    circuit: Arc<AigCircuit>,
+    seq: Arc<Aig>,
     comb: Aig,
     /// Per-frame map from sequential node index to combinational literal.
     maps: Vec<Vec<Lit>>,
+    /// Reverse map: comb node → `(frame, seq node, complemented)` of the
+    /// first sequential literal it materialised (for translating learnt
+    /// clauses back into `(frame, seq lit)` space).
+    src: Vec<(u32, u32, bool)>,
     free_init: bool,
 }
 
@@ -33,12 +40,13 @@ impl Unroller {
     /// A new unrolling with no frames yet. `free_init = false` starts
     /// frame 0 from the power-on latch values (BMC from reset);
     /// `free_init = true` leaves frame-0 latches unconstrained (the
-    /// k-induction step case).
-    pub fn new(circuit: Arc<AigCircuit>, free_init: bool) -> Unroller {
+    /// k-induction step and PDR transition cases).
+    pub fn new(seq: Arc<Aig>, free_init: bool) -> Unroller {
         Unroller {
-            circuit,
+            seq,
             comb: Aig::new(),
             maps: Vec::new(),
+            src: vec![(NO_SRC, 0, false)],
             free_init,
         }
     }
@@ -53,17 +61,21 @@ impl Unroller {
         &self.comb
     }
 
+    /// The sequential graph being unrolled.
+    pub fn seq(&self) -> &Aig {
+        &self.seq
+    }
+
     /// Appends one frame.
     pub fn push_frame(&mut self) {
-        let seq = self.circuit.aig();
         let frame = self.maps.len();
-        let mut map = Vec::with_capacity(seq.len());
-        for node in seq.nodes() {
-            let lit = match *node {
+        let mut map = Vec::with_capacity(self.seq.len());
+        for sn in 0..self.seq.len() {
+            let lit = match self.seq.node(sn) {
                 Node::Const => Lit::FALSE,
                 Node::Input(_) => self.comb.add_input(),
                 Node::Latch(n) => {
-                    let latch = seq.latch_info(n);
+                    let latch = self.seq.latch_info(n);
                     if frame == 0 {
                         if self.free_init {
                             self.comb.add_input()
@@ -83,9 +95,30 @@ impl Unroller {
                     self.comb.and(la, lb)
                 }
             };
+            if self.src.len() < self.comb.len() {
+                self.src.resize(self.comb.len(), (NO_SRC, 0, false));
+            }
+            if !lit.is_const() && self.src[lit.node()].0 == NO_SRC {
+                self.src[lit.node()] = (frame as u32, sn as u32, lit.is_negated());
+            }
             map.push(lit);
         }
         self.maps.push(map);
+    }
+
+    /// The `(frame, sequential literal)` whose unrolled image is the
+    /// *positive* value of a comb node, if one was recorded. Soundness of
+    /// clause translation only needs *a* valid source, so the first
+    /// sequential literal that materialised the node wins (structural
+    /// hashing may map several onto it — all have equal value by
+    /// construction).
+    pub fn seq_source(&self, comb_node: usize) -> Option<(usize, Lit)> {
+        match self.src.get(comb_node) {
+            Some(&(frame, sn, neg)) if frame != NO_SRC => {
+                Some((frame as usize, Lit::new(sn as usize, neg)))
+            }
+            _ => None,
+        }
     }
 
     fn map_lit(map: &[Lit], l: Lit) -> Lit {
@@ -113,6 +146,9 @@ impl Unroller {
 pub struct CnfEncoder {
     /// Per-comb-node solver variable (`NONE` = not encoded yet).
     var_of: Vec<u32>,
+    /// Reverse map: solver variable → comb node (`NONE` for variables the
+    /// encoder did not allocate, e.g. activation literals).
+    node_of: Vec<u32>,
     const_true: Option<SLit>,
 }
 
@@ -147,7 +183,9 @@ impl CnfEncoder {
                 // are folded away by the AIG.
                 Node::Const => unreachable!("constant node in encoding cone"),
                 Node::Input(_) | Node::Latch(_) => {
-                    self.var_of[n] = solver.new_var();
+                    let v = solver.new_var();
+                    self.var_of[n] = v;
+                    self.record_var(v, n);
                     stack.pop();
                 }
                 Node::And(a, b) => {
@@ -171,6 +209,7 @@ impl CnfEncoder {
                     solver.add_clause(&[lv.negate(), lb]);
                     solver.add_clause(&[lv, la.negate(), lb.negate()]);
                     self.var_of[n] = v;
+                    self.record_var(v, n);
                 }
             }
         }
@@ -193,6 +232,25 @@ impl CnfEncoder {
             _ => false,
         };
         raw != lit.is_negated()
+    }
+
+    /// The comb node a solver variable encodes, if the variable was
+    /// allocated by this encoder (the reverse of [`CnfEncoder::encode`]'s
+    /// variable assignment; used to translate learnt clauses back into
+    /// AIG space for cross-engine clause sharing).
+    pub fn var_node(&self, v: crate::solver::Var) -> Option<usize> {
+        match self.node_of.get(v as usize) {
+            Some(&n) if n != NONE => Some(n as usize),
+            _ => None,
+        }
+    }
+
+    fn record_var(&mut self, v: crate::solver::Var, node: usize) {
+        let idx = v as usize;
+        if self.node_of.len() <= idx {
+            self.node_of.resize(idx + 1, NONE);
+        }
+        self.node_of[idx] = node as u32;
     }
 
     fn true_lit(&mut self, solver: &mut Solver) -> SLit {
@@ -226,6 +284,7 @@ impl CnfEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aig::AigCircuit;
     use crate::solver::SolveResult;
     use anvil_rtl::{Expr, Module};
 
@@ -247,7 +306,7 @@ mod tests {
     fn reset_constants_propagate_through_frames() {
         let m = counter(4);
         let c = Arc::new(AigCircuit::from_module(&m).unwrap());
-        let mut u = Unroller::new(Arc::clone(&c), false);
+        let mut u = Unroller::new(c.aig_arc(), false);
         u.push_frame();
         // At frame 0 the counter is the reset constant 0, so `q == 0`
         // folds to constant true without any solving.
@@ -266,7 +325,7 @@ mod tests {
             .blast_assertion(&Expr::Signal(m.find("q").unwrap()).eq(Expr::lit(3, 4)))
             .unwrap();
         let c = Arc::new(c);
-        let mut u = Unroller::new(Arc::clone(&c), false);
+        let mut u = Unroller::new(c.aig_arc(), false);
         for _ in 0..4 {
             u.push_frame();
         }
@@ -293,8 +352,7 @@ mod tests {
         let is15 = c
             .blast_assertion(&Expr::Signal(m.find("q").unwrap()).eq(Expr::lit(15, 4)))
             .unwrap();
-        let c = Arc::new(c);
-        let mut u = Unroller::new(c, true);
+        let mut u = Unroller::new(c.aig_arc(), true);
         u.push_frame();
         let mut enc = CnfEncoder::new();
         let mut solver = Solver::new();

@@ -1,0 +1,348 @@
+//! SAT sweeping (fraiging): merge functionally equivalent AIG nodes that
+//! structural hashing cannot see.
+//!
+//! Structural hashing only collapses *syntactically* identical ANDs; two
+//! different multiplexer trees computing the same function stay distinct.
+//! Fraiging closes the gap in two phases:
+//!
+//! 1. **Candidate discovery by simulation.** The graph is evaluated on a
+//!    few hundred random stimulus vectors using [`Aig::simulate`]'s
+//!    word-parallel lane trick (64 patterns per `u64` word, a handful of
+//!    words per node). Nodes whose signatures match up to complementation
+//!    land in the same candidate class — random vectors separate
+//!    inequivalent nodes with overwhelming probability, so classes are
+//!    small and mostly genuine.
+//! 2. **Confirmation by incremental SAT.** Each candidate pair is checked
+//!    for true equivalence with two conflict-budgeted queries against one
+//!    incremental [`Solver`] over the partially rebuilt graph. Confirmed
+//!    pairs merge (the later node's fanout is redirected to the earlier
+//!    representative); refuted or budget-blown pairs leave the candidate
+//!    as an extra representative of its class.
+//!
+//! The output graph may contain orphaned nodes whose fanout was
+//! redirected; run a plain [`rewrite`](crate::rewrite::rewrite) pass
+//! afterwards to sweep them (that is what [`optimize`](crate::rewrite::optimize)
+//! does).
+
+use std::collections::HashMap;
+
+use crate::aig::{Aig, Lit, Node};
+use crate::cnf::CnfEncoder;
+use crate::rewrite::Rewritten;
+use crate::solver::{SolveResult, Solver};
+
+/// Stimulus words per input/latch (64 random patterns each).
+const SIM_WORDS: usize = 4;
+/// Representatives tried per candidate before giving up on the class.
+const MAX_REPS: usize = 4;
+/// Conflicts allowed per equivalence query.
+const CONFLICT_BUDGET: u64 = 300;
+/// Total SAT calls allowed per fraig pass.
+const MAX_SAT_CALLS: u64 = 50_000;
+
+/// Counters for one [`fraig`] pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FraigStats {
+    /// AND nodes considered as merge candidates (signature hit).
+    pub candidates: usize,
+    /// Equivalence queries issued (each is up to two solver calls).
+    pub sat_calls: u64,
+    /// Nodes merged into an equivalent representative.
+    pub merges: usize,
+    /// Candidates SAT disproved (they became new representatives).
+    pub refuted: usize,
+    /// Candidates abandoned on conflict budget or call cap.
+    pub aborted: usize,
+    /// Nodes before (including the constant).
+    pub nodes_before: usize,
+    /// Nodes after — including not-yet-swept orphans, so this can exceed
+    /// the post-sweep count.
+    pub nodes_after: usize,
+}
+
+/// One representative of a candidate class: the rebuilt literal in
+/// canonical phase.
+struct Rep {
+    lit: Lit,
+}
+
+/// Rebuilds `aig` 1:1 (all inputs, all latches, every AND), merging
+/// SAT-confirmed equivalent nodes. Input and latch numbering is
+/// preserved; `latch_origin` is the identity. The random simulation is
+/// seeded deterministically from `seed`.
+pub fn fraig(aig: &Aig, seed: u64) -> (Rewritten, FraigStats) {
+    let mut stats = FraigStats {
+        nodes_before: aig.len(),
+        ..FraigStats::default()
+    };
+
+    // ---- Phase 1: signatures from word-parallel random simulation. ----
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut sigs: Vec<[u64; SIM_WORDS]> = vec![[0; SIM_WORDS]; aig.len()];
+    for w in 0..SIM_WORDS {
+        let inputs: Vec<u64> = (0..aig.n_inputs()).map(|_| next()).collect();
+        let latches: Vec<u64> = (0..aig.n_latches()).map(|_| next()).collect();
+        let vals = aig.simulate(&inputs, &latches);
+        for (sig, v) in sigs.iter_mut().zip(vals) {
+            sig[w] = v;
+        }
+    }
+    // Canonical phase: complement the signature if its first pattern bit
+    // is set, so a node and its negation share one class key.
+    let canon = |sig: &[u64; SIM_WORDS]| -> ([u64; SIM_WORDS], bool) {
+        if sig[0] & 1 == 1 {
+            let mut c = *sig;
+            for w in &mut c {
+                *w = !*w;
+            }
+            (c, true)
+        } else {
+            (*sig, false)
+        }
+    };
+
+    // ---- Phase 2: rebuild with SAT-confirmed merging. ----
+    let mut g = Aig::new();
+    let mut map: Vec<Option<Lit>> = vec![None; aig.len()];
+    let mut latch_origin = Vec::new();
+    let mut classes: HashMap<[u64; SIM_WORDS], Vec<Rep>> = HashMap::new();
+    // The constant node is the eternal representative of the zero class.
+    classes.insert([0; SIM_WORDS], vec![Rep { lit: Lit::FALSE }]);
+
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(Some(CONFLICT_BUDGET));
+    let mut enc = CnfEncoder::new();
+    // Equivalence of two literals in the (partially built) new graph:
+    // `Some(true)` proven equal, `Some(false)` refuted, `None` budget.
+    let check_eq =
+        |g: &Aig, solver: &mut Solver, enc: &mut CnfEncoder, a: Lit, b: Lit| -> Option<bool> {
+            let sa = enc.encode(g, solver, a);
+            let sb = enc.encode(g, solver, b);
+            match solver.solve(&[sa, sb.negate()]) {
+                SolveResult::Sat => return Some(false),
+                SolveResult::Interrupted => return None,
+                SolveResult::Unsat => {}
+            }
+            match solver.solve(&[sa.negate(), sb]) {
+                SolveResult::Sat => Some(false),
+                SolveResult::Interrupted => None,
+                SolveResult::Unsat => Some(true),
+            }
+        };
+
+    for n in 0..aig.len() {
+        match aig.node(n) {
+            Node::Const => {
+                map[n] = Some(Lit::FALSE);
+                continue;
+            }
+            Node::Input(_) => {
+                let l = g.add_input();
+                map[n] = Some(l);
+                let (key, phase) = canon(&sigs[n]);
+                classes.entry(key).or_default().push(Rep {
+                    lit: if phase { l.negate() } else { l },
+                });
+                continue;
+            }
+            Node::Latch(ln) => {
+                let l = g.add_latch(aig.latch_info(ln).init);
+                latch_origin.push(ln);
+                map[n] = Some(l);
+                let (key, phase) = canon(&sigs[n]);
+                classes.entry(key).or_default().push(Rep {
+                    lit: if phase { l.negate() } else { l },
+                });
+                continue;
+            }
+            Node::And(a, b) => {
+                let la = map_lit(&map, a);
+                let lb = map_lit(&map, b);
+                let before = g.len();
+                let l = g.and(la, lb);
+                if g.len() == before {
+                    // Constant fold or structural hit: already merged
+                    // with an existing (hence already classed) literal.
+                    map[n] = Some(l);
+                    continue;
+                }
+                let (key, phase) = canon(&sigs[n]);
+                let lc = if phase { l.negate() } else { l };
+                let class = classes.entry(key).or_default();
+                if !class.is_empty() {
+                    stats.candidates += 1;
+                }
+                let mut merged = None;
+                let mut blown = false;
+                for rep in class.iter().take(MAX_REPS) {
+                    if stats.sat_calls >= MAX_SAT_CALLS {
+                        blown = true;
+                        break;
+                    }
+                    stats.sat_calls += 1;
+                    match check_eq(&g, &mut solver, &mut enc, lc, rep.lit) {
+                        Some(true) => {
+                            merged = Some(rep.lit);
+                            break;
+                        }
+                        Some(false) => stats.refuted += 1,
+                        None => {
+                            stats.aborted += 1;
+                        }
+                    }
+                }
+                match merged {
+                    Some(rep) => {
+                        stats.merges += 1;
+                        // Undo the canonical phase to recover the node's
+                        // own polarity.
+                        map[n] = Some(if phase { rep.negate() } else { rep });
+                    }
+                    None => {
+                        map[n] = Some(l);
+                        if !blown {
+                            class.push(Rep { lit: lc });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Wire next-state functions (all latches survive).
+    for (new_ln, &old_ln) in latch_origin.iter().enumerate() {
+        let next = aig
+            .latch_info(old_ln)
+            .next
+            .expect("latch connected during blasting");
+        let new_latch = g.latch_lit(new_ln as u32);
+        g.set_next(new_latch, map_lit(&map, next));
+    }
+
+    stats.nodes_after = g.len();
+    (
+        Rewritten {
+            aig: g,
+            map,
+            latch_origin,
+        },
+        stats,
+    )
+}
+
+fn map_lit(map: &[Option<Lit>], l: Lit) -> Lit {
+    let base = map[l.node()].expect("fanin precedes fanout in topological order");
+    if l.is_negated() {
+        base.negate()
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_structurally_distinct_equivalents() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        // XOR built two different ways: the sum-of-products form vs the
+        // negated XNOR form. Structural hashing keeps them distinct
+        // (different shapes); fraig must merge them.
+        let x1 = g.xor(a, b);
+        let n1 = g.and(a, b);
+        let n2 = g.and(a.negate(), b.negate());
+        let x2 = g.or(n1, n2).negate();
+        assert_ne!(x1, x2);
+        let (rw, stats) = fraig(&g, 0xfeed);
+        let m1 = rw.map_lit(x1).unwrap();
+        let m2 = rw.map_lit(x2).unwrap();
+        assert_eq!(m1, m2);
+        assert!(stats.merges >= 1);
+        assert!(stats.sat_calls >= 1);
+    }
+
+    #[test]
+    fn merges_hidden_constants() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        // (a ∧ b) ∨ (a ∧ ¬b) ∨ ¬a is a tautology no local rule sees in
+        // this shape.
+        let ab = g.and(a, b);
+        let abn = g.and(a, b.negate());
+        let o1 = g.or(ab, abn);
+        let taut = g.or(o1, a.negate());
+        let (rw, stats) = fraig(&g, 1);
+        assert_eq!(rw.map_lit(taut).unwrap(), Lit::TRUE);
+        assert!(stats.merges >= 1);
+    }
+
+    #[test]
+    fn preserves_function_on_random_graphs() {
+        let mut seed = 0x5eed_5eed_5eed_5eedu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..50 {
+            let mut g = Aig::new();
+            let ins: Vec<Lit> = (0..4).map(|_| g.add_input()).collect();
+            let mut pool = ins.clone();
+            for _ in 0..12 {
+                let pick = |r: u64, pool: &[Lit]| {
+                    let l = pool[(r as usize / 2) % pool.len()];
+                    if r.is_multiple_of(2) {
+                        l
+                    } else {
+                        l.negate()
+                    }
+                };
+                let a = pick(next(), &pool);
+                let b = pick(next(), &pool);
+                let l = match next() % 3 {
+                    0 => g.and(a, b),
+                    1 => g.or(a, b),
+                    _ => g.xor(a, b),
+                };
+                pool.push(l);
+            }
+            let (rw, _) = fraig(&g, next());
+            // Exhaustive over 4 inputs: 16 patterns in one word.
+            let words = [0xFF00u64, 0xF0F0, 0xCCCC, 0xAAAA];
+            let old = g.simulate(&words, &[]);
+            let new = rw.aig.simulate(&words, &[]);
+            for &l in &pool {
+                let m = rw.map_lit(l).unwrap();
+                assert_eq!(
+                    Aig::lit_value(&old, l) & 0xFFFF,
+                    Aig::lit_value(&new, m) & 0xFFFF,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latches_and_inputs_survive_identically() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let l0 = g.add_latch(true);
+        let n = g.and(a, l0);
+        g.set_next(l0, n);
+        let (rw, _) = fraig(&g, 7);
+        assert_eq!(rw.aig.n_inputs(), 1);
+        assert_eq!(rw.aig.n_latches(), 1);
+        assert_eq!(rw.latch_origin, vec![0]);
+        assert!(rw.aig.latch_info(0).init);
+        assert!(rw.aig.latch_info(0).next.is_some());
+    }
+}

@@ -26,9 +26,19 @@
 #![warn(missing_docs)]
 
 mod aig;
+mod cert;
 mod cnf;
+mod fraig;
+mod pdr;
+mod rewrite;
+mod share;
 mod solver;
 
 pub use aig::{Aig, AigCircuit, Lit, Node};
+pub use cert::{CertKind, LatchLit, ProofCert};
 pub use cnf::{CnfEncoder, Unroller};
+pub use fraig::{fraig, FraigStats};
+pub use pdr::{Pdr, PdrOptions, PdrOutcome, PdrStats};
+pub use rewrite::{optimize, rewrite, OptimizeStats, RewriteStats, Rewritten};
+pub use share::{ClauseExchange, ClauseKind, ExchangeStats, SharedClause};
 pub use solver::{SLit, SolveResult, Solver, SolverStats, Var};

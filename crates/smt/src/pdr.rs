@@ -1,0 +1,743 @@
+//! Property-directed reachability (IC3/PDR) over the incremental solver.
+//!
+//! Where bounded model checking unrolls the transition relation `k` times
+//! and k-induction needs the property to be inductive after `k`
+//! strengthening frames, PDR proves safety with *no deep unrolling at
+//! all*: it maintains a sequence of frames `F_0 ⊇ F_1 ⊇ … ⊇ F_N` (as
+//! state sets; as clause sets they grow) where `F_i` over-approximates
+//! the states reachable in at most `i` steps, and incrementally
+//! strengthens them with *relatively inductive* clauses until two
+//! adjacent frames coincide — an inductive invariant — or a chain of
+//! concrete predecessor states reaches the reset state — a
+//! counterexample.
+//!
+//! The implementation is the monolithic-solver variant: one incremental
+//! [`Solver`] holds a two-frame unrolling of the transition relation
+//! (current state = frame 0, next state = frame 1), every frame clause
+//! is guarded by a per-position activation literal, and a query against
+//! `F_i` simply assumes the activation literals of positions `i..=N`.
+//! Frame 0 is the exact reset state, asserted as a complete cube of
+//! assumptions. Proof obligations carry the input words of their suffix
+//! path, so a falsification comes out as a ready-to-replay stimulus
+//! trace rather than an abstract state sequence.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::aig::{Aig, Lit};
+use crate::cert::LatchLit;
+use crate::cnf::{CnfEncoder, Unroller};
+use crate::share::{ClauseExchange, ClauseKind, SharedClause};
+use crate::solver::{SLit, SolveResult, Solver, SolverStats};
+
+/// Tuning and cooperation knobs for one [`Pdr`] run.
+pub struct PdrOptions {
+    /// Frame cap; exceeding it returns [`PdrOutcome::Unknown`].
+    pub max_frames: usize,
+    /// Proof-obligation cap (runaway guard on huge state spaces).
+    pub max_obligations: u64,
+    /// Solver-propagation cap — the effective wall-clock guard. On
+    /// datapath-heavy cones (wide functional invariants) generalization
+    /// issues hundreds of SAT calls per obligation, each cheap in
+    /// conflicts but long in propagations; this bounds total work where
+    /// the obligation cap alone would admit hours.
+    pub max_propagations: u64,
+    /// Cooperative stop flag (portfolio losers are cancelled through it).
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Clause exchange for the cooperating portfolio: frame clauses are
+    /// published as [`ClauseKind::Reach`], and [`ClauseKind::Path`]
+    /// clauses of span ≤ 1 are imported as permanent transition facts.
+    pub exchange: Option<Arc<ClauseExchange>>,
+}
+
+impl Default for PdrOptions {
+    fn default() -> PdrOptions {
+        PdrOptions {
+            max_frames: 64,
+            max_obligations: 200_000,
+            max_propagations: 100_000_000,
+            stop: None,
+            exchange: None,
+        }
+    }
+}
+
+/// Counters for one [`Pdr`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PdrStats {
+    /// Frames opened (the final `N`).
+    pub frames: usize,
+    /// Blocking clauses added (including propagated re-adds).
+    pub clauses: usize,
+    /// Proof obligations processed.
+    pub obligations: u64,
+    /// Solver calls issued.
+    pub sat_calls: u64,
+    /// Cube literals dropped by inductive generalization.
+    pub generalized_away: u64,
+    /// Clauses published to the exchange.
+    pub shared_published: u64,
+    /// Clauses imported from the exchange.
+    pub shared_imported: u64,
+    /// Solver variables allocated.
+    pub vars: usize,
+    /// The underlying solver's counters.
+    pub solver: SolverStats,
+}
+
+/// Result of a [`Pdr::run`].
+#[derive(Clone, Debug)]
+pub enum PdrOutcome {
+    /// The property holds; the clauses (over sequential latch literals)
+    /// are an inductive strengthening checkable by
+    /// [`crate::ProofCert::revalidate_inductive`]. May be empty when the
+    /// property is already invariant on its own.
+    Proved {
+        /// The invariant clauses.
+        invariant: Vec<Vec<LatchLit>>,
+    },
+    /// The property fails; `inputs[c]` holds the value of every
+    /// sequential input bit at cycle `c`, starting from reset, with the
+    /// violation on the last cycle.
+    Falsified {
+        /// Per-cycle input-bit assignments.
+        inputs: Vec<Vec<bool>>,
+    },
+    /// Gave up (frame cap, obligation cap, or stop flag).
+    Unknown,
+}
+
+/// A proof obligation: block `cube` at `frame`, or trace it back to
+/// reset. `inputs` is the suffix stimulus from the cube's state to the
+/// violation.
+struct Ob {
+    frame: usize,
+    order: u64,
+    cube: Vec<LatchLit>,
+    inputs: Vec<Vec<bool>>,
+}
+
+impl PartialEq for Ob {
+    fn eq(&self, other: &Ob) -> bool {
+        self.frame == other.frame && self.order == other.order
+    }
+}
+impl Eq for Ob {}
+impl PartialOrd for Ob {
+    fn partial_cmp(&self, other: &Ob) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ob {
+    fn cmp(&self, other: &Ob) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert for lowest-frame-first,
+        // FIFO within a frame.
+        other
+            .frame
+            .cmp(&self.frame)
+            .then(other.order.cmp(&self.order))
+    }
+}
+
+enum Consec {
+    /// The cube has no predecessor in the precondition frame.
+    Blocked,
+    /// A concrete predecessor state and the input word driving it into
+    /// the cube.
+    Cti(Vec<LatchLit>, Vec<bool>),
+    /// Solver interrupted (stop flag).
+    Interrupted,
+}
+
+/// The IC3/PDR engine.
+pub struct Pdr {
+    seq: Arc<Aig>,
+    solver: Solver,
+    enc: CnfEncoder,
+    unroller: Unroller,
+    /// Solver literal of each latch in the current (frame 0) state.
+    cur_latch: Vec<SLit>,
+    /// … and in the next (frame 1) state.
+    nxt_latch: Vec<SLit>,
+    /// Solver literal of each input bit at frame 0.
+    cur_input: Vec<SLit>,
+    /// `¬ok` over the current state.
+    bad: SLit,
+    /// Reset values per latch.
+    init: Vec<bool>,
+    /// Activation literal per clause position (`acts[i]` guards position
+    /// `i`; index 0 is an unused placeholder).
+    acts: Vec<SLit>,
+    /// Blocking cubes with their current positions.
+    cubes: Vec<(Vec<LatchLit>, usize)>,
+    ob_order: u64,
+    options: PdrOptions,
+    import_cursor: u64,
+    stats: PdrStats,
+}
+
+impl Pdr {
+    /// Prepares an engine for `ok` (the property literal) over the
+    /// sequential graph.
+    pub fn new(seq: Arc<Aig>, ok: Lit, options: PdrOptions) -> Pdr {
+        let mut unroller = Unroller::new(Arc::clone(&seq), true);
+        unroller.push_frame();
+        unroller.push_frame();
+        let mut solver = Solver::new();
+        if let Some(stop) = &options.stop {
+            solver.set_stop(Arc::clone(stop));
+        }
+        let mut enc = CnfEncoder::new();
+        let mut latch_slits = |frame: usize| -> Vec<SLit> {
+            (0..seq.n_latches() as u32)
+                .map(|n| {
+                    let l = unroller.lit_at(frame, seq.latch_lit(n));
+                    enc.encode(unroller.comb(), &mut solver, l)
+                })
+                .collect()
+        };
+        let cur_latch = latch_slits(0);
+        let nxt_latch = latch_slits(1);
+        let cur_input: Vec<SLit> = (0..seq.n_inputs() as u32)
+            .map(|n| {
+                let l = unroller.lit_at(0, seq.input_lit(n));
+                enc.encode(unroller.comb(), &mut solver, l)
+            })
+            .collect();
+        let bad = enc.encode(
+            unroller.comb(),
+            &mut solver,
+            unroller.lit_at(0, ok.negate()),
+        );
+        let init = seq.latches().iter().map(|l| l.init).collect();
+        // Placeholder for position 0 (never assumed) plus position 1.
+        let acts = vec![SLit::pos(solver.new_var()), SLit::pos(solver.new_var())];
+        Pdr {
+            seq,
+            solver,
+            enc,
+            unroller,
+            cur_latch,
+            nxt_latch,
+            cur_input,
+            bad,
+            init,
+            acts,
+            cubes: Vec::new(),
+            ob_order: 0,
+            options,
+            import_cursor: 0,
+            stats: PdrStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PdrStats {
+        let mut s = self.stats;
+        s.solver = self.solver.stats();
+        s.vars = self.solver.n_vars();
+        s
+    }
+
+    fn stopped(&self) -> bool {
+        self.options
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    /// Cancelled externally or out of propagation budget.
+    fn interrupted(&self) -> bool {
+        self.stopped() || self.solver.stats().propagations > self.options.max_propagations
+    }
+
+    /// The complete current-state cube of the last model.
+    fn model_cube(&self) -> Vec<LatchLit> {
+        self.cur_latch
+            .iter()
+            .enumerate()
+            .map(|(n, &sl)| LatchLit {
+                latch: n as u32,
+                negated: !self.solver.model_value(sl),
+            })
+            .collect()
+    }
+
+    /// The frame-0 input word of the last model.
+    fn model_inputs(&self) -> Vec<bool> {
+        self.cur_input
+            .iter()
+            .map(|&sl| self.solver.model_value(sl))
+            .collect()
+    }
+
+    /// Does the reset state satisfy the cube? (Complete cubes: equality
+    /// with reset.)
+    fn init_in_cube(&self, cube: &[LatchLit]) -> bool {
+        cube.iter().all(|l| l.eval(&self.init))
+    }
+
+    fn cur_slit(&self, l: LatchLit) -> SLit {
+        let s = self.cur_latch[l.latch as usize];
+        if l.negated {
+            s.negate()
+        } else {
+            s
+        }
+    }
+
+    fn nxt_slit(&self, l: LatchLit) -> SLit {
+        let s = self.nxt_latch[l.latch as usize];
+        if l.negated {
+            s.negate()
+        } else {
+            s
+        }
+    }
+
+    /// Relative-induction query: can a state of `fprev` (under `¬cube`
+    /// when `fprev ≥ 1`) transition into `cube`?
+    fn consecution(&mut self, cube: &[LatchLit], fprev: usize) -> Consec {
+        let mut assumptions: Vec<SLit> = Vec::new();
+        let mut retire: Option<SLit> = None;
+        if fprev == 0 {
+            // Exact reset state. `¬cube` is implied: callers never ask
+            // about the reset cube itself.
+            for (n, &v) in self.init.clone().iter().enumerate() {
+                let s = self.cur_latch[n];
+                assumptions.push(if v { s } else { s.negate() });
+            }
+        } else {
+            assumptions.extend_from_slice(&self.acts[fprev..]);
+            // Temporary activation of ¬cube over the current state.
+            let t = SLit::pos(self.solver.new_var());
+            let mut cls: Vec<SLit> = vec![t.negate()];
+            cls.extend(cube.iter().map(|&l| self.cur_slit(l).negate()));
+            self.solver.add_clause(&cls);
+            assumptions.push(t);
+            retire = Some(t);
+        }
+        assumptions.extend(cube.iter().map(|&l| self.nxt_slit(l)));
+        self.stats.sat_calls += 1;
+        let res = self.solver.solve(&assumptions);
+        let out = match res {
+            SolveResult::Unsat => Consec::Blocked,
+            SolveResult::Sat => Consec::Cti(self.model_cube(), self.model_inputs()),
+            SolveResult::Interrupted => Consec::Interrupted,
+        };
+        if let Some(t) = retire {
+            self.solver.add_clause(&[t.negate()]);
+        }
+        out
+    }
+
+    /// Drops cube literals while consecution at `fprev` still holds and
+    /// the reset state stays excluded.
+    fn generalize(&mut self, cube: Vec<LatchLit>, fprev: usize) -> Vec<LatchLit> {
+        let mut cube = cube;
+        let mut i = 0;
+        while i < cube.len() && cube.len() > 1 {
+            let mut candidate = cube.clone();
+            candidate.remove(i);
+            // Reset must stay outside the shrunk cube.
+            if self.init_in_cube(&candidate) {
+                i += 1;
+                continue;
+            }
+            match self.consecution(&candidate, fprev) {
+                Consec::Blocked => {
+                    cube = candidate;
+                    self.stats.generalized_away += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        cube
+    }
+
+    /// Adds the blocking clause `¬cube` at `pos` (guarded) and publishes
+    /// it to the exchange.
+    fn add_blocking_clause(&mut self, cube: &[LatchLit], pos: usize) {
+        let mut cls: Vec<SLit> = vec![self.acts[pos].negate()];
+        cls.extend(cube.iter().map(|&l| self.cur_slit(l).negate()));
+        self.solver.add_clause(&cls);
+        self.stats.clauses += 1;
+        if let Some(x) = &self.options.exchange {
+            let lits: Vec<(u32, Lit)> = cube
+                .iter()
+                .map(|l| {
+                    let base = self.seq.latch_lit(l.latch);
+                    // Clause literal is the cube literal negated.
+                    (0, if l.negated { base } else { base.negate() })
+                })
+                .collect();
+            x.publish(SharedClause {
+                lits,
+                kind: ClauseKind::Reach { upto: pos as u32 },
+            });
+            self.stats.shared_published += 1;
+        }
+    }
+
+    /// Imports transition-implied ([`ClauseKind::Path`], span ≤ 1)
+    /// clauses from the exchange as permanent clauses over the two
+    /// encoded frames.
+    fn import_shared(&mut self) {
+        let Some(x) = self.options.exchange.clone() else {
+            return;
+        };
+        for c in x.fetch(&mut self.import_cursor) {
+            if !matches!(c.kind, ClauseKind::Path) || c.span() > 1 {
+                continue;
+            }
+            let lits: Vec<SLit> = c
+                .lits
+                .iter()
+                .map(|&(f, l)| {
+                    let comb = self.unroller.lit_at(f as usize, l);
+                    self.enc
+                        .encode(self.unroller.comb(), &mut self.solver, comb)
+                })
+                .collect();
+            self.solver.add_clause(&lits);
+            self.stats.shared_imported += 1;
+        }
+    }
+
+    /// Runs the engine to a verdict.
+    pub fn run(&mut self) -> PdrOutcome {
+        // Cycle 0: does reset itself violate the property?
+        let mut reset_assumps: Vec<SLit> = self
+            .init
+            .clone()
+            .iter()
+            .enumerate()
+            .map(|(n, &v)| {
+                let s = self.cur_latch[n];
+                if v {
+                    s
+                } else {
+                    s.negate()
+                }
+            })
+            .collect();
+        reset_assumps.push(self.bad);
+        self.stats.sat_calls += 1;
+        match self.solver.solve(&reset_assumps) {
+            SolveResult::Sat => {
+                return PdrOutcome::Falsified {
+                    inputs: vec![self.model_inputs()],
+                };
+            }
+            SolveResult::Interrupted => return PdrOutcome::Unknown,
+            SolveResult::Unsat => {}
+        }
+
+        let mut n = 1usize;
+        loop {
+            self.stats.frames = n;
+            if n >= self.options.max_frames || self.interrupted() {
+                return PdrOutcome::Unknown;
+            }
+            self.import_shared();
+            let mut bad_assumps = self.acts[n..].to_vec();
+            bad_assumps.push(self.bad);
+            self.stats.sat_calls += 1;
+            match self.solver.solve(&bad_assumps) {
+                SolveResult::Interrupted => return PdrOutcome::Unknown,
+                SolveResult::Sat => {
+                    let cube = self.model_cube();
+                    let inputs = self.model_inputs();
+                    match self.handle_obligations(cube, inputs, n) {
+                        Some(outcome) => return outcome,
+                        None => continue,
+                    }
+                }
+                SolveResult::Unsat => {
+                    // Propagate clauses forward, then look for two equal
+                    // adjacent frames.
+                    for i in 1..n {
+                        for ci in 0..self.cubes.len() {
+                            if self.cubes[ci].1 != i {
+                                continue;
+                            }
+                            let cube = self.cubes[ci].0.clone();
+                            if matches!(self.consecution(&cube, i), Consec::Blocked) {
+                                self.cubes[ci].1 = i + 1;
+                                self.add_blocking_clause(&cube, i + 1);
+                            }
+                        }
+                        if self.interrupted() {
+                            return PdrOutcome::Unknown;
+                        }
+                    }
+                    for i in 1..n {
+                        if self.cubes.iter().any(|(_, p)| *p == i) {
+                            continue;
+                        }
+                        // F_i == F_{i+1}: inductive invariant found.
+                        let invariant = self
+                            .cubes
+                            .iter()
+                            .filter(|(_, p)| *p > i)
+                            .map(|(c, _)| {
+                                c.iter()
+                                    .map(|l| LatchLit {
+                                        latch: l.latch,
+                                        negated: !l.negated,
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        return PdrOutcome::Proved { invariant };
+                    }
+                    n += 1;
+                    self.acts.push(SLit::pos(self.solver.new_var()));
+                }
+            }
+        }
+    }
+
+    /// Discharges the obligation queue seeded with one bad cube at frame
+    /// `n`. `Some(outcome)` ends the whole run; `None` means every
+    /// obligation was blocked.
+    fn handle_obligations(
+        &mut self,
+        cube: Vec<LatchLit>,
+        inputs: Vec<bool>,
+        n: usize,
+    ) -> Option<PdrOutcome> {
+        let mut queue: BinaryHeap<Ob> = BinaryHeap::new();
+        self.ob_order += 1;
+        queue.push(Ob {
+            frame: n,
+            order: self.ob_order,
+            cube,
+            inputs: vec![inputs],
+        });
+        while let Some(ob) = queue.pop() {
+            self.stats.obligations += 1;
+            if self.stats.obligations > self.options.max_obligations || self.interrupted() {
+                return Some(PdrOutcome::Unknown);
+            }
+            if self.init_in_cube(&ob.cube) {
+                // Reached reset: the suffix inputs are a complete
+                // counterexample stimulus.
+                return Some(PdrOutcome::Falsified { inputs: ob.inputs });
+            }
+            match self.consecution(&ob.cube, ob.frame - 1) {
+                Consec::Interrupted => return Some(PdrOutcome::Unknown),
+                Consec::Cti(pred, pred_inputs) => {
+                    let mut inputs = Vec::with_capacity(ob.inputs.len() + 1);
+                    inputs.push(pred_inputs);
+                    inputs.extend(ob.inputs.iter().cloned());
+                    self.ob_order += 1;
+                    let pred_ob = Ob {
+                        frame: ob.frame - 1,
+                        order: self.ob_order,
+                        cube: pred,
+                        inputs,
+                    };
+                    self.ob_order += 1;
+                    let retry = Ob {
+                        order: self.ob_order,
+                        ..ob
+                    };
+                    queue.push(pred_ob);
+                    queue.push(retry);
+                }
+                Consec::Blocked => {
+                    let cube = self.generalize(ob.cube.clone(), ob.frame - 1);
+                    // Push the clause as far forward as it stays
+                    // relatively inductive.
+                    let mut pos = ob.frame;
+                    while pos < n {
+                        match self.consecution(&cube, pos) {
+                            Consec::Blocked => pos += 1,
+                            _ => break,
+                        }
+                    }
+                    self.add_blocking_clause(&cube, pos);
+                    self.cubes.push((cube, pos));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::ProofCert;
+
+    /// A `width`-bit counter with enable input; returns (graph, latch
+    /// literals LSB-first, enable input literal).
+    fn counter(width: usize) -> (Aig, Vec<Lit>, Lit) {
+        let mut g = Aig::new();
+        let en = g.add_input();
+        let regs: Vec<Lit> = (0..width).map(|_| g.add_latch(false)).collect();
+        // q' = en ? q + 1 : q  (ripple increment).
+        let mut carry = Lit::TRUE;
+        let mut nexts = Vec::new();
+        for &q in &regs {
+            let sum = g.xor(q, carry);
+            carry = g.and(q, carry);
+            let nv = g.mux(en, sum, q);
+            nexts.push(nv);
+        }
+        for (&q, &nv) in regs.iter().zip(&nexts) {
+            g.set_next(q, nv);
+        }
+        (g, regs, en)
+    }
+
+    /// Concrete replay: does `inputs` drive the circuit from reset into
+    /// a `¬ok` state on the last cycle?
+    fn replays(seq: &Aig, ok: Lit, inputs: &[Vec<bool>]) -> bool {
+        let mut state: Vec<u64> = seq
+            .latches()
+            .iter()
+            .map(|l| if l.init { 1 } else { 0 })
+            .collect();
+        for (c, word) in inputs.iter().enumerate() {
+            let ins: Vec<u64> = word.iter().map(|&b| u64::from(b)).collect();
+            let vals = seq.simulate(&ins, &state);
+            let bad = Aig::lit_value(&vals, ok.negate()) & 1 == 1;
+            if c + 1 == inputs.len() {
+                return bad;
+            }
+            if bad {
+                return false; // violated earlier than claimed
+            }
+            state = seq
+                .latches()
+                .iter()
+                .map(|l| Aig::lit_value(&vals, l.next.unwrap()) & 1)
+                .collect();
+        }
+        false
+    }
+
+    #[test]
+    fn proves_unreachable_state_with_checkable_invariant() {
+        // Saturating 2-bit counter: b0' = ¬b0 ∧ ¬b1; b1' = b1 ∨ b0.
+        // State 11 is unreachable (it has no predecessor and is not the
+        // reset state), which is exactly the kind of fact PDR discovers.
+        let mut g = Aig::new();
+        let b0 = g.add_latch(false);
+        let b1 = g.add_latch(false);
+        let n0 = g.and(b0.negate(), b1.negate());
+        let n1 = g.or(b1, b0);
+        g.set_next(b0, n0);
+        g.set_next(b1, n1);
+        let ok = g.and(b0, b1).negate();
+        let seq = Arc::new(g);
+        let mut pdr = Pdr::new(Arc::clone(&seq), ok, PdrOptions::default());
+        let PdrOutcome::Proved { invariant } = pdr.run() else {
+            panic!("expected Proved");
+        };
+        assert!(ProofCert::revalidate_inductive(&seq, ok, &invariant));
+        assert!(pdr.stats().sat_calls > 0);
+    }
+
+    #[test]
+    fn falsifies_deep_bug_with_replayable_trace() {
+        // 4-bit counter: q == 12 is reachable only after 12 enabled
+        // cycles — deep enough that BMC-style search must unroll, while
+        // PDR walks predecessors.
+        let (mut g, regs, _en) = counter(4);
+        // bad = q == 12 = ¬b0 ∧ ¬b1 ∧ b2 ∧ b3.
+        let t0 = g.and(regs[0].negate(), regs[1].negate());
+        let t1 = g.and(regs[2], regs[3]);
+        let bad = g.and(t0, t1);
+        let ok = bad.negate();
+        let seq = Arc::new(g);
+        let mut pdr = Pdr::new(Arc::clone(&seq), ok, PdrOptions::default());
+        let PdrOutcome::Falsified { inputs } = pdr.run() else {
+            panic!("expected Falsified");
+        };
+        assert_eq!(inputs.len(), 13, "12 increments plus the bad cycle");
+        assert!(replays(&seq, ok, &inputs), "trace must replay concretely");
+    }
+
+    #[test]
+    fn propagation_budget_bounds_the_run_with_unknown() {
+        // Same deep-bug counter, but with no propagation budget: the
+        // run must give up soundly (Unknown) instead of claiming a
+        // verdict it had no budget to establish.
+        let (mut g, regs, _en) = counter(4);
+        let t0 = g.and(regs[0].negate(), regs[1].negate());
+        let t1 = g.and(regs[2], regs[3]);
+        let bad = g.and(t0, t1);
+        let ok = bad.negate();
+        let mut pdr = Pdr::new(
+            Arc::new(g),
+            ok,
+            PdrOptions {
+                max_propagations: 0,
+                ..PdrOptions::default()
+            },
+        );
+        assert!(matches!(pdr.run(), PdrOutcome::Unknown));
+    }
+
+    #[test]
+    fn reset_violation_is_depth_one() {
+        let mut g = Aig::new();
+        let l = g.add_latch(true);
+        g.set_next(l, l);
+        let ok = l.negate(); // latch starts high: violated at cycle 0
+        let seq = Arc::new(g);
+        let mut pdr = Pdr::new(Arc::clone(&seq), ok, PdrOptions::default());
+        let PdrOutcome::Falsified { inputs } = pdr.run() else {
+            panic!("expected Falsified");
+        };
+        assert_eq!(inputs.len(), 1);
+        assert!(replays(&seq, ok, &inputs));
+    }
+
+    #[test]
+    fn constant_true_property_proves_with_empty_invariant() {
+        let mut g = Aig::new();
+        let l = g.add_latch(false);
+        let i = g.add_input();
+        let n = g.and(l.negate(), i);
+        g.set_next(l, n);
+        let seq = Arc::new(g);
+        let mut pdr = Pdr::new(Arc::clone(&seq), Lit::TRUE, PdrOptions::default());
+        let PdrOutcome::Proved { invariant } = pdr.run() else {
+            panic!("expected Proved");
+        };
+        assert!(ProofCert::revalidate_inductive(&seq, Lit::TRUE, &invariant));
+    }
+
+    #[test]
+    fn publishes_reach_clauses_to_exchange() {
+        let mut g = Aig::new();
+        let b0 = g.add_latch(false);
+        let b1 = g.add_latch(false);
+        let n0 = g.and(b0.negate(), b1.negate());
+        let n1 = g.or(b1, b0);
+        g.set_next(b0, n0);
+        g.set_next(b1, n1);
+        let ok = g.and(b0, b1).negate();
+        let seq = Arc::new(g);
+        let x = Arc::new(ClauseExchange::new(64));
+        let opts = PdrOptions {
+            exchange: Some(Arc::clone(&x)),
+            ..PdrOptions::default()
+        };
+        let mut pdr = Pdr::new(seq, ok, opts);
+        assert!(matches!(pdr.run(), PdrOutcome::Proved { .. }));
+        let mut cur = 0;
+        let got = x.fetch(&mut cur);
+        assert_eq!(got.len() as u64, pdr.stats().shared_published);
+        for c in &got {
+            assert!(matches!(c.kind, ClauseKind::Reach { .. }));
+            assert_eq!(c.span(), 0);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! DAG-aware AIG rewriting: constant sweeping, two-level algebraic
+//! rewriting, and cone-of-influence reduction.
+//!
+//! [`rewrite`] rebuilds a sequential [`Aig`] bottom-up through a fresh
+//! structural-hash table, restricted to the cone of influence of a root
+//! set. Three things shrink the graph in one linear pass:
+//!
+//! * **Constant sweeping** — every rebuilt AND goes back through
+//!   [`Aig::and`]'s constant folding, so constants discovered upstream
+//!   (e.g. by an earlier fraig merge against the constant node)
+//!   propagate through their entire fanout cone.
+//! * **Two-level rewriting** — the Brummayer–Biere local rules
+//!   (contradiction, subsumption, idempotence, substitution, and
+//!   resolution over a node and its AND fanins) fire before each node is
+//!   hashed, collapsing patterns structural hashing alone cannot see.
+//! * **Dead logic removal** — only nodes reachable from the roots (and,
+//!   transitively, from the next-state functions of *live* latches)
+//!   survive. Latches outside the property's cone of influence vanish
+//!   along with their entire next-state logic, which is where the bulk
+//!   of the reduction on property-directed proofs comes from.
+//!
+//! Input bits are always preserved 1:1 (same numbering) so trace
+//! reconstruction maps through unchanged; surviving latches keep their
+//! init values and record their origin index.
+
+use crate::aig::{Aig, Lit, Node};
+use crate::fraig::{fraig, FraigStats};
+
+/// Node/level counters for one [`rewrite`] pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RewriteStats {
+    /// Nodes before (including the constant node).
+    pub nodes_before: usize,
+    /// Nodes after.
+    pub nodes_after: usize,
+    /// AND nodes before.
+    pub ands_before: usize,
+    /// AND nodes after.
+    pub ands_after: usize,
+    /// Latches before.
+    pub latches_before: usize,
+    /// Latches after (dead ones are swept with their next-state cones).
+    pub latches_after: usize,
+    /// Logic levels before.
+    pub level_before: u32,
+    /// Logic levels after.
+    pub level_after: u32,
+    /// Two-level rewrite rule applications.
+    pub rule_hits: usize,
+}
+
+/// A rewritten graph plus the old-literal → new-literal map.
+#[derive(Clone, Debug)]
+pub struct Rewritten {
+    /// The rebuilt graph.
+    pub aig: Aig,
+    /// Old node index → new literal (`None` for swept dead nodes).
+    pub map: Vec<Option<Lit>>,
+    /// New latch number → old latch number.
+    pub latch_origin: Vec<u32>,
+}
+
+impl Rewritten {
+    /// Maps an old literal into the new graph (`None` if its node was
+    /// swept as dead).
+    pub fn map_lit(&self, old: Lit) -> Option<Lit> {
+        let base = self.map.get(old.node()).copied().flatten()?;
+        Some(if old.is_negated() {
+            base.negate()
+        } else {
+            base
+        })
+    }
+
+    /// Composes two rewrite maps: `self` (old → mid) then `next`
+    /// (mid → new), yielding old → new.
+    pub fn compose(&self, next: &Rewritten) -> Rewritten {
+        let map = self
+            .map
+            .iter()
+            .map(|m| m.and_then(|l| next.map_lit(l)))
+            .collect();
+        let latch_origin = next
+            .latch_origin
+            .iter()
+            .map(|&mid| self.latch_origin[mid as usize])
+            .collect();
+        Rewritten {
+            aig: next.aig.clone(),
+            map,
+            latch_origin,
+        }
+    }
+}
+
+/// Rebuilds `aig` restricted to the cone of influence of `roots`,
+/// applying constant sweeping and (when `rules` is set) two-level
+/// rewriting. With `keep_all_latches` every latch is treated as a root
+/// (the equivalence-checking mode); otherwise only latches transitively
+/// feeding the roots survive.
+pub fn rewrite(
+    aig: &Aig,
+    roots: &[Lit],
+    keep_all_latches: bool,
+    rules: bool,
+) -> (Rewritten, RewriteStats) {
+    let mut stats = RewriteStats {
+        nodes_before: aig.len(),
+        ands_before: aig.n_ands(),
+        latches_before: aig.n_latches(),
+        level_before: aig.max_level(),
+        ..RewriteStats::default()
+    };
+
+    // ---- Liveness: roots, plus the next-state cones of live latches. ----
+    let mut live = vec![false; aig.len()];
+    let mut work: Vec<usize> = roots.iter().map(|l| l.node()).collect();
+    if keep_all_latches {
+        for l in aig.latches() {
+            work.push(l.node as usize);
+        }
+    }
+    while let Some(n) = work.pop() {
+        if live[n] {
+            continue;
+        }
+        live[n] = true;
+        match aig.node(n) {
+            Node::Const | Node::Input(_) => {}
+            Node::Latch(ln) => {
+                if let Some(next) = aig.latch_info(ln).next {
+                    work.push(next.node());
+                }
+            }
+            Node::And(a, b) => {
+                work.push(a.node());
+                work.push(b.node());
+            }
+        }
+    }
+
+    // ---- Rebuild in topological order. ----
+    let mut g = Aig::new();
+    let mut map: Vec<Option<Lit>> = vec![None; aig.len()];
+    let mut latch_origin = Vec::new();
+    // Old latch number → new (uncomplemented) latch literal, for wiring
+    // next-state functions after the main pass.
+    let mut new_latch: Vec<Option<Lit>> = vec![None; aig.n_latches()];
+    for n in 0..aig.len() {
+        let node = aig.node(n);
+        // Inputs are always recreated — in allocation order, so input
+        // numbering (and with it the trace format) is preserved even for
+        // inputs outside the cone.
+        if let Node::Input(_) = node {
+            map[n] = Some(g.add_input());
+            continue;
+        }
+        // The constant node always maps (latch next-state functions may
+        // reference it even when no root does).
+        if n == 0 {
+            map[n] = Some(Lit::FALSE);
+            continue;
+        }
+        if !live[n] {
+            continue;
+        }
+        map[n] = Some(match node {
+            Node::Const => Lit::FALSE,
+            Node::Input(_) => unreachable!("inputs handled above"),
+            Node::Latch(ln) => {
+                let l = g.add_latch(aig.latch_info(ln).init);
+                latch_origin.push(ln);
+                new_latch[ln as usize] = Some(l);
+                l
+            }
+            Node::And(a, b) => {
+                let la = map_lit(&map, a);
+                let lb = map_lit(&map, b);
+                if rules {
+                    and_rw(&mut g, la, lb, &mut stats.rule_hits)
+                } else {
+                    g.and(la, lb)
+                }
+            }
+        });
+    }
+    for (ln, new) in new_latch.into_iter().enumerate() {
+        let Some(new) = new else { continue };
+        let next = aig
+            .latch_info(ln as u32)
+            .next
+            .expect("live latch connected during blasting");
+        g.set_next(new, map_lit(&map, next));
+    }
+
+    stats.nodes_after = g.len();
+    stats.ands_after = g.n_ands();
+    stats.latches_after = g.n_latches();
+    stats.level_after = g.max_level();
+    (
+        Rewritten {
+            aig: g,
+            map,
+            latch_origin,
+        },
+        stats,
+    )
+}
+
+/// Combined counters for the full [`optimize`] pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimizeStats {
+    /// The initial rewrite pass (COI + constant sweep + two-level rules).
+    pub rewrite: RewriteStats,
+    /// The SAT-sweeping pass.
+    pub fraig: FraigStats,
+    /// The trailing orphan-sweep pass.
+    pub sweep: RewriteStats,
+    /// Nodes before the whole pipeline.
+    pub nodes_before: usize,
+    /// Nodes after the whole pipeline.
+    pub nodes_after: usize,
+    /// Logic levels before.
+    pub level_before: u32,
+    /// Logic levels after.
+    pub level_after: u32,
+}
+
+/// The full pre-unrolling optimization pipeline: DAG-aware rewriting
+/// (cone-of-influence restriction, constant sweeping, two-level rules),
+/// then SAT sweeping ([`fraig`]), then a plain rewrite to sweep the
+/// orphans fraiging leaves behind and re-fire rules enabled by merges.
+/// The returned [`Rewritten`] maps original literals all the way into
+/// the final graph.
+pub fn optimize(aig: &Aig, roots: &[Lit], keep_all_latches: bool) -> (Rewritten, OptimizeStats) {
+    let mut stats = OptimizeStats {
+        nodes_before: aig.len(),
+        level_before: aig.max_level(),
+        ..OptimizeStats::default()
+    };
+    let (r1, s1) = rewrite(aig, roots, keep_all_latches, true);
+    stats.rewrite = s1;
+    let (r2, s2) = fraig(&r1.aig, 0x416e_7669_6c21_0001);
+    stats.fraig = s2;
+    let roots2: Vec<Lit> = roots
+        .iter()
+        .filter_map(|&l| r1.map_lit(l).and_then(|m| r2.map_lit(m)))
+        .collect();
+    let (r3, s3) = rewrite(&r2.aig, &roots2, keep_all_latches, true);
+    stats.sweep = s3;
+    let combined = r1.compose(&r2).compose(&r3);
+    stats.nodes_after = combined.aig.len();
+    stats.level_after = combined.aig.max_level();
+    (combined, stats)
+}
+
+fn map_lit(map: &[Option<Lit>], l: Lit) -> Lit {
+    let base = map[l.node()].expect("fanin precedes fanout in topological order");
+    if l.is_negated() {
+        base.negate()
+    } else {
+        base
+    }
+}
+
+/// The AND fanins of a literal's node, if it is an AND, with the
+/// literal's complement bit.
+fn decompose(g: &Aig, l: Lit) -> Option<(Lit, Lit, bool)> {
+    if l.is_const() {
+        return None;
+    }
+    match g.node(l.node()) {
+        Node::And(x, y) => Some((x, y, l.is_negated())),
+        _ => None,
+    }
+}
+
+/// [`Aig::and`] with the Brummayer–Biere two-level rules tried first.
+/// Every rule application either returns an existing literal or issues a
+/// single non-recursive [`Aig::and`], so the rewriter terminates
+/// trivially.
+fn and_rw(g: &mut Aig, a: Lit, b: Lit, hits: &mut usize) -> Lit {
+    let da = decompose(g, a);
+    let db = decompose(g, b);
+    // One AND fanin against the opposite operand, both orders.
+    for (outer, inner, d) in [(a, b, da), (b, a, db)] {
+        let Some((x1, x2, neg)) = d else { continue };
+        if !neg {
+            // (x1 ∧ x2) ∧ x1 = x1 ∧ x2  (idempotence)
+            if inner == x1 || inner == x2 {
+                *hits += 1;
+                return outer;
+            }
+            // (x1 ∧ x2) ∧ ¬x1 = 0  (contradiction)
+            if inner == x1.negate() || inner == x2.negate() {
+                *hits += 1;
+                return Lit::FALSE;
+            }
+        } else {
+            // ¬(x1 ∧ x2) ∧ ¬x1 = ¬x1  (subsumption)
+            if inner == x1.negate() || inner == x2.negate() {
+                *hits += 1;
+                return inner;
+            }
+            // ¬(x1 ∧ x2) ∧ x1 = x1 ∧ ¬x2  (substitution)
+            if inner == x1 {
+                *hits += 1;
+                return g.and(x1, x2.negate());
+            }
+            if inner == x2 {
+                *hits += 1;
+                return g.and(x2, x1.negate());
+            }
+        }
+    }
+    if let (Some((a1, a2, false)), Some((b1, b2, false))) = (da, db) {
+        // (a1 ∧ a2) ∧ (b1 ∧ b2) with a contradicting pair = 0.
+        for (x, y) in [(a1, b1), (a1, b2), (a2, b1), (a2, b2)] {
+            if x == y.negate() {
+                *hits += 1;
+                return Lit::FALSE;
+            }
+        }
+        // Shared fanin: (a1 ∧ a2) ∧ (a1 ∧ b2) = (a1 ∧ a2) ∧ b2.
+        if b1 == a1 || b1 == a2 {
+            *hits += 1;
+            return g.and(a, b2);
+        }
+        if b2 == a1 || b2 == a2 {
+            *hits += 1;
+            return g.and(a, b1);
+        }
+    }
+    if let (Some((a1, a2, true)), Some((b1, b2, true))) = (da, db) {
+        // Resolution: ¬(x ∧ y) ∧ ¬(x ∧ ¬y) = ¬x.
+        for (s, t, s2, t2) in [
+            (a1, a2, b1, b2),
+            (a1, a2, b2, b1),
+            (a2, a1, b1, b2),
+            (a2, a1, b2, b1),
+        ] {
+            if s == s2 && t == t2.negate() {
+                *hits += 1;
+                return s.negate();
+            }
+        }
+    }
+    g.and(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(g: &mut Aig, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| g.add_input()).collect()
+    }
+
+    #[test]
+    fn two_level_rules_fire() {
+        let mut g = Aig::new();
+        let v = leaves(&mut g, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        let ab = g.and(a, b);
+        let mut hits = 0;
+        // Idempotence, contradiction, subsumption, substitution.
+        assert_eq!(and_rw(&mut g, ab, a, &mut hits), ab);
+        assert_eq!(and_rw(&mut g, ab, a.negate(), &mut hits), Lit::FALSE);
+        assert_eq!(
+            and_rw(&mut g, ab.negate(), a.negate(), &mut hits),
+            a.negate()
+        );
+        let sub = and_rw(&mut g, ab.negate(), a, &mut hits);
+        assert_eq!(sub, g.and(a, b.negate()));
+        // Shared fanin between two positive ANDs.
+        let ac = g.and(a, c);
+        let shared = and_rw(&mut g, ab, ac, &mut hits);
+        assert_eq!(shared, g.and(ab, c));
+        // Resolution.
+        let ab_n = g.and(a, b.negate());
+        assert_eq!(
+            and_rw(&mut g, ab.negate(), ab_n.negate(), &mut hits),
+            a.negate()
+        );
+        assert!(hits >= 6);
+    }
+
+    #[test]
+    fn rules_preserve_function() {
+        // Exhaustive check over all 2-input-4-node structures the rules
+        // can see: random two-level AIGs evaluated against their
+        // rewritten forms on all input assignments (word-parallel: 8
+        // assignments of 3 inputs fit one u64 easily).
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..500 {
+            let mut g = Aig::new();
+            let ins = leaves(&mut g, 3);
+            // Exhaustive 3-input patterns.
+            let words = [0xF0u64, 0xCC, 0xAA];
+            let mut pool: Vec<Lit> = ins.clone();
+            for _ in 0..4 {
+                let pick = |r: u64, pool: &[Lit]| {
+                    let l = pool[(r as usize / 2) % pool.len()];
+                    if r.is_multiple_of(2) {
+                        l
+                    } else {
+                        l.negate()
+                    }
+                };
+                let a = pick(next(), &pool);
+                let b = pick(next(), &pool);
+                let l = g.and(a, b);
+                pool.push(l);
+            }
+            let root = *pool.last().unwrap();
+            let (rw, _) = rewrite(&g, &[root], true, true);
+            let new_root = rw.map_lit(root).unwrap();
+            let old_vals = g.simulate(&words, &[]);
+            let new_vals = rw.aig.simulate(&words, &[]);
+            assert_eq!(
+                Aig::lit_value(&old_vals, root) & 0xFF,
+                Aig::lit_value(&new_vals, new_root) & 0xFF,
+            );
+        }
+    }
+
+    #[test]
+    fn dead_latches_are_swept_with_their_cones() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let live = g.add_latch(false);
+        let dead = g.add_latch(true);
+        // The dead latch drags a whole cone with it.
+        let x = g.and(dead, a);
+        let y = g.and(x, dead.negate());
+        let live_next = g.and(live, a);
+        g.set_next(live, live_next);
+        g.set_next(dead, y);
+        let root = g.and(live, a.negate());
+        let (rw, stats) = rewrite(&g, &[root], false, true);
+        assert_eq!(rw.aig.n_latches(), 1);
+        assert_eq!(rw.latch_origin, vec![0]);
+        assert_eq!(stats.latches_before, 2);
+        assert_eq!(stats.latches_after, 1);
+        // Inputs survive 1:1 even when partially dead.
+        assert_eq!(rw.aig.n_inputs(), 1);
+        assert!(rw.map_lit(root).is_some());
+        // y's node is gone.
+        assert!(rw.map_lit(y).is_none());
+    }
+
+    #[test]
+    fn optimize_composes_maps_end_to_end() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        // Two structurally distinct XORs plus a dead cone; the pipeline
+        // must merge the XORs and sweep the cone, and the composed map
+        // must still track every live literal.
+        let x1 = g.xor(a, b);
+        let n1 = g.and(a, b);
+        let n2 = g.and(a.negate(), b.negate());
+        let x2 = g.or(n1, n2).negate();
+        let c = g.add_input();
+        let dead = g.and(c, a);
+        let root = g.and(x1, x2.negate());
+        let (opt, stats) = optimize(&g, &[root], false);
+        // x1 ∧ ¬x2 with x1 ≡ x2 is constant false.
+        assert_eq!(opt.map_lit(root).unwrap(), Lit::FALSE);
+        assert!(opt.map_lit(dead).is_none());
+        assert!(stats.nodes_after < stats.nodes_before);
+        assert!(stats.fraig.merges >= 1 || stats.rewrite.rule_hits >= 1);
+    }
+
+    #[test]
+    fn keep_all_latches_preserves_every_latch() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let l0 = g.add_latch(false);
+        let l1 = g.add_latch(true);
+        g.set_next(l0, a);
+        g.set_next(l1, l0);
+        let (rw, _) = rewrite(&g, &[], true, true);
+        assert_eq!(rw.aig.n_latches(), 2);
+        assert_eq!(rw.latch_origin, vec![0, 1]);
+        assert!(rw.aig.latch_info(1).init);
+    }
+}

@@ -1,0 +1,200 @@
+//! A bounded clause-exchange buffer for cooperating prover portfolios.
+//!
+//! Portfolio workers (symbolic BMC, k-induction, PDR) run over the *same*
+//! prepared sequential [`Aig`](crate::Aig), so a clause one engine learns
+//! can be phrased engine-neutrally as literals in `(relative frame,
+//! sequential literal)` space and re-asserted by another. The exchange is
+//! a mutex-guarded ring: publishers append, importers poll with a cursor,
+//! and when the ring overflows its cap the oldest clauses fall off (an
+//! importer that polled late simply misses them — sharing is an
+//! optimization, never a soundness requirement).
+//!
+//! Soundness is carried by [`ClauseKind`], which records what a clause
+//! means and therefore who may import it where:
+//!
+//! * [`ClauseKind::Reach`]`{ upto }` — the clause (frame-relative offsets
+//!   all zero) holds in every state reachable from reset within `upto`
+//!   steps. PDR frame clauses are published like this; a BMC-from-reset
+//!   session may assert the clause at unrolling frames `0..=upto`.
+//! * [`ClauseKind::Path`] — the clause is implied by the transition
+//!   relation alone along *any* consecutive frames (offsets are relative
+//!   to an arbitrary base frame). Induction-step learnt clauses widened
+//!   with their assumption literals qualify; any engine may assert a
+//!   `Path` clause at any frame offset it has unrolled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::aig::Lit;
+
+/// What a shared clause asserts (and hence where it may be imported).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClauseKind {
+    /// Holds in all states reachable from reset in at most `upto` steps;
+    /// literal frame offsets are all zero.
+    Reach {
+        /// Inclusive reachability bound, in steps from reset.
+        upto: u32,
+    },
+    /// Implied by the transition relation over any window of consecutive
+    /// frames; literal offsets are relative to the window start.
+    Path,
+}
+
+/// One engine-neutral clause: a disjunction of `(frame offset, sequential
+/// literal)` pairs plus the soundness tag.
+#[derive(Clone, Debug)]
+pub struct SharedClause {
+    /// The disjuncts. Offsets are normalized so the smallest is zero.
+    pub lits: Vec<(u32, Lit)>,
+    /// What the clause means.
+    pub kind: ClauseKind,
+}
+
+impl SharedClause {
+    /// Largest frame offset among the literals (0 for single-frame
+    /// clauses).
+    pub fn span(&self) -> u32 {
+        self.lits.iter().map(|&(f, _)| f).max().unwrap_or(0)
+    }
+}
+
+/// Exchange counters (monotonic, lock-free reads).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExchangeStats {
+    /// Clauses published.
+    pub published: u64,
+    /// Clauses handed to importers (each import of one clause counts).
+    pub imported: u64,
+    /// Clauses dropped off the ring before anyone could fetch them.
+    pub dropped: u64,
+}
+
+struct Ring {
+    clauses: Vec<SharedClause>,
+    /// Global index of `clauses[0]` (indices only grow; cursors are
+    /// global indices, so dropped prefixes just advance the start).
+    start: u64,
+}
+
+/// The bounded multi-producer multi-consumer clause buffer.
+pub struct ClauseExchange {
+    ring: Mutex<Ring>,
+    cap: usize,
+    published: AtomicU64,
+    imported: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl ClauseExchange {
+    /// An empty exchange holding at most `cap` clauses.
+    pub fn new(cap: usize) -> ClauseExchange {
+        ClauseExchange {
+            ring: Mutex::new(Ring {
+                clauses: Vec::new(),
+                start: 0,
+            }),
+            cap: cap.max(1),
+            published: AtomicU64::new(0),
+            imported: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes one clause, evicting the oldest if the ring is full.
+    /// Empty clauses are ignored (nothing sound to share).
+    pub fn publish(&self, clause: SharedClause) {
+        if clause.lits.is_empty() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("exchange lock");
+        ring.clauses.push(clause);
+        self.published.fetch_add(1, Ordering::Relaxed);
+        if ring.clauses.len() > self.cap {
+            let excess = ring.clauses.len() - self.cap;
+            ring.clauses.drain(..excess);
+            ring.start += excess as u64;
+            self.dropped.fetch_add(excess as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Clauses published since the caller's cursor (start from 0; pass
+    /// the same variable back on the next poll). Clauses that fell off
+    /// the ring before this poll are skipped silently.
+    pub fn fetch(&self, cursor: &mut u64) -> Vec<SharedClause> {
+        let ring = self.ring.lock().expect("exchange lock");
+        let from = (*cursor).max(ring.start);
+        let idx = (from - ring.start) as usize;
+        let out: Vec<SharedClause> = ring.clauses[idx.min(ring.clauses.len())..].to_vec();
+        *cursor = ring.start + ring.clauses.len() as u64;
+        self.imported.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ExchangeStats {
+        ExchangeStats {
+            published: self.published.load(Ordering::Relaxed),
+            imported: self.imported.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(frame: u32, node: usize) -> SharedClause {
+        SharedClause {
+            lits: vec![(frame, Lit::new(node, false))],
+            kind: ClauseKind::Path,
+        }
+    }
+
+    #[test]
+    fn publish_then_fetch_with_cursor() {
+        let x = ClauseExchange::new(8);
+        x.publish(clause(0, 1));
+        x.publish(clause(1, 2));
+        let mut cur = 0;
+        assert_eq!(x.fetch(&mut cur).len(), 2);
+        assert_eq!(x.fetch(&mut cur).len(), 0);
+        x.publish(clause(0, 3));
+        let got = x.fetch(&mut cur);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].lits[0].1.node(), 3);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let x = ClauseExchange::new(2);
+        for n in 1..=5 {
+            x.publish(clause(0, n));
+        }
+        let mut cur = 0;
+        let got = x.fetch(&mut cur);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].lits[0].1.node(), 4);
+        let s = x.stats();
+        assert_eq!(s.published, 5);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.imported, 2);
+    }
+
+    #[test]
+    fn empty_clauses_are_rejected() {
+        let x = ClauseExchange::new(4);
+        x.publish(SharedClause {
+            lits: vec![],
+            kind: ClauseKind::Path,
+        });
+        assert_eq!(x.stats().published, 0);
+    }
+
+    #[test]
+    fn span_is_max_offset() {
+        assert_eq!(clause(3, 1).span(), 3);
+        assert_eq!(clause(0, 1).span(), 0);
+    }
+}

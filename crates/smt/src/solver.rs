@@ -124,6 +124,7 @@ pub struct Solver {
     max_learnt: usize,
     stats: SolverStats,
     stop: Option<Arc<AtomicBool>>,
+    conflict_budget: Option<u64>,
 }
 
 impl Default for Solver {
@@ -157,12 +158,40 @@ impl Solver {
             max_learnt: 4096,
             stats: SolverStats::default(),
             stop: None,
+            conflict_budget: None,
         }
     }
 
     /// Installs a cooperative stop flag, polled periodically during search.
     pub fn set_stop(&mut self, stop: Arc<AtomicBool>) {
         self.stop = Some(stop);
+    }
+
+    /// Caps the conflicts any single [`Solver::solve`] call may analyse;
+    /// a call that exceeds the budget returns
+    /// [`SolveResult::Interrupted`]. `None` (the default) removes the
+    /// cap. Fraiging uses this to bound each equivalence query, treating
+    /// a blown budget as "not proven equivalent".
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Learnt clauses appended since `cursor` (an opaque clause-arena
+    /// index; start from 0 and reuse the returned cursor), capped at
+    /// `max_len` literals each. The clause arena is append-only, so
+    /// cursors stay valid across solves. Every returned clause is implied
+    /// by the problem clauses alone — assumptions act as decisions, never
+    /// as antecedents — which is what makes cross-solver clause sharing
+    /// sound when both solvers encode the same CNF.
+    pub fn export_learnt(&self, cursor: &mut usize, max_len: usize) -> Vec<Vec<SLit>> {
+        let mut out = Vec::new();
+        for c in &self.clauses[(*cursor).min(self.clauses.len())..] {
+            if c.learnt && !c.deleted && c.lits.len() <= max_len {
+                out.push(c.lits.clone());
+            }
+        }
+        *cursor = self.clauses.len();
+        out
     }
 
     /// Search statistics so far.
@@ -582,6 +611,7 @@ impl Solver {
         let mut restart = 0u64;
         let mut budget = 128 * luby(restart);
         let mut conflicts_here = 0u64;
+        let mut conflicts_call = 0u64;
         loop {
             if let Some(ci) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -610,6 +640,13 @@ impl Solver {
                             self.cancel_until(0);
                             return SolveResult::Interrupted;
                         }
+                    }
+                }
+                conflicts_call += 1;
+                if let Some(budget) = self.conflict_budget {
+                    if conflicts_call >= budget {
+                        self.cancel_until(0);
+                        return SolveResult::Interrupted;
                     }
                 }
             } else {

@@ -13,12 +13,15 @@
 //! * [`rules`] — a Bluespec-style guarded-atomic-rule scheduler,
 //!   reproducing Fig. 2: per-cycle conflict-free schedules that are
 //!   nonetheless timing-unsafe across cycles.
-//! * [`prove()`](prove::prove) — **symbolic** bounded model checking and
-//!   k-induction over bit-blasted netlists (`anvil-smt`): unlike the
-//!   explicit-state checker it reasons about all inputs at once and can
+//! * [`prove()`](prove::prove) — **symbolic** bounded model checking,
+//!   k-induction, and IC3/PDR ([`prove_pdr`]) over bit-blasted,
+//!   rewrite+fraig-optimized netlists (`anvil-smt`): unlike the
+//!   explicit-state checker they reason about all inputs at once and can
 //!   return *proved for all time*, with SAT counterexamples reconstructed
 //!   into the explicit checker's replayable trace format and confirmed on
-//!   the simulator. [`prove_portfolio`] races both engines.
+//!   the simulator. [`prove_portfolio`] runs all engines as a
+//!   clause-sharing cooperative portfolio and emits proof certificates
+//!   for caching ([`revalidate_certificate`]).
 
 #![warn(missing_docs)]
 
@@ -32,7 +35,12 @@ pub use oracle::{
     check_run, fuzz_thread, fuzz_thread_batch, sample_run, ConcreteRun, DynViolation,
 };
 pub use prove::{
-    prove, prove_bounded, prove_portfolio, prove_with_circuit, render_trace, replay_trace,
-    trace_inputs, PortfolioOutcome, ProveError, ProveResult, ProveStats, Prover,
+    prove, prove_bounded, prove_pdr, prove_portfolio, prove_with_circuit, render_trace,
+    replay_trace, revalidate_certificate, trace_inputs, PortfolioOutcome, ProveError, ProveResult,
+    ProveStats, Prover,
 };
 pub use rules::{fig2_contract_violations, fig2_engine, sweep_schedules, Rule, RuleEngine, State};
+
+// Re-exported so proof-cache clients (anvild, benches) can build
+// circuits and handle certificates without a direct `anvil-smt` edge.
+pub use anvil_smt::{optimize, AigCircuit, CertKind, ProofCert};

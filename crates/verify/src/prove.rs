@@ -1,12 +1,13 @@
-//! Symbolic bounded model checking and k-induction over bit-blasted
-//! netlists.
+//! Symbolic bounded model checking, k-induction, and IC3/PDR over
+//! bit-blasted netlists.
 //!
 //! Where [`crate::bmc()`] enumerates concrete simulator states — and
 //! therefore can never return "holds for all time" — this module reasons
 //! about *all* inputs at once: the flattened [`Module`] is bit-blasted
-//! into an [`AigCircuit`], the latch transition relation is unrolled
-//! frame by frame, and an embedded CDCL SAT solver answers reachability
-//! queries.
+//! into an [`AigCircuit`], run through the AIG optimize pipeline
+//! (DAG-aware rewriting, SAT-sweeping/fraiging, cone-of-influence and
+//! constant sweeping — see [`anvil_smt::optimize`]), and the shrunken
+//! latch transition relation is handed to the proof engines.
 //!
 //! [`prove`] interleaves two incremental solver sessions per depth `k`:
 //!
@@ -21,36 +22,54 @@
 //!   the accumulated base cases, proves the property for **all time**:
 //!   [`ProveResult::Proved`].
 //!
-//! If neither side concludes within `max_k`, the result is
+//! [`prove_pdr`] runs the IC3/PDR engine ([`anvil_smt::Pdr`]) on the same
+//! optimized graph: it maintains frames of blocking clauses over latch
+//! literals and either converges on an inductive invariant (returned as a
+//! checkable certificate by [`prove_portfolio`]) or traces a proof
+//! obligation back to reset, yielding a minimal-depth counterexample that
+//! is replay-confirmed like every other trace.
+//!
+//! If no engine concludes within its budget, the result is
 //! [`ProveResult::Unknown`] with the depth that *was* fully checked —
 //! exactly the bounded guarantee the explicit-state checker gives, which
 //! is the comparison the paper's Appendix A draws.
 //!
-//! [`prove_portfolio`] races the symbolic engine against the
-//! explicit-state sweep on scoped threads with a shared cooperative stop
-//! flag, so whichever engine concludes first wins the wall-clock.
+//! [`prove_portfolio`] runs symbolic BMC + k-induction, PDR, and the
+//! explicit-state sweep as a *cooperating* portfolio on scoped threads:
+//! besides the shared stop flag, the SAT-based engines exchange learnt
+//! clauses through a bounded [`ClauseExchange`] — PDR publishes its frame
+//! clauses as reachability facts the BMC session asserts at its unrolled
+//! frames, and the induction-step session publishes assumption-widened
+//! learnt clauses any engine may use — and the winner's evidence is
+//! packaged as a [`ProofCert`] that [`revalidate_certificate`] can check
+//! later in a single incremental SAT session (the proof-cache warm path).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use anvil_rtl::{Bits, BlastError, Expr, Module, SignalId, SignalKind};
 use anvil_sim::{run_indexed, Backend, Sim, SimError};
-use anvil_smt::{AigCircuit, CnfEncoder, Lit, SolveResult, Solver, Unroller};
+use anvil_smt::{
+    optimize, rewrite, Aig, AigCircuit, CertKind, ClauseExchange, ClauseKind, CnfEncoder,
+    ExchangeStats, LatchLit, Lit, Node, Pdr, PdrOptions, PdrOutcome, ProofCert, Rewritten, SLit,
+    SharedClause, SolveResult, Solver, Unroller,
+};
 
 use crate::bmc::{bmc_impl, BmcResult, BmcStats};
 
 /// Outcome of a symbolic verification run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProveResult {
-    /// The assertion holds in every reachable state, for all time,
-    /// established by `k`-induction (the property is inductive over
-    /// windows of `k` cycles, and the first `k` cycles from reset are
-    /// violation-free). `k = 0` means the assertion folded to a
-    /// combinational constant truth during blasting — no unrolling was
-    /// needed at all.
+    /// The assertion holds in every reachable state, for all time.
+    /// For the interleaved engine `k` is the induction window that closed
+    /// the proof (the property is inductive over windows of `k` cycles,
+    /// and the first `k` cycles from reset are violation-free); for PDR
+    /// it is the frame level at which the reachability over-approximation
+    /// converged. `k = 0` means the assertion folded to a combinational
+    /// constant truth during blasting or optimization, or the proof came
+    /// from revalidating a cached certificate — no search was needed.
     Proved {
-        /// The induction window length that closed the proof (0 =
-        /// combinationally constant).
+        /// The induction window / converged frame (0 = no search needed).
         k: usize,
     },
     /// The assertion is violated `depth` cycles after reset; `trace` is
@@ -73,18 +92,20 @@ pub enum ProveResult {
     },
 }
 
-/// Work counters for one symbolic run (both solver sessions combined).
+/// Work counters for one symbolic run (all solver sessions combined).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ProveStats {
-    /// Frames unrolled in the base-case session.
+    /// Frames unrolled (base-case session) or PDR frame levels opened.
     pub frames: usize,
-    /// Nodes in the sequential (single-frame) AIG.
+    /// Nodes in the sequential AIG as blasted, before optimization.
     pub aig_nodes: usize,
-    /// Latches extracted from the netlist (register and memory bits).
+    /// Nodes after the rewrite → fraig → sweep pipeline.
+    pub aig_nodes_after: usize,
+    /// Latches in the optimized cone (post cone-of-influence sweep).
     pub latches: usize,
-    /// SAT variables allocated across both sessions.
+    /// SAT variables allocated across the engine's sessions.
     pub vars: usize,
-    /// Problem clauses added across both sessions.
+    /// Problem clauses added across the engine's sessions.
     pub clauses: u64,
     /// Conflicts analysed.
     pub conflicts: u64,
@@ -180,9 +201,9 @@ pub fn prove(
 /// counterexample within `depth` cycles of reset. Returns
 /// [`ProveResult::Falsified`] at the minimal violating depth,
 /// [`ProveResult::Proved`] (with `k = 0`) only when the assertion folds
-/// to a constant truth during blasting, and [`ProveResult::Unknown`]
-/// otherwise. `depth = 0` checks nothing and returns
-/// `Unknown { depth: 0 }` (unless the assertion is constant).
+/// to a constant truth during blasting or optimization, and
+/// [`ProveResult::Unknown`] otherwise. `depth = 0` checks nothing and
+/// returns `Unknown { depth: 0 }` (unless the assertion is constant).
 ///
 /// # Errors
 ///
@@ -193,7 +214,8 @@ pub fn prove_bounded(
     depth: usize,
 ) -> Result<(ProveResult, ProveStats), ProveError> {
     let circuit = AigCircuit::from_module(module)?;
-    Engine::new(&circuit, assertion, None)?.run(depth, false)
+    let prep = Arc::new(Prepared::new(&circuit, assertion)?);
+    Engine::new(prep, None, None).run(depth, false)
 }
 
 /// [`prove`] over a pre-built (possibly session-cached) [`AigCircuit`],
@@ -208,17 +230,144 @@ pub fn prove_with_circuit(
     max_k: usize,
     stop: Option<Arc<AtomicBool>>,
 ) -> Result<(ProveResult, ProveStats), ProveError> {
-    Engine::new(circuit, assertion, stop)?.run(max_k + 1, true)
+    let prep = Arc::new(Prepared::new(circuit, assertion)?);
+    Engine::new(prep, stop, None).run(max_k + 1, true)
 }
 
-/// The interleaved BMC + induction engine over one blasted circuit.
-struct Engine {
+/// Proves or refutes `assertion` with the IC3/PDR engine alone, exploring
+/// at most `max_frames` frame levels. Proofs come from a converged
+/// inductive invariant; counterexamples are minimal-depth and confirmed
+/// by simulator replay like every other trace.
+///
+/// # Errors
+///
+/// See [`ProveError`].
+pub fn prove_pdr(
+    module: &Module,
+    assertion: &Expr,
+    max_frames: usize,
+) -> Result<(ProveResult, ProveStats), ProveError> {
+    let circuit = AigCircuit::from_module(module)?;
+    let prep = Prepared::new(&circuit, assertion)?;
+    run_pdr_inner(&prep, max_frames, None, None).map(|(r, s, _)| (r, s))
+}
+
+/// A circuit readied for proving: the assertion blasted into a clone of
+/// the design and the combined graph run through the optimize pipeline
+/// (rewrite → fraig → sweep), with enough mapping information kept to
+/// translate counterexamples and invariants back to the original design.
+struct Prepared {
+    /// The original circuit with the assertion blasted in (trace replay
+    /// and certificate revalidation run against this).
     circuit: Arc<AigCircuit>,
     assertion: Expr,
+    /// The optimized sequential graph all SAT engines unroll.
+    seq: Arc<Aig>,
+    /// The assertion root in the optimized graph.
+    ok: Lit,
+    /// Input ports `(signal, bits)` with bit literals already mapped into
+    /// the optimized graph (input numbering is preserved 1:1 by the
+    /// pipeline, node indices are not).
+    input_ports: Vec<(usize, Vec<Lit>)>,
+    /// Optimized latch index → original latch index.
+    latch_origin: Vec<u32>,
+}
+
+impl Prepared {
+    fn new(circuit: &AigCircuit, assertion: &Expr) -> Result<Prepared, ProveError> {
+        let mut circuit = circuit.clone();
+        let ok0 = circuit.blast_assertion(assertion)?;
+        let (rw, _opt) = optimize(circuit.aig(), &[ok0], false);
+        let ok = rw
+            .map_lit(ok0)
+            .expect("property root survives optimization");
+        let input_ports = circuit
+            .input_bits()
+            .iter()
+            .map(|(sig, bits)| {
+                let mapped = bits
+                    .iter()
+                    .map(|b| rw.map_lit(*b).expect("inputs survive optimization 1:1"))
+                    .collect();
+                (*sig, mapped)
+            })
+            .collect();
+        let Rewritten {
+            aig, latch_origin, ..
+        } = rw;
+        Ok(Prepared {
+            circuit: Arc::new(circuit),
+            assertion: assertion.clone(),
+            seq: Arc::new(aig),
+            ok,
+            input_ports,
+            latch_origin,
+        })
+    }
+
+    /// Maps invariant clauses from optimized latch indices back to the
+    /// original design's latch space (for certificates that must check
+    /// against the unoptimized graph).
+    fn to_original_latches(&self, clauses: &[Vec<LatchLit>]) -> Vec<Vec<LatchLit>> {
+        clauses
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|l| LatchLit {
+                        latch: self.latch_origin[l.latch as usize],
+                        negated: l.negated,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Converts PDR's per-cycle input-bit assignments (indexed by
+    /// sequential input number) into the port-level `u64` trace format.
+    fn trace_from_input_bits(&self, inputs: &[Vec<bool>]) -> Result<Vec<Vec<u64>>, ProveError> {
+        let module = self.circuit.module();
+        let mut trace = Vec::with_capacity(inputs.len());
+        for cycle in inputs {
+            let mut step = Vec::new();
+            for (sig, bits) in &self.input_ports {
+                let name = &module.signal(SignalId(*sig)).name;
+                let mut v = 0u64;
+                for (i, bit) in bits.iter().enumerate() {
+                    let set = match self.seq.node(bit.node()) {
+                        Node::Input(n) => {
+                            cycle.get(n as usize).copied().unwrap_or(false) ^ bit.is_negated()
+                        }
+                        _ => false,
+                    };
+                    if set {
+                        if i >= 64 {
+                            return Err(ProveError::WideCounterexample {
+                                input: name.clone(),
+                            });
+                        }
+                        v |= 1 << i;
+                    }
+                }
+                step.push(v);
+            }
+            trace.push(step);
+        }
+        Ok(trace)
+    }
+}
+
+/// The interleaved BMC + induction engine over one prepared circuit.
+struct Engine {
+    prep: Arc<Prepared>,
     ok: Lit,
     base: Session,
     step: Session,
     stop: Option<Arc<AtomicBool>>,
+    exchange: Option<Arc<ClauseExchange>>,
+    /// Learnt-clause export cursor into the step session's solver.
+    export_cursor: usize,
+    /// Import cursor into the exchange.
+    import_cursor: u64,
 }
 
 /// One unroller + encoder + solver triple.
@@ -229,13 +378,13 @@ struct Session {
 }
 
 impl Session {
-    fn new(circuit: Arc<AigCircuit>, free_init: bool, stop: Option<Arc<AtomicBool>>) -> Session {
+    fn new(seq: Arc<Aig>, free_init: bool, stop: Option<Arc<AtomicBool>>) -> Session {
         let mut solver = Solver::new();
         if let Some(stop) = stop {
             solver.set_stop(stop);
         }
         Session {
-            unroller: Unroller::new(circuit, free_init),
+            unroller: Unroller::new(seq, free_init),
             encoder: CnfEncoder::new(),
             solver,
         }
@@ -267,27 +416,61 @@ impl Session {
             .encode(self.unroller.comb(), &mut self.solver, comb_lit);
         self.solver.add_clause(&[slit]);
     }
+
+    /// Asserts one shared clause with its frame offsets rebased to
+    /// `base`. Clauses touching a constant-true literal are skipped
+    /// (already satisfied); constant-false literals are dropped.
+    fn add_shared(&mut self, base: usize, lits: &[(u32, Lit)]) {
+        let mut clause = Vec::with_capacity(lits.len());
+        for &(off, l) in lits {
+            let comb = self.unroller.lit_at(base + off as usize, l);
+            if comb == Lit::TRUE {
+                return;
+            }
+            if comb == Lit::FALSE {
+                continue;
+            }
+            clause.push(
+                self.encoder
+                    .encode(self.unroller.comb(), &mut self.solver, comb),
+            );
+        }
+        self.solver.add_clause(&clause);
+    }
+
+    /// Translates a solver-level learnt clause into engine-neutral
+    /// `(frame, sequential literal)` space, or `None` when any literal
+    /// has no sequential pre-image (auxiliary variables).
+    fn translate(&self, clause: &[SLit]) -> Option<Vec<(u32, Lit)>> {
+        let mut out = Vec::with_capacity(clause.len());
+        for &sl in clause {
+            let node = self.encoder.var_node(sl.var())?;
+            let (frame, src) = self.unroller.seq_source(node)?;
+            let l = if sl.sign() { src.negate() } else { src };
+            out.push((frame as u32, l));
+        }
+        Some(out)
+    }
 }
 
 impl Engine {
     fn new(
-        circuit: &AigCircuit,
-        assertion: &Expr,
+        prep: Arc<Prepared>,
         stop: Option<Arc<AtomicBool>>,
-    ) -> Result<Engine, ProveError> {
-        let mut circuit = circuit.clone();
-        let ok = circuit.blast_assertion(assertion)?;
-        let circuit = Arc::new(circuit);
-        let base = Session::new(Arc::clone(&circuit), false, stop.clone());
-        let step = Session::new(Arc::clone(&circuit), true, stop.clone());
-        Ok(Engine {
-            circuit,
-            assertion: assertion.clone(),
-            ok,
+        exchange: Option<Arc<ClauseExchange>>,
+    ) -> Engine {
+        let base = Session::new(Arc::clone(&prep.seq), false, stop.clone());
+        let step = Session::new(Arc::clone(&prep.seq), true, stop.clone());
+        Engine {
+            ok: prep.ok,
+            prep,
             base,
             step,
             stop,
-        })
+            exchange,
+            export_cursor: 0,
+            import_cursor: 0,
+        }
     }
 
     fn stopped(&self) -> bool {
@@ -301,14 +484,74 @@ impl Engine {
         let s = self.step.solver.stats();
         ProveStats {
             frames: self.base.unroller.frames(),
-            aig_nodes: self.circuit.aig().len(),
-            latches: self.circuit.aig().n_latches(),
+            aig_nodes: self.prep.circuit.aig().len(),
+            aig_nodes_after: self.prep.seq.len(),
+            latches: self.prep.seq.n_latches(),
             vars: self.base.solver.n_vars() + self.step.solver.n_vars(),
             clauses: b.clauses + s.clauses,
             conflicts: b.conflicts + s.conflicts,
             decisions: b.decisions + s.decisions,
             propagations: b.propagations + s.propagations,
             learned: b.learned + s.learned,
+        }
+    }
+
+    /// Pulls clauses from the exchange into the base (from-reset)
+    /// session. `Reach { upto }` clauses hold in every state reachable
+    /// within `upto` steps, so the base session may assert them at frames
+    /// `0..=min(upto, k)`; `Path` clauses are transition-relation facts
+    /// valid at every window position the base session has unrolled.
+    fn import_shared(&mut self, k: usize) {
+        let Some(x) = self.exchange.clone() else {
+            return;
+        };
+        for c in x.fetch(&mut self.import_cursor) {
+            match c.kind {
+                ClauseKind::Reach { upto } => {
+                    for f in 0..=(upto as usize).min(k) {
+                        self.base.add_shared(f, &c.lits);
+                    }
+                }
+                ClauseKind::Path => {
+                    let span = c.span() as usize;
+                    if span > k {
+                        continue;
+                    }
+                    for b in 0..=(k - span) {
+                        self.base.add_shared(b, &c.lits);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes the induction-step session's fresh learnt clauses. The
+    /// step solver runs under the standing unit facts `ok@0..=k`, so a
+    /// learnt clause `C` only means `T ⊨ C ∨ ¬ok@0 ∨ … ∨ ¬ok@k`; the
+    /// widened disjunction is what gets shared, as a window-relative
+    /// `Path` fact (the step session's frame 0 is an arbitrary state, so
+    /// the implication holds at any window position).
+    fn export_shared(&mut self, k: usize) {
+        let Some(x) = self.exchange.clone() else {
+            return;
+        };
+        let clauses = self.step.solver.export_learnt(&mut self.export_cursor, 6);
+        let mut published = 0usize;
+        for cl in clauses {
+            if published >= 32 {
+                break;
+            }
+            let Some(mut lits) = self.step.translate(&cl) else {
+                continue;
+            };
+            for j in 0..=k {
+                lits.push((j as u32, self.ok.negate()));
+            }
+            x.publish(SharedClause {
+                lits,
+                kind: ClauseKind::Path,
+            });
+            published += 1;
         }
     }
 
@@ -320,9 +563,10 @@ impl Engine {
         frames: usize,
         induction: bool,
     ) -> Result<(ProveResult, ProveStats), ProveError> {
-        // A combinationally constant-true assertion needs no unrolling at
-        // all — both the bounded and the inductive mode conclude
-        // immediately (`k = 0`: true in every state, reachable or not).
+        // A constant-true assertion (combinationally, or proved so by the
+        // optimize pipeline) needs no unrolling at all — both the bounded
+        // and the inductive mode conclude immediately (`k = 0`: true in
+        // every state, reachable or not).
         if self.ok == Lit::TRUE {
             return Ok((ProveResult::Proved { k: 0 }, self.stats()));
         }
@@ -338,6 +582,7 @@ impl Engine {
 
             // ---- Base case: violation k cycles after reset? ----
             self.base.unroller.push_frame();
+            self.import_shared(k);
             match self.base.solve_lit(k, bad) {
                 SolveResult::Sat => {
                     let trace = self.extract_trace(k + 1)?;
@@ -374,6 +619,7 @@ impl Engine {
                     }
                     SolveResult::Sat => {}
                 }
+                self.export_shared(k);
             }
         }
         Ok((ProveResult::Unknown { depth: frames }, self.stats()))
@@ -382,11 +628,11 @@ impl Engine {
     /// Reads the base-case model back into the explicit-state trace
     /// format: one `Vec<u64>` of input-port values per cycle.
     fn extract_trace(&self, frames: usize) -> Result<Vec<Vec<u64>>, ProveError> {
-        let module = self.circuit.module();
+        let module = self.prep.circuit.module();
         let mut trace = Vec::with_capacity(frames);
         for f in 0..frames {
             let mut step = Vec::new();
-            for (sig, bits) in self.circuit.input_bits() {
+            for (sig, bits) in &self.prep.input_ports {
                 let name = &module.signal(SignalId(*sig)).name;
                 let mut v = 0u64;
                 for (i, bit) in bits.iter().enumerate() {
@@ -412,8 +658,8 @@ impl Engine {
     /// violation fires at exactly the claimed cycle.
     fn confirm(&self, trace: &[Vec<u64>], expect_cycle: usize) -> Result<(), ProveError> {
         let violated = replay_trace(
-            self.circuit.module(),
-            &self.assertion,
+            self.prep.circuit.module(),
+            &self.prep.assertion,
             trace,
             Backend::Compiled,
         );
@@ -423,6 +669,197 @@ impl Engine {
                 depth: expect_cycle + 1,
             }),
             Err(e) => Err(ProveError::Sim(e)),
+        }
+    }
+}
+
+/// An inductive invariant as clauses over original-design latch space.
+type Invariant = Vec<Vec<LatchLit>>;
+
+/// Runs PDR on a prepared circuit, returning the verdict, the usual
+/// counters, and — on a proof — the inductive invariant already mapped
+/// back to the original design's latch space.
+fn run_pdr_inner(
+    prep: &Prepared,
+    max_frames: usize,
+    stop: Option<Arc<AtomicBool>>,
+    exchange: Option<Arc<ClauseExchange>>,
+) -> Result<(ProveResult, ProveStats, Option<Invariant>), ProveError> {
+    let base_stats = ProveStats {
+        aig_nodes: prep.circuit.aig().len(),
+        aig_nodes_after: prep.seq.len(),
+        latches: prep.seq.n_latches(),
+        ..ProveStats::default()
+    };
+    if prep.ok == Lit::TRUE {
+        return Ok((ProveResult::Proved { k: 0 }, base_stats, Some(Vec::new())));
+    }
+    let mut pdr = Pdr::new(
+        Arc::clone(&prep.seq),
+        prep.ok,
+        PdrOptions {
+            max_frames,
+            stop,
+            exchange,
+            ..PdrOptions::default()
+        },
+    );
+    let outcome = pdr.run();
+    let ps = pdr.stats();
+    let stats = ProveStats {
+        frames: ps.frames,
+        vars: ps.vars,
+        clauses: ps.solver.clauses,
+        conflicts: ps.solver.conflicts,
+        decisions: ps.solver.decisions,
+        propagations: ps.solver.propagations,
+        learned: ps.solver.learned,
+        ..base_stats
+    };
+    match outcome {
+        PdrOutcome::Proved { invariant } => {
+            let orig = prep.to_original_latches(&invariant);
+            Ok((ProveResult::Proved { k: ps.frames }, stats, Some(orig)))
+        }
+        PdrOutcome::Falsified { inputs } => {
+            let trace = prep.trace_from_input_bits(&inputs)?;
+            let depth = trace.len();
+            match replay_trace(
+                prep.circuit.module(),
+                &prep.assertion,
+                &trace,
+                Backend::Compiled,
+            ) {
+                Ok(Some(c)) if c + 1 == depth => {}
+                Ok(_) => return Err(ProveError::UnconfirmedCounterexample { depth }),
+                Err(e) => return Err(ProveError::Sim(e)),
+            }
+            Ok((ProveResult::Falsified { depth, trace }, stats, None))
+        }
+        // `frames = n` means every level below n answered its bad-state
+        // query Unsat, i.e. no violation within n cycles of reset.
+        PdrOutcome::Unknown => Ok((ProveResult::Unknown { depth: ps.frames }, stats, None)),
+    }
+}
+
+/// Checks a cached [`ProofCert`] against the *current* circuit and
+/// assertion, returning the re-established verdict or `None` when the
+/// certificate no longer holds (the caller then falls back to a cold
+/// prove).
+///
+/// The whole point of certificates is that this is cheap:
+///
+/// * [`CertKind::Inductive`] — one incremental SAT session with two
+///   queries ([`ProofCert::revalidate_inductive`]); no invariant search,
+///   no optimization pipeline. Returns `Proved { k: 0 }`.
+/// * [`CertKind::KInduction`] — the cone is shrunk by rule rewriting
+///   and constant sweeping (near-linear, unlike SAT on a wide raw
+///   cone; fraiging is skipped as too expensive for a warm path), then
+///   two SAT calls at exactly the stored `k`: one refuting any
+///   violation within the first `k` frames, one for the induction
+///   step. No search over depths, no fraig, no invariant mining.
+/// * [`CertKind::Falsified`] — replays the stored trace on the compiled
+///   simulator; any concrete violation confirms it.
+///
+/// # Errors
+///
+/// See [`ProveError`] (blasting and replay failures propagate; a
+/// certificate that merely fails its check is `Ok(None)`).
+pub fn revalidate_certificate(
+    circuit: &AigCircuit,
+    assertion: &Expr,
+    cert: &ProofCert,
+) -> Result<Option<ProveResult>, ProveError> {
+    match &cert.kind {
+        CertKind::Inductive { clauses } => {
+            let mut c = circuit.clone();
+            let ok = c.blast_assertion(assertion)?;
+            if ok == Lit::TRUE {
+                return Ok(Some(ProveResult::Proved { k: 0 }));
+            }
+            if ProofCert::revalidate_inductive(&c.aig_arc(), ok, clauses) {
+                Ok(Some(ProveResult::Proved { k: 0 }))
+            } else {
+                Ok(None)
+            }
+        }
+        CertKind::KInduction { k } => {
+            let k = (*k).max(1);
+            let mut c = circuit.clone();
+            let ok0 = c.blast_assertion(assertion)?;
+            if ok0 == Lit::TRUE {
+                return Ok(Some(ProveResult::Proved { k: 0 }));
+            }
+            // Rule rewriting + constant sweeping is near-linear in cone
+            // size while SAT on a wide unoptimized cone is not (AES: 75k
+            // raw nodes vs ~300 rewritten). Fraiging is deliberately
+            // skipped: its SAT-based equivalence checks cost more than
+            // the two fixed-k queries save on datapath-heavy cones.
+            let (rw, _) = rewrite(c.aig(), &[ok0], false, true);
+            let ok = rw
+                .map_lit(ok0)
+                .expect("property root survives optimization");
+            if ok == Lit::TRUE {
+                return Ok(Some(ProveResult::Proved { k: 0 }));
+            }
+            if ok == Lit::FALSE {
+                return Ok(None); // structurally violated: stale
+            }
+            let seq = Arc::new(rw.aig);
+
+            // Base: no reachable violation within frames 0..k — a single
+            // query on the disjunction of the per-frame bad literals.
+            let mut base = Session::new(Arc::clone(&seq), false, None);
+            let mut bad = Vec::new();
+            for frame in 0..k {
+                while base.unroller.frames() <= frame {
+                    base.unroller.push_frame();
+                }
+                let comb = base.unroller.lit_at(frame, ok.negate());
+                if comb == Lit::TRUE {
+                    return Ok(None); // structurally violated: stale
+                }
+                if comb == Lit::FALSE {
+                    continue;
+                }
+                bad.push(
+                    base.encoder
+                        .encode(base.unroller.comb(), &mut base.solver, comb),
+                );
+            }
+            if !bad.is_empty() {
+                base.solver.add_clause(&bad);
+                match base.solver.solve(&[]) {
+                    SolveResult::Unsat => {}
+                    SolveResult::Sat | SolveResult::Interrupted => return Ok(None),
+                }
+            }
+
+            // Step: ok over k consecutive frames (arbitrary start state)
+            // forces ok in the next — one more query.
+            let mut step = Session::new(seq, true, None);
+            for frame in 0..k {
+                while step.unroller.frames() <= frame {
+                    step.unroller.push_frame();
+                }
+                step.assert_lit(frame, ok);
+            }
+            while step.unroller.frames() <= k {
+                step.unroller.push_frame();
+            }
+            match step.solve_lit(k, ok.negate()) {
+                SolveResult::Unsat => Ok(Some(ProveResult::Proved { k })),
+                SolveResult::Sat | SolveResult::Interrupted => Ok(None),
+            }
+        }
+        CertKind::Falsified { trace, .. } => {
+            match replay_trace(circuit.module(), assertion, trace, Backend::Compiled)? {
+                Some(cycle) => Ok(Some(ProveResult::Falsified {
+                    depth: cycle + 1,
+                    trace: trace[..=cycle].to_vec(),
+                })),
+                None => Ok(None),
+            }
         }
     }
 }
@@ -513,41 +950,63 @@ pub fn render_trace(
     Ok(out)
 }
 
-/// Which engine of a [`prove_portfolio`] race produced the verdict.
+/// Which engine of a [`prove_portfolio`] run produced the verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Prover {
     /// The symbolic BMC + k-induction engine.
     Symbolic,
+    /// The IC3/PDR engine.
+    Pdr,
     /// The explicit-state search of [`crate::bmc()`].
     ExplicitState,
 }
 
-/// Outcome of a portfolio race between the symbolic and explicit-state
-/// engines.
+/// Outcome of a cooperating portfolio run across the symbolic, PDR, and
+/// explicit-state engines.
 #[derive(Clone, Debug)]
 pub struct PortfolioOutcome {
-    /// The combined verdict (symbolic verdicts win ties).
+    /// The combined verdict (symbolic verdicts win ties, then PDR).
     pub result: ProveResult,
     /// The engine that produced [`PortfolioOutcome::result`], when it is
     /// conclusive.
     pub winner: Option<Prover>,
-    /// Statistics of the symbolic side.
+    /// Statistics of the symbolic (BMC + k-induction) side.
     pub symbolic_stats: ProveStats,
+    /// Statistics of the PDR side.
+    pub pdr_stats: ProveStats,
     /// What the explicit-state engine reported (`None` when it was
     /// stopped before finishing).
     pub explicit: Option<(BmcResult, BmcStats)>,
+    /// The winner's evidence, checkable later by
+    /// [`revalidate_certificate`] (proof caching); `None` when no engine
+    /// concluded or the winner left no certificate.
+    pub certificate: Option<ProofCert>,
+    /// Clause-exchange traffic between the SAT engines.
+    pub shared: ExchangeStats,
 }
 
-/// Races the symbolic engine (BMC + k-induction up to `max_k`) against
-/// the explicit-state bounded search (depth/state budgets as in
-/// [`crate::bmc()`]) on up to `workers` scoped threads sharing a
-/// cooperative stop flag: the first conclusive verdict cancels the other
-/// engine.
+/// Runs the symbolic engine (BMC + k-induction up to `max_k`), the
+/// IC3/PDR engine, and the explicit-state bounded search (depth/state
+/// budgets as in [`crate::bmc()`]) as a cooperating portfolio on up to
+/// `workers` scoped threads.
+///
+/// Cooperation is two-fold: a shared stop flag lets the first conclusive
+/// verdict cancel the others, and the two SAT engines exchange learnt
+/// clauses through a bounded buffer (PDR's frame clauses as reachability
+/// facts, the induction step's widened learnt clauses as
+/// transition-relation facts — see [`anvil_smt::ClauseExchange`] for the
+/// soundness rules).
 ///
 /// A conclusive verdict is a proof or a confirmed counterexample. When
-/// both engines conclude, the symbolic verdict is preferred (the combined
-/// result stays deterministic); the explicit side's raw report is
-/// returned alongside either way.
+/// several engines conclude, the symbolic verdict is preferred, then
+/// PDR's (the combined result stays deterministic); the other sides' raw
+/// reports are returned alongside either way, and the winner's evidence
+/// is packaged as a [`ProofCert`] for proof caching.
+///
+/// `stop` is an *external* cancellation flag (e.g. a service request's):
+/// raising it makes every engine wind down to `Unknown`. The portfolio
+/// also raises it internally when a worker concludes, so after a
+/// conclusive result the flag being set does not mean cancellation.
 ///
 /// # Errors
 ///
@@ -559,22 +1018,30 @@ pub fn prove_portfolio(
     depth: usize,
     max_states: usize,
     workers: usize,
+    stop: Option<Arc<AtomicBool>>,
 ) -> Result<PortfolioOutcome, ProveError> {
+    type PdrPart = Result<(ProveResult, ProveStats, Option<Vec<Vec<LatchLit>>>), ProveError>;
     enum Part {
         Symbolic(Result<(ProveResult, ProveStats), ProveError>),
+        Pdr(PdrPart),
         Explicit(Result<Option<(BmcResult, BmcStats)>, SimError>),
     }
 
-    let stop = Arc::new(AtomicBool::new(false));
+    let stop = stop.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
+    let exchange = Arc::new(ClauseExchange::new(4096));
     let circuit = AigCircuit::from_module(module)?;
-    let parts = run_indexed(2, workers.max(1), |i| {
-        if i == 0 {
-            let r = prove_with_circuit(
-                circuit_ref(&circuit),
-                assertion,
-                max_k,
+    let prep = Arc::new(Prepared::new(&circuit, assertion)?);
+    // PDR hunts counterexamples level by level, so give it at least the
+    // explicit engine's depth budget before it reports Unknown.
+    let pdr_frames = depth.max(max_k).saturating_add(2).min(256);
+    let parts = run_indexed(3, workers.max(1), |i| match i {
+        0 => {
+            let engine = Engine::new(
+                Arc::clone(&prep),
                 Some(Arc::clone(&stop)),
+                Some(Arc::clone(&exchange)),
             );
+            let r = engine.run(max_k + 1, true);
             if matches!(
                 r,
                 Ok((
@@ -585,7 +1052,27 @@ pub fn prove_portfolio(
                 stop.store(true, Ordering::Relaxed);
             }
             Part::Symbolic(r)
-        } else {
+        }
+        1 => {
+            let r = run_pdr_inner(
+                &prep,
+                pdr_frames,
+                Some(Arc::clone(&stop)),
+                Some(Arc::clone(&exchange)),
+            );
+            if matches!(
+                r,
+                Ok((
+                    ProveResult::Proved { .. } | ProveResult::Falsified { .. },
+                    _,
+                    _
+                ))
+            ) {
+                stop.store(true, Ordering::Relaxed);
+            }
+            Part::Pdr(r)
+        }
+        _ => {
             let r = bmc_impl(
                 module,
                 assertion,
@@ -602,43 +1089,83 @@ pub fn prove_portfolio(
     });
 
     let mut symbolic = None;
+    let mut pdr = None;
     let mut explicit = None;
     for p in parts {
         match p {
             Part::Symbolic(r) => symbolic = Some(r),
+            Part::Pdr(r) => pdr = Some(r),
             Part::Explicit(r) => explicit = Some(r),
         }
     }
     let (sym_result, symbolic_stats) = symbolic.expect("symbolic part ran")?;
+    let (pdr_result, pdr_stats, invariant) = pdr.expect("pdr part ran")?;
     let explicit = explicit.expect("explicit part ran")?;
 
-    let (result, winner) = match sym_result {
-        ProveResult::Proved { .. } | ProveResult::Falsified { .. } => {
-            (sym_result, Some(Prover::Symbolic))
-        }
-        ProveResult::Unknown { .. } => match &explicit {
-            Some((BmcResult::Violation { depth, trace }, _)) => (
-                ProveResult::Falsified {
-                    depth: *depth,
-                    trace: trace.clone(),
-                },
-                Some(Prover::ExplicitState),
-            ),
-            _ => (sym_result, None),
-        },
+    let conclusive = |r: &ProveResult| {
+        matches!(
+            r,
+            ProveResult::Proved { .. } | ProveResult::Falsified { .. }
+        )
     };
+    let (result, winner) = if conclusive(&sym_result) {
+        (sym_result, Some(Prover::Symbolic))
+    } else if conclusive(&pdr_result) {
+        (pdr_result, Some(Prover::Pdr))
+    } else if let Some((BmcResult::Violation { depth, trace }, _)) = &explicit {
+        (
+            ProveResult::Falsified {
+                depth: *depth,
+                trace: trace.clone(),
+            },
+            Some(Prover::ExplicitState),
+        )
+    } else {
+        // Both SAT engines report a sound violation-free prefix; keep the
+        // deeper one.
+        let sd = match sym_result {
+            ProveResult::Unknown { depth } => depth,
+            _ => 0,
+        };
+        let pd = match pdr_result {
+            ProveResult::Unknown { depth } => depth,
+            _ => 0,
+        };
+        (ProveResult::Unknown { depth: sd.max(pd) }, None)
+    };
+
+    let certificate = match (&result, winner) {
+        (ProveResult::Proved { k }, Some(Prover::Symbolic)) => Some(ProofCert {
+            kind: CertKind::KInduction { k: *k },
+            engine: "k-induction",
+        }),
+        (ProveResult::Proved { .. }, Some(Prover::Pdr)) => invariant.map(|clauses| ProofCert {
+            kind: CertKind::Inductive { clauses },
+            engine: "pdr",
+        }),
+        (ProveResult::Falsified { depth, trace }, Some(w)) => Some(ProofCert {
+            kind: CertKind::Falsified {
+                depth: *depth,
+                trace: trace.clone(),
+            },
+            engine: match w {
+                Prover::Symbolic => "bmc",
+                Prover::Pdr => "pdr",
+                Prover::ExplicitState => "explicit",
+            },
+        }),
+        _ => None,
+    };
+
     Ok(PortfolioOutcome {
         result,
         winner,
         symbolic_stats,
+        pdr_stats,
         explicit,
+        certificate,
+        shared: exchange.stats(),
     })
-}
-
-/// Identity helper keeping the borrow of the shared circuit readable in
-/// the closure above.
-fn circuit_ref(c: &AigCircuit) -> &AigCircuit {
-    c
 }
 
 #[cfg(test)]
@@ -704,8 +1231,12 @@ mod tests {
     #[test]
     fn proves_saturating_counter_by_induction() {
         let (m, a) = saturating_counter();
-        let (result, _) = prove(&m, &a, 8).unwrap();
+        let (result, stats) = prove(&m, &a, 8).unwrap();
         assert_eq!(result, ProveResult::Proved { k: 1 });
+        // The optimize pipeline ran: the post-rewrite graph is no larger
+        // than the blasted one.
+        assert!(stats.aig_nodes_after <= stats.aig_nodes);
+        assert!(stats.aig_nodes_after > 0);
     }
 
     #[test]
@@ -764,19 +1295,104 @@ mod tests {
     }
 
     #[test]
-    fn portfolio_agrees_with_both_engines() {
+    fn pdr_proves_saturating_counter() {
+        let (m, a) = saturating_counter();
+        let (result, stats) = prove_pdr(&m, &a, 32).unwrap();
+        assert!(matches!(result, ProveResult::Proved { .. }), "{result:?}");
+        assert!(stats.frames >= 1);
+    }
+
+    #[test]
+    fn pdr_falsifies_shallow_bug_at_minimal_depth() {
         let (m, a) = shallow_bug();
-        let out = prove_portfolio(&m, &a, 8, 10, 100_000, 2).unwrap();
+        let (result, _) = prove_pdr(&m, &a, 32).unwrap();
+        let ProveResult::Falsified { depth, trace } = result else {
+            panic!("expected falsification, got {result:?}");
+        };
+        // PDR only advances a level after proving no counterexample at
+        // the current one, so the trace is minimal-depth too.
+        assert_eq!(depth, 4);
+        assert_eq!(
+            replay_trace(&m, &a, &trace, Backend::Tree).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn pdr_invariant_revalidates_against_original_design() {
+        // The invariant PDR finds on the *optimized* graph must transfer
+        // to the unoptimized design — this is what the proof cache
+        // replays on a warm hit.
+        let (m, a) = saturating_counter();
+        let circuit = AigCircuit::from_module(&m).unwrap();
+        let prep = Prepared::new(&circuit, &a).unwrap();
+        let (result, _, invariant) = run_pdr_inner(&prep, 32, None, None).unwrap();
+        assert!(matches!(result, ProveResult::Proved { .. }));
+        let cert = ProofCert {
+            kind: CertKind::Inductive {
+                clauses: invariant.unwrap(),
+            },
+            engine: "pdr",
+        };
+        let revalidated = revalidate_certificate(&circuit, &a, &cert).unwrap();
+        assert_eq!(revalidated, Some(ProveResult::Proved { k: 0 }));
+    }
+
+    #[test]
+    fn falsified_certificate_replays_and_stale_certificate_is_rejected() {
+        let (m, a) = shallow_bug();
+        let (result, _) = prove(&m, &a, 10).unwrap();
+        let ProveResult::Falsified { depth, trace } = result else {
+            panic!("expected falsification");
+        };
+        let circuit = AigCircuit::from_module(&m).unwrap();
+        let cert = ProofCert {
+            kind: CertKind::Falsified {
+                depth,
+                trace: trace.clone(),
+            },
+            engine: "bmc",
+        };
+        let revalidated = revalidate_certificate(&circuit, &a, &cert).unwrap();
+        assert!(matches!(
+            revalidated,
+            Some(ProveResult::Falsified { depth: 4, .. })
+        ));
+
+        // The same trace against the *fixed* design no longer violates:
+        // the certificate must be rejected, not trusted.
+        let (mfix, afix) = saturating_counter();
+        let cfix = AigCircuit::from_module(&mfix).unwrap();
+        let cert_stale = ProofCert {
+            kind: CertKind::Falsified { depth, trace },
+            engine: "bmc",
+        };
+        assert_eq!(
+            revalidate_certificate(&cfix, &afix, &cert_stale).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn portfolio_agrees_with_all_engines() {
+        let (m, a) = shallow_bug();
+        let out = prove_portfolio(&m, &a, 8, 10, 100_000, 2, None).unwrap();
         let ProveResult::Falsified { depth, .. } = out.result else {
             panic!("expected falsification, got {:?}", out.result);
         };
         assert_eq!(depth, 4);
         assert!(out.winner.is_some());
+        assert!(out.certificate.is_some());
 
         let (m, a) = saturating_counter();
-        let out = prove_portfolio(&m, &a, 8, 6, 10_000, 2).unwrap();
-        assert_eq!(out.result, ProveResult::Proved { k: 1 });
-        assert_eq!(out.winner, Some(Prover::Symbolic));
+        let out = prove_portfolio(&m, &a, 8, 6, 10_000, 2, None).unwrap();
+        assert!(matches!(out.result, ProveResult::Proved { .. }));
+        assert!(matches!(out.winner, Some(Prover::Symbolic | Prover::Pdr)));
+        // Whichever SAT engine won, its evidence revalidates.
+        let circuit = AigCircuit::from_module(&m).unwrap();
+        let cert = out.certificate.expect("proof leaves a certificate");
+        let revalidated = revalidate_certificate(&circuit, &a, &cert).unwrap();
+        assert!(matches!(revalidated, Some(ProveResult::Proved { .. })));
     }
 
     #[test]

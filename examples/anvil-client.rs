@@ -191,6 +191,58 @@ fn main() {
         "comment-only edit caused cache misses",
     );
 
+    // Prove a property cold, then re-prove after a whitespace-only edit:
+    // the second answer must come from the proof cache (`engine:"cache"`)
+    // after a one-call certificate revalidation.
+    let puri = "smoke:prove.anv";
+    let psrc = "proc main() { reg ok : logic; loop { set ok := 1 >> cycle 1 } }";
+    client.call(
+        20,
+        "open",
+        Json::obj([("uri", Json::str(puri)), ("text", Json::str(psrc))]),
+    );
+    let pparams = Json::obj([
+        ("uri", Json::str(puri)),
+        ("signal", Json::str("ok")),
+        ("maxK", Json::int(4)),
+    ]);
+    let cold_prove = client.call(21, "prove", pparams.clone());
+    let engine = cold_prove
+        .get("result")
+        .and_then(|r| r.get("engine"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("cold prove reported no engine"));
+    check(
+        engine != "cache",
+        "cold prove answered from the proof cache",
+    );
+    check(
+        result_int(&cold_prove, "aigNodesAfterRewrite") <= result_int(&cold_prove, "aigNodes"),
+        "rewrite pipeline grew the AIG",
+    );
+    client.call(
+        22,
+        "update",
+        Json::obj([
+            ("uri", Json::str(puri)),
+            ("text", Json::str(psrc.replace("; loop", ";  loop"))),
+            ("version", Json::int(2)),
+        ]),
+    );
+    let warm_prove = client.call(23, "prove", pparams);
+    check(
+        warm_prove
+            .get("result")
+            .and_then(|r| r.get("engine"))
+            .and_then(Json::as_str)
+            == Some("cache"),
+        "whitespace-edit re-prove was not a proof-cache hit",
+    );
+    check(
+        result_int(&warm_prove, "depth") == result_int(&cold_prove, "depth"),
+        "cached verdict disagrees with the cold prove",
+    );
+
     // Break the file: compile must fail with COMPILE_FAILED and stream a
     // diagnostics notification carrying a resolved line/col.
     let broken = format!("{text}\nproc smoke_broken() {{ loop {{ ??? }} }}");
@@ -243,9 +295,17 @@ fn main() {
         "smoke run poisoned a cache shard",
     );
     check(
-        result_int(&stats, "openFiles") == 1,
-        "expected one open file",
+        result_int(&stats, "openFiles") == 2,
+        "expected two open files (design + prove smoke)",
     );
+    // The proof stage is on the stats wire and saw the warm hit.
+    let proof_hits = stats
+        .get("result")
+        .and_then(|r| r.get("proof"))
+        .and_then(|p| p.get("hits"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail("cacheStats has no proof stage row"));
+    check(proof_hits >= 1, "proof cache recorded no hits");
 
     client.call(11, "shutdown", Json::Null);
     println!("SMOKE OK");

@@ -12,7 +12,10 @@
 
 use anvil_rtl::{Expr, Module};
 use anvil_sim::Backend;
-use anvil_verify::{bmc_with_backend, prove_bounded, replay_trace, BmcResult, ProveResult};
+use anvil_smt::{optimize, Aig, AigCircuit};
+use anvil_verify::{
+    bmc_with_backend, prove_bounded, prove_pdr, replay_trace, BmcResult, ProveResult,
+};
 use proptest::prelude::*;
 
 struct Rng(u64);
@@ -120,6 +123,107 @@ fn assert_engines_agree(seed: u64, depth: usize) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// The rewrite → fraig → sweep pipeline must be a pure *function*
+/// transform: for any joint valuation of inputs and latches (latches
+/// are free combinational leaves during optimization), the optimized
+/// graph computes bit-identical values for the property root and for
+/// every surviving latch's next-state function.
+fn assert_optimize_is_bit_identical(seed: u64, word_seed: u64) -> Result<(), TestCaseError> {
+    let (m, a) = random_design(seed);
+    let mut circuit = AigCircuit::from_module(&m).unwrap();
+    let ok = circuit.blast_assertion(&a).unwrap();
+    let orig = circuit.aig();
+    let (rw, stats) = optimize(orig, &[ok], false);
+    prop_assert!(
+        stats.nodes_after <= stats.nodes_before,
+        "pipeline grew the graph on seed {seed}: {} -> {}",
+        stats.nodes_before,
+        stats.nodes_after
+    );
+
+    // 64 random stimulus patterns per word-parallel pass.
+    let mut rng = Rng(word_seed | 1);
+    let in_words: Vec<u64> = (0..orig.n_inputs()).map(|_| rng.next()).collect();
+    let latch_words: Vec<u64> = (0..orig.n_latches()).map(|_| rng.next()).collect();
+    let opt_latch_words: Vec<u64> = rw
+        .latch_origin
+        .iter()
+        .map(|&o| latch_words[o as usize])
+        .collect();
+    let vals = orig.simulate(&in_words, &latch_words);
+    let opt_vals = rw.aig.simulate(&in_words, &opt_latch_words);
+
+    // The property root.
+    let ok_opt = rw.map_lit(ok).expect("live root survives optimization");
+    prop_assert_eq!(
+        Aig::lit_value(&vals, ok),
+        Aig::lit_value(&opt_vals, ok_opt),
+        "property root diverged on seed {} / vectors {}",
+        seed,
+        word_seed
+    );
+    // Every surviving latch's next-state function, against its origin's.
+    for (n, latch) in rw.aig.latches().iter().enumerate() {
+        let origin = &orig.latches()[rw.latch_origin[n] as usize];
+        prop_assert_eq!(latch.init, origin.init, "init flipped on seed {}", seed);
+        let (Some(next), Some(orig_next)) = (latch.next, origin.next) else {
+            continue;
+        };
+        prop_assert_eq!(
+            Aig::lit_value(&opt_vals, next),
+            Aig::lit_value(&vals, orig_next),
+            "latch {} next-state diverged on seed {} / vectors {}",
+            n,
+            seed,
+            word_seed
+        );
+    }
+    Ok(())
+}
+
+/// IC3/PDR against the two bounded engines on the same random designs:
+/// a violation reachable within the explicit bound must be falsified by
+/// PDR at the identical minimal depth (with a replaying trace); when
+/// the bounded engines find nothing, PDR must not claim a shallow
+/// counterexample.
+fn assert_pdr_agrees(seed: u64, depth: usize) -> Result<(), TestCaseError> {
+    let (m, a) = random_design(seed);
+    let (explicit, _) = bmc_with_backend(&m, &a, depth, 1_000_000, Backend::Compiled).unwrap();
+    let (pdr, _) = prove_pdr(&m, &a, 24).unwrap();
+    match (&explicit, &pdr) {
+        (BmcResult::Violation { depth: ed, .. }, ProveResult::Falsified { depth: pd, trace }) => {
+            prop_assert_eq!(ed, pd, "PDR depth diverged on seed {}", seed);
+            for backend in [Backend::Tree, Backend::Compiled] {
+                let violated = replay_trace(&m, &a, trace, backend).unwrap();
+                prop_assert_eq!(violated, Some(pd - 1), "seed {} on {}", seed, backend);
+            }
+        }
+        (BmcResult::Violation { depth: ed, .. }, other) => {
+            return Err(TestCaseError::fail(format!(
+                "PDR missed a depth-{ed} violation on seed {seed}: {other:?}"
+            )))
+        }
+        (BmcResult::ExhaustedDepth { .. }, ProveResult::Falsified { depth: pd, .. }) => {
+            prop_assert!(
+                *pd > depth,
+                "PDR claims a depth-{} violation the exhaustive search refutes (seed {})",
+                pd,
+                seed
+            );
+        }
+        // Proved for all time, or frames exhausted — both consistent
+        // with a clean bounded search.
+        (BmcResult::ExhaustedDepth { .. }, ProveResult::Proved { .. })
+        | (BmcResult::ExhaustedDepth { .. }, ProveResult::Unknown { .. }) => {}
+        (e, p) => {
+            return Err(TestCaseError::fail(format!(
+                "engines diverged on seed {seed}: explicit {e:?} vs PDR {p:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -129,6 +233,47 @@ proptest! {
     fn symbolic_and_explicit_bmc_agree(seed in any::<u64>(), depth_sel in any::<u64>()) {
         let depth = 1 + (depth_sel % 5) as usize;
         assert_engines_agree(seed, depth)?;
+    }
+
+    /// Random designs × random 64-pattern stimulus words: the optimized
+    /// AIG is bit-identical to the original on the property root and
+    /// every surviving latch's next-state function.
+    #[test]
+    fn optimize_pipeline_is_bit_identical(seed in any::<u64>(), words in any::<u64>()) {
+        assert_optimize_is_bit_identical(seed, words)?;
+    }
+
+    /// Random designs: IC3/PDR verdicts agree with the bounded engines,
+    /// down to the minimal counterexample depth.
+    #[test]
+    fn pdr_and_bounded_engines_agree(seed in any::<u64>(), depth_sel in any::<u64>()) {
+        let depth = 1 + (depth_sel % 5) as usize;
+        assert_pdr_agrees(seed, depth)?;
+    }
+}
+
+/// PDR falsifies the two seeded suite bugs at their known minimal
+/// depths (6 and 13), with traces that replay on both backends.
+#[test]
+fn pdr_falsifies_seeded_bugs_at_known_depths() {
+    let expected = [6usize, 13];
+    let seeded = anvil_designs::props::seeded_violations();
+    assert_eq!(seeded.len(), expected.len());
+    for (prop, want) in seeded.iter().zip(expected) {
+        let (result, _) = prove_pdr(&prop.module, &prop.assertion, 32)
+            .unwrap_or_else(|e| panic!("PDR failed on `{}`: {e}", prop.design));
+        let ProveResult::Falsified { depth, trace } = result else {
+            panic!("PDR missed `{}`: {result:?}", prop.design);
+        };
+        assert_eq!(depth, want, "`{}` depth", prop.design);
+        for backend in [Backend::Tree, Backend::Compiled] {
+            assert_eq!(
+                replay_trace(&prop.module, &prop.assertion, &trace, backend).unwrap(),
+                Some(depth - 1),
+                "`{}` trace on {backend}",
+                prop.design
+            );
+        }
     }
 }
 
