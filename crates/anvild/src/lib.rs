@@ -49,25 +49,37 @@
 //! | `diagnostics` | request   | check-only; streams `diagnostics` notes        |
 //! | `prove`       | request   | k-induction proof of a 1-bit signal            |
 //! | `cacheStats`  | request   | shared-cache counters (incl. poisoned shards)  |
+//! | `health`      | request   | uptime, gate gauges, robustness counters       |
 //! | `cancel`      | request   | raise the stop flag for an in-flight id        |
-//! | `shutdown`    | request   | cancel everything in flight, stop serving      |
+//! | `shutdown`    | request   | stop serving (`mode`: `drain` or `abort`)      |
+//!
+//! Every request additionally accepts an optional `deadlineMs` param: a
+//! monotonic deadline armed at registration (queue wait counts) and
+//! polled by the compile pipeline and every prover engine; expiry
+//! answers `DEADLINE_EXCEEDED` (`-32003`) with partial progress in
+//! `error.data`. Heavy methods (`compile`, `diagnostics`, `prove`) pass
+//! a bounded admission gate when served over a socket — beyond the
+//! configured concurrency and queue limits they are shed immediately
+//! with `OVERLOADED` (`-32004`) plus a `retryAfterMs` hint.
 //!
 //! A request that panics inside the compiler answers with an
 //! `internal error` (`-32603`) and the daemon keeps serving — the
 //! session cache recovers any shard the panic poisoned on the next
-//! access. See the README's "Compile server" section for the wire-level
-//! walkthrough.
+//! access. See the README's "Compile server" and "Operational
+//! robustness" sections for the wire-level walkthrough.
 
 #![warn(missing_docs)]
 
+mod gate;
 mod json;
 pub mod proto;
 mod server;
 
+pub use gate::{ServiceConfig, ServiceStats};
 pub use json::{Json, JsonError};
 pub use proto::{
     error_response, notification, parse_incoming, response, Incoming, RpcError, COMPILE_FAILED,
-    FILE_NOT_OPEN, INTERNAL_ERROR, INVALID_PARAMS, INVALID_REQUEST, METHOD_NOT_FOUND, PARSE_ERROR,
-    PROVE_FAILED, REQUEST_CANCELLED,
+    DEADLINE_EXCEEDED, FILE_NOT_OPEN, INTERNAL_ERROR, INVALID_PARAMS, INVALID_REQUEST,
+    METHOD_NOT_FOUND, OVERLOADED, PARSE_ERROR, PROVE_FAILED, REQUEST_CANCELLED,
 };
 pub use server::{CompileService, PROTOCOL_VERSION};

@@ -35,6 +35,13 @@ pub const COMPILE_FAILED: i64 = -32000;
 pub const PROVE_FAILED: i64 = -32001;
 /// The uri is not in the file registry; send `open` first.
 pub const FILE_NOT_OPEN: i64 = -32002;
+/// The request's deadline (`deadlineMs` param, or the server default)
+/// expired before the work finished; `error.data` carries partial
+/// progress (for prove: `depthReached`, `engine`, `conflicts`).
+pub const DEADLINE_EXCEEDED: i64 = -32003;
+/// The server's work queue is full and the request was shed without
+/// being started; `error.data.retryAfterMs` hints when to retry.
+pub const OVERLOADED: i64 = -32004;
 /// The request was cancelled via the `cancel` method (LSP's code).
 pub const REQUEST_CANCELLED: i64 = -32800;
 

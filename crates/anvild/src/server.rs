@@ -1,5 +1,6 @@
 //! The compile service: method dispatch, the versioned file registry,
-//! request cancellation, and the newline-delimited serve loop.
+//! request cancellation, deadlines, admission control, the watchdog,
+//! and the newline-delimited serve loop.
 //!
 //! One [`CompileService`] owns one [`Session`] — and therefore one
 //! sharded query cache — shared by every request on every connection.
@@ -20,28 +21,51 @@
 //! from the client's point of view. Ids must not be reused after
 //! cancellation (a pre-raised flag for an id lingers until that id is
 //! seen once).
+//!
+//! # Overload and deadline safety
+//!
+//! Any request may carry a `deadlineMs` param: a monotonic [`Deadline`]
+//! armed when the request registers (so queue wait counts against it)
+//! and polled by the compile pipeline and every prover engine alongside
+//! the stop flag. Expiry answers `DEADLINE_EXCEEDED` (`-32003`) with
+//! partial progress in `error.data`. Heavy methods (`compile`,
+//! `diagnostics`, `prove`) pass through a bounded admission gate on the
+//! serve loop — beyond `max_concurrency` running plus `max_queue`
+//! waiting, requests are shed immediately with `OVERLOADED` (`-32004`)
+//! and a `retryAfterMs` hint, so the daemon answers fast even when it
+//! cannot answer yes. A watchdog thread raises the stop flag of any
+//! worker that overruns its deadline by the configured grace, and the
+//! `health` method exposes the counters ([`ServiceStats`]) that make
+//! all of this observable.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-use anvil_core::{CacheStats, CompileError, Session, StageCounters};
+use anvil_core::fault::{FaultKind, FaultPlan};
+use anvil_core::{CacheStats, CompileError, Deadline, Session, StageCounters};
 use anvil_rtl::{Expr, Module};
 use anvil_syntax::WireDiagnostic;
 use anvil_verify::{
     prove_portfolio, render_trace, revalidate_certificate, ProveResult, ProveStats, Prover,
 };
 
+use crate::gate::{Admission, AdmissionGate, ServiceConfig, ServiceCounters, ServiceStats};
 use crate::json::Json;
 use crate::proto::{
     self, error_response, notification, parse_incoming, Incoming, RpcError, COMPILE_FAILED,
-    FILE_NOT_OPEN, INTERNAL_ERROR, METHOD_NOT_FOUND, PROVE_FAILED, REQUEST_CANCELLED,
+    DEADLINE_EXCEEDED, FILE_NOT_OPEN, INTERNAL_ERROR, METHOD_NOT_FOUND, OVERLOADED, PROVE_FAILED,
+    REQUEST_CANCELLED,
 };
 
 /// Wire-protocol version reported by `ping`.
 pub const PROTOCOL_VERSION: i64 = 1;
+
+/// How often the serve-loop watchdog scans the in-flight table.
+const WATCHDOG_TICK_MS: u64 = 10;
 
 /// One open file: the registry holds full-text versioned buffers (the
 /// `sus-compiler`-style `add_file`/`update_file` model — full-text
@@ -53,19 +77,48 @@ struct FileEntry {
     version: i64,
 }
 
+/// One in-flight (or pre-cancelled) request: its stop flag, its armed
+/// deadline, and what the watchdog needs to spot an overdue worker.
+struct Inflight {
+    stop: Arc<AtomicBool>,
+    deadline: Deadline,
+    method: String,
+    /// The watchdog raises each overdue request's flag once, not every
+    /// scan tick.
+    watchdog_hit: bool,
+}
+
+impl Inflight {
+    fn new(method: &str, deadline: Deadline) -> Inflight {
+        Inflight {
+            stop: Arc::new(AtomicBool::new(false)),
+            deadline,
+            method: method.to_string(),
+            watchdog_hit: false,
+        }
+    }
+}
+
 /// The persistent compile service behind `anvild`.
 ///
-/// Owns the shared [`Session`], the file registry, and the in-flight
-/// request table. All methods are `&self` and internally synchronised:
-/// one service instance serves any number of concurrent connections
-/// ([`CompileService::serve`] is `&self` too).
+/// Owns the shared [`Session`], the file registry, the in-flight
+/// request table, and the admission gate. All methods are `&self` and
+/// internally synchronised: one service instance serves any number of
+/// concurrent connections ([`CompileService::serve`] is `&self` too).
 pub struct CompileService {
     session: Session,
+    config: ServiceConfig,
+    gate: AdmissionGate,
+    counters: ServiceCounters,
     files: Mutex<HashMap<String, FileEntry>>,
-    /// Stop flags for in-flight (or pre-cancelled) requests, keyed by
-    /// the compact serialization of the request id.
-    inflight: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    /// In-flight (or pre-cancelled) requests, keyed by the compact
+    /// serialization of the request id.
+    inflight: Mutex<HashMap<String, Inflight>>,
     shutdown: AtomicBool,
+    /// Installed fault plan for the `server.dispatch` chaos seam; the
+    /// armed flag keeps the uninstalled fast path at one relaxed load.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
+    faults_armed: AtomicBool,
 }
 
 impl Default for CompileService {
@@ -81,19 +134,35 @@ impl CompileService {
     }
 
     /// A service over a configured session (options, externs, cache
-    /// capacity).
+    /// capacity) with default service limits.
     pub fn with_session(session: Session) -> CompileService {
+        CompileService::with_config(session, ServiceConfig::default())
+    }
+
+    /// A service with explicit overload / deadline / watchdog tunables.
+    pub fn with_config(session: Session, config: ServiceConfig) -> CompileService {
+        let gate = AdmissionGate::new(config.max_concurrency, config.max_queue);
         CompileService {
             session,
+            config,
+            gate,
+            counters: ServiceCounters::new(),
             files: Mutex::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            faults: Mutex::new(None),
+            faults_armed: AtomicBool::new(false),
         }
     }
 
     /// The shared session (tests inspect its cache stats directly).
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// The service limits this instance runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
     }
 
     /// Whether `shutdown` has been requested.
@@ -106,26 +175,134 @@ impl CompileService {
         self.lock_files().len()
     }
 
+    /// A snapshot of the operational counters the `health` method
+    /// reports.
+    pub fn service_stats(&self) -> ServiceStats {
+        let (in_flight, queued) = self.gate.gauges();
+        ServiceStats {
+            uptime_ms: self.counters.uptime_ms(),
+            in_flight,
+            queued,
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
+            watchdog_fired: self.counters.watchdog_fired.load(Ordering::Relaxed),
+            panics_recovered: self.counters.panics_recovered.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs (or clears) a fault plan on the dispatch seam *and* the
+    /// underlying session/cache seams. Chaos-test infrastructure.
+    #[doc(hidden)]
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        self.session.set_fault_plan(plan.clone());
+        self.faults_armed.store(plan.is_some(), Ordering::Relaxed);
+        *self.faults.lock().unwrap_or_else(PoisonError::into_inner) = plan;
+    }
+
+    /// The `server.dispatch` fault seam: panics unwind into `handle`'s
+    /// `catch_unwind`, stalls clog a worker slot (exercising admission
+    /// shedding and the watchdog), shard poison delegates to the
+    /// session's recovery path.
+    fn fault_point(&self, op: &str) {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let kind = self
+            .faults
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .and_then(|plan| plan.take(op));
+        match kind {
+            Some(FaultKind::Panic) => panic!("injected fault: panic at {op}"),
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::PoisonShard) => self.session.poison_cache_shard_for_tests(0),
+            Some(FaultKind::MalformedFrame) | None => {}
+        }
+    }
+
     fn lock_files(&self) -> std::sync::MutexGuard<'_, HashMap<String, FileEntry>> {
         // Service mutexes never stay poisoned: state is a plain map a
         // panicked handler cannot leave half-updated mid-operation.
         self.files.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<AtomicBool>>> {
+    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, HashMap<String, Inflight>> {
         self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Registers (or adopts a pre-cancelled) stop flag for a request id.
-    fn register(&self, id: &Json) -> Arc<AtomicBool> {
-        self.lock_inflight()
+    /// The deadline a request runs under: explicit `deadlineMs` param,
+    /// else the configured default, else none.
+    fn request_deadline(&self, params: &Json) -> Result<Deadline, RpcError> {
+        match int_param(params, "deadlineMs")? {
+            Some(ms) if ms < 0 => Err(RpcError::invalid_params("deadlineMs must be >= 0")),
+            Some(ms) => Ok(Deadline::in_ms(ms as u64)),
+            None => Ok(self
+                .config
+                .default_deadline_ms
+                .map_or(Deadline::none(), Deadline::in_ms)),
+        }
+    }
+
+    /// Registers (or adopts a pre-cancelled / pre-registered) in-flight
+    /// entry for a request id and returns its stop flag plus the armed
+    /// deadline. Registration is idempotent: the serve loop registers
+    /// *before* spawning the worker (arming the deadline so queue wait
+    /// counts), `handle` re-registers and adopts the already-armed
+    /// deadline.
+    fn register(&self, id: &Json, method: &str, deadline: Deadline) -> (Arc<AtomicBool>, Deadline) {
+        let mut inflight = self.lock_inflight();
+        let entry = inflight
             .entry(id.to_string())
-            .or_default()
-            .clone()
+            .or_insert_with(|| Inflight::new(method, deadline));
+        if entry.method.is_empty() {
+            entry.method = method.to_string();
+        }
+        if entry.deadline.is_none() {
+            entry.deadline = deadline;
+        }
+        (Arc::clone(&entry.stop), entry.deadline)
     }
 
     fn unregister(&self, id: &Json) {
         self.lock_inflight().remove(&id.to_string());
+    }
+
+    /// One watchdog pass: raises the stop flag of every in-flight
+    /// request past its deadline by more than the configured grace (once
+    /// per request), returning how many flags were raised. The serve
+    /// loop runs this on a timer; tests can call it directly.
+    #[doc(hidden)]
+    pub fn watchdog_scan(&self) -> usize {
+        let grace = Duration::from_millis(self.config.watchdog_grace_ms);
+        let mut fired = 0;
+        for entry in self.lock_inflight().values_mut() {
+            if !entry.watchdog_hit && entry.deadline.expired_by(grace) {
+                entry.stop.store(true, Ordering::Relaxed);
+                entry.watchdog_hit = true;
+                fired += 1;
+            }
+        }
+        if fired > 0 {
+            self.counters
+                .watchdog_fired
+                .fetch_add(fired as u64, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// The `OVERLOADED` shed response, with a `retryAfterMs` hint scaled
+    /// from the service-time EWMA and the current queue depth.
+    fn overloaded_error(&self) -> RpcError {
+        let (_, queued) = self.gate.gauges();
+        let per_ms = (self.counters.ewma_service_micros.load(Ordering::Relaxed) / 1000).max(10);
+        let hint = (per_ms * (queued as u64 + 1) / self.config.max_concurrency.max(1) as u64)
+            .clamp(10, 10_000);
+        RpcError::new(OVERLOADED, "server overloaded; request shed")
+            .with_data(Json::obj([("retryAfterMs", Json::int(hint as i64))]))
     }
 
     /// Handles one frame, invoking `notify` for every server→client
@@ -133,24 +310,57 @@ impl CompileService {
     /// response frame (`None` for notifications, which get no response).
     ///
     /// This is the transport-independent core: [`CompileService::serve`]
-    /// calls it from the socket loop, tests call it directly.
+    /// calls it from the socket loop (behind the admission gate), tests
+    /// call it directly (no admission — `handle` never sheds).
     pub fn handle(&self, msg: Incoming, notify: &mut dyn FnMut(Json)) -> Option<Json> {
         let id = msg.id.clone();
-        let stop = id.as_ref().map(|id| self.register(id));
-        // A panicking handler must answer *this* request with an error,
-        // not unwind through the serve loop: panic-safety is the whole
-        // point of a multi-tenant daemon.
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            self.dispatch(&msg, stop.as_ref(), notify)
-        }))
-        .unwrap_or_else(|payload| {
-            Err(RpcError::new(
-                INTERNAL_ERROR,
-                format!("request handler panicked: {}", panic_message(&payload)),
-            ))
-        });
+        let heavy = is_heavy(&msg.method);
+        let started = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let result = match self.request_deadline(&msg.params) {
+            Err(e) => Err(e),
+            Ok(deadline) => {
+                let registered = id
+                    .as_ref()
+                    .map(|id| self.register(id, &msg.method, deadline));
+                let (stop, deadline) = match &registered {
+                    Some((stop, armed)) => (Some(stop), *armed),
+                    None => (None, deadline),
+                };
+                // A panicking handler must answer *this* request with an
+                // error, not unwind through the serve loop: panic-safety
+                // is the whole point of a multi-tenant daemon.
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    self.dispatch(&msg, stop, deadline, notify)
+                }))
+                .unwrap_or_else(|payload| {
+                    self.counters
+                        .panics_recovered
+                        .fetch_add(1, Ordering::Relaxed);
+                    Err(RpcError::new(
+                        INTERNAL_ERROR,
+                        format!("request handler panicked: {}", panic_message(&payload)),
+                    ))
+                })
+            }
+        };
         if let Some(id) = &id {
             self.unregister(id);
+        }
+        if let Err(err) = &result {
+            let counter = match err.code {
+                DEADLINE_EXCEEDED => Some(&self.counters.deadline_expired),
+                REQUEST_CANCELLED => Some(&self.counters.cancelled),
+                _ => None,
+            };
+            if let Some(counter) = counter {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if heavy {
+            self.counters
+                .observe_service_micros(started.elapsed().as_micros() as u64);
         }
         match (id, result) {
             (Some(id), Ok(result)) => Some(proto::response(&id, result)),
@@ -163,8 +373,21 @@ impl CompileService {
         &self,
         msg: &Incoming,
         stop: Option<&Arc<AtomicBool>>,
+        deadline: Deadline,
         notify: &mut dyn FnMut(Json),
     ) -> Result<Json, RpcError> {
+        if is_heavy(&msg.method) {
+            self.fault_point("server.dispatch");
+            // A deadline that expired while the request waited in the
+            // admission queue (or before it was read) fails fast without
+            // burning a worker slot on doomed work.
+            if deadline.expired() {
+                return Err(RpcError::new(
+                    DEADLINE_EXCEEDED,
+                    format!("deadline expired before `{}` started", msg.method),
+                ));
+            }
+        }
         match msg.method.as_str() {
             "ping" => Ok(Json::obj([
                 ("ok", Json::Bool(true)),
@@ -174,24 +397,44 @@ impl CompileService {
             "open" => self.open(&msg.params),
             "update" => self.update(&msg.params),
             "close" => self.close(&msg.params),
-            "compile" => self.compile(&msg.params, stop, notify),
+            "compile" => self.compile(&msg.params, stop, deadline, notify),
             "diagnostics" => self.diagnostics(&msg.params, notify),
-            "prove" => self.prove(&msg.params, stop, notify),
+            "prove" => self.prove(&msg.params, stop, deadline, notify),
             "cacheStats" => Ok(self.cache_stats_json()),
+            "health" => Ok(self.health_json()),
             "cancel" => self.cancel(&msg.params),
-            "shutdown" => {
-                self.shutdown.store(true, Ordering::SeqCst);
-                // Raise every in-flight flag so workers wind down fast.
-                for flag in self.lock_inflight().values() {
-                    flag.store(true, Ordering::Relaxed);
-                }
-                Ok(Json::obj([("ok", Json::Bool(true))]))
-            }
+            "shutdown" => self.shutdown(&msg.params),
             other => Err(RpcError::new(
                 METHOD_NOT_FOUND,
                 format!("unknown method `{other}`"),
             )),
         }
+    }
+
+    /// `shutdown` with `mode: "drain"` (default) stops accepting new
+    /// frames but lets in-flight work finish; `mode: "abort"` also
+    /// raises every in-flight stop flag so workers wind down at their
+    /// next cancellation poll.
+    fn shutdown(&self, params: &Json) -> Result<Json, RpcError> {
+        let mode = match params.get("mode").and_then(Json::as_str) {
+            None => "drain",
+            Some(m @ ("drain" | "abort")) => m,
+            Some(other) => {
+                return Err(RpcError::invalid_params(format!(
+                    "unknown shutdown mode `{other}` (expected `drain` or `abort`)"
+                )))
+            }
+        };
+        if mode == "abort" {
+            for entry in self.lock_inflight().values() {
+                entry.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("mode", Json::str(mode)),
+        ]))
     }
 
     fn open(&self, params: &Json) -> Result<Json, RpcError> {
@@ -253,15 +496,23 @@ impl CompileService {
         &self,
         params: &Json,
         stop: Option<&Arc<AtomicBool>>,
+        deadline: Deadline,
         notify: &mut dyn FnMut(Json),
     ) -> Result<Json, RpcError> {
         let uri = str_param(params, "uri")?;
         let (text, version) = self.snapshot(uri)?;
+        // Chaos hook: a config-gated stall *inside* the worker slot, so
+        // harnesses can clog the gate deterministically without counting
+        // pipeline-internal fault occurrences.
+        if self.config.chaos {
+            if let Some(ms) = int_param(params, "chaosStallMs")? {
+                std::thread::sleep(Duration::from_millis(ms.max(0) as u64));
+            }
+        }
         let before = self.session.cache_stats();
-        let result = match stop {
-            Some(flag) => self.session.compile_cancellable(&text, flag),
-            None => self.session.compile(&text),
-        };
+        let result =
+            self.session
+                .compile_with_deadline(&text, stop.map(|flag| flag.as_ref()), deadline);
         let delta = self.session.cache_stats() - before;
         match result {
             Ok(out) => {
@@ -290,7 +541,19 @@ impl CompileService {
                     ("cacheDelta", cache_delta_json(&delta)),
                 ]))
             }
-            Err(e) => Err(compile_failure(&e, &text, uri, version, notify)),
+            Err(e) => {
+                let err = compile_failure(&e, &text, uri, version, notify);
+                if err.code == DEADLINE_EXCEEDED {
+                    // Partial progress: the cache delta shows how many
+                    // artifacts the expired compile still banked — a
+                    // retry resumes warm from exactly there.
+                    return Err(err.with_data(Json::obj([
+                        ("uri", Json::str(uri)),
+                        ("cacheDelta", cache_delta_json(&delta)),
+                    ])));
+                }
+                Err(err)
+            }
         }
     }
 
@@ -323,6 +586,7 @@ impl CompileService {
         &self,
         params: &Json,
         stop: Option<&Arc<AtomicBool>>,
+        deadline: Deadline,
         notify: &mut dyn FnMut(Json),
     ) -> Result<Json, RpcError> {
         let uri = str_param(params, "uri")?;
@@ -406,8 +670,32 @@ impl CompileService {
             100_000,
             3,
             stop.map(Arc::clone),
+            deadline,
         )
         .map_err(|e| RpcError::new(PROVE_FAILED, e.to_string()))?;
+        // An expired deadline wins over a raised stop flag: the watchdog
+        // raises flags *because* deadlines expired, and the client should
+        // see -32003 with partial progress, not a bare cancellation.
+        if deadline.expired() {
+            if let ProveResult::Unknown { depth } = out.result {
+                let (engine, conflicts) = if out.pdr_stats.conflicts >= out.symbolic_stats.conflicts
+                {
+                    ("pdr", out.pdr_stats.conflicts)
+                } else {
+                    ("symbolic", out.symbolic_stats.conflicts)
+                };
+                return Err(
+                    RpcError::new(DEADLINE_EXCEEDED, "prove deadline exceeded").with_data(
+                        Json::obj([
+                            ("verdict", Json::str("unknown")),
+                            ("depthReached", Json::int(depth as i64)),
+                            ("engine", Json::str(engine)),
+                            ("conflicts", Json::int(conflicts as i64)),
+                        ]),
+                    ),
+                );
+            }
+        }
         let cancelled = stop.is_some_and(|flag| flag.load(Ordering::Relaxed))
             && matches!(out.result, ProveResult::Unknown { .. });
         if cancelled {
@@ -461,6 +749,31 @@ impl CompileService {
         ])
     }
 
+    /// The `health` response: uptime, gate gauges, and the monotonic
+    /// robustness counters.
+    fn health_json(&self) -> Json {
+        let s = self.service_stats();
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("uptimeMs", Json::int(s.uptime_ms as i64)),
+            ("inFlight", Json::int(s.in_flight as i64)),
+            ("queued", Json::int(s.queued as i64)),
+            ("requests", Json::int(s.requests as i64)),
+            ("completed", Json::int(s.completed as i64)),
+            ("shed", Json::int(s.shed as i64)),
+            ("deadlineExpired", Json::int(s.deadline_expired as i64)),
+            ("watchdogFired", Json::int(s.watchdog_fired as i64)),
+            ("panicsRecovered", Json::int(s.panics_recovered as i64)),
+            ("cancelled", Json::int(s.cancelled as i64)),
+            (
+                "maxConcurrency",
+                Json::int(self.config.max_concurrency as i64),
+            ),
+            ("maxQueue", Json::int(self.config.max_queue as i64)),
+            ("openFiles", Json::int(self.open_files() as i64)),
+        ])
+    }
+
     fn cancel(&self, params: &Json) -> Result<Json, RpcError> {
         let id = params
             .get("id")
@@ -472,7 +785,8 @@ impl CompileService {
         // request observes cancellation the moment it arrives.
         inflight
             .entry(id.to_string())
-            .or_default()
+            .or_insert_with(|| Inflight::new("", Deadline::none()))
+            .stop
             .store(true, Ordering::Relaxed);
         Ok(Json::obj([
             ("id", id.clone()),
@@ -484,14 +798,23 @@ impl CompileService {
     /// `reader`, responses and notifications to `writer`.
     ///
     /// Registry and control methods (`open`, `update`, `close`,
-    /// `cancel`, `cacheStats`, `ping`, `shutdown`) are handled inline on
-    /// the read loop — they are cheap and their order matters. Long
-    /// requests (`compile`, `diagnostics`, `prove`) run on scoped worker
-    /// threads so the loop keeps reading — that is what lets a `cancel`
-    /// frame reach an in-flight compile. Responses may therefore arrive
-    /// out of order; clients match on `id`.
+    /// `cancel`, `cacheStats`, `health`, `ping`, `shutdown`) are handled
+    /// inline on the read loop — they are cheap and their order matters,
+    /// and they bypass admission so liveness probes work even with every
+    /// worker slot wedged. Heavy requests (`compile`, `diagnostics`,
+    /// `prove`) pass the admission gate: run or queue on scoped worker
+    /// threads (so the loop keeps reading — that is what lets a `cancel`
+    /// frame reach an in-flight compile), or shed immediately with
+    /// `OVERLOADED` when the queue is full. Responses may therefore
+    /// arrive out of order; clients match on `id`.
     ///
-    /// Returns when the peer disconnects or after a `shutdown` request.
+    /// A watchdog thread scans the in-flight table every few
+    /// milliseconds, raising the stop flag of any worker past its
+    /// deadline by more than the configured grace.
+    ///
+    /// Returns when the peer disconnects or after a `shutdown` request
+    /// (`drain` mode finishes in-flight work first; the scope join
+    /// guarantees no worker outlives the loop either way).
     ///
     /// # Errors
     ///
@@ -508,43 +831,80 @@ impl CompileService {
             let _ = writeln!(w, "{frame}");
             let _ = w.flush();
         };
+        let conn_done = AtomicBool::new(false);
         std::thread::scope(|scope| -> std::io::Result<()> {
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
+            scope.spawn(|| {
+                while !conn_done.load(Ordering::Relaxed) {
+                    self.watchdog_scan();
+                    std::thread::sleep(Duration::from_millis(WATCHDOG_TICK_MS));
                 }
-                let msg = match parse_incoming(&line) {
-                    Ok(msg) => msg,
-                    Err(e) => {
-                        send(&error_response(None, &e));
+            });
+            let result = (|| -> std::io::Result<()> {
+                for line in reader.lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
                         continue;
                     }
-                };
-                if matches!(msg.method.as_str(), "compile" | "diagnostics" | "prove") {
-                    // Register the stop flag *before* the worker starts,
-                    // so a cancel read next never misses the request.
-                    if let Some(id) = &msg.id {
-                        self.register(id);
-                    }
-                    let send = &send;
-                    scope.spawn(move || {
+                    let msg = match parse_incoming(&line) {
+                        Ok(msg) => msg,
+                        Err(e) => {
+                            send(&error_response(None, &e));
+                            continue;
+                        }
+                    };
+                    if is_heavy(&msg.method) {
+                        match self.gate.try_admit() {
+                            Admission::Shed => {
+                                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(id) = &msg.id {
+                                    send(&error_response(Some(id), &self.overloaded_error()));
+                                }
+                            }
+                            admission => {
+                                // Register the stop flag *before* the
+                                // worker starts — a cancel read next
+                                // never misses the request — and arm the
+                                // deadline so queue wait counts toward it.
+                                if let Some(id) = &msg.id {
+                                    if let Ok(deadline) = self.request_deadline(&msg.params) {
+                                        self.register(id, &msg.method, deadline);
+                                    }
+                                }
+                                let send = &send;
+                                scope.spawn(move || {
+                                    if admission == Admission::Queued {
+                                        self.gate.wait_turn();
+                                    }
+                                    let frame = self.handle(msg, &mut |n| send(&n));
+                                    self.gate.depart();
+                                    if let Some(frame) = frame {
+                                        send(&frame);
+                                    }
+                                });
+                            }
+                        }
+                    } else {
                         if let Some(frame) = self.handle(msg, &mut |n| send(&n)) {
                             send(&frame);
                         }
-                    });
-                } else {
-                    if let Some(frame) = self.handle(msg, &mut |n| send(&n)) {
-                        send(&frame);
-                    }
-                    if self.is_shut_down() {
-                        break;
+                        if self.is_shut_down() {
+                            break;
+                        }
                     }
                 }
-            }
-            Ok(())
+                Ok(())
+            })();
+            conn_done.store(true, Ordering::Relaxed);
+            result
         })
     }
+}
+
+/// Whether a method runs on a gated worker thread (long-running) rather
+/// than inline on the read loop.
+fn is_heavy(method: &str) -> bool {
+    matches!(method, "compile" | "diagnostics" | "prove")
 }
 
 /// `FILE_NOT_OPEN` for a uri.
@@ -607,6 +967,7 @@ fn prove_response(
         fields.push(("latches", Json::int(s.latches as i64)));
         fields.push(("conflicts", Json::int(s.conflicts as i64)));
         fields.push(("clauses", Json::int(s.clauses as i64)));
+        fields.push(("wallMs", Json::int((s.wall_micros / 1000) as i64)));
     }
     match result {
         ProveResult::Proved { k } => {
@@ -684,7 +1045,8 @@ fn diagnostics_notification(uri: &str, version: i64, diags: &[WireDiagnostic]) -
 
 /// Converts a compile failure into the wire error, streaming the
 /// diagnostics notification as a side effect (cancellation produces
-/// [`REQUEST_CANCELLED`] and no diagnostics).
+/// [`REQUEST_CANCELLED`], deadline expiry [`DEADLINE_EXCEEDED`]; neither
+/// streams diagnostics — the program wasn't fully analyzed).
 fn compile_failure(
     e: &CompileError,
     text: &str,
@@ -694,6 +1056,9 @@ fn compile_failure(
 ) -> RpcError {
     if matches!(e, CompileError::Cancelled) {
         return RpcError::new(REQUEST_CANCELLED, "request cancelled");
+    }
+    if matches!(e, CompileError::DeadlineExceeded) {
+        return RpcError::new(DEADLINE_EXCEEDED, "compilation deadline exceeded");
     }
     let diags = e.wire_diagnostics(text);
     notify(diagnostics_notification(uri, version, &diags));

@@ -1,0 +1,508 @@
+//! Overload-and-failure survival tests for the compile service:
+//! deadlines (`-32003` with partial progress), admission control
+//! (`-32004` with a retry hint), watchdog recovery of overdue workers,
+//! the `health` counters, drain/abort shutdown, and a cancellation
+//! storm that must leave no orphaned state behind.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+use anvild::{CompileService, Incoming, Json, ServiceConfig};
+
+const GOOD: &str = "proc p() { reg r : logic[8]; loop { set r := *r + 1 >> cycle 1 } }";
+
+/// A property with an astronomically deep counterexample: `ok` only
+/// goes false when a 32-bit counter wraps, so no engine settles it in
+/// test time — proves with short deadlines reliably time out.
+const SLOW: &str = "proc slow() { reg c : logic[32]; reg ok : logic := 1; \
+    loop { set ok := !(*c == 4294967295); set c := *c + 1 >> cycle 1 } }";
+
+fn call(service: &CompileService, id: i64, method: &str, params: Json) -> Json {
+    service
+        .handle(Incoming::request(id, method, params), &mut |_| {})
+        .expect("requests get responses")
+}
+
+fn result<'r>(resp: &'r Json, key: &str) -> &'r Json {
+    resp.get("result")
+        .and_then(|r| r.get(key))
+        .unwrap_or_else(|| panic!("missing result.{key} in {resp}"))
+}
+
+fn error_code(resp: &Json) -> i64 {
+    resp.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("expected an error response, got {resp}"))
+}
+
+fn error_data<'r>(resp: &'r Json, key: &str) -> &'r Json {
+    resp.get("error")
+        .and_then(|e| e.get("data"))
+        .and_then(|d| d.get(key))
+        .unwrap_or_else(|| panic!("missing error.data.{key} in {resp}"))
+}
+
+fn open(service: &CompileService, uri: &str, text: &str) {
+    let resp = call(
+        service,
+        90,
+        "open",
+        Json::obj([("uri", Json::str(uri)), ("text", Json::str(text))]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+}
+
+/// Runs the serve loop over a socketpair on a scoped thread, returning
+/// the client end.
+fn serve_pair<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    service: &'env CompileService,
+) -> UnixStream {
+    let (client, server) = UnixStream::pair().expect("socketpair");
+    scope.spawn(move || {
+        let reader = BufReader::new(server.try_clone().expect("clone"));
+        service.serve(reader, &server).expect("serve");
+    });
+    client
+}
+
+/// Reads frames until the response for `id` arrives. Responses come
+/// back out of order (workers race), so frames for other ids are
+/// buffered, not dropped; notifications are discarded.
+struct Responses {
+    reader: BufReader<UnixStream>,
+    pending: std::collections::HashMap<i64, Json>,
+}
+
+impl Responses {
+    fn new(stream: &UnixStream) -> Responses {
+        Responses {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            pending: std::collections::HashMap::new(),
+        }
+    }
+
+    fn read(&mut self, id: i64) -> Json {
+        if let Some(frame) = self.pending.remove(&id) {
+            return frame;
+        }
+        loop {
+            let mut line = String::new();
+            assert!(
+                self.reader.read_line(&mut line).expect("read") > 0,
+                "server closed while waiting for response {id}"
+            );
+            let frame = Json::parse(line.trim()).expect("valid JSON from server");
+            match frame.get("id").and_then(Json::as_i64) {
+                Some(got) if got == id => return frame,
+                Some(got) => {
+                    self.pending.insert(got, frame);
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_fails_fast_and_the_service_keeps_serving() {
+    let service = CompileService::new();
+    open(&service, "d.anv", GOOD);
+
+    // deadlineMs:0 is already expired at registration; the dispatcher
+    // answers -32003 without starting the pipeline.
+    let resp = call(
+        &service,
+        1,
+        "compile",
+        Json::obj([("uri", Json::str("d.anv")), ("deadlineMs", Json::int(0))]),
+    );
+    assert_eq!(error_code(&resp), anvild::DEADLINE_EXCEEDED, "{resp}");
+
+    // Same request without a deadline compiles fine afterwards.
+    let resp = call(
+        &service,
+        2,
+        "compile",
+        Json::obj([("uri", Json::str("d.anv"))]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+
+    let stats = service.service_stats();
+    assert_eq!(stats.deadline_expired, 1, "{stats:?}");
+}
+
+#[test]
+fn deadline_param_is_validated() {
+    let service = CompileService::new();
+    let resp = call(
+        &service,
+        1,
+        "ping",
+        Json::obj([("deadlineMs", Json::int(-5))]),
+    );
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+    let resp = call(
+        &service,
+        2,
+        "ping",
+        Json::obj([("deadlineMs", Json::str("soon"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+}
+
+#[test]
+fn prove_deadline_returns_partial_progress_quickly() {
+    let service = CompileService::new();
+    open(&service, "slow.anv", SLOW);
+
+    // Warm the compile artifacts so the deadline lands inside the
+    // portfolio, not the pipeline — the partial-progress shape is the
+    // point here.
+    let resp = call(
+        &service,
+        1,
+        "compile",
+        Json::obj([("uri", Json::str("slow.anv"))]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+
+    let started = Instant::now();
+    let resp = call(
+        &service,
+        2,
+        "prove",
+        Json::obj([
+            ("uri", Json::str("slow.anv")),
+            ("signal", Json::str("ok")),
+            ("maxK", Json::int(100_000)),
+            ("deadlineMs", Json::int(30)),
+        ]),
+    );
+    let elapsed = started.elapsed();
+    assert_eq!(error_code(&resp), anvild::DEADLINE_EXCEEDED, "{resp}");
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "deadline-bounded prove took {elapsed:?}"
+    );
+    // Partial progress rides in error.data.
+    assert_eq!(error_data(&resp, "verdict").as_str(), Some("unknown"));
+    assert!(
+        error_data(&resp, "depthReached").as_i64() >= Some(0),
+        "{resp}"
+    );
+    assert!(
+        matches!(
+            error_data(&resp, "engine").as_str(),
+            Some("symbolic" | "pdr")
+        ),
+        "{resp}"
+    );
+    assert!(error_data(&resp, "conflicts").as_i64() >= Some(0), "{resp}");
+
+    // The daemon is unharmed: the same prove with a sane budget answers.
+    let resp = call(
+        &service,
+        3,
+        "prove",
+        Json::obj([
+            ("uri", Json::str("slow.anv")),
+            ("signal", Json::str("ok")),
+            ("maxK", Json::int(2)),
+        ]),
+    );
+    assert!(resp.get("result").is_some(), "{resp}");
+}
+
+#[test]
+fn admission_gate_sheds_bursts_with_a_retry_hint() {
+    let config = ServiceConfig {
+        max_concurrency: 1,
+        max_queue: 1,
+        chaos: true,
+        ..ServiceConfig::default()
+    };
+    let service = CompileService::with_config(anvil_core::Session::new(), config);
+    open(&service, "b.anv", GOOD);
+
+    std::thread::scope(|scope| {
+        let client = serve_pair(scope, &service);
+        let mut responses = Responses::new(&client);
+        let mut client = client;
+
+        // One stalled compile clogs the only worker slot...
+        writeln!(
+            client,
+            r#"{{"jsonrpc":"2.0","id":1,"method":"compile","params":{{"uri":"b.anv","chaosStallMs":300}}}}"#
+        )
+        .expect("write");
+        // ...then a burst: one queues, the rest shed immediately.
+        for id in 2..7 {
+            writeln!(
+                client,
+                r#"{{"jsonrpc":"2.0","id":{id},"method":"compile","params":{{"uri":"b.anv"}}}}"#
+            )
+            .expect("write");
+        }
+        let mut shed = 0;
+        let mut served = 0;
+        for id in 1..7 {
+            let resp = responses.read(id);
+            if resp.get("result").is_some() {
+                served += 1;
+            } else {
+                assert_eq!(error_code(&resp), anvild::OVERLOADED, "{resp}");
+                let hint = error_data(&resp, "retryAfterMs").as_i64();
+                assert!(hint > Some(0), "{resp}");
+                shed += 1;
+            }
+        }
+        // Slot + queue = 2 requests make it through; the rest shed.
+        assert_eq!(served, 2, "expected exactly slot+queue to be served");
+        assert_eq!(shed, 4);
+
+        // After the burst drains, the gate admits again.
+        writeln!(
+            client,
+            r#"{{"jsonrpc":"2.0","id":10,"method":"compile","params":{{"uri":"b.anv"}}}}"#
+        )
+        .expect("write");
+        let resp = responses.read(10);
+        assert!(resp.get("result").is_some(), "{resp}");
+
+        writeln!(client, r#"{{"jsonrpc":"2.0","id":11,"method":"shutdown"}}"#).expect("write");
+        responses.read(11);
+    });
+
+    let stats = service.service_stats();
+    assert_eq!(stats.shed, 4, "{stats:?}");
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+    assert_eq!(stats.queued, 0, "{stats:?}");
+}
+
+#[test]
+fn watchdog_cancels_workers_that_overrun_their_deadline() {
+    let config = ServiceConfig {
+        max_concurrency: 2,
+        watchdog_grace_ms: 20,
+        chaos: true,
+        ..ServiceConfig::default()
+    };
+    let service = CompileService::with_config(anvil_core::Session::new(), config);
+    open(&service, "w.anv", GOOD);
+
+    std::thread::scope(|scope| {
+        let client = serve_pair(scope, &service);
+        let mut responses = Responses::new(&client);
+        let mut client = client;
+
+        // The stall outlives deadline+grace, so the serve loop's watchdog
+        // fires mid-stall; the pipeline then observes the expired
+        // deadline at its first poll and answers -32003.
+        writeln!(
+            client,
+            r#"{{"jsonrpc":"2.0","id":1,"method":"compile","params":{{"uri":"w.anv","chaosStallMs":200,"deadlineMs":25}}}}"#
+        )
+        .expect("write");
+        let resp = responses.read(1);
+        assert_eq!(error_code(&resp), anvild::DEADLINE_EXCEEDED, "{resp}");
+
+        // health reflects the recovery.
+        writeln!(client, r#"{{"jsonrpc":"2.0","id":2,"method":"health"}}"#).expect("write");
+        let health = responses.read(2);
+        assert!(
+            result(&health, "watchdogFired").as_i64() >= Some(1),
+            "{health}"
+        );
+        assert!(
+            result(&health, "deadlineExpired").as_i64() >= Some(1),
+            "{health}"
+        );
+        assert_eq!(result(&health, "ok").as_bool(), Some(true));
+
+        writeln!(client, r#"{{"jsonrpc":"2.0","id":3,"method":"shutdown"}}"#).expect("write");
+        responses.read(3);
+    });
+}
+
+#[test]
+fn watchdog_scan_is_a_noop_without_overdue_work() {
+    let service = CompileService::new();
+    assert_eq!(service.watchdog_scan(), 0);
+    assert_eq!(service.service_stats().watchdog_fired, 0);
+}
+
+#[test]
+fn health_counts_requests_and_recovered_panics() {
+    let service = CompileService::new();
+    let boom = format!("proc boom() {{ }} // {}", anvil_core::PANIC_MARKER);
+    open(&service, "boom.anv", &boom);
+
+    let resp = call(
+        &service,
+        1,
+        "compile",
+        Json::obj([("uri", Json::str("boom.anv"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::INTERNAL_ERROR);
+
+    let health = call(&service, 2, "health", Json::Null);
+    assert_eq!(result(&health, "ok").as_bool(), Some(true));
+    assert!(
+        result(&health, "panicsRecovered").as_i64() >= Some(1),
+        "{health}"
+    );
+    assert!(result(&health, "requests").as_i64() >= Some(2), "{health}");
+    assert!(result(&health, "uptimeMs").as_i64() >= Some(0));
+    assert_eq!(result(&health, "inFlight").as_i64(), Some(0));
+}
+
+#[test]
+fn shutdown_validates_mode_and_drain_spares_inflight_flags() {
+    let service = CompileService::new();
+    let resp = call(
+        &service,
+        1,
+        "shutdown",
+        Json::obj([("mode", Json::str("yolo"))]),
+    );
+    assert_eq!(error_code(&resp), anvild::INVALID_PARAMS);
+    assert!(!service.is_shut_down());
+
+    let resp = call(&service, 2, "shutdown", Json::Null);
+    assert_eq!(result(&resp, "mode").as_str(), Some("drain"));
+    assert!(service.is_shut_down());
+}
+
+#[test]
+fn abort_shutdown_cancels_inflight_work() {
+    let config = ServiceConfig {
+        max_concurrency: 2,
+        chaos: true,
+        ..ServiceConfig::default()
+    };
+    let service = CompileService::with_config(anvil_core::Session::new(), config);
+    open(&service, "a.anv", GOOD);
+
+    std::thread::scope(|scope| {
+        let client = serve_pair(scope, &service);
+        let mut responses = Responses::new(&client);
+        let mut client = client;
+
+        // A long stall, no deadline: only the abort can unstick it early
+        // (the stop flag is polled right after the stall, cancelling the
+        // compile before any pipeline work runs).
+        writeln!(
+            client,
+            r#"{{"jsonrpc":"2.0","id":1,"method":"compile","params":{{"uri":"a.anv","chaosStallMs":150}}}}"#
+        )
+        .expect("write");
+        writeln!(
+            client,
+            r#"{{"jsonrpc":"2.0","id":2,"method":"shutdown","params":{{"mode":"abort"}}}}"#
+        )
+        .expect("write");
+        let resp = responses.read(2);
+        assert_eq!(result(&resp, "mode").as_str(), Some("abort"));
+        let resp = responses.read(1);
+        assert_eq!(error_code(&resp), anvild::REQUEST_CANCELLED, "{resp}");
+    });
+    assert!(service.is_shut_down());
+}
+
+#[test]
+fn cancellation_storm_leaves_no_orphaned_state() {
+    let service = CompileService::with_config(
+        anvil_core::Session::new(),
+        ServiceConfig {
+            max_concurrency: 4,
+            max_queue: 64,
+            ..ServiceConfig::default()
+        },
+    );
+    open(&service, "s.anv", GOOD);
+    const COMPILES: i64 = 24;
+
+    std::thread::scope(|scope| {
+        // Connection A streams compiles; connection B storms cancels for
+        // ids in flight, already done, and never-to-arrive.
+        let a = serve_pair(scope, &service);
+        let mut a_responses = Responses::new(&a);
+        let mut a = a;
+        let b = serve_pair(scope, &service);
+        let mut b_responses = Responses::new(&b);
+        let mut b = b;
+
+        let canceller = scope.spawn(move || {
+            for wave in 0..3 {
+                for id in (100..100 + COMPILES).chain(500..508) {
+                    writeln!(
+                        b,
+                        r#"{{"jsonrpc":"2.0","id":{cid},"method":"cancel","params":{{"id":{id}}}}}"#,
+                        cid = 9000 + wave * 100 + id,
+                    )
+                    .expect("cancel write");
+                }
+            }
+            // Every cancel gets its own ok response, in order.
+            for wave in 0..3 {
+                for id in (100..100 + COMPILES).chain(500..508) {
+                    let resp = b_responses.read(9000 + wave * 100 + id);
+                    assert!(resp.get("result").is_some(), "{resp}");
+                }
+            }
+        });
+
+        for id in 100..100 + COMPILES {
+            writeln!(
+                a,
+                r#"{{"jsonrpc":"2.0","id":{id},"method":"compile","params":{{"uri":"s.anv"}}}}"#
+            )
+            .expect("compile write");
+        }
+        // Every compile is answered: success or a clean -32800, nothing
+        // hangs, nothing panics.
+        for id in 100..100 + COMPILES {
+            let resp = a_responses.read(id);
+            assert!(
+                resp.get("result").is_some() || error_code(&resp) == anvild::REQUEST_CANCELLED,
+                "{resp}"
+            );
+        }
+        canceller.join().expect("canceller");
+
+        // Ids 500..508 were pre-cancelled but never arrived: their flags
+        // linger by design, and are consumed by the next use of the id.
+        for id in 500..508 {
+            writeln!(
+                a,
+                r#"{{"jsonrpc":"2.0","id":{id},"method":"compile","params":{{"uri":"s.anv"}}}}"#
+            )
+            .expect("write");
+            let resp = a_responses.read(id);
+            assert_eq!(error_code(&resp), anvild::REQUEST_CANCELLED, "{resp}");
+        }
+        // Consumed: the same ids now work normally — no orphaned flags.
+        for id in 500..508 {
+            writeln!(
+                a,
+                r#"{{"jsonrpc":"2.0","id":{id},"method":"compile","params":{{"uri":"s.anv"}}}}"#
+            )
+            .expect("write");
+            let resp = a_responses.read(id);
+            assert!(resp.get("result").is_some(), "{resp}");
+        }
+
+        writeln!(a, r#"{{"jsonrpc":"2.0","id":8000,"method":"ping"}}"#).expect("write");
+        let resp = a_responses.read(8000);
+        assert!(resp.get("result").is_some(), "{resp}");
+        writeln!(a, r#"{{"jsonrpc":"2.0","id":8001,"method":"shutdown"}}"#).expect("write");
+        a_responses.read(8001);
+    });
+
+    let stats = service.service_stats();
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+    assert_eq!(stats.queued, 0, "{stats:?}");
+}

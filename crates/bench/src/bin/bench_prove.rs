@@ -29,7 +29,7 @@ use std::time::Instant;
 use anvil_designs::props::{seeded_violations, suite_properties, SafetyProperty};
 use anvil_verify::{
     bmc, prove, prove_bounded, prove_pdr, prove_portfolio, revalidate_certificate, AigCircuit,
-    BmcResult, ProveResult,
+    BmcResult, Deadline, ProveResult,
 };
 
 /// Depth bound shared by both bounded engines.
@@ -48,6 +48,9 @@ struct Row {
     millis: f64,
     clauses: u64,
     conflicts: u64,
+    /// Per-engine self-reported wall time inside the portfolio
+    /// (`symbolic`, `pdr`), milliseconds; only the portfolio row has it.
+    portfolio_walls: Option<(f64, f64)>,
 }
 
 fn verdict_of(r: &ProveResult) -> String {
@@ -82,6 +85,7 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         millis: t.elapsed().as_secs_f64() * 1e3,
         clauses: 0,
         conflicts: 0,
+        portfolio_walls: None,
     });
 
     // Symbolic bounded model checking.
@@ -96,6 +100,7 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         millis: t.elapsed().as_secs_f64() * 1e3,
         clauses: stats.clauses,
         conflicts: stats.conflicts,
+        portfolio_walls: None,
     });
 
     // Full prove: interleaved BMC + k-induction.
@@ -109,6 +114,7 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         millis: t.elapsed().as_secs_f64() * 1e3,
         clauses: stats.clauses,
         conflicts: stats.conflicts,
+        portfolio_walls: None,
     });
 
     // IC3/PDR.
@@ -122,6 +128,7 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         millis: t.elapsed().as_secs_f64() * 1e3,
         clauses: stats.clauses,
         conflicts: stats.conflicts,
+        portfolio_walls: None,
     });
 
     // The proof-cache pair: a cold portfolio run leaves a certificate;
@@ -135,6 +142,7 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         MAX_STATES,
         3,
         None,
+        Deadline::none(),
     )
     .expect("portfolio runs");
     let cold = t.elapsed().as_secs_f64() * 1e3;
@@ -146,6 +154,10 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         millis: cold,
         clauses: out.symbolic_stats.clauses + out.pdr_stats.clauses,
         conflicts: out.symbolic_stats.conflicts + out.pdr_stats.conflicts,
+        portfolio_walls: Some((
+            out.symbolic_stats.wall_micros as f64 / 1e3,
+            out.pdr_stats.wall_micros as f64 / 1e3,
+        )),
     });
     let cert = out.certificate?;
     let mut circuit = AigCircuit::from_module(&prop.module).expect("suite design blasts");
@@ -165,6 +177,7 @@ fn run_design(prop: &SafetyProperty, rows: &mut Vec<Row>) -> Option<CachePair> {
         millis: warm_ms,
         clauses: 0,
         conflicts: 0,
+        portfolio_walls: None,
     });
     Some(CachePair {
         cold,
@@ -211,11 +224,17 @@ fn main() {
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let walls = match r.portfolio_walls {
+            Some((sym, pdr)) => {
+                format!(", \"symbolicWallMs\": {sym:.3}, \"pdrWallMs\": {pdr:.3}")
+            }
+            None => String::new(),
+        };
         let _ = writeln!(
             json,
             "    {{\"design\": \"{}\", \"property\": \"{}\", \"engine\": \"{}\", \
              \"verdict\": \"{}\", \"millis\": {:.3}, \"clauses\": {}, \
-             \"conflicts\": {}}}{comma}",
+             \"conflicts\": {}{walls}}}{comma}",
             r.design, r.property, r.engine, r.verdict, r.millis, r.clauses, r.conflicts
         );
     }

@@ -41,8 +41,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crate::fault::{FaultKind, FaultPlan};
 
 use anvil_ir::ThreadIr;
 use anvil_rtl::Module;
@@ -296,6 +298,11 @@ pub(crate) struct QueryCache {
     counters: [[AtomicU64; 3]; 6],
     /// Shards recovered from a poisoning panic (see the module docs).
     poisoned: AtomicU64,
+    /// Chaos-test fault schedule for the `cache.get` / `cache.insert`
+    /// seams; `None` in production. The armed flag keeps the
+    /// not-installed fast path to one relaxed atomic load per access.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
+    faults_armed: AtomicBool,
 }
 
 impl fmt::Debug for QueryCache {
@@ -321,6 +328,37 @@ impl QueryCache {
             tick: AtomicU64::new(0),
             counters: Default::default(),
             poisoned: AtomicU64::new(0),
+            faults: Mutex::new(None),
+            faults_armed: AtomicBool::new(false),
+        }
+    }
+
+    /// Test support: installs (or clears) the fault schedule consulted
+    /// at every `get`/`insert`. See [`crate::fault`].
+    pub(crate) fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        self.faults_armed.store(plan.is_some(), Ordering::Relaxed);
+        *self.faults.lock().unwrap_or_else(|p| p.into_inner()) = plan;
+    }
+
+    /// Executes any fault scheduled for `op` at this occurrence, before
+    /// the shard lock is taken (so an injected panic never poisons a
+    /// shard by accident — [`FaultKind::PoisonShard`] poisons the
+    /// accessed key's shard deliberately, and the very next
+    /// [`QueryCache::lock_shard`] exercises recovery).
+    fn fault_point(&self, op: &str, key: u64) {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let plan = self
+            .faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        match plan.and_then(|p| p.take(op)) {
+            Some(FaultKind::Panic) => panic!("injected fault: panic at {op}"),
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::PoisonShard) => self.poison_shard_for_tests(key),
+            Some(FaultKind::MalformedFrame) | None => {}
         }
     }
 
@@ -384,6 +422,7 @@ impl QueryCache {
 
     /// Looks up an artifact, counting a hit or miss for `stage`.
     pub(crate) fn get(&self, stage: Stage, key: u64) -> Option<Artifact> {
+        self.fault_point("cache.get", key);
         let mut shard = self.lock_shard(key);
         match shard.map.get_mut(&key) {
             Some(entry) => {
@@ -402,6 +441,7 @@ impl QueryCache {
     /// key's shard while it exceeds its share of the capacity. Evictions
     /// are attributed to the inserting stage's counters.
     pub(crate) fn insert(&self, stage: Stage, key: u64, value: Artifact) {
+        self.fault_point("cache.insert", key);
         let cap = self.per_shard_capacity();
         let mut shard = self.lock_shard(key);
         let last_used = self.tick.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,196 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a schedule of faults — "at the Nth time operation
+//! `op` runs, do X" — threaded behind `#[doc(hidden)]` seams in the
+//! query cache ([`crate::Session`]'s `cache.get` / `cache.insert`), the
+//! session compile pipeline (`session.compile`, `session.unit`), and the
+//! `anvild` server dispatch (`server.dispatch`). The chaos suite
+//! (`tests/chaos.rs`) builds seeded plans, replays them against a live
+//! service, and asserts the daemon survives: panics are caught and
+//! surfaced as structured errors, poisoned shards recover, stalls trip
+//! deadlines and the watchdog, and the next request is always answered
+//! correctly.
+//!
+//! Everything is deterministic: rules match by exact operation name and
+//! a 1-based occurrence count tracked with atomics (so concurrent
+//! workers race for a fault but exactly one wins it), and
+//! [`FaultPlan::seeded`] derives a whole schedule from one `u64` via
+//! splitmix64. The same seed always yields the same schedule.
+//!
+//! This module is test infrastructure, not API: it is `#[doc(hidden)]`
+//! and makes no stability promises.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What happens when a [`FaultRule`] fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the seam (exercises `catch_unwind` isolation).
+    Panic,
+    /// Poison a query-cache shard (exercises poisoned-shard recovery).
+    PoisonShard,
+    /// Sleep at the seam (exercises deadlines, the watchdog, and
+    /// admission-control shedding under a clogged worker).
+    Stall(Duration),
+    /// Not executed server-side: chaos clients consume this to send a
+    /// garbage frame instead of the scheduled request (exercises the
+    /// parse-error path without desynchronizing the framing).
+    MalformedFrame,
+}
+
+impl FaultKind {
+    fn label(&self) -> String {
+        match self {
+            FaultKind::Panic => "panic".to_string(),
+            FaultKind::PoisonShard => "poison".to_string(),
+            FaultKind::Stall(d) => format!("stall({}ms)", d.as_millis()),
+            FaultKind::MalformedFrame => "malformed".to_string(),
+        }
+    }
+}
+
+/// One scheduled fault: fire `kind` the `nth` (1-based) time `op` runs.
+#[derive(Debug)]
+pub struct FaultRule {
+    op: String,
+    nth: u64,
+    kind: FaultKind,
+    seen: AtomicU64,
+}
+
+impl FaultRule {
+    /// A rule firing `kind` at the `nth` (1-based) occurrence of `op`.
+    pub fn new(op: &str, nth: u64, kind: FaultKind) -> FaultRule {
+        FaultRule {
+            op: op.to_string(),
+            nth: nth.max(1),
+            kind,
+            seen: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A deterministic, schedule-driven fault plan (see the module docs).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit rules.
+    pub fn new(rules: Vec<FaultRule>) -> FaultPlan {
+        FaultPlan {
+            rules,
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A schedule of `count` faults derived entirely from `seed`:
+    /// operations drawn from `ops`, occurrence counts in `1..=3`, kinds
+    /// cycling panic / shard poison / short stall. Identical inputs
+    /// yield identical schedules.
+    pub fn seeded(seed: u64, ops: &[&str], count: usize) -> FaultPlan {
+        let mut state = seed;
+        let rules = (0..count)
+            .map(|_| {
+                let op = ops[(splitmix64(&mut state) % ops.len() as u64) as usize];
+                let nth = 1 + splitmix64(&mut state) % 3;
+                let kind = match splitmix64(&mut state) % 3 {
+                    0 => FaultKind::Panic,
+                    1 => FaultKind::PoisonShard,
+                    _ => FaultKind::Stall(Duration::from_millis(10 + splitmix64(&mut state) % 40)),
+                };
+                FaultRule::new(op, nth, kind)
+            })
+            .collect();
+        FaultPlan::new(rules)
+    }
+
+    /// Records one occurrence of `op` against every matching rule and
+    /// returns the fault to execute if exactly this occurrence crosses a
+    /// rule's threshold (first matching rule wins; each rule fires at
+    /// most once). The caller executes the fault — panicking, sleeping,
+    /// or poisoning is seam-specific.
+    pub fn take(&self, op: &str) -> Option<FaultKind> {
+        for rule in self.rules.iter().filter(|r| r.op == op) {
+            // fetch_add hands each concurrent caller a distinct count, so
+            // exactly one observes the threshold crossing.
+            if rule.seen.fetch_add(1, Ordering::Relaxed) + 1 == rule.nth {
+                let label = format!("{}#{}:{}", rule.op, rule.nth, rule.kind.label());
+                self.fired.lock().expect("fault log lock").push(label);
+                return Some(rule.kind.clone());
+            }
+        }
+        None
+    }
+
+    /// Every fault fired so far, as `op#nth:kind` labels in firing order
+    /// — the chaos transcript asserts against this.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().expect("fault log lock").clone()
+    }
+
+    /// Faults scheduled but not yet fired, same label format.
+    pub fn pending(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .filter(|r| r.seen.load(Ordering::Relaxed) < r.nth)
+            .map(|r| format!("{}#{}:{}", r.op, r.nth, r.kind.label()))
+            .collect()
+    }
+}
+
+/// The splitmix64 step: a tiny, high-quality deterministic generator
+/// (the same one the standard library's docs recommend for seeding).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_fires_exactly_once_at_the_nth_occurrence() {
+        let plan = FaultPlan::new(vec![FaultRule::new("op", 3, FaultKind::Panic)]);
+        assert_eq!(plan.take("op"), None);
+        assert_eq!(plan.take("other"), None);
+        assert_eq!(plan.take("op"), None);
+        assert_eq!(plan.take("op"), Some(FaultKind::Panic));
+        assert_eq!(plan.take("op"), None);
+        assert_eq!(plan.fired(), vec!["op#3:panic".to_string()]);
+        assert!(plan.pending().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let ops = ["a", "b"];
+        let p1 = FaultPlan::seeded(42, &ops, 8);
+        let p2 = FaultPlan::seeded(42, &ops, 8);
+        assert_eq!(p1.pending(), p2.pending());
+        let p3 = FaultPlan::seeded(43, &ops, 8);
+        assert_ne!(p1.pending(), p3.pending());
+    }
+
+    #[test]
+    fn concurrent_hits_fire_a_rule_exactly_once() {
+        let plan = FaultPlan::new(vec![FaultRule::new("op", 5, FaultKind::PoisonShard)]);
+        let fired: usize = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| (0..4).filter(|_| plan.take("op").is_some()).count()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(fired, 1);
+        assert_eq!(plan.fired().len(), 1);
+    }
+}

@@ -55,6 +55,8 @@
 #![warn(missing_docs)]
 
 mod cache;
+#[doc(hidden)]
+pub mod fault;
 mod units;
 
 use std::collections::{BTreeMap, HashMap};
@@ -75,6 +77,7 @@ use crate::cache::{Artifact, IrUnit, QueryCache};
 use crate::units::{options_fingerprint, ItemGraph};
 
 pub use anvil_codegen::CodegenOptions as Options;
+pub use anvil_smt::Deadline;
 pub use cache::{CacheStats, Stage, StageCounters};
 
 /// Source marker that makes [`Session::compile`] panic deliberately.
@@ -97,8 +100,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// `Err(Cancelled)` once the cooperative stop flag is raised.
-fn poll_stop(stop: Option<&AtomicBool>) -> Result<(), CompileError> {
+/// `Err(DeadlineExceeded)` past the deadline, `Err(Cancelled)` once the
+/// cooperative stop flag is raised. The deadline is checked first so a
+/// watchdog that raises the stop flag *because* the deadline was missed
+/// still surfaces as a deadline error, not a cancellation.
+fn poll_cancel(stop: Option<&AtomicBool>, deadline: Deadline) -> Result<(), CompileError> {
+    if deadline.expired() {
+        return Err(CompileError::DeadlineExceeded);
+    }
     match stop {
         Some(flag) if flag.load(Ordering::Relaxed) => Err(CompileError::Cancelled),
         _ => Ok(()),
@@ -209,6 +218,12 @@ pub enum CompileError {
     /// The compilation was cancelled through the cooperative stop flag
     /// of [`Session::compile_cancellable`] before it finished.
     Cancelled,
+    /// The compilation's wall-clock [`Deadline`] expired before it
+    /// finished (see [`Session::compile_with_deadline`]). Like
+    /// [`CompileError::Cancelled`], the session stays fully consistent:
+    /// every artifact completed before expiry is cached and a retry
+    /// resumes warm.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for CompileError {
@@ -226,6 +241,7 @@ impl fmt::Display for CompileError {
             CompileError::Codegen(e) => write!(f, "code generation error: {e}"),
             CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
             CompileError::Cancelled => write!(f, "compilation cancelled"),
+            CompileError::DeadlineExceeded => write!(f, "compilation deadline exceeded"),
         }
     }
 }
@@ -266,6 +282,7 @@ impl CompileError {
             },
             CompileError::Internal(msg) => format!("internal compiler error: {msg}"),
             CompileError::Cancelled => "compilation cancelled".to_string(),
+            CompileError::DeadlineExceeded => "compilation deadline exceeded".to_string(),
         }
     }
 
@@ -298,6 +315,9 @@ impl CompileError {
                 ))]
             }
             CompileError::Cancelled => vec![WireDiagnostic::error("compilation cancelled")],
+            CompileError::DeadlineExceeded => {
+                vec![WireDiagnostic::error("compilation deadline exceeded")]
+            }
         }
     }
 }
@@ -381,6 +401,11 @@ pub struct Session {
     /// stages that resolve instances against the library.
     extern_gen: u64,
     cache: QueryCache,
+    /// Chaos-test fault schedule (see [`fault`]); `None` in production.
+    /// The armed flag keeps the not-installed fast path to one relaxed
+    /// atomic load per seam.
+    faults: Mutex<Option<Arc<fault::FaultPlan>>>,
+    faults_armed: AtomicBool,
 }
 
 /// Sessions are shared read-only across batch-compile workers (the cache
@@ -446,6 +471,50 @@ impl Session {
         self
     }
 
+    /// Test support: installs (or clears) a deterministic fault schedule
+    /// whose rules fire at the `session.compile` / `session.unit` seams
+    /// of this session and the `cache.get` / `cache.insert` seams of its
+    /// query cache. Chaos tests only; see [`fault::FaultPlan`].
+    #[doc(hidden)]
+    pub fn set_fault_plan(&self, plan: Option<Arc<fault::FaultPlan>>) {
+        self.cache.set_fault_plan(plan.clone());
+        self.faults_armed.store(plan.is_some(), Ordering::Relaxed);
+        *self.faults.lock().unwrap_or_else(|p| p.into_inner()) = plan;
+    }
+
+    /// Executes any fault the installed plan schedules for `op` at this
+    /// occurrence: panic unwinds from here (exercising the caller's
+    /// `catch_unwind` isolation), a stall sleeps in place (exercising
+    /// deadlines and the watchdog), and a shard poison kills one cache
+    /// shard mid-flight (exercising poisoned-shard recovery).
+    fn fault_point(&self, op: &str) {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let plan = self
+            .faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        let Some(kind) = plan.and_then(|p| p.take(op)) else {
+            return;
+        };
+        match kind {
+            fault::FaultKind::Panic => panic!("injected fault: panic at {op}"),
+            fault::FaultKind::Stall(d) => std::thread::sleep(d),
+            fault::FaultKind::PoisonShard => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in op.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                self.cache.poison_shard_for_tests(h);
+            }
+            // Frame corruption happens on the client side of the wire;
+            // nothing to do inside the session.
+            fault::FaultKind::MalformedFrame => {}
+        }
+    }
+
     /// Pass 1: lexing and parsing.
     ///
     /// # Errors
@@ -467,7 +536,7 @@ impl Session {
         source: &str,
     ) -> Result<(Program, BTreeMap<Symbol, ProcReport>), CompileError> {
         let program = self.parse(source)?;
-        let (_, reports) = self.check_units(&program, None)?;
+        let (_, reports) = self.check_units(&program, None, Deadline::none())?;
         Ok((program, reports))
     }
 
@@ -478,11 +547,12 @@ impl Session {
         &self,
         program: &'p Program,
         stop: Option<&AtomicBool>,
+        deadline: Deadline,
     ) -> Result<(ItemGraph<'p>, BTreeMap<Symbol, ProcReport>), CompileError> {
         let items = ItemGraph::new(program);
         let mut reports = BTreeMap::new();
         for p in &program.procs {
-            poll_stop(stop)?;
+            poll_cancel(stop, deadline)?;
             let report = self.checked_unit(program, &items, &p.name)?;
             reports.insert(Symbol::intern(&p.name), (*report).clone());
         }
@@ -521,7 +591,7 @@ impl Session {
     /// Fails if any pass fails; timing-unsafe programs yield
     /// [`CompileError::TimingUnsafe`] with every violation.
     pub fn compile(&self, source: &str) -> Result<CompileOutput, CompileError> {
-        self.compile_impl(source, None)
+        self.compile_impl(source, None, Deadline::none())
     }
 
     /// [`Session::compile`] with a cooperative stop flag, for services
@@ -544,19 +614,40 @@ impl Session {
         source: &str,
         stop: &AtomicBool,
     ) -> Result<CompileOutput, CompileError> {
-        self.compile_impl(source, Some(stop))
+        self.compile_impl(source, Some(stop), Deadline::none())
+    }
+
+    /// [`Session::compile_cancellable`] plus a wall-clock [`Deadline`],
+    /// polled at the same compilation-unit boundaries as the stop flag.
+    /// Expiry returns [`CompileError::DeadlineExceeded`] with the query
+    /// cache keeping every artifact completed before it — a retry with a
+    /// fresh deadline resumes warm from exactly that point.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::compile_cancellable`], plus
+    /// [`CompileError::DeadlineExceeded`] once `deadline` passes.
+    pub fn compile_with_deadline(
+        &self,
+        source: &str,
+        stop: Option<&AtomicBool>,
+        deadline: Deadline,
+    ) -> Result<CompileOutput, CompileError> {
+        self.compile_impl(source, stop, deadline)
     }
 
     fn compile_impl(
         &self,
         source: &str,
         stop: Option<&AtomicBool>,
+        deadline: Deadline,
     ) -> Result<CompileOutput, CompileError> {
         // Deliberate crash hook: see `PANIC_MARKER`.
         if source.contains(PANIC_MARKER) {
             panic!("injected compile panic ({PANIC_MARKER})");
         }
-        poll_stop(stop)?;
+        self.fault_point("session.compile");
+        poll_cancel(stop, deadline)?;
         let mut stats = PassStats::default();
 
         // ---- Pass 1: parse. ----
@@ -566,7 +657,7 @@ impl Session {
 
         // ---- Pass 2: check, one unit per proc. ----
         let t = Instant::now();
-        let (items, reports) = self.check_units(&program, stop)?;
+        let (items, reports) = self.check_units(&program, stop, deadline)?;
         let errors: Vec<TypeError> = reports
             .values()
             .flat_map(|r| r.errors().into_iter().cloned())
@@ -591,7 +682,8 @@ impl Session {
         }
         let mut emit_keys: HashMap<&str, u64> = HashMap::new();
         for &name in &order {
-            poll_stop(stop)?;
+            poll_cancel(stop, deadline)?;
+            self.fault_point("session.unit");
             let unit_keys = keys[name];
             emit_keys.insert(name, unit_keys.emit);
 
@@ -639,7 +731,7 @@ impl Session {
         let t = Instant::now();
         let mut systemverilog = String::new();
         for name in anvil_rtl::emit_order(&lib) {
-            poll_stop(stop)?;
+            poll_cancel(stop, deadline)?;
             // Extern modules are session state rather than compilation
             // units; their chunks are cached under (name, generation).
             let key = match emit_keys.get(name) {
@@ -946,6 +1038,22 @@ impl Compiler {
         stop: &AtomicBool,
     ) -> Result<CompileOutput, CompileError> {
         self.session.compile_cancellable(source, stop)
+    }
+
+    /// [`Compiler::compile`] with a stop flag and wall-clock deadline;
+    /// see [`Session::compile_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile_cancellable`], plus
+    /// [`CompileError::DeadlineExceeded`].
+    pub fn compile_with_deadline(
+        &self,
+        source: &str,
+        stop: Option<&AtomicBool>,
+        deadline: Deadline,
+    ) -> Result<CompileOutput, CompileError> {
+        self.session.compile_with_deadline(source, stop, deadline)
     }
 
     /// Compiles many independent designs in parallel on scoped worker

@@ -28,6 +28,7 @@
 mod aig;
 mod cert;
 mod cnf;
+mod deadline;
 mod fraig;
 mod pdr;
 mod rewrite;
@@ -37,6 +38,7 @@ mod solver;
 pub use aig::{Aig, AigCircuit, Lit, Node};
 pub use cert::{CertKind, LatchLit, ProofCert};
 pub use cnf::{CnfEncoder, Unroller};
+pub use deadline::Deadline;
 pub use fraig::{fraig, FraigStats};
 pub use pdr::{Pdr, PdrOptions, PdrOutcome, PdrStats};
 pub use rewrite::{optimize, rewrite, OptimizeStats, RewriteStats, Rewritten};

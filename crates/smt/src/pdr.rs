@@ -46,6 +46,9 @@ pub struct PdrOptions {
     pub max_propagations: u64,
     /// Cooperative stop flag (portfolio losers are cancelled through it).
     pub stop: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, polled wherever the stop flag is (and inside
+    /// the solver); expiry returns [`PdrOutcome::Unknown`].
+    pub deadline: crate::Deadline,
     /// Clause exchange for the cooperating portfolio: frame clauses are
     /// published as [`ClauseKind::Reach`], and [`ClauseKind::Path`]
     /// clauses of span ≤ 1 are imported as permanent transition facts.
@@ -59,6 +62,7 @@ impl Default for PdrOptions {
             max_obligations: 200_000,
             max_propagations: 100_000_000,
             stop: None,
+            deadline: crate::Deadline::none(),
             exchange: None,
         }
     }
@@ -189,6 +193,7 @@ impl Pdr {
         if let Some(stop) = &options.stop {
             solver.set_stop(Arc::clone(stop));
         }
+        solver.set_deadline(options.deadline);
         let mut enc = CnfEncoder::new();
         let mut latch_slits = |frame: usize| -> Vec<SLit> {
             (0..seq.n_latches() as u32)
@@ -246,6 +251,7 @@ impl Pdr {
             .stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
+            || self.options.deadline.expired()
     }
 
     /// Cancelled externally or out of propagation budget.

@@ -124,6 +124,7 @@ pub struct Solver {
     max_learnt: usize,
     stats: SolverStats,
     stop: Option<Arc<AtomicBool>>,
+    deadline: crate::Deadline,
     conflict_budget: Option<u64>,
 }
 
@@ -158,6 +159,7 @@ impl Solver {
             max_learnt: 4096,
             stats: SolverStats::default(),
             stop: None,
+            deadline: crate::Deadline::none(),
             conflict_budget: None,
         }
     }
@@ -165,6 +167,15 @@ impl Solver {
     /// Installs a cooperative stop flag, polled periodically during search.
     pub fn set_stop(&mut self, stop: Arc<AtomicBool>) {
         self.stop = Some(stop);
+    }
+
+    /// Installs a wall-clock deadline, polled at the same cadence as the
+    /// stop flag (every 512 conflicts and at every restart); an expired
+    /// deadline makes [`Solver::solve`] return
+    /// [`SolveResult::Interrupted`]. [`crate::Deadline::none`] (the
+    /// default) disables the check.
+    pub fn set_deadline(&mut self, deadline: crate::Deadline) {
+        self.deadline = deadline;
     }
 
     /// Caps the conflicts any single [`Solver::solve`] call may analyse;
@@ -641,6 +652,10 @@ impl Solver {
                             return SolveResult::Interrupted;
                         }
                     }
+                    if self.deadline.expired() {
+                        self.cancel_until(0);
+                        return SolveResult::Interrupted;
+                    }
                 }
                 conflicts_call += 1;
                 if let Some(budget) = self.conflict_budget {
@@ -657,6 +672,9 @@ impl Solver {
                     budget = 128 * luby(restart);
                     conflicts_here = 0;
                     self.cancel_until(0);
+                    if self.deadline.expired() {
+                        return SolveResult::Interrupted;
+                    }
                     continue;
                 }
                 if self.n_learnt > self.max_learnt {

@@ -89,17 +89,24 @@ pub fn bmc_with_backend(
     max_states: usize,
     backend: Backend,
 ) -> Result<(BmcResult, BmcStats), SimError> {
-    Ok(
-        bmc_impl(module, assertion, depth, max_states, backend, None)?
-            .expect("search without a stop flag always concludes"),
-    )
+    Ok(bmc_impl(
+        module,
+        assertion,
+        depth,
+        max_states,
+        backend,
+        None,
+        anvil_smt::Deadline::none(),
+    )?
+    .expect("search without a stop flag always concludes"))
 }
 
 /// The explicit-state search loop behind [`bmc_with_backend`], with an
-/// optional cooperative stop flag (polled once per candidate trace).
-/// Returns `Ok(None)` when stopped early — used by
-/// [`crate::prove::prove_portfolio`] to cancel the explicit engine once
-/// the symbolic one concludes.
+/// optional cooperative stop flag and wall-clock deadline (both polled
+/// once per candidate trace). Returns `Ok(None)` when stopped or expired
+/// early — used by [`crate::prove::prove_portfolio`] to cancel the
+/// explicit engine once the symbolic one concludes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn bmc_impl(
     module: &Module,
     assertion: &Expr,
@@ -107,6 +114,7 @@ pub(crate) fn bmc_impl(
     max_states: usize,
     backend: Backend,
     stop: Option<&AtomicBool>,
+    deadline: anvil_smt::Deadline,
 ) -> Result<Option<(BmcResult, BmcStats)>, SimError> {
     let (inputs, choices) = input_corners(module);
     let mut stats = BmcStats::default();
@@ -122,7 +130,7 @@ pub(crate) fn bmc_impl(
         let mut next = Vec::new();
         for prefix in &frontier {
             for combo in cartesian(&choices) {
-                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) || deadline.expired() {
                     return Ok(None);
                 }
                 let mut trace = prefix.clone();

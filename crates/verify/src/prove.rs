@@ -50,7 +50,7 @@ use std::sync::Arc;
 use anvil_rtl::{Bits, BlastError, Expr, Module, SignalId, SignalKind};
 use anvil_sim::{run_indexed, Backend, Sim, SimError};
 use anvil_smt::{
-    optimize, rewrite, Aig, AigCircuit, CertKind, ClauseExchange, ClauseKind, CnfEncoder,
+    optimize, rewrite, Aig, AigCircuit, CertKind, ClauseExchange, ClauseKind, CnfEncoder, Deadline,
     ExchangeStats, LatchLit, Lit, Node, Pdr, PdrOptions, PdrOutcome, ProofCert, Rewritten, SLit,
     SharedClause, SolveResult, Solver, Unroller,
 };
@@ -115,6 +115,9 @@ pub struct ProveStats {
     pub propagations: u64,
     /// Clauses learned.
     pub learned: u64,
+    /// Wall-clock microseconds this engine ran (per-engine timing for
+    /// deadline tuning; the portfolio reports each side's own number).
+    pub wall_micros: u64,
 }
 
 /// Failures while preparing or running a symbolic proof.
@@ -215,7 +218,7 @@ pub fn prove_bounded(
 ) -> Result<(ProveResult, ProveStats), ProveError> {
     let circuit = AigCircuit::from_module(module)?;
     let prep = Arc::new(Prepared::new(&circuit, assertion)?);
-    Engine::new(prep, None, None).run(depth, false)
+    Engine::new(prep, None, Deadline::none(), None).run(depth, false)
 }
 
 /// [`prove`] over a pre-built (possibly session-cached) [`AigCircuit`],
@@ -231,7 +234,7 @@ pub fn prove_with_circuit(
     stop: Option<Arc<AtomicBool>>,
 ) -> Result<(ProveResult, ProveStats), ProveError> {
     let prep = Arc::new(Prepared::new(circuit, assertion)?);
-    Engine::new(prep, stop, None).run(max_k + 1, true)
+    Engine::new(prep, stop, Deadline::none(), None).run(max_k + 1, true)
 }
 
 /// Proves or refutes `assertion` with the IC3/PDR engine alone, exploring
@@ -249,7 +252,7 @@ pub fn prove_pdr(
 ) -> Result<(ProveResult, ProveStats), ProveError> {
     let circuit = AigCircuit::from_module(module)?;
     let prep = Prepared::new(&circuit, assertion)?;
-    run_pdr_inner(&prep, max_frames, None, None).map(|(r, s, _)| (r, s))
+    run_pdr_inner(&prep, max_frames, None, Deadline::none(), None).map(|(r, s, _)| (r, s))
 }
 
 /// A circuit readied for proving: the assertion blasted into a clone of
@@ -363,6 +366,8 @@ struct Engine {
     base: Session,
     step: Session,
     stop: Option<Arc<AtomicBool>>,
+    deadline: Deadline,
+    started: std::time::Instant,
     exchange: Option<Arc<ClauseExchange>>,
     /// Learnt-clause export cursor into the step session's solver.
     export_cursor: usize,
@@ -378,11 +383,17 @@ struct Session {
 }
 
 impl Session {
-    fn new(seq: Arc<Aig>, free_init: bool, stop: Option<Arc<AtomicBool>>) -> Session {
+    fn new(
+        seq: Arc<Aig>,
+        free_init: bool,
+        stop: Option<Arc<AtomicBool>>,
+        deadline: Deadline,
+    ) -> Session {
         let mut solver = Solver::new();
         if let Some(stop) = stop {
             solver.set_stop(stop);
         }
+        solver.set_deadline(deadline);
         Session {
             unroller: Unroller::new(seq, free_init),
             encoder: CnfEncoder::new(),
@@ -457,16 +468,19 @@ impl Engine {
     fn new(
         prep: Arc<Prepared>,
         stop: Option<Arc<AtomicBool>>,
+        deadline: Deadline,
         exchange: Option<Arc<ClauseExchange>>,
     ) -> Engine {
-        let base = Session::new(Arc::clone(&prep.seq), false, stop.clone());
-        let step = Session::new(Arc::clone(&prep.seq), true, stop.clone());
+        let base = Session::new(Arc::clone(&prep.seq), false, stop.clone(), deadline);
+        let step = Session::new(Arc::clone(&prep.seq), true, stop.clone(), deadline);
         Engine {
             ok: prep.ok,
             prep,
             base,
             step,
             stop,
+            deadline,
+            started: std::time::Instant::now(),
             exchange,
             export_cursor: 0,
             import_cursor: 0,
@@ -477,6 +491,7 @@ impl Engine {
         self.stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
+            || self.deadline.expired()
     }
 
     fn stats(&self) -> ProveStats {
@@ -493,6 +508,7 @@ impl Engine {
             decisions: b.decisions + s.decisions,
             propagations: b.propagations + s.propagations,
             learned: b.learned + s.learned,
+            wall_micros: self.started.elapsed().as_micros() as u64,
         }
     }
 
@@ -683,8 +699,10 @@ fn run_pdr_inner(
     prep: &Prepared,
     max_frames: usize,
     stop: Option<Arc<AtomicBool>>,
+    deadline: Deadline,
     exchange: Option<Arc<ClauseExchange>>,
 ) -> Result<(ProveResult, ProveStats, Option<Invariant>), ProveError> {
+    let started = std::time::Instant::now();
     let base_stats = ProveStats {
         aig_nodes: prep.circuit.aig().len(),
         aig_nodes_after: prep.seq.len(),
@@ -700,6 +718,7 @@ fn run_pdr_inner(
         PdrOptions {
             max_frames,
             stop,
+            deadline,
             exchange,
             ..PdrOptions::default()
         },
@@ -714,6 +733,7 @@ fn run_pdr_inner(
         decisions: ps.solver.decisions,
         propagations: ps.solver.propagations,
         learned: ps.solver.learned,
+        wall_micros: started.elapsed().as_micros() as u64,
         ..base_stats
     };
     match outcome {
@@ -809,7 +829,7 @@ pub fn revalidate_certificate(
 
             // Base: no reachable violation within frames 0..k — a single
             // query on the disjunction of the per-frame bad literals.
-            let mut base = Session::new(Arc::clone(&seq), false, None);
+            let mut base = Session::new(Arc::clone(&seq), false, None, Deadline::none());
             let mut bad = Vec::new();
             for frame in 0..k {
                 while base.unroller.frames() <= frame {
@@ -837,7 +857,7 @@ pub fn revalidate_certificate(
 
             // Step: ok over k consecutive frames (arbitrary start state)
             // forces ok in the next — one more query.
-            let mut step = Session::new(seq, true, None);
+            let mut step = Session::new(seq, true, None, Deadline::none());
             for frame in 0..k {
                 while step.unroller.frames() <= frame {
                     step.unroller.push_frame();
@@ -1008,9 +1028,16 @@ pub struct PortfolioOutcome {
 /// also raises it internally when a worker concludes, so after a
 /// conclusive result the flag being set does not mean cancellation.
 ///
+/// `deadline` is a wall-clock bound polled in every engine loop (and
+/// inside the SAT solver): past it, each side winds down to `Unknown`
+/// with whatever violation-free prefix it established, so the caller
+/// gets partial progress instead of a hang. [`Deadline::none`] disables
+/// the bound.
+///
 /// # Errors
 ///
 /// See [`ProveError`].
+#[allow(clippy::too_many_arguments)]
 pub fn prove_portfolio(
     module: &Module,
     assertion: &Expr,
@@ -1019,6 +1046,7 @@ pub fn prove_portfolio(
     max_states: usize,
     workers: usize,
     stop: Option<Arc<AtomicBool>>,
+    deadline: Deadline,
 ) -> Result<PortfolioOutcome, ProveError> {
     type PdrPart = Result<(ProveResult, ProveStats, Option<Vec<Vec<LatchLit>>>), ProveError>;
     enum Part {
@@ -1039,6 +1067,7 @@ pub fn prove_portfolio(
             let engine = Engine::new(
                 Arc::clone(&prep),
                 Some(Arc::clone(&stop)),
+                deadline,
                 Some(Arc::clone(&exchange)),
             );
             let r = engine.run(max_k + 1, true);
@@ -1058,6 +1087,7 @@ pub fn prove_portfolio(
                 &prep,
                 pdr_frames,
                 Some(Arc::clone(&stop)),
+                deadline,
                 Some(Arc::clone(&exchange)),
             );
             if matches!(
@@ -1080,6 +1110,7 @@ pub fn prove_portfolio(
                 max_states,
                 Backend::Compiled,
                 Some(&stop),
+                deadline,
             );
             if matches!(r, Ok(Some((BmcResult::Violation { .. }, _)))) {
                 stop.store(true, Ordering::Relaxed);
@@ -1326,7 +1357,8 @@ mod tests {
         let (m, a) = saturating_counter();
         let circuit = AigCircuit::from_module(&m).unwrap();
         let prep = Prepared::new(&circuit, &a).unwrap();
-        let (result, _, invariant) = run_pdr_inner(&prep, 32, None, None).unwrap();
+        let (result, _, invariant) =
+            run_pdr_inner(&prep, 32, None, Deadline::none(), None).unwrap();
         assert!(matches!(result, ProveResult::Proved { .. }));
         let cert = ProofCert {
             kind: CertKind::Inductive {
@@ -1376,7 +1408,7 @@ mod tests {
     #[test]
     fn portfolio_agrees_with_all_engines() {
         let (m, a) = shallow_bug();
-        let out = prove_portfolio(&m, &a, 8, 10, 100_000, 2, None).unwrap();
+        let out = prove_portfolio(&m, &a, 8, 10, 100_000, 2, None, Deadline::none()).unwrap();
         let ProveResult::Falsified { depth, .. } = out.result else {
             panic!("expected falsification, got {:?}", out.result);
         };
@@ -1385,7 +1417,7 @@ mod tests {
         assert!(out.certificate.is_some());
 
         let (m, a) = saturating_counter();
-        let out = prove_portfolio(&m, &a, 8, 6, 10_000, 2, None).unwrap();
+        let out = prove_portfolio(&m, &a, 8, 6, 10_000, 2, None, Deadline::none()).unwrap();
         assert!(matches!(out.result, ProveResult::Proved { .. }));
         assert!(matches!(out.winner, Some(Prover::Symbolic | Prover::Pdr)));
         // Whichever SAT engine won, its evidence revalidates.

@@ -10,27 +10,38 @@
 //! archives): open → cold compile → warm compile (asserting ZERO cache
 //! misses) → comment edit → recompile (still zero misses) → broken edit
 //! → compile failure with a streamed `diagnostics` notification →
-//! pre-cancellation → `cacheStats` → `shutdown`. Exits 0 and prints
-//! `SMOKE OK` only if every assertion held.
+//! pre-cancellation → `cacheStats` → `health` → `shutdown`. Exits 0 and
+//! prints `SMOKE OK` only if every assertion held.
+//!
+//! With `--overload-burst` (run against a server started with small
+//! `--max-concurrency` / `--max-queue` and `--chaos`), the client also
+//! clogs the worker slot with a stalled compile, fires a burst that the
+//! server must shed with `OVERLOADED` (`-32004`), and retries the shed
+//! request with exponential backoff plus seeded jitter until it
+//! succeeds.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::process::exit;
 
+use anvil::anvil_core::fault::splitmix64;
 use anvil::anvild::{Incoming, Json};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: anvil-client --socket <path>
+        "usage: anvil-client --socket <path> [--overload-burst]
 
 Scripted smoke test against a running anvild; prints the full frame
-transcript and `SMOKE OK` on success."
+transcript and `SMOKE OK` on success. `--overload-burst` additionally
+exercises admission-control shedding and retry-with-backoff (requires a
+server started with small --max-concurrency/--max-queue and --chaos)."
     );
     exit(2);
 }
 
-fn parse_args() -> String {
+fn parse_args() -> (String, bool) {
     let mut socket = None;
+    let mut burst = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -38,11 +49,12 @@ fn parse_args() -> String {
                 Some(path) => socket = Some(path),
                 None => usage(),
             },
+            "--overload-burst" => burst = true,
             "-h" | "--help" => usage(),
             _ => usage(),
         }
     }
-    socket.unwrap_or_else(|| usage())
+    (socket.unwrap_or_else(|| usage()), burst)
 }
 
 /// One connection: sends request frames, reads frames back until the
@@ -86,7 +98,20 @@ impl Client {
         self.wait_for(id)
     }
 
+    /// Pulls an already-read response for `id` out of the buffer (the
+    /// overload burst reads responses out of order).
+    fn take_buffered(&mut self, id: i64) -> Option<Json> {
+        let pos = self
+            .notifications
+            .iter()
+            .position(|f| f.get("id").and_then(Json::as_i64) == Some(id))?;
+        Some(self.notifications.remove(pos))
+    }
+
     fn wait_for(&mut self, id: i64) -> Json {
+        if let Some(frame) = self.take_buffered(id) {
+            return frame;
+        }
         loop {
             let mut line = String::new();
             if self.reader.read_line(&mut line).expect("socket read") == 0 {
@@ -104,6 +129,47 @@ impl Client {
                 _ => self.notifications.push(frame),
             }
         }
+    }
+
+    /// A `call` that retries on `OVERLOADED` (`-32004`) with exponential
+    /// backoff and deterministic seeded jitter, honoring the server's
+    /// `retryAfterMs` hint. Bounded attempts: a server shedding forever
+    /// is a smoke failure, not an infinite loop.
+    fn call_with_retry(
+        &mut self,
+        id: i64,
+        method: &str,
+        params: Json,
+        seed: &mut u64,
+    ) -> (Json, u32) {
+        let mut backoff_ms = 25u64;
+        for attempt in 0..6 {
+            let resp = self.call(id, method, params.clone());
+            let code = resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_i64);
+            if code != Some(-32004) {
+                return (resp, attempt);
+            }
+            let hint = resp
+                .get("error")
+                .and_then(|e| e.get("data"))
+                .and_then(|d| d.get("retryAfterMs"))
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| fail("OVERLOADED response carried no retryAfterMs hint"))
+                as u64;
+            let base = hint.max(backoff_ms);
+            let jitter = splitmix64(seed) % (base / 2 + 1);
+            println!(
+                "# shed; retrying in {} ms (attempt {})",
+                base + jitter,
+                attempt + 1
+            );
+            std::thread::sleep(std::time::Duration::from_millis(base + jitter));
+            backoff_ms = (backoff_ms * 2).min(2_000);
+        }
+        fail("request still shed after 6 retries")
     }
 }
 
@@ -135,7 +201,7 @@ fn check(cond: bool, msg: &str) {
 }
 
 fn main() {
-    let path = parse_args();
+    let (path, overload_burst) = parse_args();
     let mut client = Client::connect(&path);
     let uri = "smoke:fifo.anv";
 
@@ -307,6 +373,110 @@ fn main() {
         .unwrap_or_else(|| fail("cacheStats has no proof stage row"));
     check(proof_hits >= 1, "proof cache recorded no hits");
 
+    if overload_burst {
+        run_overload_burst(&mut client, uri);
+    }
+
+    // Health probe: the daemon is idle and has recovered from nothing.
+    let health = client.call(12, "health", Json::Null);
+    check(
+        health.get("result").and_then(|r| r.get("ok")) == Some(&Json::Bool(true)),
+        "health did not answer ok:true",
+    );
+    check(
+        result_int(&health, "inFlight") == 0,
+        "health reports in-flight work on an idle daemon",
+    );
+    check(
+        result_int(&health, "panicsRecovered") == 0,
+        "smoke run tripped a handler panic",
+    );
+    if overload_burst {
+        check(
+            result_int(&health, "shed") > 0,
+            "overload burst shed nothing",
+        );
+    }
+
+    println!("HEALTH OK");
+
     client.call(11, "shutdown", Json::Null);
     println!("SMOKE OK");
+}
+
+/// Clogs the single worker slot with a stalled compile, bursts more
+/// compiles than the queue holds (the server must shed with `-32004` and
+/// a `retryAfterMs` hint), then retries a shed request with backoff
+/// until it succeeds. Requires `--max-concurrency 1 --max-queue 1
+/// --chaos` on the server.
+fn run_overload_burst(client: &mut Client, uri: &str) {
+    println!("# overload burst: clog, shed, retry");
+    // Fix the buffer first: earlier sections left it broken on purpose.
+    let (_, text) = anvil::anvil_designs::suite_sources()
+        .into_iter()
+        .find(|(name, _)| *name == "fifo")
+        .unwrap_or_else(|| fail("fifo missing from suite_sources()"));
+    client.call(
+        29,
+        "update",
+        Json::obj([("uri", Json::str(uri)), ("text", Json::str(&text))]),
+    );
+
+    // One stalled compile occupies the only worker slot...
+    client.send(&Incoming::request(
+        30,
+        "compile",
+        Json::obj([("uri", Json::str(uri)), ("chaosStallMs", Json::int(400))]),
+    ));
+    // ...and an unwaited burst overfills the one-deep queue.
+    let burst: Vec<i64> = (31..36).collect();
+    for &id in &burst {
+        client.send(&Incoming::request(
+            id,
+            "compile",
+            Json::obj([("uri", Json::str(uri))]),
+        ));
+    }
+    let mut shed = Vec::new();
+    for &id in std::iter::once(&30).chain(&burst) {
+        let resp = client.wait_for(id);
+        let code = resp
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_i64);
+        if code == Some(-32004) {
+            check(
+                resp.get("error")
+                    .and_then(|e| e.get("data"))
+                    .and_then(|d| d.get("retryAfterMs"))
+                    .and_then(Json::as_i64)
+                    > Some(0),
+                "shed response carried no positive retryAfterMs",
+            );
+            shed.push(id);
+        } else {
+            check(
+                resp.get("result").is_some() || code == Some(-32800),
+                "burst compile neither succeeded, was shed, nor was cancelled",
+            );
+        }
+    }
+    check(
+        !shed.is_empty(),
+        "burst of 6 compiles against a 1+1 server shed nothing",
+    );
+
+    // A shed request retried with backoff+jitter eventually succeeds.
+    let mut seed = 0x5eed_u64;
+    let (resp, attempts) = client.call_with_retry(
+        40,
+        "compile",
+        Json::obj([("uri", Json::str(uri))]),
+        &mut seed,
+    );
+    check(
+        resp.get("result").is_some(),
+        "retried compile did not succeed",
+    );
+    println!("# shed request succeeded after {attempts} retries");
 }

@@ -6,20 +6,25 @@
 //!
 //! # Daemon mode: serve any number of clients over a Unix socket.
 //! cargo run --release --example anvild -- --socket /tmp/anvild.sock
+//!
+//! # Overload-hardened: 2 workers, 4 queued, everything else shed.
+//! cargo run --release --example anvild -- --socket /tmp/anvild.sock \
+//!     --max-concurrency 2 --max-queue 4
 //! ```
 //!
 //! Every connection shares ONE compile session, so the query cache stays
 //! warm across clients and across edits: the second client to compile an
 //! unchanged file gets a pure cache hit. See the README's "Compile
-//! server" section for the wire protocol, and `examples/anvil-client.rs`
-//! for a scripted client.
+//! server" and "Operational robustness" sections for the wire protocol,
+//! and `examples/anvil-client.rs` for a scripted client.
 
 use std::io::{BufReader, Write};
 use std::os::unix::net::UnixListener;
 use std::process::exit;
 use std::sync::Arc;
 
-use anvil::anvild::CompileService;
+use anvil::anvil_core::fault::FaultPlan;
+use anvil::anvild::{CompileService, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -27,9 +32,18 @@ fn usage() -> ! {
        anvild --socket <path>
 
 Persistent Anvil compile server (JSON-RPC 2.0, one JSON frame per line).
-  --stdio          serve a single client on stdin/stdout (default)
-  --socket <path>  listen on a Unix socket; serves concurrent clients
-                   against one shared compile session"
+  --stdio                  serve a single client on stdin/stdout (default)
+  --socket <path>          listen on a Unix socket; serves concurrent
+                           clients against one shared compile session
+  --max-concurrency <n>    heavy requests running at once (default: cores)
+  --max-queue <n>          heavy requests waiting beyond that before the
+                           server sheds with OVERLOADED (default: 32)
+  --default-deadline-ms <n> deadline for requests without `deadlineMs`
+  --watchdog-grace-ms <n>  overrun before the watchdog cancels a worker
+                           (default: 250)
+  --chaos                  honor chaos-test hooks (chaosStallMs param)
+  --fault-seed <n>         install a seeded fault-injection plan
+                           (chaos testing only; implies --chaos)"
     );
     exit(2);
 }
@@ -39,26 +53,67 @@ enum Transport {
     Socket(String),
 }
 
-fn parse_args() -> Transport {
-    let mut transport = Transport::Stdio;
+struct Args {
+    transport: Transport,
+    config: ServiceConfig,
+    fault_seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        transport: Transport::Stdio,
+        config: ServiceConfig::default(),
+        fault_seed: None,
+    };
     let mut argv = std::env::args().skip(1);
+    let num = |argv: &mut dyn Iterator<Item = String>| -> u64 {
+        argv.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "--stdio" => transport = Transport::Stdio,
+            "--stdio" => args.transport = Transport::Stdio,
             "--socket" => match argv.next() {
-                Some(path) => transport = Transport::Socket(path),
+                Some(path) => args.transport = Transport::Socket(path),
                 None => usage(),
             },
+            "--max-concurrency" => args.config.max_concurrency = num(&mut argv).max(1) as usize,
+            "--max-queue" => args.config.max_queue = num(&mut argv) as usize,
+            "--default-deadline-ms" => args.config.default_deadline_ms = Some(num(&mut argv)),
+            "--watchdog-grace-ms" => args.config.watchdog_grace_ms = num(&mut argv),
+            "--chaos" => args.config.chaos = true,
+            "--fault-seed" => {
+                args.fault_seed = Some(num(&mut argv));
+                args.config.chaos = true;
+            }
             "-h" | "--help" => usage(),
             _ => usage(),
         }
     }
-    transport
+    args
 }
 
 fn main() {
-    let service = Arc::new(CompileService::new());
-    match parse_args() {
+    let args = parse_args();
+    let service = Arc::new(CompileService::with_config(
+        anvil::Session::new(),
+        args.config,
+    ));
+    if let Some(seed) = args.fault_seed {
+        // The same op vocabulary the chaos suite uses; see
+        // anvil_core::fault for the schedule derivation.
+        let ops = [
+            "session.compile",
+            "session.unit",
+            "cache.get",
+            "cache.insert",
+            "server.dispatch",
+        ];
+        service.set_fault_plan(Some(Arc::new(FaultPlan::seeded(seed, &ops, 8))));
+        eprintln!("anvild: fault plan installed (seed {seed})");
+    }
+    match args.transport {
         Transport::Stdio => {
             let stdin = std::io::stdin();
             // `Stdout` (not the lock) — workers stream notifications from
@@ -90,9 +145,14 @@ fn serve_socket(service: &Arc<CompileService>, path: &str) {
     }
     eprintln!("anvild: listening on {path}");
     let mut connections = Vec::new();
+    // Transient accept errors (EINTR, a peer that connected and hung up
+    // before we accepted) must not kill the listener; only a persistent
+    // failure streak does.
+    let mut consecutive_errors = 0u32;
     while !service.is_shut_down() {
         match listener.accept() {
             Ok((stream, _)) => {
+                consecutive_errors = 0;
                 let service = Arc::clone(service);
                 connections.push(std::thread::spawn(move || {
                     let reader = BufReader::new(match stream.try_clone() {
@@ -111,6 +171,16 @@ fn serve_socket(service: &Arc<CompileService>, path: &str) {
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted | std::io::ErrorKind::ConnectionAborted
+                ) && consecutive_errors < 16 =>
+            {
+                consecutive_errors += 1;
+                eprintln!("anvild: transient accept error (retrying): {e}");
+                std::thread::sleep(std::time::Duration::from_millis(10));
             }
             Err(e) => {
                 eprintln!("anvild: accept failed: {e}");

@@ -1,0 +1,400 @@
+//! Deterministic chaos harness for the anvild daemon: a seeded
+//! [`FaultPlan`] injects panics, shard poisonings, and stalls into the
+//! server seams while a scripted client storms it with compiles,
+//! proves, cancellations, tight deadlines, and malformed frames. The
+//! daemon must answer every single request, and once the plan is
+//! cleared, warm results must be byte-identical to cold baselines
+//! computed on a pristine session.
+//!
+//! The schedule is a pure function of the seed (override with
+//! `ANVIL_CHAOS_SEED=<n>`), so a CI failure replays locally with the
+//! same faults at the same operations. The per-seed transcript —
+//! which faults fired, how every request was answered, the final
+//! health counters — goes to stderr for archiving.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use anvil::anvil_core::fault::{splitmix64, FaultKind, FaultPlan, FaultRule};
+use anvil::anvil_designs;
+use anvil::anvild::{self, CompileService, Json, ServiceConfig};
+use anvil::Session;
+
+/// The seams the server-side plan draws faults from — the same
+/// vocabulary `anvild --fault-seed` installs.
+const SERVER_OPS: [&str; 5] = [
+    "session.compile",
+    "session.unit",
+    "cache.get",
+    "cache.insert",
+    "server.dispatch",
+];
+
+/// A quickly-falsified property target so proves join the storm
+/// without dominating its runtime.
+const PROP: &str = "proc main() { reg ok : logic; loop { set ok := 1 >> cycle 1 } }";
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("ANVIL_CHAOS_SEED") {
+        Ok(v) => vec![v
+            .parse()
+            .expect("ANVIL_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![0xC0FFEE, 7, 42],
+    }
+}
+
+/// Three small suite designs (AES needs an extern S-box; skip it).
+fn chaos_sources() -> Vec<(&'static str, String)> {
+    anvil_designs::suite_sources()
+        .into_iter()
+        .filter(|(name, _)| *name != "aes")
+        .take(3)
+        .collect()
+}
+
+fn frame(id: i64, method: &str, params: &Json) -> String {
+    format!(r#"{{"jsonrpc":"2.0","id":{id},"method":"{method}","params":{params}}}"#)
+}
+
+/// Buffers out-of-order responses by id; counts the `id: null` parse
+/// errors the malformed frames provoke; drops notifications.
+struct Wire {
+    reader: BufReader<UnixStream>,
+    pending: HashMap<i64, Json>,
+    parse_errors: usize,
+}
+
+impl Wire {
+    fn new(stream: &UnixStream) -> Wire {
+        Wire {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            pending: HashMap::new(),
+            parse_errors: 0,
+        }
+    }
+
+    fn read(&mut self, id: i64) -> Json {
+        if let Some(resp) = self.pending.remove(&id) {
+            return resp;
+        }
+        loop {
+            let mut line = String::new();
+            assert!(
+                self.reader.read_line(&mut line).expect("read") > 0,
+                "server closed while waiting for response {id} — the daemon died"
+            );
+            let resp = Json::parse(line.trim()).expect("valid JSON from server");
+            match resp.get("id").and_then(Json::as_i64) {
+                Some(got) if got == id => return resp,
+                Some(got) => {
+                    self.pending.insert(got, resp);
+                }
+                None => {
+                    let code = resp
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_i64);
+                    if code == Some(anvild::PARSE_ERROR) {
+                        self.parse_errors += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn error_code(resp: &Json) -> Option<i64> {
+    resp.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_i64)
+}
+
+fn health_num(health: &Json, key: &str) -> i64 {
+    health
+        .get("result")
+        .and_then(|r| r.get(key))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| panic!("missing health.{key} in {health}"))
+}
+
+#[test]
+fn seeded_chaos_storms_never_kill_the_daemon() {
+    let sources = chaos_sources();
+    assert_eq!(sources.len(), 3, "expected three chaos sources");
+
+    // Cold baselines from a pristine, fault-free session.
+    let baseline_session = Session::new();
+    let baselines: Vec<(&str, String, String)> = sources
+        .into_iter()
+        .map(|(name, src)| {
+            let sv = baseline_session
+                .compile(&src)
+                .unwrap_or_else(|e| panic!("baseline {name}: {e}"))
+                .systemverilog;
+            (name, src, sv)
+        })
+        .collect();
+
+    for seed in chaos_seeds() {
+        run_storm(seed, &baselines);
+    }
+}
+
+fn run_storm(seed: u64, baselines: &[(&str, String, String)]) {
+    let config = ServiceConfig {
+        max_concurrency: 3,
+        max_queue: 16,
+        watchdog_grace_ms: 50,
+        chaos: true,
+        ..ServiceConfig::default()
+    };
+    let service = CompileService::with_config(Session::new(), config);
+    let plan = Arc::new(FaultPlan::seeded(seed, &SERVER_OPS, 6));
+    service.set_fault_plan(Some(Arc::clone(&plan)));
+
+    // The client-side schedule (which compiles get tight deadlines,
+    // which frames are replaced by garbage, which ids get cancelled)
+    // derives from the same seed through an independent stream.
+    let mut rng = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let client_plan = FaultPlan::new(vec![
+        FaultRule::new(
+            "client.frame",
+            1 + splitmix64(&mut rng) % 4,
+            FaultKind::MalformedFrame,
+        ),
+        FaultRule::new(
+            "client.frame",
+            5 + splitmix64(&mut rng) % 4,
+            FaultKind::MalformedFrame,
+        ),
+    ]);
+
+    let mut outcomes: HashMap<&'static str, usize> = HashMap::new();
+    let mut malformed_sent = 0usize;
+
+    std::thread::scope(|scope| {
+        let (client, server) = UnixStream::pair().expect("socketpair");
+        let service = &service;
+        scope.spawn(move || {
+            let reader = BufReader::new(server.try_clone().expect("clone"));
+            service.serve(reader, &server).expect("serve");
+        });
+        let mut wire = Wire::new(&client);
+        let mut client = client;
+
+        // Register the design files plus the prove target.
+        for (i, (name, src, _)) in baselines.iter().enumerate() {
+            let params = Json::obj([
+                ("uri", Json::str(format!("{name}.anvil"))),
+                ("text", Json::str(src.clone())),
+            ]);
+            writeln!(client, "{}", frame(1 + i as i64, "open", &params)).expect("write");
+            let resp = wire.read(1 + i as i64);
+            assert!(resp.get("result").is_some(), "open {name}: {resp}");
+        }
+        let params = Json::obj([("uri", Json::str("prop.anvil")), ("text", Json::str(PROP))]);
+        writeln!(client, "{}", frame(8, "open", &params)).expect("write");
+        assert!(wire.read(8).get("result").is_some());
+
+        // ---- The storm: 3 rounds of compiles + a prove + a cancel. ----
+        let mut compiles: Vec<(i64, usize)> = Vec::new();
+        let mut proves: Vec<i64> = Vec::new();
+        let mut cancels: Vec<i64> = Vec::new();
+        let mut future_cancelled: Vec<i64> = Vec::new();
+        let mut id = 10i64;
+        for round in 0..3u64 {
+            for (f, (name, _, _)) in baselines.iter().enumerate() {
+                if client_plan.take("client.frame") == Some(FaultKind::MalformedFrame) {
+                    // A garbage frame instead of — not in place of — the
+                    // request, so the script still sees every response.
+                    writeln!(client, "{{chaos frame, seed {seed}").expect("write");
+                    malformed_sent += 1;
+                }
+                let uri = Json::str(format!("{name}.anvil"));
+                let params = if splitmix64(&mut rng).is_multiple_of(4) {
+                    Json::obj([("uri", uri), ("deadlineMs", Json::int(5))])
+                } else {
+                    Json::obj([("uri", uri)])
+                };
+                writeln!(client, "{}", frame(id, "compile", &params)).expect("write");
+                compiles.push((id, f));
+                id += 1;
+            }
+            let params = Json::obj([
+                ("uri", Json::str("prop.anvil")),
+                ("signal", Json::str("ok")),
+                ("maxK", Json::int(4)),
+            ]);
+            writeln!(client, "{}", frame(id, "prove", &params)).expect("write");
+            proves.push(id);
+            id += 1;
+
+            // Cancel one storm id already sent and pre-cancel one id
+            // that will only arrive after the storm.
+            let victim = compiles[(splitmix64(&mut rng) % compiles.len() as u64) as usize].0;
+            let future = 900 + round as i64;
+            for target in [victim, future] {
+                let params = Json::obj([("id", Json::int(target))]);
+                writeln!(client, "{}", frame(id, "cancel", &params)).expect("write");
+                cancels.push(id);
+                id += 1;
+            }
+            future_cancelled.push(future);
+        }
+
+        // ---- Every request gets an answer; sane answers only. ----
+        let survivable = [
+            anvild::INTERNAL_ERROR,
+            anvild::REQUEST_CANCELLED,
+            anvild::DEADLINE_EXCEEDED,
+            anvild::OVERLOADED,
+        ];
+        for &(cid, f) in &compiles {
+            let resp = wire.read(cid);
+            if let Some(sv) = resp
+                .get("result")
+                .and_then(|r| r.get("systemverilog"))
+                .and_then(Json::as_str)
+            {
+                assert_eq!(
+                    sv, baselines[f].2,
+                    "seed {seed}: compile {cid} diverged from the cold baseline mid-storm"
+                );
+                *outcomes.entry("compile ok").or_default() += 1;
+            } else {
+                let code = error_code(&resp).unwrap_or_else(|| panic!("no error in {resp}"));
+                assert!(survivable.contains(&code), "seed {seed}: {resp}");
+                *outcomes
+                    .entry(match code {
+                        anvild::INTERNAL_ERROR => "compile panicked (recovered)",
+                        anvild::REQUEST_CANCELLED => "compile cancelled",
+                        anvild::DEADLINE_EXCEEDED => "compile deadline expired",
+                        _ => "compile shed",
+                    })
+                    .or_default() += 1;
+            }
+        }
+        for &pid in &proves {
+            let resp = wire.read(pid);
+            if resp.get("result").is_some() {
+                *outcomes.entry("prove ok").or_default() += 1;
+            } else {
+                let code = error_code(&resp).unwrap_or_else(|| panic!("no error in {resp}"));
+                assert!(survivable.contains(&code), "seed {seed}: {resp}");
+                *outcomes.entry("prove faulted (survivable)").or_default() += 1;
+            }
+        }
+        for &cid in &cancels {
+            assert!(wire.read(cid).get("result").is_some());
+        }
+
+        // Pre-cancelled ids observe the raised flag at most once, then
+        // the id is clean for reuse.
+        for &fid in &future_cancelled {
+            let params = Json::obj([("uri", Json::str(format!("{}.anvil", baselines[0].0)))]);
+            writeln!(client, "{}", frame(fid, "compile", &params)).expect("write");
+            let first = wire.read(fid);
+            let first_ok = first.get("result").is_some();
+            assert!(
+                first_ok || error_code(&first) == Some(anvild::REQUEST_CANCELLED),
+                "seed {seed}: pre-cancelled {fid}: {first}"
+            );
+            writeln!(client, "{}", frame(fid, "compile", &params)).expect("write");
+            let reused = wire.read(fid);
+            assert!(
+                reused.get("result").is_some(),
+                "seed {seed}: id reuse: {reused}"
+            );
+        }
+
+        // ---- Clear the plan; warm results must match cold baselines. ----
+        service.set_fault_plan(None);
+        for pass in 0..2 {
+            for (i, (name, _, cold_sv)) in baselines.iter().enumerate() {
+                let rid = 2000 + pass * 100 + i as i64;
+                let params = Json::obj([("uri", Json::str(format!("{name}.anvil")))]);
+                writeln!(client, "{}", frame(rid, "compile", &params)).expect("write");
+                let resp = wire.read(rid);
+                let sv = resp
+                    .get("result")
+                    .and_then(|r| r.get("systemverilog"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("seed {seed}: recovery compile failed: {resp}"));
+                assert_eq!(
+                    sv, cold_sv,
+                    "seed {seed}: {name} not byte-identical after chaos"
+                );
+                if pass == 1 {
+                    // The first pass rebuilt anything the faults poisoned;
+                    // the second must be a pure cache hit.
+                    let misses = resp
+                        .get("result")
+                        .and_then(|r| r.get("cacheDelta"))
+                        .and_then(|d| d.get("misses"))
+                        .and_then(Json::as_i64);
+                    assert_eq!(misses, Some(0), "seed {seed}: {name} not warm: {resp}");
+                }
+            }
+        }
+
+        // ---- Health must balance the books. ----
+        writeln!(client, "{}", frame(3000, "health", &Json::obj([]))).expect("write");
+        let health = wire.read(3000);
+        assert_eq!(
+            health
+                .get("result")
+                .and_then(|r| r.get("ok"))
+                .and_then(Json::as_bool),
+            Some(true),
+            "{health}"
+        );
+        assert_eq!(health_num(&health, "inFlight"), 0, "{health}");
+        assert_eq!(health_num(&health, "queued"), 0, "{health}");
+        let fired = plan.fired();
+        let injected_panics = fired.iter().filter(|l| l.ends_with(":panic")).count() as i64;
+        assert_eq!(
+            health_num(&health, "panicsRecovered"),
+            injected_panics,
+            "seed {seed}: every injected panic must be caught, none double-counted ({health})"
+        );
+        // The health probe itself is mid-flight when it snapshots the
+        // counters, so it is in `requests` but not yet `completed`.
+        assert_eq!(
+            health_num(&health, "shed") + health_num(&health, "completed") + 1,
+            health_num(&health, "requests"),
+            "seed {seed}: requests must be exactly sheds + completions ({health})"
+        );
+        assert_eq!(
+            wire.parse_errors, malformed_sent,
+            "seed {seed}: every malformed frame gets exactly one parse error"
+        );
+
+        // The transcript CI archives: what fired, how the storm went.
+        eprintln!(
+            "chaos seed {seed}: fired={fired:?} unfired={:?}",
+            plan.pending()
+        );
+        let mut lines: Vec<_> = outcomes.iter().collect();
+        lines.sort();
+        for (what, n) in lines {
+            eprintln!("chaos seed {seed}:   {n}x {what}");
+        }
+        eprintln!(
+            "chaos seed {seed}: health requests={} completed={} shed={} deadlineExpired={} \
+             watchdogFired={} panicsRecovered={} cancelled={}",
+            health_num(&health, "requests"),
+            health_num(&health, "completed"),
+            health_num(&health, "shed"),
+            health_num(&health, "deadlineExpired"),
+            health_num(&health, "watchdogFired"),
+            health_num(&health, "panicsRecovered"),
+            health_num(&health, "cancelled"),
+        );
+
+        // Drain shutdown ends the serve loop; the scope joins it.
+        writeln!(client, "{}", frame(4000, "shutdown", &Json::obj([]))).expect("write");
+        assert!(wire.read(4000).get("result").is_some());
+    });
+}

@@ -9,7 +9,8 @@ use anvil_designs::props::{seeded_violations, suite_properties};
 use anvil_sim::{Backend, SimBatch, Waveform};
 use anvil_smt::{optimize, AigCircuit};
 use anvil_verify::{
-    bmc_with_backend, prove, prove_portfolio, replay_trace, BmcResult, ProveResult, Prover,
+    bmc_with_backend, prove, prove_portfolio, replay_trace, BmcResult, Deadline, ProveResult,
+    Prover,
 };
 
 const MAX_K: usize = 8;
@@ -146,7 +147,17 @@ fn portfolio_settles_suite_and_seeded_designs() {
     // concludes first cancels the others; the explicit-state checker can
     // never produce a proof).
     let prop = &suite_properties()[0];
-    let out = prove_portfolio(&prop.module, &prop.assertion, MAX_K, 6, 5_000, 2, None).unwrap();
+    let out = prove_portfolio(
+        &prop.module,
+        &prop.assertion,
+        MAX_K,
+        6,
+        5_000,
+        2,
+        None,
+        Deadline::none(),
+    )
+    .unwrap();
     assert!(
         matches!(out.result, ProveResult::Proved { .. }),
         "{:?}",
@@ -158,11 +169,55 @@ fn portfolio_settles_suite_and_seeded_designs() {
 
     // Seeded bug: some engine falsifies, and the combined trace replays.
     let prop = &seeded_violations()[0];
-    let out = prove_portfolio(&prop.module, &prop.assertion, 16, 8, 100_000, 2, None).unwrap();
+    let out = prove_portfolio(
+        &prop.module,
+        &prop.assertion,
+        16,
+        8,
+        100_000,
+        2,
+        None,
+        Deadline::none(),
+    )
+    .unwrap();
     let ProveResult::Falsified { depth, trace } = &out.result else {
         panic!("expected falsification, got {:?}", out.result);
     };
     assert!(out.winner.is_some());
     let violated = replay_trace(&prop.module, &prop.assertion, trace, Backend::Compiled).unwrap();
     assert_eq!(violated, Some(depth - 1));
+}
+
+#[test]
+fn aes_prove_with_a_10ms_deadline_bails_out_well_under_a_second() {
+    // The robustness acceptance bar: the AES round-counter cone is far
+    // too big to settle in 10ms, so a deadlined portfolio must give up
+    // with Unknown (the daemon maps this to DEADLINE_EXCEEDED) orders
+    // of magnitude before the un-deadlined prove would finish.
+    let prop = suite_properties()
+        .into_iter()
+        .find(|p| p.design.contains("AES"))
+        .expect("AES property in the suite");
+    let started = std::time::Instant::now();
+    let out = prove_portfolio(
+        &prop.module,
+        &prop.assertion,
+        4096,
+        64,
+        100_000,
+        2,
+        None,
+        Deadline::in_ms(10),
+    )
+    .expect("portfolio");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(out.result, ProveResult::Unknown { .. }),
+        "expected a deadline bail-out, got {:?}",
+        out.result
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(1),
+        "deadline overrun: {elapsed:?}"
+    );
 }
