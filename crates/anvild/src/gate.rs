@@ -10,14 +10,18 @@
 //! open, cancel, health, ...) bypass the gate entirely, so a wedged
 //! worker pool never takes liveness probes down with it.
 //!
-//! [`ServiceCounters`] collects the operational counters the `health`
+//! [`ServiceCounters`] holds the operational counters the `health`
 //! method reports (and [`ServiceStats`] snapshots for tests): requests
 //! seen, sheds, deadline expiries, watchdog firings, recovered panics,
-//! cancellations, completions.
+//! cancellations, completions. The counters are handles into the
+//! service's [`anvil_trace::Registry`], so `health`, `cacheStats`, the
+//! `metrics` method, and the Prometheus exposition all read the same
+//! numbers — there is no bespoke counter plumbing to drift out of sync.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+use anvil_trace::{Counter, Gauge, Registry};
 
 /// Tunables for one [`crate::CompileService`]: worker cap, queue depth,
 /// default deadline, watchdog grace, and the chaos switch.
@@ -138,40 +142,57 @@ impl AdmissionGate {
     }
 }
 
-/// Monotonic operational counters backing the `health` method.
+/// Monotonic operational counters backing the `health` method — thin
+/// handles into the service's metrics [`Registry`], fetched once at
+/// construction so the hot path stays lock-free.
 pub struct ServiceCounters {
     started: Instant,
+    registry: Arc<Registry>,
     /// Requests dispatched (frames with a method, including sheds).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Heavy requests rejected with `OVERLOADED` before starting.
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Responses that reported `DEADLINE_EXCEEDED`.
-    pub deadline_expired: AtomicU64,
+    pub deadline_expired: Arc<Counter>,
     /// Stop flags raised by the watchdog on overdue workers.
-    pub watchdog_fired: AtomicU64,
+    pub watchdog_fired: Arc<Counter>,
     /// Handler panics caught and converted to `INTERNAL_ERROR`.
-    pub panics_recovered: AtomicU64,
+    pub panics_recovered: Arc<Counter>,
     /// Responses that reported `REQUEST_CANCELLED`.
-    pub cancelled: AtomicU64,
+    pub cancelled: Arc<Counter>,
     /// Requests that produced a response (success or error).
-    pub completed: AtomicU64,
-    /// EWMA of heavy-request service time, microseconds (alpha = 1/4).
-    pub ewma_service_micros: AtomicU64,
+    pub completed: Arc<Counter>,
+    /// EWMA of heavy-request service time, milliseconds (alpha = 1/4).
+    pub ewma_service_ms: Arc<Gauge>,
+    /// Full distribution of heavy-request service times, microseconds.
+    pub service_us: Arc<anvil_trace::Histogram>,
 }
 
 impl ServiceCounters {
     pub fn new() -> ServiceCounters {
+        ServiceCounters::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// Counters registered in (and readable back from) `registry`.
+    pub fn with_registry(registry: Arc<Registry>) -> ServiceCounters {
         ServiceCounters {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            watchdog_fired: AtomicU64::new(0),
-            panics_recovered: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            ewma_service_micros: AtomicU64::new(0),
+            requests: registry.counter("anvild_requests_total"),
+            shed: registry.counter("anvild_shed_total"),
+            deadline_expired: registry.counter("anvild_deadline_expired_total"),
+            watchdog_fired: registry.counter("anvild_watchdog_fired_total"),
+            panics_recovered: registry.counter("anvild_panics_recovered_total"),
+            cancelled: registry.counter("anvild_cancelled_total"),
+            completed: registry.counter("anvild_completed_total"),
+            ewma_service_ms: registry.gauge("anvild_ewma_service_ms"),
+            service_us: registry.histogram("anvild_service_us"),
+            registry,
         }
+    }
+
+    /// The registry these counters live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Milliseconds since the service was constructed.
@@ -179,17 +200,16 @@ impl ServiceCounters {
         self.started.elapsed().as_millis() as u64
     }
 
-    /// Folds one heavy-request service time into the EWMA.
+    /// Folds one heavy-request service time into the EWMA gauge and the
+    /// service-time histogram.
     pub fn observe_service_micros(&self, micros: u64) {
-        // Racy read-modify-write is fine: this is a smoothing hint for
-        // retryAfterMs, not an exact statistic.
-        let prev = self.ewma_service_micros.load(Ordering::Relaxed);
-        let next = if prev == 0 {
-            micros
-        } else {
-            (3 * prev + micros) / 4
-        };
-        self.ewma_service_micros.store(next, Ordering::Relaxed);
+        self.ewma_service_ms.observe_ewma(micros as f64 / 1000.0);
+        self.service_us.observe(micros);
+    }
+
+    /// The service-time EWMA in microseconds (for `retryAfterMs`).
+    pub fn ewma_service_micros(&self) -> u64 {
+        (self.ewma_service_ms.get() * 1000.0) as u64
     }
 }
 
@@ -257,8 +277,21 @@ mod tests {
     fn ewma_smooths_toward_recent_observations() {
         let c = ServiceCounters::new();
         c.observe_service_micros(1000);
-        assert_eq!(c.ewma_service_micros.load(Ordering::Relaxed), 1000);
+        assert_eq!(c.ewma_service_micros(), 1000);
         c.observe_service_micros(2000);
-        assert_eq!(c.ewma_service_micros.load(Ordering::Relaxed), 1250);
+        assert_eq!(c.ewma_service_micros(), 1250);
+    }
+
+    #[test]
+    fn counters_are_readable_back_from_the_registry() {
+        let c = ServiceCounters::new();
+        c.requests.add(3);
+        c.shed.inc();
+        c.observe_service_micros(5000);
+        let snap = c.registry().snapshot();
+        assert_eq!(snap.counter("anvild_requests_total"), Some(3));
+        assert_eq!(snap.counter("anvild_shed_total"), Some(1));
+        assert_eq!(snap.gauge("anvild_ewma_service_ms"), Some(5.0));
+        assert_eq!(snap.histogram("anvild_service_us").unwrap().count, 1);
     }
 }

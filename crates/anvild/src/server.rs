@@ -46,7 +46,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use anvil_core::fault::{FaultKind, FaultPlan};
-use anvil_core::{CacheStats, CompileError, Deadline, Session, StageCounters};
+use anvil_core::{CacheStats, CompileError, Deadline, Session};
 use anvil_rtl::{Expr, Module};
 use anvil_syntax::WireDiagnostic;
 use anvil_verify::{
@@ -66,6 +66,11 @@ pub const PROTOCOL_VERSION: i64 = 1;
 
 /// How often the serve-loop watchdog scans the in-flight table.
 const WATCHDOG_TICK_MS: u64 = 10;
+
+/// Span cap for `trace: true` responses: a prove request can record
+/// tens of thousands of SAT-level spans; the response keeps the
+/// earliest (coarsest) ones and flags `spanTreeTruncated`.
+const MAX_TRACE_SPANS: usize = 4096;
 
 /// One open file: the registry holds full-text versioned buffers (the
 /// `sus-compiler`-style `add_file`/`update_file` model — full-text
@@ -183,14 +188,73 @@ impl CompileService {
             uptime_ms: self.counters.uptime_ms(),
             in_flight,
             queued,
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            shed: self.counters.shed.load(Ordering::Relaxed),
-            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
-            watchdog_fired: self.counters.watchdog_fired.load(Ordering::Relaxed),
-            panics_recovered: self.counters.panics_recovered.load(Ordering::Relaxed),
-            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
-            completed: self.counters.completed.load(Ordering::Relaxed),
+            requests: self.counters.requests.get(),
+            shed: self.counters.shed.get(),
+            deadline_expired: self.counters.deadline_expired.get(),
+            watchdog_fired: self.counters.watchdog_fired.get(),
+            panics_recovered: self.counters.panics_recovered.get(),
+            cancelled: self.counters.cancelled.get(),
+            completed: self.counters.completed.get(),
         }
+    }
+
+    /// The metrics registry every stat surface reads from: the service
+    /// counters live in it, traced requests fold their span durations
+    /// into it, and `health` / `cacheStats` / `metrics` / the
+    /// Prometheus exposition are all views of one
+    /// [`anvil_trace::Snapshot`] of it.
+    pub fn metrics_registry(&self) -> &Arc<anvil_trace::Registry> {
+        self.counters.registry()
+    }
+
+    /// Syncs the gauges derived from other subsystems (query-cache
+    /// stage counters, hit rate, gate occupancy, open files, uptime)
+    /// into the registry, then snapshots it.
+    fn refreshed_snapshot(&self) -> anvil_trace::Snapshot {
+        let reg = self.counters.registry();
+        let stats = self.session.cache_stats();
+        for (name, c) in [
+            ("check", stats.check),
+            ("opt_ir", stats.opt_ir),
+            ("lower", stats.lower),
+            ("emit", stats.emit),
+            ("aig", stats.aig),
+            ("proof", stats.proof),
+        ] {
+            reg.gauge(&format!("anvild_cache_{name}_hits"))
+                .set(c.hits as f64);
+            reg.gauge(&format!("anvild_cache_{name}_misses"))
+                .set(c.misses as f64);
+            reg.gauge(&format!("anvild_cache_{name}_evictions"))
+                .set(c.evictions as f64);
+        }
+        let (hits, misses) = (stats.hits(), stats.misses());
+        let rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        reg.gauge("anvild_cache_hits").set(hits as f64);
+        reg.gauge("anvild_cache_misses").set(misses as f64);
+        reg.gauge("anvild_cache_evictions")
+            .set(stats.evictions() as f64);
+        reg.gauge("anvild_cache_poisoned")
+            .set(stats.poisoned as f64);
+        reg.gauge("anvild_cache_hit_rate").set(rate);
+        let (in_flight, queued) = self.gate.gauges();
+        reg.gauge("anvild_in_flight").set(in_flight as f64);
+        reg.gauge("anvild_queued").set(queued as f64);
+        reg.gauge("anvild_open_files").set(self.open_files() as f64);
+        reg.gauge("anvild_uptime_ms")
+            .set(self.counters.uptime_ms() as f64);
+        reg.snapshot()
+    }
+
+    /// The Prometheus-style text exposition (`anvild --metrics-socket`
+    /// serves exactly this string per connection).
+    pub fn metrics_text(&self) -> String {
+        self.refreshed_snapshot();
+        self.counters.registry().render_prometheus()
     }
 
     /// Installs (or clears) a fault plan on the dispatch seam *and* the
@@ -287,9 +351,7 @@ impl CompileService {
             }
         }
         if fired > 0 {
-            self.counters
-                .watchdog_fired
-                .fetch_add(fired as u64, Ordering::Relaxed);
+            self.counters.watchdog_fired.add(fired as u64);
         }
         fired
     }
@@ -298,7 +360,7 @@ impl CompileService {
     /// from the service-time EWMA and the current queue depth.
     fn overloaded_error(&self) -> RpcError {
         let (_, queued) = self.gate.gauges();
-        let per_ms = (self.counters.ewma_service_micros.load(Ordering::Relaxed) / 1000).max(10);
+        let per_ms = (self.counters.ewma_service_micros() / 1000).max(10);
         let hint = (per_ms * (queued as u64 + 1) / self.config.max_concurrency.max(1) as u64)
             .clamp(10, 10_000);
         RpcError::new(OVERLOADED, "server overloaded; request shed")
@@ -313,10 +375,38 @@ impl CompileService {
     /// calls it from the socket loop (behind the admission gate), tests
     /// call it directly (no admission — `handle` never sheds).
     pub fn handle(&self, msg: Incoming, notify: &mut dyn FnMut(Json)) -> Option<Json> {
+        self.handle_admitted(msg, notify, None)
+    }
+
+    /// [`CompileService::handle`] with admission context from the serve
+    /// loop: when the request passed the gate, `queue_wait` carries
+    /// `(enqueued, started)` instants so a traced request's tree shows
+    /// its gate admission / queue wait ahead of the dispatch work.
+    pub fn handle_admitted(
+        &self,
+        msg: Incoming,
+        notify: &mut dyn FnMut(Json),
+        queue_wait: Option<(Instant, Instant)>,
+    ) -> Option<Json> {
         let id = msg.id.clone();
         let heavy = is_heavy(&msg.method);
         let started = Instant::now();
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.requests.inc();
+        // Per-request tracing: `trace: true` on any request with an id
+        // opens a capture for the duration of the dispatch and returns
+        // the stitched span tree in the response.
+        let want_trace =
+            id.is_some() && msg.params.get("trace").and_then(Json::as_bool) == Some(true);
+        let trace_ctx = if want_trace {
+            let capture = anvil_trace::Capture::start();
+            let root = anvil_trace::span("anvild", "request").detail_with(|| msg.method.clone());
+            if let Some((enqueued, dequeued)) = queue_wait {
+                anvil_trace::record_manual("anvild", "gate.wait", root.id(), enqueued, dequeued);
+            }
+            Some((capture, root))
+        } else {
+            None
+        };
         let result = match self.request_deadline(&msg.params) {
             Err(e) => Err(e),
             Ok(deadline) => {
@@ -331,12 +421,12 @@ impl CompileService {
                 // error, not unwind through the serve loop: panic-safety
                 // is the whole point of a multi-tenant daemon.
                 std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let _sp =
+                        anvil_trace::span("anvild", "dispatch").detail_with(|| msg.method.clone());
                     self.dispatch(&msg, stop, deadline, notify)
                 }))
                 .unwrap_or_else(|payload| {
-                    self.counters
-                        .panics_recovered
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters.panics_recovered.inc();
                     Err(RpcError::new(
                         INTERNAL_ERROR,
                         format!("request handler panicked: {}", panic_message(&payload)),
@@ -354,16 +444,46 @@ impl CompileService {
                 _ => None,
             };
             if let Some(counter) = counter {
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
             }
         }
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters.completed.inc();
         if heavy {
             self.counters
                 .observe_service_micros(started.elapsed().as_micros() as u64);
         }
+        // Close the capture after the request is fully accounted: the
+        // span durations feed the same registry the `metrics` method
+        // reads, so a traced request's tree and its histogram increments
+        // always agree.
+        let trace_json = trace_ctx.map(|(capture, root)| {
+            let root_id = root.id();
+            drop(root);
+            let mut records = capture.finish();
+            self.counters.registry().observe_spans(&records);
+            let truncated = records.len() > MAX_TRACE_SPANS;
+            if truncated {
+                // Records are start-sorted; the root and the request's
+                // coarse phases come first, inner-loop spans fall off.
+                records.truncate(MAX_TRACE_SPANS);
+            }
+            (anvil_trace::subtree(&records, root_id), truncated)
+        });
         match (id, result) {
-            (Some(id), Ok(result)) => Some(proto::response(&id, result)),
+            (Some(id), Ok(mut result)) => {
+                if let Some((Some(tree), truncated)) = trace_json {
+                    if let Json::Obj(map) = &mut result {
+                        // `spanTree`, not `trace`: falsified prove
+                        // responses already use `trace` for the
+                        // rendered counterexample.
+                        map.insert("spanTree".to_string(), span_tree_json(&tree));
+                        if truncated {
+                            map.insert("spanTreeTruncated".to_string(), Json::Bool(true));
+                        }
+                    }
+                }
+                Some(proto::response(&id, result))
+            }
             (Some(id), Err(err)) => Some(error_response(Some(&id), &err)),
             (None, _) => None,
         }
@@ -402,6 +522,7 @@ impl CompileService {
             "prove" => self.prove(&msg.params, stop, deadline, notify),
             "cacheStats" => Ok(self.cache_stats_json()),
             "health" => Ok(self.health_json()),
+            "metrics" => Ok(self.metrics_json()),
             "cancel" => self.cancel(&msg.params),
             "shutdown" => self.shutdown(&msg.params),
             other => Err(RpcError::new(
@@ -728,49 +849,110 @@ impl CompileService {
     }
 
     fn cache_stats_json(&self) -> Json {
-        let stats = self.session.cache_stats();
+        let snap = self.refreshed_snapshot();
+        let g = |name: &str| Json::int(snap.gauge(name).unwrap_or(0.0) as i64);
+        let stage = |name: &str| {
+            Json::obj([
+                ("hits", g(&format!("anvild_cache_{name}_hits"))),
+                ("misses", g(&format!("anvild_cache_{name}_misses"))),
+                ("evictions", g(&format!("anvild_cache_{name}_evictions"))),
+            ])
+        };
         Json::obj([
-            ("check", stage_json(stats.check)),
-            ("optIr", stage_json(stats.opt_ir)),
-            ("lower", stage_json(stats.lower)),
-            ("emit", stage_json(stats.emit)),
-            ("aig", stage_json(stats.aig)),
-            ("proof", stage_json(stats.proof)),
-            ("poisoned", Json::int(stats.poisoned as i64)),
+            ("check", stage("check")),
+            ("optIr", stage("opt_ir")),
+            ("lower", stage("lower")),
+            ("emit", stage("emit")),
+            ("aig", stage("aig")),
+            ("proof", stage("proof")),
+            ("poisoned", g("anvild_cache_poisoned")),
             (
                 "totals",
                 Json::obj([
-                    ("hits", Json::int(stats.hits() as i64)),
-                    ("misses", Json::int(stats.misses() as i64)),
-                    ("evictions", Json::int(stats.evictions() as i64)),
+                    ("hits", g("anvild_cache_hits")),
+                    ("misses", g("anvild_cache_misses")),
+                    ("evictions", g("anvild_cache_evictions")),
                 ]),
             ),
-            ("openFiles", Json::int(self.open_files() as i64)),
+            ("openFiles", g("anvild_open_files")),
         ])
     }
 
-    /// The `health` response: uptime, gate gauges, and the monotonic
-    /// robustness counters.
+    /// The `health` response: uptime, gate gauges, the monotonic
+    /// robustness counters, plus the cache hit-rate and service-time
+    /// EWMA gauges — all read from one registry snapshot, the same one
+    /// `cacheStats` and `metrics` serve.
     fn health_json(&self) -> Json {
-        let s = self.service_stats();
+        let snap = self.refreshed_snapshot();
+        let c = |name: &str| Json::int(snap.counter(name).unwrap_or(0) as i64);
+        let g = |name: &str| Json::int(snap.gauge(name).unwrap_or(0.0) as i64);
         Json::obj([
             ("ok", Json::Bool(true)),
-            ("uptimeMs", Json::int(s.uptime_ms as i64)),
-            ("inFlight", Json::int(s.in_flight as i64)),
-            ("queued", Json::int(s.queued as i64)),
-            ("requests", Json::int(s.requests as i64)),
-            ("completed", Json::int(s.completed as i64)),
-            ("shed", Json::int(s.shed as i64)),
-            ("deadlineExpired", Json::int(s.deadline_expired as i64)),
-            ("watchdogFired", Json::int(s.watchdog_fired as i64)),
-            ("panicsRecovered", Json::int(s.panics_recovered as i64)),
-            ("cancelled", Json::int(s.cancelled as i64)),
+            ("uptimeMs", g("anvild_uptime_ms")),
+            ("inFlight", g("anvild_in_flight")),
+            ("queued", g("anvild_queued")),
+            ("requests", c("anvild_requests_total")),
+            ("completed", c("anvild_completed_total")),
+            ("shed", c("anvild_shed_total")),
+            ("deadlineExpired", c("anvild_deadline_expired_total")),
+            ("watchdogFired", c("anvild_watchdog_fired_total")),
+            ("panicsRecovered", c("anvild_panics_recovered_total")),
+            ("cancelled", c("anvild_cancelled_total")),
+            (
+                "cacheHitRate",
+                Json::Num(snap.gauge("anvild_cache_hit_rate").unwrap_or(0.0)),
+            ),
+            (
+                "ewmaServiceMs",
+                Json::Num(snap.gauge("anvild_ewma_service_ms").unwrap_or(0.0)),
+            ),
             (
                 "maxConcurrency",
                 Json::int(self.config.max_concurrency as i64),
             ),
             ("maxQueue", Json::int(self.config.max_queue as i64)),
-            ("openFiles", Json::int(self.open_files() as i64)),
+            ("openFiles", g("anvild_open_files")),
+        ])
+    }
+
+    /// The `metrics` response: the full registry snapshot — counters,
+    /// gauges, and histogram summaries (count / sum / p50 / p90 / p99,
+    /// microseconds for `_us` instruments).
+    fn metrics_json(&self) -> Json {
+        let snap = self.refreshed_snapshot();
+        let counters = Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::int(*v as i64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            snap.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            snap.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        Json::obj([
+                            ("count", Json::int(h.count as i64)),
+                            ("sum", Json::int(h.sum as i64)),
+                            ("p50", Json::int(h.p50 as i64)),
+                            ("p90", Json::int(h.p90 as i64)),
+                            ("p99", Json::int(h.p99 as i64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
         ])
     }
 
@@ -855,8 +1037,8 @@ impl CompileService {
                     if is_heavy(&msg.method) {
                         match self.gate.try_admit() {
                             Admission::Shed => {
-                                self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                                self.counters.requests.inc();
+                                self.counters.shed.inc();
                                 if let Some(id) = &msg.id {
                                     send(&error_response(Some(id), &self.overloaded_error()));
                                 }
@@ -872,11 +1054,14 @@ impl CompileService {
                                     }
                                 }
                                 let send = &send;
+                                let enqueued = Instant::now();
                                 scope.spawn(move || {
                                     if admission == Admission::Queued {
                                         self.gate.wait_turn();
                                     }
-                                    let frame = self.handle(msg, &mut |n| send(&n));
+                                    let admitted = Some((enqueued, Instant::now()));
+                                    let frame =
+                                        self.handle_admitted(msg, &mut |n| send(&n), admitted);
                                     self.gate.depart();
                                     if let Some(frame) = frame {
                                         send(&frame);
@@ -995,12 +1180,37 @@ fn prove_response(
     )
 }
 
-fn stage_json(c: StageCounters) -> Json {
-    Json::obj([
-        ("hits", Json::int(c.hits as i64)),
-        ("misses", Json::int(c.misses as i64)),
-        ("evictions", Json::int(c.evictions as i64)),
-    ])
+/// Serializes one traced request's span tree for the wire: `startUs`
+/// is relative to the root span's start, so a client can reconstruct
+/// the timeline without knowing the daemon's trace epoch.
+fn span_tree_json(root: &anvil_trace::SpanNode) -> Json {
+    fn node_json(node: &anvil_trace::SpanNode, base_ns: u64) -> Json {
+        let rec = &node.record;
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("cat".to_string(), Json::str(rec.cat));
+        map.insert("name".to_string(), Json::str(rec.name));
+        map.insert(
+            "startUs".to_string(),
+            Json::int((rec.start_ns.saturating_sub(base_ns) / 1_000) as i64),
+        );
+        map.insert("durUs".to_string(), Json::int((rec.dur_ns / 1_000) as i64));
+        if let Some(d) = &rec.detail {
+            map.insert("detail".to_string(), Json::str(d));
+        }
+        if !node.children.is_empty() {
+            map.insert(
+                "children".to_string(),
+                Json::Arr(
+                    node.children
+                        .iter()
+                        .map(|c| node_json(c, base_ns))
+                        .collect(),
+                ),
+            );
+        }
+        Json::Obj(map)
+    }
+    node_json(root, root.record.start_ns)
 }
 
 fn cache_delta_json(delta: &CacheStats) -> Json {

@@ -201,6 +201,21 @@ fn main() {
     }
     let warm_speedup = cold_total / warm_total.max(1e-9);
 
+    // Disabled-tracing overhead guard: re-run the first suite property
+    // untraced (timed) and traced (counting spans), then assert the
+    // disabled span fast path costs <2% of the untraced wall. Runs
+    // after the recorded measurements so the capture cannot skew them.
+    let guard_prop = &suite_properties()[0];
+    let mut scratch = Vec::new();
+    let t = Instant::now();
+    run_design(guard_prop, &mut scratch);
+    let untraced = t.elapsed().as_secs_f64();
+    let cap = anvil_trace::Capture::start();
+    scratch.clear();
+    run_design(guard_prop, &mut scratch);
+    let spans_per_pass = cap.finish().len();
+    let overhead = anvil_bench::tracing_guard::assert_overhead("prove", spans_per_pass, untraced);
+
     let proved = rows
         .iter()
         .filter(|r| r.engine == "k_induction" && r.verdict.starts_with("proved"))
@@ -221,6 +236,12 @@ fn main() {
     let _ = writeln!(json, "  \"cold_millis_total\": {cold_total:.3},");
     let _ = writeln!(json, "  \"warm_millis_total\": {warm_total:.3},");
     let _ = writeln!(json, "  \"warm_speedup\": {warm_speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"tracing\": {{\"spans_per_pass\": {}, \"disabled_ns_per_span\": {:.2}, \
+         \"overhead_fraction\": {:.6}}},",
+        overhead.spans_per_pass, overhead.disabled_ns_per_span, overhead.fraction
+    );
     let _ = writeln!(json, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

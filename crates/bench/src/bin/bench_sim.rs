@@ -59,6 +59,16 @@ fn main() {
     let t_batch = time_best(|| load.run_batch(&mut batches, seed), expect);
     let t_threaded = time_best(|| load.run_threaded(workers, seed), expect);
 
+    // Disabled-tracing overhead guard: one traced pass counts the span
+    // sites the workload hits; the analytic bound asserts the disabled
+    // fast path costs <2% of the best untraced batch pass. Runs after
+    // the timed passes so the capture cannot perturb them.
+    let cap = anvil_trace::Capture::start();
+    let got = load.run_batch(&mut batches, seed);
+    let spans_per_pass = cap.finish().len();
+    assert_eq!(got, expect, "traced pass diverged from the reference");
+    let overhead = anvil_bench::tracing_guard::assert_overhead("sim", spans_per_pass, t_batch);
+
     let volume = load.cycle_lanes() as f64;
     let thr = |t: f64| volume / t;
     let modes = [
@@ -103,6 +113,12 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"tracing\": {{\"spans_per_pass\": {}, \"disabled_ns_per_span\": {:.2}, \
+         \"overhead_fraction\": {:.6}}},",
+        overhead.spans_per_pass, overhead.disabled_ns_per_span, overhead.fraction
+    );
     let _ = writeln!(
         json,
         "  \"speedup_batch_over_scalar\": {:.2},",

@@ -569,9 +569,12 @@ impl Session {
         proc_name: &str,
     ) -> Result<Arc<ProcReport>, CompileError> {
         let key = items.check_key(proc_name);
+        let mut sp = anvil_trace::span("core", "check.unit");
         if let Some(Artifact::Checked(report)) = self.cache.get(Stage::Check, key) {
+            sp.set_detail_with(|| format!("{proc_name} hit"));
             return Ok(report);
         }
+        sp.set_detail_with(|| format!("{proc_name} miss"));
         let report = check_proc(program, proc_name).map_err(CompileError::Elaborate)?;
         let report = Arc::new(report);
         if report.is_safe() {
@@ -648,16 +651,21 @@ impl Session {
         }
         self.fault_point("session.compile");
         poll_cancel(stop, deadline)?;
+        let _sp_compile = anvil_trace::span("core", "compile");
         let mut stats = PassStats::default();
 
         // ---- Pass 1: parse. ----
         let t = Instant::now();
+        let sp = anvil_trace::span("core", "parse");
         let program = self.parse(source)?;
+        drop(sp);
         stats.parse = t.elapsed();
 
         // ---- Pass 2: check, one unit per proc. ----
         let t = Instant::now();
+        let sp = anvil_trace::span("core", "check");
         let (items, reports) = self.check_units(&program, stop, deadline)?;
+        drop(sp);
         let errors: Vec<TypeError> = reports
             .values()
             .flat_map(|r| r.errors().into_iter().cloned())
@@ -688,9 +696,14 @@ impl Session {
             emit_keys.insert(name, unit_keys.emit);
 
             let t = Instant::now();
+            let mut sp = anvil_trace::span("core", "optimize.unit");
             let ir_unit = match self.cache.get(Stage::OptIr, unit_keys.opt_ir) {
-                Some(Artifact::OptIr(unit)) => unit,
+                Some(Artifact::OptIr(unit)) => {
+                    sp.set_detail_with(|| format!("{name} hit"));
+                    unit
+                }
                 _ => {
+                    sp.set_detail_with(|| format!("{name} miss"));
                     let (irs, before, after) = build_optimized_ir(&program, name, self.options)
                         .map_err(|e| codegen_error(&program, e))?;
                     let unit = Arc::new(IrUnit {
@@ -706,14 +719,20 @@ impl Session {
                     unit
                 }
             };
+            drop(sp);
             stats.events_before += ir_unit.events_before;
             stats.events_after += ir_unit.events_after;
             stats.optimize += t.elapsed();
 
             let t = Instant::now();
+            let mut sp = anvil_trace::span("core", "lower.unit");
             let module = match self.cache.get(Stage::Lower, unit_keys.lower) {
-                Some(Artifact::Lowered(m)) => m,
+                Some(Artifact::Lowered(m)) => {
+                    sp.set_detail_with(|| format!("{name} hit"));
+                    m
+                }
                 _ => {
+                    sp.set_detail_with(|| format!("{name} miss"));
                     let m = lower_proc(&program, name, &ir_unit.irs, &lib, self.options)
                         .map_err(|e| codegen_error(&program, e))?;
                     let m = Arc::new(m);
@@ -722,6 +741,7 @@ impl Session {
                     m
                 }
             };
+            drop(sp);
             lib.add((*module).clone());
             stats.codegen += t.elapsed();
         }
@@ -729,6 +749,7 @@ impl Session {
         // ---- Pass 5: emit — deterministic assembly of per-module
         // chunks in `emit_library` order. ----
         let t = Instant::now();
+        let sp_emit = anvil_trace::span("core", "emit");
         let mut systemverilog = String::new();
         for name in anvil_rtl::emit_order(&lib) {
             poll_cancel(stop, deadline)?;
@@ -738,9 +759,14 @@ impl Session {
                 Some(&key) => key,
                 None => units::extern_chunk_key(name, self.extern_gen),
             };
+            let mut sp = anvil_trace::span("core", "emit.chunk");
             let chunk = match self.cache.get(Stage::Emit, key) {
-                Some(Artifact::Sv(chunk)) => chunk,
+                Some(Artifact::Sv(chunk)) => {
+                    sp.set_detail_with(|| format!("{name} hit"));
+                    chunk
+                }
                 _ => {
+                    sp.set_detail_with(|| format!("{name} miss"));
                     let module = lib.get(name).expect("ordered module exists");
                     let chunk = Arc::new(anvil_rtl::emit_module(module));
                     self.cache
@@ -748,9 +774,11 @@ impl Session {
                     chunk
                 }
             };
+            drop(sp);
             systemverilog.push_str(&chunk);
             systemverilog.push('\n');
         }
+        drop(sp_emit);
         stats.emit = t.elapsed();
 
         Ok(CompileOutput {
@@ -795,6 +823,7 @@ impl Session {
         source: &str,
         top: &str,
     ) -> Result<Arc<anvil_smt::AigCircuit>, CompileError> {
+        let mut sp = anvil_trace::span("core", "flat_aig");
         let out = self.compile(source)?;
         let items = ItemGraph::new(&out.program);
         let order =
@@ -805,9 +834,11 @@ impl Session {
         let key = keys.get(top).map(|k| units::aig_key(k.lower));
         if let Some(key) = key {
             if let Some(Artifact::Aig(circuit)) = self.cache.get(Stage::Aig, key) {
+                sp.set_detail_with(|| format!("{top} hit"));
                 return Ok(circuit);
             }
         }
+        sp.set_detail_with(|| format!("{top} miss"));
         let flat = anvil_rtl::elaborate(top, &out.modules).map_err(|e| {
             CompileError::Codegen(CodegenDiag {
                 message: e.to_string(),

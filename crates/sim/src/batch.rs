@@ -130,6 +130,8 @@ impl TapeProgram {
             None => lane_width_from_env()?.unwrap_or(LANE_STRIDE),
         };
         check_driver_widths(module)?;
+        let _sp = anvil_trace::span("sim", "tape.lower")
+            .detail_with(|| format!("{} stride {stride}", module.name));
         let module = Arc::new(module.clone());
         let names = Arc::new(module.name_index());
         let widths = Arc::new(module.signals.iter().map(|s| s.width as u32).collect());

@@ -1688,6 +1688,9 @@ impl SimBackend for TapeEngine {
         if !self.dirty {
             return;
         }
+        // Opened only when there is work: the settle-skip early return
+        // above stays untraced and pays nothing.
+        let _sp = anvil_trace::span("sim", "settle");
         let tape = Arc::clone(&self.tape);
         for op in &tape.ops {
             exec_op(
@@ -2629,11 +2632,21 @@ impl<const L: usize> LaneEngine<L> {
         if !self.any_dirty {
             return;
         }
+        // Opened only when there is work — the settle-skip early return
+        // stays untraced — and the per-region children gate on one
+        // enabled() check for the whole pass.
+        let _sp = anvil_trace::span("sim", "settle");
+        let traced = anvil_trace::enabled();
         let tape = Arc::clone(&self.tape);
         for (ri, (s, e)) in tape.regions.iter().enumerate() {
             if !self.region_dirty[ri] {
                 continue;
             }
+            let _sp_region = if traced {
+                Some(anvil_trace::span("sim", "region").detail_with(|| format!("r{ri}")))
+            } else {
+                None
+            };
             for op in &tape.ops[*s as usize..*e as usize] {
                 exec_op_lanes::<L>(
                     op,

@@ -444,6 +444,7 @@ impl Pdr {
         let mut n = 1usize;
         loop {
             self.stats.frames = n;
+            let _sp = anvil_trace::span("pdr", "frame").detail_with(|| format!("F{n}"));
             if n >= self.options.max_frames || self.interrupted() {
                 return PdrOutcome::Unknown;
             }

@@ -238,15 +238,21 @@ pub fn optimize(aig: &Aig, roots: &[Lit], keep_all_latches: bool) -> (Rewritten,
         level_before: aig.max_level(),
         ..OptimizeStats::default()
     };
+    let sp = anvil_trace::span("aig", "rewrite");
     let (r1, s1) = rewrite(aig, roots, keep_all_latches, true);
+    drop(sp);
     stats.rewrite = s1;
+    let sp = anvil_trace::span("aig", "fraig");
     let (r2, s2) = fraig(&r1.aig, 0x416e_7669_6c21_0001);
+    drop(sp);
     stats.fraig = s2;
     let roots2: Vec<Lit> = roots
         .iter()
         .filter_map(|&l| r1.map_lit(l).and_then(|m| r2.map_lit(m)))
         .collect();
+    let sp = anvil_trace::span("aig", "sweep");
     let (r3, s3) = rewrite(&r2.aig, &roots2, keep_all_latches, true);
+    drop(sp);
     stats.sweep = s3;
     let combined = r1.compose(&r2).compose(&r3);
     stats.nodes_after = combined.aig.len();

@@ -610,6 +610,7 @@ impl Solver {
     /// variable activities persist, which is what makes repeated
     /// unrolling-depth queries cheap.
     pub fn solve(&mut self, assumptions: &[SLit]) -> SolveResult {
+        let _sp = anvil_trace::span("sat", "solve");
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -667,6 +668,7 @@ impl Solver {
             } else {
                 if conflicts_here >= budget {
                     // Restart.
+                    anvil_trace::instant("sat", "restart");
                     self.stats.restarts += 1;
                     restart += 1;
                     budget = 128 * luby(restart);

@@ -1,0 +1,423 @@
+//! Process- or service-scoped metrics: counters, gauges, and
+//! log-linear-bucket histograms with derivable quantiles.
+//!
+//! A [`Registry`] is an instance, not a global: the daemon owns one
+//! per compile service so tests running several services in one
+//! process see exact per-service counts. Handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s — fetch once,
+//! then update lock-free on the hot path.
+//!
+//! Histograms use log-linear buckets: 4 linear sub-buckets per power of
+//! two, so any quantile estimate is within ~12.5% of the true value
+//! while the whole histogram stays a fixed 256-slot array of relaxed
+//! atomics. [`Registry::observe_spans`] folds finished span records
+//! into per-`cat.name` duration histograms, which is how the `metrics`
+//! surface stays consistent with what traces report.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::SpanRecord;
+
+/// Monotonic counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge holding an `f64`.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Folds a sample into an exponentially-weighted moving average
+    /// with `alpha = 1/4`. Racy read-modify-write by design — this is a
+    /// smoothing hint, not an exact statistic.
+    pub fn observe_ewma(&self, sample: f64) {
+        let prev = self.get();
+        let next = if prev == 0.0 {
+            sample
+        } else {
+            (3.0 * prev + sample) / 4.0
+        };
+        self.set(next);
+    }
+}
+
+/// Sub-buckets per power of two (4 → ~12.5% worst-case quantile error).
+const SUB_BITS: u32 = 2;
+const SUB: usize = 1 << SUB_BITS;
+/// 4 exact small buckets + 62 octaves × 4 sub-buckets fits in 256.
+const BUCKETS: usize = 256;
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let oct = 63 - v.leading_zeros() as usize; // >= SUB_BITS
+    let sub = ((v >> (oct as u32 - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    let idx = (oct - SUB_BITS as usize) * SUB + sub + SUB;
+    idx.min(BUCKETS - 1)
+}
+
+/// Lower bound of bucket `i` (inverse of [`bucket_of`]).
+fn bucket_floor(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let oct = (i - SUB) / SUB + SUB_BITS as usize;
+    if oct >= 64 {
+        // Slots past what bucket_of can produce (it clamps earlier).
+        return u64::MAX;
+    }
+    let sub = ((i - SUB) % SUB) as u64;
+    (1u64 << oct) + (sub << (oct as u32 - SUB_BITS))
+}
+
+/// Fixed-size log-linear histogram of `u64` samples.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) as the lower bound of
+    /// the bucket containing that rank; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+}
+
+/// Point-in-time snapshot of one histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+/// Point-in-time snapshot of a whole [`Registry`], name-sorted.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Named counters, gauges, and histograms for one service instance.
+///
+/// Lookup takes a lock; updates through the returned handles are
+/// lock-free. Instruments are created on first use and never removed.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn lock_poisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (creating if needed) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock_poisoned(&self.counters);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating if needed) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock_poisoned(&self.gauges);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating if needed) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock_poisoned(&self.histograms);
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Folds finished span records into per-`cat.name` microsecond
+    /// duration histograms (`span_<cat>_<name>_us`). This keeps the
+    /// metrics surface consistent with traces: one traced request
+    /// increments exactly the histograms whose spans appear in its
+    /// tree, by exactly the number of occurrences.
+    pub fn observe_spans(&self, records: &[SpanRecord]) {
+        for rec in records {
+            let key = format!("span_{}_{}_us", sanitize(rec.cat), sanitize(rec.name));
+            self.histogram(&key).observe(rec.dur_ns / 1_000);
+        }
+    }
+
+    /// Snapshots every instrument, name-sorted.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock_poisoned(&self.counters)
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = lock_poisoned(&self.gauges)
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = lock_poisoned(&self.histograms)
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    HistogramSnapshot {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Renders a Prometheus-style text exposition (one `# TYPE` line
+    /// per instrument; histograms as summaries with p50/p90/p99
+    /// quantile labels).
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &snap.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Maps arbitrary names onto the Prometheus metric-name alphabet.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_and_floor_are_consistent() {
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1000, 65_535, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_floor(b) <= v, "v={v} bucket={b}");
+            if b + 1 < BUCKETS && bucket_floor(b + 1) != u64::MAX {
+                assert!(
+                    bucket_floor(b + 1) > v,
+                    "v={v} bucket={b} next_floor={}",
+                    bucket_floor(b + 1)
+                );
+            }
+        }
+        // Floors strictly increase over the reachable range (bucket_of
+        // tops out at 251; the tail slots saturate to u64::MAX).
+        for i in 1..=bucket_of(u64::MAX) {
+            assert!(bucket_floor(i) > bucket_floor(i - 1), "i={i}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Log-linear with 4 sub-buckets: within 12.5% below the truth.
+        assert!((437..=500).contains(&p50), "p50={p50}");
+        assert!((866..=990).contains(&p99), "p99={p99}");
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        reg.counter("requests").add(3);
+        reg.counter("requests").inc();
+        reg.gauge("hit_rate").set(0.75);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("requests"), Some(4));
+        assert_eq!(snap.gauge("hit_rate"), Some(0.75));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn ewma_smooths_toward_recent_observations() {
+        let g = Gauge::default();
+        g.observe_ewma(1000.0);
+        assert_eq!(g.get(), 1000.0);
+        g.observe_ewma(2000.0);
+        assert_eq!(g.get(), 1250.0);
+    }
+
+    #[test]
+    fn spans_feed_duration_histograms() {
+        let reg = Registry::new();
+        let rec = crate::span::SpanRecord {
+            id: 1,
+            parent: 0,
+            cat: "core",
+            name: "compile",
+            detail: None,
+            thread: 1,
+            start_ns: 0,
+            dur_ns: 2_000_000,
+        };
+        reg.observe_spans(&[rec.clone(), rec]);
+        let snap = reg.snapshot();
+        let h = snap.histogram("span_core_compile_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4_000);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable_lines() {
+        let reg = Registry::new();
+        reg.counter("anvild_requests_total").add(7);
+        reg.gauge("anvild_cache_hit_rate").set(0.5);
+        reg.histogram("anvild_service_us").observe(1234);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE anvild_requests_total counter\n"));
+        assert!(text.contains("anvild_requests_total 7\n"));
+        assert!(text.contains("anvild_cache_hit_rate 0.5\n"));
+        assert!(text.contains("anvild_service_us{quantile=\"0.5\"}"));
+        assert!(text.contains("anvild_service_us_count 1\n"));
+    }
+}

@@ -278,6 +278,7 @@ struct Prepared {
 
 impl Prepared {
     fn new(circuit: &AigCircuit, assertion: &Expr) -> Result<Prepared, ProveError> {
+        let _sp = anvil_trace::span("prove", "prepare");
         let mut circuit = circuit.clone();
         let ok0 = circuit.blast_assertion(assertion)?;
         let (rw, _opt) = optimize(circuit.aig(), &[ok0], false);
@@ -790,6 +791,7 @@ pub fn revalidate_certificate(
     assertion: &Expr,
     cert: &ProofCert,
 ) -> Result<Option<ProveResult>, ProveError> {
+    let _sp = anvil_trace::span("prove", "revalidate");
     match &cert.kind {
         CertKind::Inductive { clauses } => {
             let mut c = circuit.clone();
@@ -1057,6 +1059,10 @@ pub fn prove_portfolio(
 
     let stop = stop.unwrap_or_else(|| Arc::new(AtomicBool::new(false)));
     let exchange = Arc::new(ClauseExchange::new(4096));
+    let _sp_portfolio = anvil_trace::span("prove", "portfolio");
+    // Worker spans stitch under the portfolio span by explicit id: the
+    // thread-local parent stack does not cross the spawn boundary.
+    let portfolio_span = anvil_trace::current_span();
     let circuit = AigCircuit::from_module(module)?;
     let prep = Arc::new(Prepared::new(&circuit, assertion)?);
     // PDR hunts counterexamples level by level, so give it at least the
@@ -1064,6 +1070,7 @@ pub fn prove_portfolio(
     let pdr_frames = depth.max(max_k).saturating_add(2).min(256);
     let parts = run_indexed(3, workers.max(1), |i| match i {
         0 => {
+            let _sp = anvil_trace::span_under("prove", "symbolic", portfolio_span);
             let engine = Engine::new(
                 Arc::clone(&prep),
                 Some(Arc::clone(&stop)),
@@ -1083,6 +1090,7 @@ pub fn prove_portfolio(
             Part::Symbolic(r)
         }
         1 => {
+            let _sp = anvil_trace::span_under("prove", "pdr", portfolio_span);
             let r = run_pdr_inner(
                 &prep,
                 pdr_frames,
@@ -1103,6 +1111,7 @@ pub fn prove_portfolio(
             Part::Pdr(r)
         }
         _ => {
+            let _sp = anvil_trace::span_under("prove", "explicit", portfolio_span);
             let r = bmc_impl(
                 module,
                 assertion,

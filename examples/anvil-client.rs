@@ -20,7 +20,7 @@
 //! request with exponential backoff plus seeded jitter until it
 //! succeeds.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::process::exit;
 
@@ -29,19 +29,23 @@ use anvil::anvild::{Incoming, Json};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: anvil-client --socket <path> [--overload-burst]
+        "usage: anvil-client --socket <path> [--overload-burst] [--metrics-socket <path>]
 
 Scripted smoke test against a running anvild; prints the full frame
 transcript and `SMOKE OK` on success. `--overload-burst` additionally
 exercises admission-control shedding and retry-with-backoff (requires a
-server started with small --max-concurrency/--max-queue and --chaos)."
+server started with small --max-concurrency/--max-queue and --chaos).
+`--metrics-socket` scrapes the server's Prometheus-style metrics socket
+right before shutdown, prints the exposition, and asserts it is
+consistent with the `metrics` JSON-RPC snapshot (`METRICS OK`)."
     );
     exit(2);
 }
 
-fn parse_args() -> (String, bool) {
+fn parse_args() -> (String, bool, Option<String>) {
     let mut socket = None;
     let mut burst = false;
+    let mut metrics = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -50,11 +54,15 @@ fn parse_args() -> (String, bool) {
                 None => usage(),
             },
             "--overload-burst" => burst = true,
+            "--metrics-socket" => match argv.next() {
+                Some(path) => metrics = Some(path),
+                None => usage(),
+            },
             "-h" | "--help" => usage(),
             _ => usage(),
         }
     }
-    (socket.unwrap_or_else(|| usage()), burst)
+    (socket.unwrap_or_else(|| usage()), burst, metrics)
 }
 
 /// One connection: sends request frames, reads frames back until the
@@ -201,7 +209,7 @@ fn check(cond: bool, msg: &str) {
 }
 
 fn main() {
-    let (path, overload_burst) = parse_args();
+    let (path, overload_burst, metrics_socket) = parse_args();
     let mut client = Client::connect(&path);
     let uri = "smoke:fifo.anv";
 
@@ -400,8 +408,72 @@ fn main() {
 
     println!("HEALTH OK");
 
+    if let Some(metrics_path) = &metrics_socket {
+        scrape_metrics(&mut client, metrics_path);
+    }
+
     client.call(11, "shutdown", Json::Null);
     println!("SMOKE OK");
+}
+
+/// Scrapes the daemon's Prometheus-style metrics socket and cross-checks
+/// the exposition against the `metrics` JSON-RPC snapshot: both read the
+/// same registry, so the request counter the JSON snapshot reports must
+/// appear in the text scrape (modulo requests made in between).
+fn scrape_metrics(client: &mut Client, metrics_path: &str) {
+    let metrics = client.call(13, "metrics", Json::Null);
+    let requests = metrics
+        .get("result")
+        .and_then(|r| r.get("counters"))
+        .and_then(|c| c.get("anvild_requests_total"))
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| fail("metrics snapshot has no anvild_requests_total counter"));
+    check(requests >= 13, "metrics undercounts this smoke session");
+    check(
+        metrics
+            .get("result")
+            .and_then(|r| r.get("histograms"))
+            .and_then(|h| h.get("anvild_service_us"))
+            .and_then(|h| h.get("p50"))
+            .is_some(),
+        "metrics snapshot has no service-time histogram",
+    );
+
+    let mut stream = match UnixStream::connect(metrics_path) {
+        Ok(s) => s,
+        Err(e) => fail(&format!(
+            "cannot connect to metrics socket `{metrics_path}`: {e}"
+        )),
+    };
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .unwrap_or_else(|e| fail(&format!("metrics scrape read failed: {e}")));
+    print!("{text}");
+    for needle in [
+        "# TYPE anvild_requests_total counter",
+        "anvild_uptime_ms",
+        "anvild_cache_hit_rate",
+        "anvild_service_us_count",
+    ] {
+        check(
+            text.contains(needle),
+            &format!("metrics exposition is missing `{needle}`"),
+        );
+    }
+    // The scrape happened after the JSON snapshot; the monotonic request
+    // counter can only have grown.
+    let scraped = text
+        .lines()
+        .find(|l| l.starts_with("anvild_requests_total "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or_else(|| fail("exposition has no anvild_requests_total sample"));
+    check(
+        scraped as i64 >= requests,
+        "scraped request counter ran backwards vs the JSON snapshot",
+    );
+    println!("METRICS OK");
 }
 
 /// Clogs the single worker slot with a stalled compile, bursts more

@@ -5,12 +5,22 @@
 //! cargo run --release --example anvilc -- design.anv
 //! cargo run --release --example anvilc -- design.anv -o out.sv --repeat 5
 //! cargo run --release --example anvilc -- design.anv --prove ok --top main --max-k 10
+//! cargo run --release --example anvilc -- @suite --self-profile trace.json
 //! ```
 //!
-//! Compile mode prints per-pass wall-clock timings (`PassStats`) for every
-//! run and the session's cumulative query-cache counters (`CacheStats`)
-//! at the end; `--repeat N` recompiles the same file N times through one
-//! session, so runs 2..N exercise the warm path.
+//! Compile mode prints per-pass wall-clock timings and the session's
+//! cumulative query-cache counters (`CacheStats`) at the end; `--repeat
+//! N` recompiles the same file N times through one session and prints a
+//! per-stage cold-vs-warm timing table aggregated from the tracer's
+//! span records, so the incremental win of each pipeline stage is
+//! visible directly (run 1 is the cold column, runs 2..N average into
+//! the warm column).
+//!
+//! The pseudo-input `@suite` compiles all ten evaluation designs from
+//! [`anvil::anvil_designs`] through one session instead of reading a
+//! file — combined with `--self-profile <path>` this produces the
+//! Perfetto-loadable Chrome `trace_event` JSON of the whole pipeline
+//! that CI archives.
 //!
 //! Prove mode (`--prove <signal>`) bit-blasts the flattened top process
 //! through the session's AIG cache and runs symbolic bounded model
@@ -20,8 +30,11 @@
 //! or `unknown` at the depth budget. `--repeat` demonstrates the warm AIG
 //! path the same way it does for compilation.
 
+use std::collections::BTreeMap;
 use std::process::exit;
+use std::time::Duration;
 
+use anvil::anvil_trace::{chrome_trace, Capture, SpanRecord};
 use anvil::verify::{prove_with_circuit, render_trace, ProveResult};
 use anvil::{Compiler, Expr};
 
@@ -32,22 +45,29 @@ struct Args {
     prove: Option<String>,
     top: Option<String>,
     max_k: usize,
+    self_profile: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: anvilc <input.anv> [-o <output.sv>] [--repeat N]
+        "usage: anvilc <input.anv> [-o <output.sv>] [--repeat N] [--self-profile <path>]
        anvilc <input.anv> --prove <signal> [--top <proc>] [--max-k N] [--repeat N]
+       anvilc @suite [--repeat N] [--self-profile <path>]
 
 Compiles an Anvil source file to SystemVerilog, or proves a property.
   -o <output.sv>   output path (default: input with a .sv extension)
-  --repeat N       compile (or prove) N times through one session; runs
-                   after the first demonstrate the incremental warm path
+  --repeat N       compile (or prove) N times through one session and
+                   print a per-stage cold-vs-warm table from span data
   --prove <signal> verify that the 1-bit signal stays truthy in every
                    reachable state (symbolic BMC + k-induction)
   --top <proc>     the process to flatten for proving (default: the only
                    process in the file)
-  --max-k N        k-induction depth budget (default 16)"
+  --max-k N        k-induction depth budget (default 16)
+  --self-profile <path>
+                   trace the whole invocation and write Chrome
+                   trace_event JSON (open in Perfetto / chrome://tracing)
+  @suite           compile the ten-design evaluation suite through one
+                   session instead of reading an input file"
     );
     exit(2);
 }
@@ -60,6 +80,7 @@ fn parse_args() -> Args {
         prove: None,
         top: None,
         max_k: 16,
+        self_profile: None,
     };
     let mut input = None;
     let mut argv = std::env::args().skip(1);
@@ -85,8 +106,14 @@ fn parse_args() -> Args {
                 Some(n) => args.max_k = n,
                 _ => usage(),
             },
+            "--self-profile" => match argv.next() {
+                Some(path) => args.self_profile = Some(path),
+                None => usage(),
+            },
             "-h" | "--help" => usage(),
-            _ if input.is_none() && !arg.starts_with('-') => input = Some(arg),
+            _ if input.is_none() && (arg == "@suite" || !arg.starts_with('-')) => {
+                input = Some(arg);
+            }
             _ => usage(),
         }
     }
@@ -101,23 +128,91 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let source = match std::fs::read_to_string(&args.input) {
-        Ok(s) => s,
-        Err(e) => {
-            // Usage-class failure (bad invocation, not a bad program):
-            // exit 2, same as unknown flags and missing arguments.
-            eprintln!("anvilc: cannot read `{}`: {e}", args.input);
+    // The profile capture wraps the whole invocation; per-run captures
+    // for the --repeat table nest inside it (captures are refcounted).
+    let capture = args.self_profile.as_ref().map(|_| Capture::start());
+
+    let code = if args.input == "@suite" {
+        if args.prove.is_some() || args.output.is_some() {
+            eprintln!("anvilc: @suite supports neither --prove nor -o");
             exit(2);
         }
+        suite_mode(&args)
+    } else {
+        let source = match std::fs::read_to_string(&args.input) {
+            Ok(s) => s,
+            Err(e) => {
+                // Usage-class failure (bad invocation, not a bad
+                // program): exit 2, same as unknown flags.
+                eprintln!("anvilc: cannot read `{}`: {e}", args.input);
+                exit(2);
+            }
+        };
+        if args.prove.is_some() {
+            prove_mode(&args, &source)
+        } else {
+            compile_mode(&args, &source)
+        }
     };
-    if args.prove.is_some() {
-        prove_mode(&args, &source);
-        return;
+
+    if let (Some(capture), Some(path)) = (capture, &args.self_profile) {
+        let records = capture.finish();
+        if let Err(e) = std::fs::write(path, chrome_trace(&records)) {
+            eprintln!("anvilc: cannot write self-profile `{path}`: {e}");
+            exit(1);
+        }
+        println!("wrote self-profile: {path} ({} spans)", records.len());
     }
-    compile_mode(&args, &source);
+    exit(code);
 }
 
-fn compile_mode(args: &Args, source: &str) {
+/// Sums span durations per `cat.name` stage for one run (instants are
+/// skipped: they mark events, not time).
+fn stage_totals(records: &[SpanRecord]) -> BTreeMap<String, u64> {
+    let mut totals = BTreeMap::new();
+    for r in records {
+        if r.dur_ns == 0 {
+            continue;
+        }
+        *totals.entry(format!("{}.{}", r.cat, r.name)).or_insert(0) += r.dur_ns;
+    }
+    totals
+}
+
+/// Prints the cold-vs-warm per-stage table: run 1 is the cold column,
+/// runs 2..N average into the warm column, delta is warm relative to
+/// cold. Stages absent from a run (a cache hit skipping a pass body
+/// entirely) count as zero there.
+fn print_stage_table(runs: &[BTreeMap<String, u64>]) {
+    let fmt = |ns: u64| format!("{:.2?}", Duration::from_nanos(ns));
+    let cold = &runs[0];
+    let warm_runs = &runs[1..];
+    let keys: std::collections::BTreeSet<&String> = runs.iter().flat_map(|r| r.keys()).collect();
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>8}   (cold = run 1, warm = mean of runs 2..{})",
+        "stage",
+        "cold",
+        "warm",
+        "delta",
+        runs.len()
+    );
+    for key in keys {
+        let c = cold.get(key).copied().unwrap_or(0);
+        let w_sum: u64 = warm_runs
+            .iter()
+            .map(|r| r.get(key).copied().unwrap_or(0))
+            .sum();
+        let w = w_sum / warm_runs.len().max(1) as u64;
+        let delta = if c > 0 {
+            format!("{:+.0}%", (w as f64 - c as f64) / c as f64 * 100.0)
+        } else {
+            "new".to_string()
+        };
+        println!("{key:<24} {:>10} {:>10} {delta:>8}", fmt(c), fmt(w));
+    }
+}
+
+fn compile_mode(args: &Args, source: &str) -> i32 {
     let out_path = args.output.clone().unwrap_or_else(|| {
         let mut p = std::path::PathBuf::from(&args.input);
         p.set_extension("sv");
@@ -126,23 +221,36 @@ fn compile_mode(args: &Args, source: &str) {
 
     let compiler = Compiler::new();
     let mut last = None;
+    let mut runs = Vec::new();
     for run in 1..=args.repeat {
+        let cap = (args.repeat > 1).then(Capture::start);
+        let t = std::time::Instant::now();
         match compiler.compile(source) {
             Ok(out) => {
-                println!("run {run}/{}: {}", args.repeat, out.stats);
+                if args.repeat == 1 {
+                    println!("run {run}/{}: {}", args.repeat, out.stats);
+                } else {
+                    println!("run {run}/{}: {:.2?}", args.repeat, t.elapsed());
+                }
                 last = Some(out);
             }
             Err(e) => {
                 eprintln!("{}", e.render(source));
-                exit(1);
+                return 1;
             }
+        }
+        if let Some(cap) = cap {
+            runs.push(stage_totals(&cap.finish()));
         }
     }
     let out = last.expect("at least one run");
+    if runs.len() > 1 {
+        print_stage_table(&runs);
+    }
 
     if let Err(e) = std::fs::write(&out_path, &out.systemverilog) {
         eprintln!("anvilc: cannot write `{out_path}`: {e}");
-        exit(1);
+        return 1;
     }
     println!(
         "wrote {} ({} bytes, {} modules)",
@@ -151,9 +259,53 @@ fn compile_mode(args: &Args, source: &str) {
         out.modules.iter().count()
     );
     println!("cache: {}", compiler.cache_stats());
+    0
 }
 
-fn prove_mode(args: &Args, source: &str) {
+/// Compiles every design in the evaluation suite through one session.
+/// Run 1 is all cold; later runs (with `--repeat`) are all warm, and
+/// the same per-stage table as single-file mode shows the deltas.
+fn suite_mode(args: &Args) -> i32 {
+    let mut compiler = Compiler::new();
+    // The aes design calls an `extern fn` backed by this LUT module.
+    compiler.with_extern(anvil::anvil_designs::aes::sbox_module());
+    let mut runs = Vec::new();
+    for run in 1..=args.repeat {
+        let cap = (args.repeat > 1).then(Capture::start);
+        let t = std::time::Instant::now();
+        let mut total_sv = 0usize;
+        for (name, text) in anvil::anvil_designs::suite_sources() {
+            match compiler.compile(&text) {
+                Ok(out) => {
+                    total_sv += out.systemverilog.len();
+                    if run == 1 {
+                        println!("{name}: {}", out.stats);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("anvilc: suite design `{name}` failed to compile:");
+                    eprintln!("{}", e.render(&text));
+                    return 1;
+                }
+            }
+        }
+        println!(
+            "suite run {run}/{}: {:.2?} ({total_sv} bytes of SystemVerilog)",
+            args.repeat,
+            t.elapsed()
+        );
+        if let Some(cap) = cap {
+            runs.push(stage_totals(&cap.finish()));
+        }
+    }
+    if runs.len() > 1 {
+        print_stage_table(&runs);
+    }
+    println!("cache: {}", compiler.cache_stats());
+    0
+}
+
+fn prove_mode(args: &Args, source: &str) -> i32 {
     let signal = args.prove.as_deref().expect("prove mode has a signal");
     let compiler = Compiler::new();
 
@@ -166,7 +318,7 @@ fn prove_mode(args: &Args, source: &str) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("{}", e.render(source));
-                    exit(1);
+                    return 1;
                 }
             };
             match program.procs.as_slice() {
@@ -189,14 +341,16 @@ fn prove_mode(args: &Args, source: &str) {
     };
 
     let mut exit_code = 0;
+    let mut runs = Vec::new();
     for run in 1..=args.repeat {
+        let cap = (args.repeat > 1).then(Capture::start);
         let t = std::time::Instant::now();
         // Through the session cache: run 2+ reuses the blasted AIG.
         let circuit = match compiler.compile_flat_aig(source, &top) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{}", e.render(source));
-                exit(1);
+                return 1;
             }
         };
         let module = circuit.module();
@@ -247,10 +401,16 @@ fn prove_mode(args: &Args, source: &str) {
             }
             Err(e) => {
                 eprintln!("anvilc: prove failed: {e}");
-                exit(1);
+                return 1;
             }
         }
+        if let Some(cap) = cap {
+            runs.push(stage_totals(&cap.finish()));
+        }
+    }
+    if runs.len() > 1 {
+        print_stage_table(&runs);
     }
     println!("cache: {}", compiler.cache_stats());
-    exit(exit_code);
+    exit_code
 }

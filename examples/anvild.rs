@@ -43,7 +43,11 @@ Persistent Anvil compile server (JSON-RPC 2.0, one JSON frame per line).
                            (default: 250)
   --chaos                  honor chaos-test hooks (chaosStallMs param)
   --fault-seed <n>         install a seeded fault-injection plan
-                           (chaos testing only; implies --chaos)"
+                           (chaos testing only; implies --chaos)
+  --metrics-socket <path>  also listen on a second Unix socket that
+                           serves one Prometheus-style metrics scrape
+                           per connection (same registry the `metrics`
+                           JSON-RPC method reads)"
     );
     exit(2);
 }
@@ -57,6 +61,7 @@ struct Args {
     transport: Transport,
     config: ServiceConfig,
     fault_seed: Option<u64>,
+    metrics_socket: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -64,6 +69,7 @@ fn parse_args() -> Args {
         transport: Transport::Stdio,
         config: ServiceConfig::default(),
         fault_seed: None,
+        metrics_socket: None,
     };
     let mut argv = std::env::args().skip(1);
     let num = |argv: &mut dyn Iterator<Item = String>| -> u64 {
@@ -83,6 +89,10 @@ fn parse_args() -> Args {
             "--default-deadline-ms" => args.config.default_deadline_ms = Some(num(&mut argv)),
             "--watchdog-grace-ms" => args.config.watchdog_grace_ms = num(&mut argv),
             "--chaos" => args.config.chaos = true,
+            "--metrics-socket" => match argv.next() {
+                Some(path) => args.metrics_socket = Some(path),
+                None => usage(),
+            },
             "--fault-seed" => {
                 args.fault_seed = Some(num(&mut argv));
                 args.config.chaos = true;
@@ -113,6 +123,9 @@ fn main() {
         service.set_fault_plan(Some(Arc::new(FaultPlan::seeded(seed, &ops, 8))));
         eprintln!("anvild: fault plan installed (seed {seed})");
     }
+    if let Some(path) = &args.metrics_socket {
+        serve_metrics_socket(&service, path);
+    }
     match args.transport {
         Transport::Stdio => {
             let stdin = std::io::stdin();
@@ -125,6 +138,46 @@ fn main() {
         }
         Transport::Socket(path) => serve_socket(&service, &path),
     }
+}
+
+/// Listens on a side socket serving one Prometheus-style text scrape
+/// per connection (write exposition, close). Runs on its own thread so
+/// a scrape never competes with JSON-RPC traffic for the serve loop,
+/// and exits with the daemon.
+fn serve_metrics_socket(service: &Arc<CompileService>, path: &str) {
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("anvild: cannot bind metrics socket `{path}`: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("anvild: cannot configure metrics socket `{path}`: {e}");
+        exit(1);
+    }
+    eprintln!("anvild: metrics on {path}");
+    let service = Arc::clone(service);
+    let path = path.to_string();
+    std::thread::spawn(move || {
+        while !service.is_shut_down() {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.write_all(service.metrics_text().as_bytes());
+                    let _ = stream.flush();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Err(e) => {
+                    eprintln!("anvild: metrics accept failed: {e}");
+                    break;
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    });
 }
 
 fn serve_socket(service: &Arc<CompileService>, path: &str) {

@@ -20,6 +20,9 @@
 //!   [`verify::prove_portfolio`] engines,
 //! * [`anvil_designs`] — the ten evaluation designs (and their safety
 //!   properties, `anvil_designs::props`),
+//! * [`anvil_trace`] — hierarchical span tracing and the process-wide
+//!   metrics registry behind `--self-profile` and the daemon's
+//!   `metrics` method,
 //! * [`anvild`] — the persistent JSON-RPC compile server behind the
 //!   `anvild` daemon ([`anvild::CompileService`]).
 //!
@@ -55,6 +58,7 @@ pub use anvil_sim;
 pub use anvil_smt;
 pub use anvil_syntax;
 pub use anvil_synth;
+pub use anvil_trace;
 pub use anvil_typeck;
 pub use anvil_verify;
 pub use anvild;
